@@ -1,0 +1,259 @@
+// Package instrsample_test holds the top-level benchmark harness: one
+// testing.B benchmark per paper table/figure (regenerating the artifact at
+// reduced scale and reporting its headline numbers as metrics), plus
+// micro-benchmarks of the substrate itself (interpreter throughput,
+// transform speed).
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale artifacts are produced by cmd/experiments; these benches
+// exist so `go test -bench` exercises every experiment path and gives
+// quick relative numbers on the host machine.
+package instrsample_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"instrsample/internal/bench"
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/experiment"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// benchScale keeps per-iteration work modest; artifact shape is unchanged.
+const benchScale = 0.05
+
+func benchConfig() experiment.Config {
+	return experiment.Config{Scale: benchScale, ICache: true}
+}
+
+// lastRowMetric extracts a numeric cell from a table's final (average) row.
+func lastRowMetric(b *testing.B, tab *experiment.Table, col int) float64 {
+	b.Helper()
+	row := tab.Rows[len(tab.Rows)-1]
+	v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", row[col], err)
+	}
+	return v
+}
+
+func runArtifact(b *testing.B, id string, metricCol int, metricName string) {
+	gen, err := experiment.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var metric float64
+	for i := 0; i < b.N; i++ {
+		tab, err := gen(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metricCol >= 0 {
+			metric = lastRowMetric(b, tab, metricCol)
+		}
+	}
+	if metricCol >= 0 {
+		b.ReportMetric(metric, metricName)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (exhaustive instrumentation
+// overhead) and reports the suite-average call-edge overhead.
+func BenchmarkTable1(b *testing.B) { runArtifact(b, "table1", 1, "calledge-overhead-%") }
+
+// BenchmarkTable2 regenerates Table 2 (Full-Duplication framework
+// overhead, no samples) and reports the suite-average total overhead.
+func BenchmarkTable2(b *testing.B) { runArtifact(b, "table2", 1, "framework-overhead-%") }
+
+// BenchmarkTable3 regenerates Table 3 (No-Duplication check overhead) and
+// reports the suite-average field-access overhead.
+func BenchmarkTable3(b *testing.B) { runArtifact(b, "table3", 2, "nodup-field-overhead-%") }
+
+// BenchmarkTable4 regenerates the Table 4 interval sweep. The reported
+// metric is the Full-Duplication interval-1000 total overhead (the
+// paper's headline 6.3%).
+func BenchmarkTable4(b *testing.B) {
+	var metric float64
+	for i := 0; i < b.N; i++ {
+		tab, err := experiment.Table4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if row[0] == "Full-Duplication" && row[1] == "1000" {
+				v, err := strconv.ParseFloat(row[4], 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				metric = v
+			}
+		}
+	}
+	b.ReportMetric(metric, "fd1000-total-overhead-%")
+}
+
+// BenchmarkFigure7 regenerates the javac call-edge profile comparison.
+func BenchmarkFigure7(b *testing.B) { runArtifact(b, "figure7", -1, "") }
+
+// BenchmarkFigure8A regenerates the yieldpoint-optimized framework
+// overhead table and reports its average.
+func BenchmarkFigure8A(b *testing.B) { runArtifact(b, "figure8a", 1, "yieldopt-overhead-%") }
+
+// BenchmarkFigure8B regenerates the yieldpoint-optimized sampling sweep.
+func BenchmarkFigure8B(b *testing.B) { runArtifact(b, "figure8b", -1, "") }
+
+// BenchmarkTable5 regenerates the trigger comparison and reports the
+// counter-minus-timer accuracy gap.
+func BenchmarkTable5(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		tab, err := experiment.Table5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = lastRowMetric(b, tab, 2) - lastRowMetric(b, tab, 1)
+	}
+	b.ReportMetric(gap, "counter-vs-timer-gap-pts")
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkInterpreter measures raw interpreter throughput on the
+// compress kernel (host ns per simulated instruction).
+func BenchmarkInterpreter(b *testing.B) {
+	prog := bench.Compress(benchScale)
+	res, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		out, err := vm.New(res.Prog, vm.Config{}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += out.Stats.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "M-instrs/sec")
+}
+
+// BenchmarkInterpreterICache measures the same kernel with the i-cache
+// model enabled, quantifying the model's own cost.
+func BenchmarkInterpreterICache(b *testing.B) {
+	prog := bench.Compress(benchScale)
+	res, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.New(res.Prog, vm.Config{ICache: vm.DefaultICache()}).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampledRun measures a fully sampled run (both paper
+// instrumentations, Full-Duplication, interval 1000).
+func BenchmarkSampledRun(b *testing.B) {
+	prog := bench.Compress(benchScale)
+	res, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}},
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.New(res.Prog, vm.Config{
+			Trigger:  trigger.NewCounter(1000),
+			Handlers: res.Handlers,
+		}).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCompile measures the compiler pipeline under a framework variation.
+func benchCompile(b *testing.B, fw *core.Options) {
+	prog := bench.Optc(0.01) // many methods, realistic CFGs
+	var ins []instr.Instrumenter
+	if fw != nil {
+		ins = []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compile.Compile(prog, compile.Options{Instrumenters: ins, Framework: fw}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileBaseline measures the baseline pipeline (optimizer,
+// yieldpoints, liveness, layout).
+func BenchmarkCompileBaseline(b *testing.B) { benchCompile(b, nil) }
+
+// BenchmarkCompileFullDuplication measures the pipeline with
+// instrumentation plus the Full-Duplication transform — the compile-time
+// increase of Table 2.
+func BenchmarkCompileFullDuplication(b *testing.B) {
+	benchCompile(b, &core.Options{Variation: core.FullDuplication})
+}
+
+// BenchmarkCompilePartialDuplication measures the Partial-Duplication
+// transform (top/bottom-node analysis included).
+func BenchmarkCompilePartialDuplication(b *testing.B) {
+	benchCompile(b, &core.Options{Variation: core.PartialDuplication})
+}
+
+// BenchmarkCompileNoDuplication measures the No-Duplication transform.
+func BenchmarkCompileNoDuplication(b *testing.B) {
+	benchCompile(b, &core.Options{Variation: core.NoDuplication})
+}
+
+// BenchmarkCheckCost isolates the per-check cost: a tight loop measured
+// with and without backedge checks; the metric is simulated cycles per
+// check.
+func BenchmarkCheckCost(b *testing.B) {
+	mk := func() *ir.Program {
+		fb := ir.NewFunc("main", 0)
+		c := fb.At(fb.EntryBlock())
+		n := c.Const(100000)
+		lp := c.CountedLoop(n, "l")
+		lp.Body.Jump(lp.Latch)
+		lp.After.Return(lp.I)
+		p := &ir.Program{Name: "micro", Funcs: []*ir.Method{fb.M}, Main: fb.M}
+		p.Seal()
+		return p
+	}
+	base, err := compile.Compile(mk(), compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	checked, err := compile.Compile(mk(), compile.Options{ChecksOnly: &core.ChecksOnly{Backedges: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var perCheck float64
+	for i := 0; i < b.N; i++ {
+		o1, err := vm.New(base.Prog, vm.Config{}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		o2, err := vm.New(checked.Prog, vm.Config{Trigger: trigger.Never{}}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		perCheck = float64(o2.Stats.Cycles-o1.Stats.Cycles) / float64(o2.Stats.Checks)
+	}
+	b.ReportMetric(perCheck, "cycles/check")
+}

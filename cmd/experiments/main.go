@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic benchmark suite.
+//
+//	experiments                    # everything, full scale, ASCII
+//	experiments -artifact table4   # one artifact
+//	experiments -scale 0.25        # faster, smaller workloads
+//	experiments -markdown -o results.md
+//	experiments -bench javac,db    # restrict the suite
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"instrsample/internal/experiment"
+)
+
+func main() {
+	var (
+		artifact = flag.String("artifact", "", "one of table1..table5, figure7, figure8a, figure8b (default: all)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of ASCII tables")
+		outPath  = flag.String("o", "", "write to file instead of stdout")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset")
+		noICache = flag.Bool("no-icache", false, "disable the i-cache model")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{Scale: *scale, ICache: !*noICache}
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			cfg.Benchmarks = append(cfg.Benchmarks, strings.TrimSpace(b))
+		}
+	}
+	if !*quiet {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	type job struct {
+		id  string
+		gen experiment.Generator
+	}
+	var jobs []job
+	if *artifact != "" {
+		gen, err := experiment.ByID(*artifact)
+		if err != nil {
+			fatal(err)
+		}
+		jobs = append(jobs, job{*artifact, gen})
+	} else {
+		for _, e := range experiment.All() {
+			jobs = append(jobs, job{e.ID, e.Gen})
+		}
+	}
+
+	for _, j := range jobs {
+		start := time.Now()
+		tab, err := j.gen(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", j.id, err))
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", j.id, time.Since(start).Round(time.Millisecond))
+		}
+		if *markdown {
+			tab.Markdown(out)
+		} else {
+			tab.Fprint(out)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

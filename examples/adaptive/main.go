@@ -1,0 +1,46 @@
+// Adaptive optimization driven by sampled profiles — the paper's
+// motivating scenario. The controller runs the jess benchmark with every
+// method at the cheap baseline compilation level, leaves low-overhead
+// sampled call-edge profiling on, picks the hot methods, and recompiles
+// only those at the optimizing level.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"instrsample/internal/adaptive"
+	"instrsample/internal/bench"
+)
+
+func main() {
+	for _, name := range []string{"jess", "javac", "mtrt"} {
+		b, err := bench.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := adaptive.Run(b.Build(0.1), adaptive.Config{
+			Interval:    1000,
+			HotCoverage: 0.9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  hot methods (from %d call-edge samples): %v\n", rep.Samples, rep.HotMethods)
+		fmt.Printf("  all-baseline:        %12d cycles\n", rep.AllBaselineCycles)
+		fmt.Printf("  with profiling on:   %12d cycles  (+%.1f%% — the cost of deciding)\n",
+			rep.ProfilingCycles, rep.ProfilingOverheadPct())
+		fmt.Printf("  hot methods opt'd:   %12d cycles  (%.1f%% faster, %.0f%% of the all-optimized ideal)\n",
+			rep.AdaptedCycles, rep.SpeedupPct(), rep.CapturedPct())
+		fmt.Printf("  all-optimized ideal: %12d cycles\n", rep.AllOptCycles)
+		fmt.Printf("  deep profiling of the hot set (+%.1f%%):", rep.DeepProfilingOverheadPct())
+		for _, p := range rep.DeepProfiles {
+			fmt.Printf(" %s=%d", p.Name, p.Total())
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

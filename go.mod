@@ -1,0 +1,3 @@
+module instrsample
+
+go 1.22

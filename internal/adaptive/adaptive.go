@@ -1,0 +1,269 @@
+// Package adaptive implements a small adaptive-optimization controller in
+// the style of the Jalapeño adaptive system the paper targets: the system
+// first runs with every method at the cheap "baseline" compilation level,
+// uses the sampling framework to collect a low-overhead call-edge profile,
+// selects the hot methods, and recompiles just those at the optimizing
+// level. The sampling framework is what makes the profiling phase cheap
+// enough to leave on (the paper's whole motivation).
+//
+// Compilation levels are modelled by vm.Config.CostScale: baseline
+// methods execute each instruction at BaselineFactor times its optimized
+// cost.
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Interval is the sampling interval of the profiling phase
+	// (default 1000, the paper's sweet spot).
+	Interval int64
+	// HotCoverage selects hot methods until their cumulative share of
+	// call-edge samples reaches this fraction (default 0.9).
+	HotCoverage float64
+	// BaselineFactor is the slowdown of baseline-compiled methods
+	// (default 3).
+	BaselineFactor uint32
+	// Variation is the framework variation used while profiling
+	// (default FullDuplication with the yieldpoint optimization).
+	Variation core.Variation
+}
+
+func (c *Config) defaults() {
+	if c.Interval == 0 {
+		c.Interval = 1000
+	}
+	if c.HotCoverage == 0 {
+		c.HotCoverage = 0.9
+	}
+	if c.BaselineFactor == 0 {
+		c.BaselineFactor = 3
+	}
+}
+
+// Report is the outcome of one adaptive run.
+type Report struct {
+	// HotMethods are the selected methods, hottest first.
+	HotMethods []string
+	// Samples is the number of call-edge samples the decision used.
+	Samples uint64
+	// AllBaselineCycles is phase 0: every method at baseline level,
+	// no instrumentation.
+	AllBaselineCycles uint64
+	// ProfilingCycles is phase 1: every method at baseline level with
+	// sampled call-edge instrumentation — the cost of *deciding*.
+	ProfilingCycles uint64
+	// AdaptedCycles is phase 2: hot methods recompiled at the optimizing
+	// level, instrumentation retired (sample condition permanently
+	// false, §2).
+	AdaptedCycles uint64
+	// AllOptCycles is the unreachable ideal: everything optimized.
+	AllOptCycles uint64
+	// DeepProfilingCycles is phase 3: the hot methods alone carry
+	// field-access, value and path instrumentation at once (§3.2's
+	// "selectively instrument only the hot methods, but apply many types
+	// of instrumentation at once"), sampled under Full-Duplication, with
+	// everything running at the adapted compilation levels.
+	DeepProfilingCycles uint64
+	// DeepProfiles are the phase-3 profiles (field-access, value, path).
+	DeepProfiles []*profile.Profile
+}
+
+// ProfilingOverheadPct is the relative cost of leaving profiling on
+// during phase 1, versus running uninstrumented at baseline.
+func (r *Report) ProfilingOverheadPct() float64 {
+	return 100 * (float64(r.ProfilingCycles)/float64(r.AllBaselineCycles) - 1)
+}
+
+// DeepProfilingOverheadPct is the cost of leaving multi-instrumentation
+// deep profiling on for the hot set, relative to the adapted run.
+func (r *Report) DeepProfilingOverheadPct() float64 {
+	if r.AdaptedCycles == 0 || r.DeepProfilingCycles == 0 {
+		return 0
+	}
+	return 100 * (float64(r.DeepProfilingCycles)/float64(r.AdaptedCycles) - 1)
+}
+
+// SpeedupPct is the improvement of the adapted configuration over
+// all-baseline.
+func (r *Report) SpeedupPct() float64 {
+	return 100 * (float64(r.AllBaselineCycles)/float64(r.AdaptedCycles) - 1)
+}
+
+// CapturedPct reports how much of the ideal (all-optimized) speedup the
+// hot-method selection captured.
+func (r *Report) CapturedPct() float64 {
+	ideal := float64(r.AllBaselineCycles) - float64(r.AllOptCycles)
+	got := float64(r.AllBaselineCycles) - float64(r.AdaptedCycles)
+	if ideal <= 0 {
+		return 100
+	}
+	return 100 * got / ideal
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"hot=%v samples=%d baseline=%d profiling=%d (+%.1f%%) adapted=%d (speedup %.1f%%, %.0f%% of ideal)",
+		r.HotMethods, r.Samples, r.AllBaselineCycles, r.ProfilingCycles,
+		r.ProfilingOverheadPct(), r.AdaptedCycles, r.SpeedupPct(), r.CapturedPct())
+}
+
+// Run executes the three phases on the program and reports what the
+// controller did.
+func Run(prog *ir.Program, cfg Config) (*Report, error) {
+	cfg.defaults()
+	rep := &Report{}
+
+	allBaseline := func(*ir.Method) uint32 { return cfg.BaselineFactor }
+	allOpt := func(*ir.Method) uint32 { return 1 }
+
+	// Phase 0: uninstrumented baseline-level run.
+	base, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out, err := vm.New(base.Prog, vm.Config{CostScale: allBaseline}).Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.AllBaselineCycles = out.Stats.Cycles
+
+	// Ideal bound: everything optimized.
+	outIdeal, err := vm.New(base.Prog, vm.Config{CostScale: allOpt}).Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.AllOptCycles = outIdeal.Stats.Cycles
+
+	// Phase 1: sampled call-edge profiling at baseline level.
+	prof, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
+		Framework: &core.Options{
+			Variation:     cfg.Variation,
+			YieldpointOpt: cfg.Variation == core.FullDuplication,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	outProf, err := vm.New(prof.Prog, vm.Config{
+		Trigger:   trigger.NewCounter(cfg.Interval),
+		Handlers:  prof.Handlers,
+		CostScale: allBaseline,
+	}).Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.ProfilingCycles = outProf.Stats.Cycles
+
+	// Decide: accumulate per-callee sample counts, take methods until
+	// HotCoverage of all samples is covered.
+	profData := prof.Runtimes[0].Profile()
+	rep.Samples = profData.Total()
+	byCallee := make(map[int]uint64)
+	for _, e := range profData.Entries() {
+		_, _, callee := instr.DecodeCallEdge(e.Key)
+		if callee >= 0 {
+			byCallee[callee] += e.Count
+		}
+	}
+	type mc struct {
+		id int
+		n  uint64
+	}
+	var ranked []mc
+	for id, n := range byCallee {
+		ranked = append(ranked, mc{id, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	hot := make(map[string]bool)
+	var cum uint64
+	// Note: IDs are per the *profiled* program clone; translate through
+	// names, which are stable across compiles.
+	profMethods := prof.Prog.Methods()
+	for _, e := range ranked {
+		if float64(cum) >= cfg.HotCoverage*float64(rep.Samples) {
+			break
+		}
+		cum += e.n
+		if e.id < len(profMethods) {
+			name := profMethods[e.id].FullName()
+			hot[name] = true
+			rep.HotMethods = append(rep.HotMethods, name)
+		}
+	}
+	// main is always compiled hot once the program is long-running.
+	if base.Prog.Main != nil {
+		name := base.Prog.Main.FullName()
+		if !hot[name] {
+			hot[name] = true
+			rep.HotMethods = append(rep.HotMethods, name)
+		}
+	}
+
+	// Phase 2: recompile with hot methods at the optimizing level;
+	// instrumentation retired (the sample condition is permanently
+	// false, so execution stays in the cheap checking code — §2).
+	adapted := func(m *ir.Method) uint32 {
+		if hot[m.FullName()] {
+			return 1
+		}
+		return cfg.BaselineFactor
+	}
+	outAdapted, err := vm.New(prof.Prog, vm.Config{
+		Trigger:   trigger.Never{},
+		Handlers:  prof.Handlers,
+		CostScale: adapted,
+	}).Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.AdaptedCycles = outAdapted.Stats.Cycles
+
+	// Phase 3: deep profiling of the hot set only — several
+	// instrumentations at once, duplicated code and checks confined to
+	// hot methods, cold methods at exact baseline shape.
+	deep, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{
+			&instr.FieldAccess{}, &instr.ValueProfile{}, &instr.PathProfile{},
+		},
+		InstrumentFilter:   func(m *ir.Method) bool { return hot[m.FullName()] },
+		SelectiveTransform: true,
+		Framework: &core.Options{
+			Variation:     cfg.Variation,
+			YieldpointOpt: false, // cold methods keep their yieldpoints
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	outDeep, err := vm.New(deep.Prog, vm.Config{
+		Trigger:   trigger.NewCounter(cfg.Interval),
+		Handlers:  deep.Handlers,
+		CostScale: adapted,
+	}).Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.DeepProfilingCycles = outDeep.Stats.Cycles
+	for _, rt := range deep.Runtimes {
+		rep.DeepProfiles = append(rep.DeepProfiles, rt.Profile())
+	}
+	return rep, nil
+}

@@ -1,0 +1,80 @@
+package adaptive
+
+import (
+	"testing"
+
+	"instrsample/internal/bench"
+	"instrsample/internal/core"
+)
+
+func TestAdaptiveOnJess(t *testing.T) {
+	prog := bench.Jess(0.05)
+	rep, err := Run(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if len(rep.HotMethods) == 0 {
+		t.Fatal("no hot methods selected")
+	}
+	if rep.Samples == 0 {
+		t.Fatal("no samples collected")
+	}
+	// Profiling must be cheap: well under the baseline factor's headroom.
+	if ov := rep.ProfilingOverheadPct(); ov > 15 {
+		t.Errorf("profiling overhead %.1f%% too high", ov)
+	}
+	// Adaptation must capture most of the ideal speedup.
+	if cap := rep.CapturedPct(); cap < 70 {
+		t.Errorf("captured only %.0f%% of ideal speedup", cap)
+	}
+	if rep.SpeedupPct() <= 0 {
+		t.Errorf("no speedup: %v", rep)
+	}
+	// Phase 3: deep profiling confined to the hot set must produce
+	// non-empty profiles at modest cost over the adapted run.
+	if len(rep.DeepProfiles) != 3 {
+		t.Fatalf("deep profiles: %d, want 3", len(rep.DeepProfiles))
+	}
+	nonEmpty := 0
+	for _, p := range rep.DeepProfiles {
+		if p.Total() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("deep profiling collected too little: %v", rep.DeepProfiles)
+	}
+	if ov := rep.DeepProfilingOverheadPct(); ov > 25 {
+		t.Errorf("deep profiling overhead %.1f%% too high", ov)
+	}
+	t.Logf("deep profiling: +%.1f%% over adapted", rep.DeepProfilingOverheadPct())
+}
+
+func TestAdaptiveAcrossSuite(t *testing.T) {
+	for _, b := range []string{"javac", "optc", "mtrt"} {
+		bm, err := bench.ByName(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(bm.Build(0.05), Config{Interval: 500})
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		t.Logf("%s: %v", b, rep)
+		if rep.CapturedPct() < 50 {
+			t.Errorf("%s: captured only %.0f%% of ideal speedup", b, rep.CapturedPct())
+		}
+	}
+}
+
+func TestAdaptivePartialDuplicationProfiles(t *testing.T) {
+	prog := bench.Javac(0.05)
+	rep, err := Run(prog, Config{Variation: core.PartialDuplication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples == 0 || len(rep.HotMethods) == 0 {
+		t.Fatalf("partial-duplication profiling failed: %v", rep)
+	}
+}

@@ -1,0 +1,186 @@
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/vm"
+)
+
+// Online multi-level recompilation controller, in the style of the
+// Jalapeño adaptive optimization system the framework feeds (Arnold,
+// Fink, Grove, Hind & Sweeney, OOPSLA'00 — the paper's citation [5]):
+// methods start at the cheapest compilation level and are promoted
+// *while the program runs*, based on the continuously-sampled call-edge
+// profile and a cost–benefit test. Promotion affects future invocations
+// only — precisely the regime the paper designs for, where on-stack
+// replacement is unavailable and long-running activations simply keep
+// their sampling retired (§1, §2).
+//
+// The controller runs inside the VM as a probe handler: every sampled
+// method entry updates the hotness estimate, and every DecideEvery
+// samples it re-evaluates promotions. Compilation levels are realized
+// through vm.Config.CostScale; the (simulated) cycles spent compiling at
+// promotion time are accounted in the report.
+
+// Level is a compilation level.
+type Level int
+
+// LevelSpec describes one compilation level of the online controller.
+type LevelSpec struct {
+	// CostFactor multiplies instruction costs for methods at this level.
+	CostFactor uint32
+	// CompileCostPerInstr is the simulated cost of compiling one IR
+	// instruction at this level (charged at promotion).
+	CompileCostPerInstr uint64
+}
+
+// DefaultLevels returns a three-level hierarchy: baseline (3x), O1
+// (1.5x ~ modelled as 2x with integer factors), O2 (1x), with
+// increasingly expensive compilations.
+func DefaultLevels() []LevelSpec {
+	return []LevelSpec{
+		{CostFactor: 3, CompileCostPerInstr: 20},
+		{CostFactor: 2, CompileCostPerInstr: 120},
+		{CostFactor: 1, CompileCostPerInstr: 500},
+	}
+}
+
+// ControllerConfig tunes the online controller.
+type ControllerConfig struct {
+	// Levels is the compilation hierarchy (default DefaultLevels).
+	Levels []LevelSpec
+	// DecideEvery is the number of samples between controller decisions
+	// (default 32).
+	DecideEvery uint64
+	// EstimatedRemaining is the controller's guess of how much longer the
+	// program runs, expressed as a multiple of the samples seen so far
+	// (default 1.0: "it will run as long again as it has so far" — the
+	// standard future-equals-past assumption of the Jalapeño controller).
+	EstimatedRemaining float64
+	// SampleWeight converts one call-edge sample into estimated cycles
+	// spent in the callee (default 2000: interval x a rough
+	// cycles-per-entry factor; only relative magnitudes matter).
+	SampleWeight float64
+}
+
+func (c *ControllerConfig) defaults() {
+	if c.Levels == nil {
+		c.Levels = DefaultLevels()
+	}
+	if c.DecideEvery == 0 {
+		c.DecideEvery = 32
+	}
+	if c.EstimatedRemaining == 0 {
+		c.EstimatedRemaining = 1.0
+	}
+	if c.SampleWeight == 0 {
+		c.SampleWeight = 2000
+	}
+}
+
+// Promotion records one online recompilation decision.
+type Promotion struct {
+	Method string
+	From   Level
+	To     Level
+	// AtSample is the controller's sample clock when it promoted.
+	AtSample uint64
+}
+
+// Controller is the online recompilation policy. It wraps the call-edge
+// instrumentation runtime (observing every sampled method entry) and
+// exposes a CostScale for the VM.
+type Controller struct {
+	cfg   ControllerConfig
+	prog  *ir.Program
+	inner instr.Runtime
+
+	levels     map[string]Level
+	hotness    map[int]uint64 // method ID -> samples
+	samples    uint64
+	compileCyc uint64
+	promotions []Promotion
+}
+
+// NewController wraps the call-edge runtime rt for program p.
+func NewController(p *ir.Program, rt instr.Runtime, cfg ControllerConfig) *Controller {
+	cfg.defaults()
+	return &Controller{
+		cfg:     cfg,
+		prog:    p,
+		inner:   rt,
+		levels:  make(map[string]Level),
+		hotness: make(map[int]uint64),
+	}
+}
+
+// CostScale returns the VM hook realizing the current compilation levels.
+func (c *Controller) CostScale() func(*ir.Method) uint32 {
+	return func(m *ir.Method) uint32 {
+		return c.cfg.Levels[c.levels[m.FullName()]].CostFactor
+	}
+}
+
+// HandleProbe observes one sampled method entry and periodically runs the
+// promotion decision.
+func (c *Controller) HandleProbe(ev *vm.ProbeEvent) {
+	c.inner.HandleProbe(ev)
+	c.hotness[ev.Method.ID]++
+	c.samples++
+	if c.samples%c.cfg.DecideEvery == 0 {
+		c.decide()
+	}
+}
+
+// decide promotes every method whose estimated future benefit at the next
+// level exceeds that level's compilation cost.
+func (c *Controller) decide() {
+	ids := make([]int, 0, len(c.hotness))
+	for id := range c.hotness {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // determinism
+	methods := c.prog.Methods()
+	for _, id := range ids {
+		if id >= len(methods) {
+			continue
+		}
+		m := methods[id]
+		cur := c.levels[m.FullName()]
+		if int(cur) >= len(c.cfg.Levels)-1 {
+			continue
+		}
+		next := cur + 1
+		curSpec, nextSpec := c.cfg.Levels[cur], c.cfg.Levels[next]
+		// Estimated future cycles in this method at the current level:
+		// past-samples x weight x remaining-multiple.
+		future := float64(c.hotness[id]) * c.cfg.SampleWeight * c.cfg.EstimatedRemaining
+		speedup := float64(curSpec.CostFactor-nextSpec.CostFactor) / float64(curSpec.CostFactor)
+		benefit := future * speedup
+		cost := float64(nextSpec.CompileCostPerInstr) * float64(m.NumInstrs())
+		if benefit > cost {
+			c.levels[m.FullName()] = next
+			c.compileCyc += nextSpec.CompileCostPerInstr * uint64(m.NumInstrs())
+			c.promotions = append(c.promotions, Promotion{
+				Method: m.FullName(), From: cur, To: next, AtSample: c.samples,
+			})
+		}
+	}
+}
+
+// Promotions returns the decisions made so far, in order.
+func (c *Controller) Promotions() []Promotion { return c.promotions }
+
+// CompileCycles returns the simulated cycles spent on online
+// recompilation (add to the run's cycle total for end-to-end accounting).
+func (c *Controller) CompileCycles() uint64 { return c.compileCyc }
+
+// LevelOf returns a method's current level.
+func (c *Controller) LevelOf(name string) Level { return c.levels[name] }
+
+func (p Promotion) String() string {
+	return fmt.Sprintf("%s: L%d->L%d @%d", p.Method, p.From, p.To, p.AtSample)
+}

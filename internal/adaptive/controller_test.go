@@ -1,0 +1,137 @@
+package adaptive
+
+import (
+	"testing"
+
+	"instrsample/internal/bench"
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// runOnline executes prog with the online controller attached and returns
+// (end-to-end cycles incl. compilation, controller).
+func runOnline(t *testing.T, progName string, scale float64, cfg ControllerConfig) (uint64, uint64, *Controller) {
+	t.Helper()
+	b, err := bench.ByName(progName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := b.Build(scale)
+	res, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
+		Framework:     &core.Options{Variation: core.FullDuplication, YieldpointOpt: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(res.Prog, res.Runtimes[0], cfg)
+	out, err := vm.New(res.Prog, vm.Config{
+		Trigger:   trigger.NewCounter(211),
+		Handlers:  []vm.ProbeHandler{ctl},
+		CostScale: ctl.CostScale(),
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Stats.Cycles + ctl.CompileCycles(), out.Stats.Cycles, ctl
+}
+
+// allBaselineCycles runs the same configuration pinned at level 0.
+func allBaselineCycles(t *testing.T, progName string, scale float64) uint64 {
+	t.Helper()
+	b, _ := bench.ByName(progName)
+	prog := b.Build(scale)
+	res, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
+		Framework:     &core.Options{Variation: core.FullDuplication, YieldpointOpt: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := DefaultLevels()[0].CostFactor
+	out, err := vm.New(res.Prog, vm.Config{
+		Trigger:   trigger.NewCounter(211),
+		Handlers:  res.Handlers,
+		CostScale: func(*ir.Method) uint32 { return factor },
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Stats.Cycles
+}
+
+func TestOnlineControllerPromotesHotMethods(t *testing.T) {
+	total, _, ctl := runOnline(t, "jess", 0.15, ControllerConfig{})
+	proms := ctl.Promotions()
+	if len(proms) == 0 {
+		t.Fatal("controller never promoted anything")
+	}
+	// The hot rule/matcher methods must reach the top level.
+	top := Level(len(DefaultLevels()) - 1)
+	topCount := 0
+	for _, name := range []string{"rule1", "rule2", "Fact.matchEQ", "Fact.matchSum"} {
+		if ctl.LevelOf(name) == top {
+			topCount++
+		}
+	}
+	if topCount < 2 {
+		t.Errorf("hot methods not promoted to top level: %v", proms)
+	}
+	// Promotions go through the hierarchy in order.
+	seen := map[string]Level{}
+	for _, p := range proms {
+		if p.To != seen[p.Method]+1 {
+			t.Errorf("promotion skipped a level: %v", p)
+		}
+		seen[p.Method] = p.To
+	}
+
+	base := allBaselineCycles(t, "jess", 0.15)
+	if total >= base {
+		t.Errorf("online adaptation did not pay: %d total (incl. %d compile) vs %d all-baseline",
+			total, ctl.CompileCycles(), base)
+	}
+	t.Logf("all-baseline %d; online-adapted %d (incl. %d compile cycles); %d promotions",
+		base, total, ctl.CompileCycles(), len(proms))
+}
+
+func TestOnlineControllerDeterministic(t *testing.T) {
+	_, _, c1 := runOnline(t, "javac", 0.1, ControllerConfig{})
+	_, _, c2 := runOnline(t, "javac", 0.1, ControllerConfig{})
+	p1, p2 := c1.Promotions(), c2.Promotions()
+	if len(p1) != len(p2) {
+		t.Fatalf("promotion counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("promotion %d differs: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestOnlineControllerRespectsCostBenefit(t *testing.T) {
+	// With absurdly expensive compilation, nothing should be promoted.
+	_, _, ctl := runOnline(t, "javac", 0.1, ControllerConfig{
+		Levels: []LevelSpec{
+			{CostFactor: 3, CompileCostPerInstr: 20},
+			{CostFactor: 1, CompileCostPerInstr: 1 << 40},
+		},
+	})
+	if len(ctl.Promotions()) != 0 {
+		t.Errorf("uneconomical promotions happened: %v", ctl.Promotions())
+	}
+	// With free compilation, everything sampled should be promoted.
+	_, _, ctl2 := runOnline(t, "javac", 0.1, ControllerConfig{
+		Levels: []LevelSpec{
+			{CostFactor: 3, CompileCostPerInstr: 20},
+			{CostFactor: 1, CompileCostPerInstr: 0},
+		},
+	})
+	if len(ctl2.Promotions()) == 0 {
+		t.Error("free promotions never happened")
+	}
+}

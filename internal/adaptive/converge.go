@@ -1,0 +1,86 @@
+package adaptive
+
+import (
+	"instrsample/internal/instr"
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// ConvergenceMonitor implements convergent profiling on top of the
+// sampling framework: it wraps an instrumentation runtime, periodically
+// compares the accumulated profile's distribution against a snapshot, and
+// once the distribution has stabilized it *retires* the instrumentation
+// by setting the sample condition permanently false — §2's mechanism for
+// a method that "is no longer needed, but ... continues to execute".
+//
+// The paper contrasts its framework with convergent value profiling
+// (Calder et al. [16], Feller [26]), where a boolean flag turns
+// exhaustive profiling off after convergence but full instrumentation
+// cost is paid while the flag is on. Composing convergence with the
+// sampling framework gets both savings: cheap while profiling, free
+// afterwards.
+type ConvergenceMonitor struct {
+	// Inner is the wrapped instrumentation runtime.
+	Inner instr.Runtime
+	// Trigger is disabled once the profile converges. trigger.Counter
+	// and anything else exposing Disable() qualifies.
+	Trigger interface{ Disable() }
+	// CheckEvery is the number of recorded events between convergence
+	// tests (default 200).
+	CheckEvery uint64
+	// Threshold is the overlap percentage between consecutive snapshots
+	// at which the profile counts as converged (default 99).
+	Threshold float64
+	// MinEvents is the minimum profile size before convergence may be
+	// declared (default 2*CheckEvery).
+	MinEvents uint64
+
+	events     uint64
+	snapshot   *profile.Profile
+	retired    bool
+	retiredAt  uint64
+	snapsTaken int
+}
+
+// HandleProbe forwards to the wrapped runtime and runs the convergence
+// test on schedule.
+func (c *ConvergenceMonitor) HandleProbe(ev *vm.ProbeEvent) {
+	c.Inner.HandleProbe(ev)
+	if c.retired {
+		return // late probes from an in-flight excursion; keep counting them
+	}
+	c.events++
+	every := c.CheckEvery
+	if every == 0 {
+		every = 200
+	}
+	if c.events%every != 0 {
+		return
+	}
+	cur := c.Inner.Profile()
+	minEvents := c.MinEvents
+	if minEvents == 0 {
+		minEvents = 2 * every
+	}
+	if c.snapshot != nil && cur.Total() >= minEvents {
+		threshold := c.Threshold
+		if threshold == 0 {
+			threshold = 99
+		}
+		if profile.Overlap(c.snapshot, cur) >= threshold {
+			c.Trigger.Disable()
+			c.retired = true
+			c.retiredAt = cur.Total()
+			return
+		}
+	}
+	c.snapshot = cur.Clone()
+	c.snapsTaken++
+}
+
+// Profile returns the wrapped runtime's profile.
+func (c *ConvergenceMonitor) Profile() *profile.Profile { return c.Inner.Profile() }
+
+// Retired reports whether the monitor has disabled sampling, and at what
+// profile size it did.
+func (c *ConvergenceMonitor) Retired() (bool, uint64) { return c.retired, c.retiredAt }

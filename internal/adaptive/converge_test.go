@@ -1,0 +1,131 @@
+package adaptive
+
+import (
+	"testing"
+
+	"instrsample/internal/bench"
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// TestConvergenceRetiresSampling runs field-access profiling under the
+// framework with a convergence monitor: sampling must shut itself off
+// once the distribution stabilizes, the retired profile must still match
+// the perfect profile, and the run must execute far fewer probes than
+// sampling left on for the whole run.
+func TestConvergenceRetiresSampling(t *testing.T) {
+	prog := bench.Compress(0.3)
+
+	// Perfect profile for the accuracy comparison.
+	perfect, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.FieldAccess{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.New(perfect.Prog, vm.Config{Handlers: perfect.Handlers}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	pp := perfect.Runtimes[0].Profile()
+
+	run := func(withMonitor bool) (*vm.Result, *profile.Profile, *ConvergenceMonitor) {
+		res, err := compile.Compile(prog, compile.Options{
+			Instrumenters: []instr.Instrumenter{&instr.FieldAccess{}},
+			Framework:     &core.Options{Variation: core.FullDuplication},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trig := trigger.NewCounter(97)
+		handlers := res.Handlers
+		var mon *ConvergenceMonitor
+		if withMonitor {
+			mon = &ConvergenceMonitor{Inner: res.Runtimes[0], Trigger: trig}
+			handlers = []vm.ProbeHandler{mon}
+		}
+		out, err := vm.New(res.Prog, vm.Config{Trigger: trig, Handlers: handlers}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, res.Runtimes[0].Profile(), mon
+	}
+
+	full, fullProf, _ := run(false)
+	conv, convProf, mon := run(true)
+
+	retired, at := mon.Retired()
+	if !retired {
+		t.Fatal("profile never converged")
+	}
+	if convProf.Total() >= fullProf.Total()/2 {
+		t.Errorf("retirement saved too little: %d vs %d events", convProf.Total(), fullProf.Total())
+	}
+	if conv.Stats.Probes >= full.Stats.Probes/2 {
+		t.Errorf("probes: %d vs %d — retirement ineffective", conv.Stats.Probes, full.Stats.Probes)
+	}
+	ov := profile.Overlap(pp, convProf)
+	if ov < 90 {
+		t.Errorf("converged profile inaccurate: %.1f%% overlap", ov)
+	}
+	t.Logf("retired after %d events (full run recorded %d); accuracy %.1f%%; probes %d vs %d",
+		at, fullProf.Total(), ov, conv.Stats.Probes, full.Stats.Probes)
+	// And the retired run is cheaper.
+	if conv.Stats.Cycles >= full.Stats.Cycles {
+		t.Errorf("no cycle savings: %d vs %d", conv.Stats.Cycles, full.Stats.Cycles)
+	}
+}
+
+// TestRuntimeIntervalRetuning exercises the "tunable at runtime" claim
+// directly: a handler coarsens the sample interval mid-run and the
+// effective sampling rate drops accordingly.
+func TestRuntimeIntervalRetuning(t *testing.T) {
+	prog := bench.Compress(0.2)
+	res, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.FieldAccess{}},
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig := trigger.NewCounter(50)
+	retuner := &retuneAfter{Inner: res.Runtimes[0], Trigger: trig, After: 500, NewInterval: 5000}
+	out, err := vm.New(res.Prog, vm.Config{
+		Trigger:  trig,
+		Handlers: []vm.ProbeHandler{retuner},
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retuner.fired {
+		t.Fatal("retuning never happened")
+	}
+	// With the rate dropped 100x after ~500 events, the total must be far
+	// below what interval-50 sampling would have collected.
+	fullRate := out.Stats.Checks / 50
+	if res.Runtimes[0].Profile().Total() > uint64(fullRate)/2 {
+		t.Errorf("retuning had no effect: %d events vs %d expected at full rate",
+			res.Runtimes[0].Profile().Total(), fullRate)
+	}
+}
+
+type retuneAfter struct {
+	Inner       instr.Runtime
+	Trigger     *trigger.Counter
+	After       uint64
+	NewInterval int64
+	n           uint64
+	fired       bool
+}
+
+func (r *retuneAfter) HandleProbe(ev *vm.ProbeEvent) {
+	r.Inner.HandleProbe(ev)
+	r.n++
+	if !r.fired && r.n >= r.After {
+		r.Trigger.SetInterval(r.NewInterval)
+		r.fired = true
+	}
+}

@@ -1,0 +1,244 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+const pointSrc = `
+# A small object-oriented program: summing scaled points in a loop.
+class Point {
+  field x
+  field y
+  method sum(self) {
+  entry:
+    getfield t, self, Point.x
+    getfield u, self, Point.y
+    add v, t, u
+    ret v
+  }
+  method scale(self, k) {
+  entry:
+    getfield t, self, Point.x
+    mul t2, t, k
+    putfield self, Point.x, t2
+    ret t2
+  }
+}
+
+func helper(a, b) {
+entry:
+  add s, a, b
+  const two, 2
+  mul s2, s, two
+  ret s2
+}
+
+func main() {
+entry:
+  new p, Point
+  const one, 1
+  putfield p, Point.x, one
+  const two, 2
+  putfield p, Point.y, two
+  const acc, 0
+  const i, 0
+  const n, 50
+loop:
+  cmplt c, i, n
+  br c, body, done
+body:
+  callvirt s, sum(p)
+  callvirt sc, scale(p, two)
+  call h, helper(s, i)
+  add acc, acc, h
+  add i, i, one
+  jmp loop
+done:
+  print acc
+  ret acc
+}
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	prog, err := Assemble("point", pointSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out, err := vm.New(res.Prog, vm.Config{}).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Return == 0 || len(out.Output) != 1 || out.Output[0] != out.Return {
+		t.Fatalf("unexpected result %d, output %v", out.Return, out.Output)
+	}
+	t.Logf("point: %d", out.Return)
+}
+
+func TestAssembledProgramSamples(t *testing.T) {
+	prog, err := Assemble("point", pointSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	base, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseOut, err := vm.New(base.Prog, vm.Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}},
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := vm.New(res.Prog, vm.Config{Trigger: trigger.NewCounter(3), Handlers: res.Handlers}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != baseOut.Return {
+		t.Fatalf("sampling changed result: %d vs %d", out.Return, baseOut.Return)
+	}
+	for _, rt := range res.Runtimes {
+		if rt.Profile().Total() == 0 {
+			t.Errorf("%s: empty profile", rt.Profile().Name)
+		}
+	}
+}
+
+func TestAssembleInheritance(t *testing.T) {
+	src := `
+class Base {
+  field a
+  method get(self) {
+  entry:
+    getfield v, self, Base.a
+    ret v
+  }
+}
+class Derived extends Base {
+  field b
+  method get(self) {
+  entry:
+    getfield v, self, Base.a
+    getfield w, self, Derived.b
+    add s, v, w
+    ret s
+  }
+  method onlyDerived(self) {
+  entry:
+    const k, 7
+    ret k
+  }
+}
+func main() {
+entry:
+  new d, Derived
+  const one, 10
+  putfield d, Base.a, one
+  const two, 32
+  putfield d, Derived.b, two
+  callvirt r, get(d)
+  ret r
+}
+`
+	prog, err := Assemble("inherit", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := vm.New(res.Prog, vm.Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != 42 {
+		t.Fatalf("virtual dispatch with inheritance: got %d, want 42", out.Return)
+	}
+}
+
+func TestAssembleThreads(t *testing.T) {
+	src := `
+func worker(n) {
+entry:
+  const acc, 0
+  const i, 0
+  const one, 1
+loop:
+  cmplt c, i, n
+  br c, body, done
+body:
+  add acc, acc, i
+  add i, i, one
+  jmp loop
+done:
+  ret acc
+}
+func main() {
+entry:
+  const n, 10
+  spawn h1, worker(n)
+  spawn h2, worker(n)
+  join r1, h1
+  join r2, h2
+  add s, r1, r2
+  ret s
+}
+`
+	prog, err := Assemble("threads", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := vm.New(res.Prog, vm.Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != 90 {
+		t.Fatalf("threads: got %d, want 90", out.Return)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown instr", "func main() {\nentry:\n frobnicate x\n}", "unknown instruction"},
+		{"unknown class", "func main() {\nentry:\n new p, Nope\n ret\n}", "unknown class"},
+		{"unknown field", "class C { field a }\nfunc main() {\nentry:\n new p, C\n getfield v, p, C.b\n ret\n}", "no field"},
+		{"unknown func", "func main() {\nentry:\n call r, nope()\n ret\n}", "unknown function"},
+		{"undefined label", "func main() {\nentry:\n jmp nowhere\n}", "never defined"},
+		{"instr after ret", "func main() {\nentry:\n const a, 1\n ret a\n const b, 2\n ret b\n}", "after terminator"},
+		{"dup class", "class C { }\nclass C { }\nfunc main() {\nentry:\n const a, 0\n ret a\n}", "duplicate class"},
+		{"bad char", "func main() {\nentry:\n const a, 1 @\n ret a\n}", "unexpected character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("bad", tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}

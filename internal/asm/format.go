@@ -1,0 +1,196 @@
+package asm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"instrsample/internal/ir"
+)
+
+// Format writes a program back out as vasm source. Only untransformed
+// programs can be formatted (probes, checks and yieldpoints have no
+// surface syntax); Format returns an error if it meets one.
+//
+// Formatted output re-assembles to an equivalent program (same behaviour,
+// same structure), which the tests verify by executing both.
+func Format(w io.Writer, p *ir.Program) error {
+	for _, c := range p.Classes {
+		ext := ""
+		if c.Super != nil {
+			ext = " extends " + c.Super.Name
+		}
+		fmt.Fprintf(w, "class %s%s {\n", c.Name, ext)
+		for _, f := range c.FieldNames {
+			fmt.Fprintf(w, "  field %s\n", f)
+		}
+		// Deterministic method order.
+		names := make([]string, 0, len(c.Methods))
+		for n := range c.Methods {
+			names = append(names, n)
+		}
+		sortStrings(names)
+		for _, n := range names {
+			if err := formatMethod(w, c.Methods[n], "method", "  "); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "}\n\n")
+	}
+	for _, f := range p.Funcs {
+		if err := formatMethod(w, f, "func", ""); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// FormatString renders the program as a vasm string.
+func FormatString(p *ir.Program) (string, error) {
+	var sb strings.Builder
+	if err := Format(&sb, p); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func formatMethod(w io.Writer, m *ir.Method, kw, indent string) error {
+	params := make([]string, m.NumParams)
+	for i := range params {
+		params[i] = regName(ir.Reg(i))
+	}
+	fmt.Fprintf(w, "%s%s %s(%s) {\n", indent, kw, m.Name, strings.Join(params, ", "))
+	labels := blockLabels(m)
+	for _, b := range m.Blocks {
+		fmt.Fprintf(w, "%s%s:\n", indent, labels[b])
+		for i := range b.Instrs {
+			line, err := formatInstr(&b.Instrs[i], labels)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", m.FullName(), b.Name(), err)
+			}
+			if line == "" {
+				continue
+			}
+			fmt.Fprintf(w, "%s  %s\n", indent, line)
+		}
+	}
+	fmt.Fprintf(w, "%s}\n", indent)
+	return nil
+}
+
+// blockLabels assigns unique vasm labels to every block.
+func blockLabels(m *ir.Method) map[*ir.Block]string {
+	used := map[string]int{}
+	out := make(map[*ir.Block]string, len(m.Blocks))
+	for i, b := range m.Blocks {
+		base := b.Label
+		if base == "" {
+			base = fmt.Sprintf("L%d", b.ID)
+		}
+		base = sanitizeLabel(base)
+		if i == 0 {
+			base = "entry"
+		}
+		name := base
+		for used[name] > 0 {
+			used[base]++
+			name = fmt.Sprintf("%s_%d", base, used[base])
+		}
+		used[name]++
+		used[base]++
+		out[b] = name
+	}
+	return out
+}
+
+func sanitizeLabel(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteRune('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "blk"
+	}
+	return sb.String()
+}
+
+func regName(r ir.Reg) string { return fmt.Sprintf("r%d", r) }
+
+func formatInstr(in *ir.Instr, labels map[*ir.Block]string) (string, error) {
+	r := func(x ir.Reg) string { return regName(x) }
+	switch in.Op {
+	case ir.OpNop:
+		return "nop", nil
+	case ir.OpConst:
+		return fmt.Sprintf("const %s, %d", r(in.Dst), in.Imm), nil
+	case ir.OpMove, ir.OpNeg, ir.OpNot, ir.OpArrayLen, ir.OpNewArray, ir.OpJoin,
+		ir.OpClassOf:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Dst), r(in.A)), nil
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT,
+		ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE, ir.OpArrayLoad:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Dst), r(in.A), r(in.B)), nil
+	case ir.OpArrayStore:
+		return fmt.Sprintf("astore %s, %s, %s", r(in.Dst), r(in.B), r(in.A)), nil
+	case ir.OpNew:
+		return fmt.Sprintf("new %s, %s", r(in.Dst), in.Class.Name), nil
+	case ir.OpGetField:
+		return fmt.Sprintf("getfield %s, %s, %s.%s",
+			r(in.Dst), r(in.A), in.Class.Name, in.Class.FieldName(in.Field)), nil
+	case ir.OpPutField:
+		return fmt.Sprintf("putfield %s, %s.%s, %s",
+			r(in.B), in.Class.Name, in.Class.FieldName(in.Field), r(in.A)), nil
+	case ir.OpCall, ir.OpSpawn:
+		kw := "call"
+		if in.Op == ir.OpSpawn {
+			kw = "spawn"
+		}
+		target := in.Method.Name
+		if in.Method.Class != nil {
+			target = in.Method.Class.Name + "." + in.Method.Name
+		}
+		return fmt.Sprintf("%s %s, %s(%s)", kw, r(in.Dst), target, regArgs(in.Args)), nil
+	case ir.OpCallVirt:
+		return fmt.Sprintf("callvirt %s, %s(%s)", r(in.Dst), in.Name, regArgs(in.Args)), nil
+	case ir.OpIO:
+		return fmt.Sprintf("io %d", in.Imm), nil
+	case ir.OpPrint:
+		return fmt.Sprintf("print %s", r(in.A)), nil
+	case ir.OpYield:
+		// Yieldpoints are compiler-inserted; formatting a compiled method
+		// drops them (re-assembly re-inserts on compile).
+		return "", nil
+	case ir.OpJump:
+		return fmt.Sprintf("jmp %s", labels[in.Targets[0]]), nil
+	case ir.OpBranch:
+		return fmt.Sprintf("br %s, %s, %s", r(in.A), labels[in.Targets[0]], labels[in.Targets[1]]), nil
+	case ir.OpReturn:
+		if in.A == ir.NoReg {
+			return "ret", nil
+		}
+		return fmt.Sprintf("ret %s", r(in.A)), nil
+	default:
+		return "", fmt.Errorf("asm: %s has no surface syntax", in.Op)
+	}
+}
+
+func regArgs(args []ir.Reg) string {
+	out := make([]string, len(args))
+	for i, a := range args {
+		out[i] = regName(a)
+	}
+	return strings.Join(out, ", ")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/ir"
+	"instrsample/internal/vm"
+)
+
+func runProgram(t *testing.T, p *ir.Program) *vm.Result {
+	t.Helper()
+	res, err := compile.Compile(p, compile.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out, err := vm.New(res.Prog, vm.Config{MaxCycles: 1 << 33}).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+// TestFormatRoundTripSource formats an assembled program and re-assembles
+// it; behaviour must be identical.
+func TestFormatRoundTripSource(t *testing.T) {
+	prog, err := Assemble("point", pointSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := FormatString(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := Assemble("point2", text)
+	if err != nil {
+		t.Fatalf("re-assemble failed: %v\nformatted source:\n%s", err, text)
+	}
+	o1 := runProgram(t, prog)
+	o2 := runProgram(t, prog2)
+	if o1.Return != o2.Return {
+		t.Fatalf("round trip changed result: %d vs %d", o2.Return, o1.Return)
+	}
+	if len(o1.Output) != len(o2.Output) {
+		t.Fatalf("round trip changed output")
+	}
+}
+
+// TestFormatRoundTripRandomPrograms fuzzes the formatter against the
+// random-program generator.
+func TestFormatRoundTripRandomPrograms(t *testing.T) {
+	for s := 0; s < 15; s++ {
+		seed := uint64(s)*31337 + 2
+		prog := ir.RandomProgram(seed, ir.RandomProgramConfig{WithThreads: false})
+		text, err := FormatString(prog)
+		if err != nil {
+			t.Fatalf("seed %d: format: %v", seed, err)
+		}
+		prog2, err := Assemble("rt", text)
+		if err != nil {
+			t.Fatalf("seed %d: re-assemble: %v", seed, err)
+		}
+		o1 := runProgram(t, prog)
+		o2 := runProgram(t, prog2)
+		if o1.Return != o2.Return {
+			t.Fatalf("seed %d: result %d vs %d", seed, o2.Return, o1.Return)
+		}
+		for i := range o1.Output {
+			if o1.Output[i] != o2.Output[i] {
+				t.Fatalf("seed %d: output differs at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestFormatRejectsTransformedCode: probes/checks have no syntax.
+func TestFormatRejectsTransformedCode(t *testing.T) {
+	b := ir.NewFunc("main", 0)
+	e := b.EntryBlock()
+	e.Append(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{}})
+	e.Append(ir.Instr{Op: ir.OpReturn, A: ir.NoReg})
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{b.M}, Main: b.M}
+	p.Seal()
+	if _, err := FormatString(p); err == nil || !strings.Contains(err.Error(), "no surface syntax") {
+		t.Fatalf("expected surface-syntax error, got %v", err)
+	}
+}

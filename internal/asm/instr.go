@@ -1,0 +1,424 @@
+package asm
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+)
+
+// reg resolves (or allocates) a named register in the method context.
+func (ctx *methodCtx) reg(name string) ir.Reg {
+	if r, ok := ctx.regs[name]; ok {
+		return r
+	}
+	r := ir.Reg(ctx.m.NumRegs)
+	ctx.m.NumRegs++
+	ctx.regs[name] = r
+	return r
+}
+
+// labelBlock resolves (or forward-declares) a label's block.
+func (ctx *methodCtx) labelBlock(name string) *ir.Block {
+	if b, ok := ctx.labels[name]; ok {
+		return b
+	}
+	b := ctx.m.NewBlock(name)
+	ctx.labels[name] = b
+	return b
+}
+
+// binops maps mnemonics of three-register instructions.
+var binops = map[string]ir.Op{
+	"add": ir.OpAdd, "sub": ir.OpSub, "mul": ir.OpMul, "div": ir.OpDiv,
+	"rem": ir.OpRem, "and": ir.OpAnd, "or": ir.OpOr, "xor": ir.OpXor,
+	"shl": ir.OpShl, "shr": ir.OpShr,
+	"cmpeq": ir.OpCmpEQ, "cmpne": ir.OpCmpNE, "cmplt": ir.OpCmpLT,
+	"cmple": ir.OpCmpLE, "cmpgt": ir.OpCmpGT, "cmpge": ir.OpCmpGE,
+	"aload": ir.OpArrayLoad,
+}
+
+// unops maps mnemonics of two-register instructions.
+var unops = map[string]ir.Op{
+	"move": ir.OpMove, "neg": ir.OpNeg, "not": ir.OpNot,
+	"alen": ir.OpArrayLen, "newarray": ir.OpNewArray, "join": ir.OpJoin,
+	"classof": ir.OpClassOf,
+}
+
+// parseInstr parses a single instruction line (terminated by newline).
+func (p *parser) parseInstr(ctx *methodCtx) (*ir.Instr, error) {
+	opTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	in := &ir.Instr{}
+	mn := opTok.text
+
+	endLine := func() error {
+		t := p.next()
+		if t.kind != tokNewline && t.kind != tokEOF &&
+			!(t.kind == tokPunct && t.text == "}") {
+			return p.errf(t, "unexpected %s at end of %s", t, mn)
+		}
+		if t.kind == tokPunct {
+			p.pos-- // let parseBody consume the brace
+		}
+		return nil
+	}
+	regOp := func() (ir.Reg, error) {
+		t, err := p.expectIdent()
+		if err != nil {
+			return 0, err
+		}
+		return ctx.reg(t.text), nil
+	}
+	comma := func() error { _, err := p.expectPunct(","); return err }
+	intOp := func() (int64, error) {
+		t := p.next()
+		if t.kind != tokInt {
+			return 0, p.errf(t, "expected integer, got %s", t)
+		}
+		return t.ival, nil
+	}
+	labelOp := func() (*ir.Block, error) {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return ctx.labelBlock(t.text), nil
+	}
+	// classField parses "Class.field" and records a pending reference.
+	classField := func(what string) error {
+		cls, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expectPunct("."); err != nil {
+			return err
+		}
+		fld, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		p.refs = append(p.refs, pendingRef{
+			line: cls.line, what: what,
+			class: cls.text, field: fld.text,
+		})
+		return nil
+	}
+	// callTarget parses "name(args...)" or "Class.name(args...)".
+	callTarget := func(what string) error {
+		n1, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		name, class := n1.text, ""
+		if p.peek().kind == tokPunct && p.peek().text == "." {
+			p.next()
+			n2, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			class, name = n1.text, n2.text
+		}
+		if _, err := p.expectPunct("("); err != nil {
+			return err
+		}
+		for p.peek().kind != tokPunct || p.peek().text != ")" {
+			r, err := regOp()
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, r)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+			}
+		}
+		p.next() // ')'
+		if what != "virt" {
+			p.refs = append(p.refs, pendingRef{
+				line: n1.line, what: "method",
+				name: name, class: class,
+			})
+		} else {
+			if class != "" {
+				return p.errf(n1, "callvirt takes a bare method name, got %s.%s", class, name)
+			}
+			in.Name = name
+		}
+		return nil
+	}
+
+	switch {
+	case mn == "const":
+		in.Op = ir.OpConst
+		if in.Dst, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = intOp(); err != nil {
+			return nil, err
+		}
+
+	case unops[mn] != 0 || mn == "move":
+		in.Op = unops[mn]
+		if in.Dst, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if in.A, err = regOp(); err != nil {
+			return nil, err
+		}
+
+	case binops[mn] != 0:
+		in.Op = binops[mn]
+		if in.Dst, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if in.A, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if in.B, err = regOp(); err != nil {
+			return nil, err
+		}
+
+	case mn == "astore": // astore arr, idx, value
+		in.Op = ir.OpArrayStore
+		if in.Dst, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if in.B, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if in.A, err = regOp(); err != nil {
+			return nil, err
+		}
+
+	case mn == "new":
+		in.Op = ir.OpNew
+		if in.Dst, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		cls, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		p.refs = append(p.refs, pendingRef{line: cls.line, what: "class", class: cls.text})
+
+	case mn == "getfield": // getfield dst, obj, Class.field
+		in.Op = ir.OpGetField
+		if in.Dst, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if in.A, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if err = classField("field"); err != nil {
+			return nil, err
+		}
+
+	case mn == "putfield": // putfield obj, Class.field, value
+		in.Op = ir.OpPutField
+		if in.B, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if err = classField("field"); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		if in.A, err = regOp(); err != nil {
+			return nil, err
+		}
+
+	case mn == "call" || mn == "spawn" || mn == "callvirt":
+		switch mn {
+		case "call":
+			in.Op = ir.OpCall
+		case "spawn":
+			in.Op = ir.OpSpawn
+		case "callvirt":
+			in.Op = ir.OpCallVirt
+		}
+		if in.Dst, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		kind := "static"
+		if mn == "callvirt" {
+			kind = "virt"
+		}
+		if err = callTarget(kind); err != nil {
+			return nil, err
+		}
+
+	case mn == "io":
+		in.Op = ir.OpIO
+		if in.Imm, err = intOp(); err != nil {
+			return nil, err
+		}
+
+	case mn == "print":
+		in.Op = ir.OpPrint
+		if in.A, err = regOp(); err != nil {
+			return nil, err
+		}
+
+	case mn == "yield":
+		in.Op = ir.OpYield
+
+	case mn == "nop":
+		in.Op = ir.OpNop
+
+	case mn == "jmp":
+		in.Op = ir.OpJump
+		t, err := labelOp()
+		if err != nil {
+			return nil, err
+		}
+		in.Targets = []*ir.Block{t}
+
+	case mn == "br": // br cond, then, else
+		in.Op = ir.OpBranch
+		if in.A, err = regOp(); err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		t1, err := labelOp()
+		if err != nil {
+			return nil, err
+		}
+		if err = comma(); err != nil {
+			return nil, err
+		}
+		t2, err := labelOp()
+		if err != nil {
+			return nil, err
+		}
+		in.Targets = []*ir.Block{t1, t2}
+
+	case mn == "ret":
+		in.Op = ir.OpReturn
+		in.A = ir.NoReg
+		if p.peek().kind == tokIdent {
+			if in.A, err = regOp(); err != nil {
+				return nil, err
+			}
+		}
+
+	default:
+		return nil, p.errf(opTok, "unknown instruction %q", mn)
+	}
+	if err := endLine(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// resolve patches all pending symbolic references now that every class and
+// method is known.
+func (p *parser) resolve() error {
+	// Superclasses.
+	for name, super := range p.supers {
+		sc, ok := p.classes[super]
+		if !ok {
+			return fmt.Errorf("class %s extends unknown class %s", name, super)
+		}
+		p.classes[name].Super = sc
+	}
+	// Free functions by name.
+	funcs := make(map[string]*ir.Method)
+	for _, f := range p.prog.Funcs {
+		if _, dup := funcs[f.Name]; dup {
+			return fmt.Errorf("duplicate function %s", f.Name)
+		}
+		funcs[f.Name] = f
+	}
+	for _, ref := range p.refs {
+		switch ref.what {
+		case "class":
+			c, ok := p.classes[ref.class]
+			if !ok {
+				return fmt.Errorf("line %d: unknown class %s", ref.line, ref.class)
+			}
+			ref.target().Class = c
+		case "field":
+			c, ok := p.classes[ref.class]
+			if !ok {
+				return fmt.Errorf("line %d: unknown class %s", ref.line, ref.class)
+			}
+			// Field indices need sealed layouts; defer via name lookup
+			// after Seal is impossible here, so compute the layout now:
+			// Seal has not run, but FieldIndex only needs fieldBase,
+			// which is zero until Seal. Record the field name and fix up
+			// after Seal instead.
+			ref.target().Class = c
+		case "method":
+			var m *ir.Method
+			if ref.class != "" {
+				c, ok := p.classes[ref.class]
+				if !ok {
+					return fmt.Errorf("line %d: unknown class %s", ref.line, ref.class)
+				}
+				mm, ok := c.Lookup(ref.name)
+				if !ok {
+					return fmt.Errorf("line %d: class %s has no method %s", ref.line, ref.class, ref.name)
+				}
+				m = mm
+			} else {
+				mm, ok := funcs[ref.name]
+				if !ok {
+					return fmt.Errorf("line %d: unknown function %s", ref.line, ref.name)
+				}
+				m = mm
+			}
+			ref.target().Method = m
+		}
+	}
+	// Field-index fixup requires sealed layouts.
+	p.prog.Seal()
+	for _, ref := range p.refs {
+		if ref.what != "field" {
+			continue
+		}
+		in := ref.target()
+		idx, ok := in.Class.FieldIndex(ref.field)
+		if !ok {
+			return fmt.Errorf("line %d: class %s has no field %s", ref.line, in.Class.Name, ref.field)
+		}
+		in.Field = idx
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Package asm implements a textual assembly format (".vasm") for the IR,
+// so programs can be written, inspected and round-tripped outside Go
+// source. The quickstart example and the isamp CLI consume it.
+//
+// Format sketch:
+//
+//	# line comment
+//	class Point extends Base {
+//	  field x
+//	  field y
+//	  method sum(self) {
+//	  entry:
+//	    getfield t, self, Point.x
+//	    getfield u, self, Point.y
+//	    add v, t, u
+//	    ret v
+//	  }
+//	}
+//
+//	func main() {
+//	  entry:
+//	    const n, 10
+//	    ...
+//	    ret n
+//	}
+//
+// Registers are named identifiers (parameters bind to registers 0..n-1 in
+// signature order); labels introduce basic blocks; a block without an
+// explicit terminator falls through to the next label via an implicit
+// jump.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokPunct // one of ( ) { } , : .
+	tokNewline
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	ival int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNewline:
+		return "end of line"
+	case tokInt:
+		return fmt.Sprintf("%d", t.ival)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes vasm source. Newlines are significant (they terminate
+// instructions), so they are emitted as tokens; consecutive newlines
+// collapse.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1}
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '\n':
+			lx.emit(token{kind: tokNewline, line: lx.line})
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '(' || c == ')' || c == '{' || c == '}' || c == ',' || c == ':' || c == '.':
+			lx.emit(token{kind: tokPunct, text: string(c), line: lx.line})
+			lx.pos++
+		case c == '-' || c >= '0' && c <= '9':
+			start := lx.pos
+			lx.pos++
+			for lx.pos < len(lx.src) && isNumChar(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			text := lx.src[start:lx.pos]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad integer %q: %v", lx.line, text, err)
+			}
+			lx.emit(token{kind: tokInt, text: text, ival: v, line: lx.line})
+		case isIdentStart(rune(c)):
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentChar(rune(lx.src[lx.pos])) {
+				lx.pos++
+			}
+			lx.emit(token{kind: tokIdent, text: lx.src[start:lx.pos], line: lx.line})
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", lx.line, c)
+		}
+	}
+	lx.emit(token{kind: tokEOF, line: lx.line})
+	return lx.toks, nil
+}
+
+func (lx *lexer) emit(t token) {
+	if t.kind == tokNewline && len(lx.toks) > 0 {
+		last := lx.toks[len(lx.toks)-1].kind
+		if last == tokNewline || last == tokPunct && lx.toks[len(lx.toks)-1].text == "{" {
+			return // collapse blank lines and newline-after-brace
+		}
+	}
+	lx.toks = append(lx.toks, t)
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == 'x' || c == 'X' ||
+		c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,276 @@
+package asm
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+)
+
+// Assemble parses vasm source into a sealed program named name.
+func Assemble(name, src string) (*ir.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: &ir.Program{Name: name}}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	p.prog.Seal()
+	if err := p.prog.Verify(ir.VerifyBase); err != nil {
+		return nil, fmt.Errorf("asm: assembled program fails verification: %w", err)
+	}
+	return p.prog, nil
+}
+
+// pendingRef is an unresolved symbolic operand recorded during parsing and
+// patched in the resolve phase. It addresses the instruction by (block,
+// index) because blocks store instructions by value and the slice may
+// grow during parsing.
+type pendingRef struct {
+	line int
+	blk  *ir.Block
+	idx  int
+	// what discriminates the reference kind.
+	what string // "class", "field", "method"
+	// name / class / field payloads.
+	name, class, field string
+}
+
+// instr resolves the reference's instruction. Only valid once parsing has
+// finished (no further appends).
+func (r *pendingRef) target() *ir.Instr { return &r.blk.Instrs[r.idx] }
+
+type methodCtx struct {
+	m      *ir.Method
+	regs   map[string]ir.Reg
+	labels map[string]*ir.Block
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	prog *ir.Program
+	refs []pendingRef
+
+	classes map[string]*ir.Class
+	supers  map[string]string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) (token, error) {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return t, p.errf(t, "expected %q, got %s", s, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, got %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) parseProgram() error {
+	p.classes = make(map[string]*ir.Class)
+	p.supers = make(map[string]string)
+	for {
+		p.skipNewlines()
+		t := p.next()
+		switch {
+		case t.kind == tokEOF:
+			return nil
+		case t.kind == tokIdent && t.text == "class":
+			if err := p.parseClass(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "func":
+			m, err := p.parseMethod(nil)
+			if err != nil {
+				return err
+			}
+			p.prog.Funcs = append(p.prog.Funcs, m)
+			if m.Name == "main" {
+				p.prog.Main = m
+			}
+		default:
+			return p.errf(t, "expected 'class' or 'func', got %s", t)
+		}
+	}
+}
+
+func (p *parser) parseClass() error {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	c := &ir.Class{Name: nameTok.text}
+	if p.peek().kind == tokIdent && p.peek().text == "extends" {
+		p.next()
+		superTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		p.supers[c.Name] = superTok.text
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	if _, dup := p.classes[c.Name]; dup {
+		return p.errf(nameTok, "duplicate class %s", c.Name)
+	}
+	p.classes[c.Name] = c
+	p.prog.Classes = append(p.prog.Classes, c)
+	for {
+		p.skipNewlines()
+		t := p.next()
+		switch {
+		case t.kind == tokPunct && t.text == "}":
+			return nil
+		case t.kind == tokIdent && t.text == "field":
+			f, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			c.FieldNames = append(c.FieldNames, f.text)
+		case t.kind == tokIdent && t.text == "method":
+			m, err := p.parseMethod(c)
+			if err != nil {
+				return err
+			}
+			_ = m
+		default:
+			return p.errf(t, "expected 'field', 'method' or '}', got %s", t)
+		}
+	}
+}
+
+// parseMethod parses "name(params...) { blocks }" after the introducing
+// keyword. class is nil for free functions.
+func (p *parser) parseMethod(class *ir.Class) (*ir.Method, error) {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	ctx := &methodCtx{
+		m:      &ir.Method{Name: nameTok.text},
+		regs:   make(map[string]ir.Reg),
+		labels: make(map[string]*ir.Block),
+	}
+	for p.peek().kind != tokPunct || p.peek().text != ")" {
+		prm, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := ctx.regs[prm.text]; dup {
+			return nil, p.errf(prm, "duplicate parameter %s", prm.text)
+		}
+		ctx.regs[prm.text] = ir.Reg(ctx.m.NumParams)
+		ctx.m.NumParams++
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	ctx.m.NumRegs = ctx.m.NumParams
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	if class != nil {
+		class.AddMethod(ctx.m)
+	}
+	if err := p.parseBody(ctx); err != nil {
+		return nil, err
+	}
+	return ctx.m, nil
+}
+
+// parseBody parses labelled blocks until the closing brace.
+func (p *parser) parseBody(ctx *methodCtx) error {
+	var cur *ir.Block
+	blockOf := func(name string, line int) *ir.Block {
+		if b, ok := ctx.labels[name]; ok {
+			return b
+		}
+		b := ctx.m.NewBlock(name)
+		ctx.labels[name] = b
+		return b
+	}
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tokPunct && t.text == "}" {
+			p.next()
+			break
+		}
+		if t.kind != tokIdent {
+			return p.errf(t, "expected label or instruction, got %s", t)
+		}
+		// Label?
+		if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ":" {
+			p.next()
+			p.next()
+			nb := blockOf(t.text, t.line)
+			if len(nb.Instrs) > 0 {
+				return p.errf(t, "label %s defined twice", t.text)
+			}
+			// Implicit fallthrough from an unterminated previous block.
+			if cur != nil && cur.Terminator() == nil {
+				cur.Append(ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{nb}})
+			}
+			cur = nb
+			continue
+		}
+		if cur == nil {
+			// Instructions before any label go into an implicit entry.
+			cur = blockOf("entry", t.line)
+		}
+		refsBefore := len(p.refs)
+		in, err := p.parseInstr(ctx)
+		if err != nil {
+			return err
+		}
+		if cur.Terminator() != nil {
+			return p.errf(t, "instruction after terminator in block %s", cur.Name())
+		}
+		cur.Append(*in)
+		// Point any references recorded for this instruction at its
+		// final (block, index) home.
+		for i := refsBefore; i < len(p.refs); i++ {
+			p.refs[i].blk = cur
+			p.refs[i].idx = len(cur.Instrs) - 1
+		}
+	}
+	// The entry block must be Blocks[0]: parseBody creates blocks in
+	// first-mention order and the first label is the entry, so nothing to
+	// reorder; but an empty method is an error.
+	if len(ctx.m.Blocks) == 0 {
+		return fmt.Errorf("method %s has no code", ctx.m.Name)
+	}
+	for _, b := range ctx.m.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("method %s: label %s is referenced but never defined", ctx.m.Name, b.Label)
+		}
+	}
+	return nil
+}

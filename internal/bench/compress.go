@@ -1,0 +1,111 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Compress models _201_compress: LZW-style byte compression. Execution is
+// dominated by a tight per-byte loop that hashes the input and updates a
+// compressor-state object several times per byte (field-access heavy,
+// backedge heavy), with an occasional call to emit a code. In the paper
+// this benchmark has the highest field-access instrumentation overhead
+// and the highest backedge-check overhead.
+func Compress(scale float64) *ir.Program {
+	p := &ir.Program{Name: "compress"}
+
+	state := &ir.Class{Name: "CompState", FieldNames: []string{
+		"pos", "outCount", "hash", "checksum", "dictSize", "lastCode", "flushed",
+	}}
+	p.Classes = append(p.Classes, state)
+
+	fill := buildFillArray(p)
+
+	// emit(st, code): record an output code on the state object.
+	emit := ir.NewFunc("emit", 2)
+	{
+		c := emit.At(emit.EntryBlock())
+		oc := c.GetField(0, state, "outCount")
+		one := c.Const(1)
+		c.PutField(0, state, "outCount", c.Bin(ir.OpAdd, oc, one))
+		cs := c.GetField(0, state, "checksum")
+		mixed := c.Bin(ir.OpXor, cs, 1)
+		thirt := c.Const(31)
+		rot := c.Bin(ir.OpMul, mixed, thirt)
+		c.PutField(0, state, "checksum", rot)
+		c.Return(rot)
+	}
+	p.Funcs = append(p.Funcs, emit.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		nBytes := c.Const(sc(600000, scale))
+		arr := c.NewArray(nBytes)
+		seed := c.Const(0x1234567)
+		c.Call(fill, arr, seed)
+		st := c.New(state)
+		zero := c.Const(0)
+		c.PutField(st, state, "pos", zero)
+		c.PutField(st, state, "checksum", c.Const(0x9E37))
+		c.PutField(st, state, "dictSize", c.Const(256))
+
+		// Simulated input read: a coarse I/O stall ahead of the hot loop
+		// (exposes timer-trigger mis-attribution).
+		c.IO(200000)
+
+		lp := c.CountedLoop(nBytes, "byte")
+		b := lp.Body
+		// byte = arr[i]
+		byt := b.ALoad(arr, lp.I)
+		// hash = ((hash << 4) ^ byte) & 0xFFFF  -- two field accesses
+		h := b.GetField(st, state, "hash")
+		four := b.Const(4)
+		hsh := b.Bin(ir.OpShl, h, four)
+		hx := b.Bin(ir.OpXor, hsh, byt)
+		mask := b.Const(0xFFFF)
+		hm := b.Bin(ir.OpAnd, hx, mask)
+		b.PutField(st, state, "hash", hm)
+		// pos++, checksum update  -- four more field accesses
+		pos := b.GetField(st, state, "pos")
+		one := b.Const(1)
+		b.PutField(st, state, "pos", b.Bin(ir.OpAdd, pos, one))
+		cs := b.GetField(st, state, "checksum")
+		csx := b.Bin(ir.OpXor, cs, hm)
+		b.PutField(st, state, "checksum", csx)
+		// "dictionary miss" every time the low bits align: call emit.
+		seven := b.Const(3)
+		low := b.Bin(ir.OpAnd, hm, seven)
+		isMiss := b.Bin(ir.OpCmpEQ, low, b.Const(0))
+		callBlk := main.Block("miss")
+		contBlk := main.Block("cont")
+		b.Branch(isMiss, callBlk, contBlk)
+		cb := main.At(callBlk)
+		cb.Call(emit.M, st, hm)
+		ds := cb.GetField(st, state, "dictSize")
+		cb.PutField(st, state, "dictSize", cb.Bin(ir.OpAdd, ds, one))
+		cb.Jump(contBlk)
+		cc := main.At(contBlk)
+		// Output-buffer flush every 4 KiB of input: an expensive, rare
+		// phase (simulated device writes) touching its own field.
+		m4095 := cc.Const(4095)
+		lowBits := cc.Bin(ir.OpAnd, lp.I, m4095)
+		isFlush := cc.Bin(ir.OpCmpEQ, lowBits, cc.Const(0))
+		flushB := main.Block("flush")
+		nextB := main.Block("next")
+		cc.Branch(isFlush, flushB, nextB)
+		flc := main.At(flushB)
+		flc = emitSlowPhase(flc, 8, 2500, st, state, "flushed")
+		flc.Jump(nextB)
+		nx := main.At(nextB)
+		nx.Jump(lp.Latch)
+
+		a := lp.After
+		res := a.GetField(st, state, "checksum")
+		oc := a.GetField(st, state, "outCount")
+		fin := a.Bin(ir.OpAdd, res, oc)
+		a.Print(fin)
+		a.Return(fin)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

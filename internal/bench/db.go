@@ -1,0 +1,170 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// DB models _209_db: an in-memory database doing index lookups and record
+// scans. Work is dominated by array accesses and comparisons — calls
+// (one lookup helper per query) and field accesses (a couple of
+// bookkeeping updates per query) are both rare relative to total work,
+// which is why db shows the lowest instrumentation overheads in Table 1
+// (8.3% / 7.7%).
+func DB(scale float64) *ir.Program {
+	p := &ir.Program{Name: "db"}
+
+	table := &ir.Class{Name: "Table", FieldNames: []string{"hits", "misses", "scanned"}}
+	p.Classes = append(p.Classes, table)
+
+	fill := buildFillArray(p)
+
+	// lookup(idx, data, key, tbl): binary search the sorted index (each
+	// probe hashes the candidate key, as real record comparison would),
+	// then scan a 32-record run four records at a time, updating the
+	// table's bookkeeping fields. Iteration bodies are deliberately
+	// heavy — db's work per backedge is large, which is why it shows the
+	// suite's lowest check overheads.
+	lookup := ir.NewFunc("lookup", 4)
+	{
+		c := lookup.At(lookup.EntryBlock())
+		lo := c.Const(0)
+		hi := c.Un(ir.OpArrayLen, 0)
+		mix := c.Const(0)
+		head := lookup.Block("head")
+		body := lookup.Block("body")
+		left := lookup.Block("left")
+		right := lookup.Block("right")
+		scan := lookup.Block("scan")
+		hc := c.Jump(head)
+		cond := hc.Bin(ir.OpCmpLT, lo, hi)
+		hc.Branch(cond, body, scan)
+		bc := lookup.At(body)
+		sum := bc.Bin(ir.OpAdd, lo, hi)
+		two := bc.Const(2)
+		mid := bc.Bin(ir.OpDiv, sum, two)
+		v := bc.ALoad(0, mid)
+		// Simulated record-key comparison: hash the candidate.
+		p31 := bc.Const(31)
+		h1 := bc.Bin(ir.OpMul, v, p31)
+		sh3 := bc.Const(3)
+		h2 := bc.Bin(ir.OpShr, h1, sh3)
+		h3 := bc.Bin(ir.OpXor, h1, h2)
+		h4 := bc.Bin(ir.OpAdd, h3, mid)
+		bc.BinTo(ir.OpXor, mix, mix, h4)
+		lt := bc.Bin(ir.OpCmpLT, v, 2)
+		bc.Branch(lt, right, left)
+		rc := lookup.At(right)
+		one := rc.Const(1)
+		rc.BinTo(ir.OpAdd, lo, mid, one)
+		rc.Jump(head)
+		lc := lookup.At(left)
+		lc.Move(hi, mid)
+		lc.Jump(head)
+
+		// Scan a 32-record run from the insertion point (clamped), four
+		// records per iteration.
+		sc4 := lookup.At(scan)
+		n := sc4.Un(ir.OpArrayLen, 1)
+		run := sc4.Const(32)
+		maxLo := sc4.Bin(ir.OpSub, n, run)
+		over := sc4.Bin(ir.OpCmpGT, lo, maxLo)
+		clampB := lookup.Block("clamp")
+		loopB := lookup.Block("loopStart")
+		sc4.Branch(over, clampB, loopB)
+		cb := lookup.At(clampB)
+		cb.Move(lo, maxLo)
+		cb.Jump(loopB)
+		sb := lookup.At(loopB)
+		acc := sb.Fresh()
+		sb.Move(acc, mix)
+		eight := sb.Const(8)
+		slp := sb.CountedLoop(eight, "scan4")
+		sbc := slp.Body
+		four := sbc.Const(4)
+		j0 := sbc.Bin(ir.OpAdd, lo, sbc.Bin(ir.OpMul, slp.I, four))
+		onec := sbc.Const(1)
+		for k := 0; k < 4; k++ {
+			jk := j0
+			if k > 0 {
+				kk := sbc.Const(int64(k))
+				jk = sbc.Bin(ir.OpAdd, j0, kk)
+			}
+			d := sbc.ALoad(1, jk)
+			m1 := sbc.Bin(ir.OpMul, acc, p31)
+			sbc.BinTo(ir.OpXor, acc, m1, d)
+		}
+		_ = onec
+		sbc.Jump(slp.Latch)
+		dc := slp.After
+		one2 := dc.Const(1)
+		// Bookkeeping: two or three field accesses per query.
+		found := dc.Bin(ir.OpAnd, acc, dc.Const(1))
+		hitB := lookup.Block("hit")
+		missB := lookup.Block("miss")
+		retB := lookup.Block("ret")
+		dc.Branch(found, hitB, missB)
+		hb := lookup.At(hitB)
+		h := hb.GetField(3, table, "hits")
+		hb.PutField(3, table, "hits", hb.Bin(ir.OpAdd, h, one2))
+		hb.Jump(retB)
+		mb := lookup.At(missB)
+		ms := mb.GetField(3, table, "misses")
+		mb.PutField(3, table, "misses", mb.Bin(ir.OpAdd, ms, one2))
+		mb.Jump(retB)
+		rb := lookup.At(retB)
+		rb.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, lookup.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		nRec := c.Const(8192)
+		idx := c.NewArray(nRec)
+		// Sorted index: idx[i] = i*7.
+		initLp := c.CountedLoop(nRec, "init")
+		ib := initLp.Body
+		seven := ib.Const(7)
+		ib.AStore(idx, initLp.I, ib.Bin(ir.OpMul, initLp.I, seven))
+		ib.Jump(initLp.Latch)
+
+		a := initLp.After
+		data := a.NewArray(nRec)
+		seed := a.Const(0xBEEF)
+		a.Call(fill, data, seed)
+		tbl := a.New(table)
+
+		acc := a.Const(0)
+		nq := a.Const(sc(18000, scale))
+		q := a.CountedLoop(nq, "query")
+		qb := q.Body
+		k1 := qb.Const(2654435761)
+		key := qb.Bin(ir.OpMul, q.I, k1)
+		mask := qb.Const(8192*7 - 1)
+		keyM := qb.Bin(ir.OpAnd, key, mask)
+		r := qb.Call(lookup.M, idx, data, keyM, tbl)
+		qb.BinTo(ir.OpXor, acc, acc, r)
+		// Checkpoint every 2048 queries: expensive log writes touching
+		// the table's own bookkeeping.
+		m2047 := qb.Const(2047)
+		lowBits := qb.Bin(ir.OpAnd, q.I, m2047)
+		isCp := qb.Bin(ir.OpCmpEQ, lowBits, qb.Const(0))
+		cpB := main.Block("checkpoint")
+		nxB := main.Block("next")
+		qb.Branch(isCp, cpB, nxB)
+		cpc := main.At(cpB)
+		cpc = emitSlowPhase(cpc, 16, 25000, tbl, table, "scanned")
+		cpc.Jump(nxB)
+		nx := main.At(nxB)
+		nx.Jump(q.Latch)
+
+		fin := q.After
+		h := fin.GetField(tbl, table, "hits")
+		ms := fin.GetField(tbl, table, "misses")
+		res := fin.Bin(ir.OpAdd, fin.Bin(ir.OpAdd, acc, h), ms)
+		fin.Print(res)
+		fin.Return(res)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

@@ -1,0 +1,125 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Jack models _228_jack: a parser generator parsing its own input — a
+// character-at-a-time scanner state machine with per-token semantic
+// actions. The lexer state lives in fields, making field-access
+// instrumentation expensive (108.7% in Table 1), while calls happen only
+// per token, not per character.
+func Jack(scale float64) *ir.Program {
+	p := &ir.Program{Name: "jack"}
+
+	lexer := &ir.Class{Name: "Lexer", FieldNames: []string{
+		"pos", "state", "tokStart", "tokCount", "checksum", "refills",
+	}}
+	p.Classes = append(p.Classes, lexer)
+
+	fill := buildFillArray(p)
+
+	// action(lx, kind): per-token semantic action.
+	action := ir.NewFunc("action", 2)
+	{
+		c := action.At(action.EntryBlock())
+		tc := c.GetField(0, lexer, "tokCount")
+		one := c.Const(1)
+		c.PutField(0, lexer, "tokCount", c.Bin(ir.OpAdd, tc, one))
+		cs := c.GetField(0, lexer, "checksum")
+		prime := c.Const(131)
+		mixed := c.Bin(ir.OpMul, cs, prime)
+		c.PutField(0, lexer, "checksum", c.Bin(ir.OpXor, mixed, 1))
+		c.Return(c.GetField(0, lexer, "checksum"))
+	}
+	p.Funcs = append(p.Funcs, action.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		n := c.Const(sc(220000, scale))
+		input := c.NewArray(n)
+		seed := c.Const(0x7ACC)
+		c.Call(fill, input, seed)
+		lx := c.New(lexer)
+		c.PutField(lx, lexer, "checksum", c.Const(7))
+
+		// Simulated file read before scanning.
+		c.IO(150000)
+
+		lp := c.CountedLoop(n, "scan")
+		b := lp.Body
+		ch := b.ALoad(input, lp.I)
+		// Classify through a character-class computation (the generated
+		// scanner's table lookup plus case folding).
+		st := b.GetField(lx, lexer, "state")
+		p31 := b.Const(31)
+		h1 := b.Bin(ir.OpMul, ch, p31)
+		s4 := b.Const(4)
+		h2 := b.Bin(ir.OpShr, h1, s4)
+		h3 := b.Bin(ir.OpXor, h1, h2)
+		h4 := b.Bin(ir.OpAdd, h3, st)
+		s2 := b.Const(2)
+		h5 := b.Bin(ir.OpShl, h4, s2)
+		h6 := b.Bin(ir.OpXor, h4, h5)
+		mask255 := b.Const(255)
+		class := b.Bin(ir.OpAnd, h6, mask255)
+		sixtyfour := b.Const(64)
+		isDelim := b.Bin(ir.OpCmpLT, ch, sixtyfour)
+		delimB := main.Block("delim")
+		accumB := main.Block("accum")
+		contB := main.Block("cont")
+		b.Branch(isDelim, delimB, accumB)
+
+		dc := main.At(delimB)
+		// End of token: fire the action if a token was in progress.
+		zero := dc.Const(0)
+		inTok := dc.Bin(ir.OpCmpGT, st, zero)
+		fireB := main.Block("fire")
+		skipB := main.Block("skip")
+		dc.Branch(inTok, fireB, skipB)
+		fc := main.At(fireB)
+		kind := fc.Bin(ir.OpAnd, st, fc.Const(3))
+		fc.Call(action.M, lx, kind)
+		fc.PutField(lx, lexer, "state", fc.Const(0))
+		fc.Jump(contB)
+		sc2 := main.At(skipB)
+		sc2.Jump(contB)
+
+		ac := main.At(accumB)
+		// Accumulate: state = state*2 + class (bounded), pos tracked.
+		two := ac.Const(2)
+		ns := ac.Bin(ir.OpMul, st, two)
+		nsc := ac.Bin(ir.OpAdd, ns, class)
+		bound := ac.Const(0x3FFF)
+		ac.PutField(lx, lexer, "state", ac.Bin(ir.OpAnd, nsc, bound))
+		pos := ac.GetField(lx, lexer, "pos")
+		one := ac.Const(1)
+		ac.PutField(lx, lexer, "pos", ac.Bin(ir.OpAdd, pos, one))
+		ac.Jump(contB)
+
+		cc := main.At(contB)
+		// Input-buffer refill every 4 KiB: slow file reads on their own
+		// field.
+		m4095 := cc.Const(4095)
+		lowBits := cc.Bin(ir.OpAnd, lp.I, m4095)
+		isRefill := cc.Bin(ir.OpCmpEQ, lowBits, cc.Const(0))
+		refB := main.Block("refill")
+		nxB := main.Block("next")
+		cc.Branch(isRefill, refB, nxB)
+		rfc := main.At(refB)
+		rfc = emitSlowPhase(rfc, 8, 8000, lx, lexer, "refills")
+		rfc.Jump(nxB)
+		nx := main.At(nxB)
+		nx.Jump(lp.Latch)
+
+		fin := lp.After
+		csum := fin.GetField(lx, lexer, "checksum")
+		tcnt := fin.GetField(lx, lexer, "tokCount")
+		res := fin.Bin(ir.OpAdd, csum, tcnt)
+		fin.Print(res)
+		fin.Return(res)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

@@ -1,0 +1,114 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Javac models _213_javac: compiler front-end work — building abstract
+// syntax trees and walking them recursively. Method entries come from
+// deep recursion; field accesses are the tree-node links and values.
+func Javac(scale float64) *ir.Program {
+	p := &ir.Program{Name: "javac"}
+
+	node := &ir.Class{Name: "Node", FieldNames: []string{"op", "val", "left", "right"}}
+	p.Classes = append(p.Classes, node)
+
+	// build(depth, seed): construct a binary expression tree recursively.
+	build := ir.NewFunc("build", 2)
+	{
+		c := build.At(build.EntryBlock())
+		zero := c.Const(0)
+		isLeaf := c.Bin(ir.OpCmpLE, 0, zero)
+		leafB := build.Block("leaf")
+		innerB := build.Block("inner")
+		c.Branch(isLeaf, leafB, innerB)
+
+		lc := build.At(leafB)
+		n := lc.New(node)
+		lc.PutField(n, node, "op", lc.Const(0))
+		mask := lc.Const(1023)
+		lc.PutField(n, node, "val", lc.Bin(ir.OpAnd, 1, mask))
+		lc.Return(n)
+
+		ic := build.At(innerB)
+		n2 := ic.New(node)
+		three := ic.Const(3)
+		one := ic.Const(1)
+		opv := ic.Bin(ir.OpRem, 1, three)
+		ic.PutField(n2, node, "op", ic.Bin(ir.OpAdd, opv, one))
+		d1 := ic.Bin(ir.OpSub, 0, one)
+		s13 := ic.Const(13)
+		seedL := ic.Bin(ir.OpMul, 1, s13)
+		seedL = emitMix(ic, seedL, 4)
+		s7 := ic.Const(7)
+		seedR := ic.Bin(ir.OpAdd, 1, s7)
+		l := ic.Call(build.M, d1, seedL)
+		r := ic.Call(build.M, d1, seedR)
+		ic.PutField(n2, node, "left", l)
+		ic.PutField(n2, node, "right", r)
+		ic.Return(n2)
+	}
+
+	// eval(n): recursively fold the tree.
+	eval := ir.NewFunc("eval", 1)
+	{
+		c := eval.At(eval.EntryBlock())
+		op := c.GetField(0, node, "op")
+		zero := c.Const(0)
+		isLeaf := c.Bin(ir.OpCmpEQ, op, zero)
+		leafB := eval.Block("leaf")
+		innerB := eval.Block("inner")
+		c.Branch(isLeaf, leafB, innerB)
+
+		lc := eval.At(leafB)
+		lv0 := lc.GetField(0, node, "val")
+		lc.Return(emitMix(lc, lv0, 9))
+
+		ic := eval.At(innerB)
+		l := ic.GetField(0, node, "left")
+		r := ic.GetField(0, node, "right")
+		lv := ic.Call(eval.M, l)
+		rv := ic.Call(eval.M, r)
+		one := ic.Const(1)
+		isAdd := ic.Bin(ir.OpCmpEQ, op, one)
+		addB := eval.Block("add")
+		otherB := eval.Block("other")
+		ic.Branch(isAdd, addB, otherB)
+		ac := eval.At(addB)
+		s := ac.Bin(ir.OpAdd, lv, rv)
+		ac.Return(emitMix(ac, s, 18))
+		oc := eval.At(otherB)
+		x := oc.Bin(ir.OpXor, lv, rv)
+		x2 := oc.Bin(ir.OpAdd, x, op)
+		oc.Return(emitMix(oc, x2, 18))
+	}
+	p.Funcs = append(p.Funcs, build.M, eval.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		acc := c.Const(0)
+		nUnits := c.Const(sc(340, scale))
+		lp := c.CountedLoop(nUnits, "unit")
+		b := lp.Body
+		depth := b.Const(8)
+		seed := b.Bin(ir.OpAdd, lp.I, b.Const(17))
+		tree := b.Call(build.M, depth, seed)
+		v := b.Call(eval.M, tree)
+		b.BinTo(ir.OpAdd, acc, acc, v)
+		// Re-evaluate a few times: the "semantic analysis" passes.
+		three := b.Const(3)
+		passes := b.CountedLoop(three, "pass")
+		pb := passes.Body
+		v2 := pb.Call(eval.M, tree)
+		pb.BinTo(ir.OpXor, acc, acc, v2)
+		pb.Jump(passes.Latch)
+		passes.After.Jump(lp.Latch)
+
+		fin := lp.After
+		fin.Print(acc)
+		fin.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

@@ -1,0 +1,144 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Jess models _202_jess: an expert-system shell whose execution is
+// dominated by rule matching — huge numbers of small method invocations
+// testing facts against rule conditions. Call-edge instrumentation is at
+// its most expensive here (133% in Table 1); field access is moderate.
+func Jess(scale float64) *ir.Program {
+	p := &ir.Program{Name: "jess"}
+
+	fact := &ir.Class{Name: "Fact", FieldNames: []string{"slotA", "slotB", "slotC"}}
+	p.Classes = append(p.Classes, fact)
+
+	// Small matcher methods, each a separate callee so the call-edge
+	// profile has many distinct edges.
+	// mixHash appends a short test-pattern hash of x against v — the
+	// stand-in for Rete-node pattern evaluation inside each matcher.
+	mixHash := func(c *ir.Cursor, x, v ir.Reg) ir.Reg {
+		p31 := c.Const(31)
+		h1 := c.Bin(ir.OpMul, x, p31)
+		s5 := c.Const(5)
+		h2 := c.Bin(ir.OpShr, h1, s5)
+		h3 := c.Bin(ir.OpXor, h1, h2)
+		h4 := c.Bin(ir.OpAdd, h3, v)
+		s3 := c.Const(3)
+		h5 := c.Bin(ir.OpShl, h4, s3)
+		return c.Bin(ir.OpXor, h4, h5)
+	}
+	// matchEQ(self, v) { return hash(self.slotA) matches v }
+	matchEQ := ir.NewMethod(fact, "matchEQ", 2)
+	{
+		c := matchEQ.At(matchEQ.EntryBlock())
+		a := c.GetField(0, fact, "slotA")
+		h := mixHash(c, a, 1)
+		h = emitMix(c, h, 16)
+		three := c.Const(3)
+		c.Return(c.Bin(ir.OpCmpEQ, c.Bin(ir.OpAnd, h, three), c.Bin(ir.OpAnd, a, three)))
+	}
+	// matchGT(self, v) { return hash(self.slotB) > hash(v) }
+	matchGT := ir.NewMethod(fact, "matchGT", 2)
+	{
+		c := matchGT.At(matchGT.EntryBlock())
+		b := c.GetField(0, fact, "slotB")
+		h := mixHash(c, b, 1)
+		h = emitMix(c, h, 16)
+		c.Return(c.Bin(ir.OpCmpGT, c.Bin(ir.OpAnd, h, c.Const(7)), b))
+	}
+	// matchSum(self, v) { pattern over slotA+slotC }
+	matchSum := ir.NewMethod(fact, "matchSum", 2)
+	{
+		c := matchSum.At(matchSum.EntryBlock())
+		a := c.GetField(0, fact, "slotA")
+		cc := c.GetField(0, fact, "slotC")
+		s := c.Bin(ir.OpAdd, a, cc)
+		h := mixHash(c, s, 1)
+		h = emitMix(c, h, 16)
+		one := c.Const(1)
+		c.Return(c.Bin(ir.OpCmpEQ, c.Bin(ir.OpAnd, h, one), c.Bin(ir.OpAnd, 1, one)))
+	}
+	// fire(self) { self.slotC++ ; return self.slotC }
+	fire := ir.NewMethod(fact, "fire", 1)
+	{
+		c := fire.At(fire.EntryBlock())
+		v := c.GetField(0, fact, "slotC")
+		one := c.Const(1)
+		nv := c.Bin(ir.OpAdd, v, one)
+		c.PutField(0, fact, "slotC", nv)
+		c.Return(emitMix(c, nv, 10))
+	}
+
+	// rule1(f, v): two-condition rule.
+	rule1 := ir.NewFunc("rule1", 2)
+	{
+		c := rule1.At(rule1.EntryBlock())
+		m1 := c.CallVirt("matchEQ", 0, 1)
+		thenB := rule1.Block("then")
+		elseB := rule1.Block("else")
+		c.Branch(m1, thenB, elseB)
+		tc := rule1.At(thenB)
+		m2 := tc.CallVirt("matchGT", 0, 1)
+		fireB := rule1.Block("fire")
+		tc.Branch(m2, fireB, elseB)
+		fc := rule1.At(fireB)
+		r := fc.CallVirt("fire", 0)
+		fc.Return(r)
+		ec := rule1.At(elseB)
+		ec.Return(ec.Const(0))
+	}
+	// rule2(f, v): one-condition rule with a different matcher.
+	rule2 := ir.NewFunc("rule2", 2)
+	{
+		c := rule2.At(rule2.EntryBlock())
+		m1 := c.CallVirt("matchSum", 0, 1)
+		thenB := rule2.Block("then")
+		elseB := rule2.Block("else")
+		c.Branch(m1, thenB, elseB)
+		tc := rule2.At(thenB)
+		r := tc.CallVirt("fire", 0)
+		tc.Return(r)
+		ec := rule2.At(elseB)
+		ec.Return(ec.Const(0))
+	}
+	p.Funcs = append(p.Funcs, rule1.M, rule2.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		nFacts := c.Const(64)
+		facts := c.NewArray(nFacts)
+		initLp := c.CountedLoop(nFacts, "init")
+		ib := initLp.Body
+		f := ib.New(fact)
+		three := ib.Const(3)
+		ib.PutField(f, fact, "slotA", ib.Bin(ir.OpRem, initLp.I, three))
+		five := ib.Const(5)
+		ib.PutField(f, fact, "slotB", ib.Bin(ir.OpRem, initLp.I, five))
+		ib.AStore(facts, initLp.I, f)
+		ib.Jump(initLp.Latch)
+
+		a := initLp.After
+		acc := a.Const(0)
+		rounds := a.Const(sc(3000, scale))
+		outer := a.CountedLoop(rounds, "round")
+		ob := outer.Body
+		inner := ob.CountedLoop(nFacts, "fact")
+		fb := inner.Body
+		fobj := fb.ALoad(facts, inner.I)
+		r1 := fb.Call(rule1.M, fobj, outer.I)
+		r2 := fb.Call(rule2.M, fobj, inner.I)
+		fb.BinTo(ir.OpAdd, acc, acc, r1)
+		fb.BinTo(ir.OpAdd, acc, acc, r2)
+		fb.Jump(inner.Latch)
+		inner.After.Jump(outer.Latch)
+
+		fin := outer.After
+		fin.Print(acc)
+		fin.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

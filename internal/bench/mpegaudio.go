@@ -1,0 +1,111 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Mpegaudio models _222_mpegaudio: audio decoding dominated by numeric
+// filter kernels — tight loops over sample buffers with per-sample state
+// kept in a decoder object, invoked once per subband (32 subbands per
+// frame, 36 taps per subband). Backedge-check overhead is near its
+// maximum here (9.0% in Table 2) and field accesses are dense enough that
+// exhaustive field profiling roughly doubles execution time.
+func Mpegaudio(scale float64) *ir.Program {
+	p := &ir.Program{Name: "mpegaudio"}
+
+	dec := &ir.Class{Name: "Decoder", FieldNames: []string{"gain", "prev", "energy", "refills"}}
+	p.Classes = append(p.Classes, dec)
+
+	fill := buildFillArray(p)
+
+	const subbands, taps = 32, 36
+
+	// filter(d, samples, out, band): one subband filter pass over the
+	// band's 36 taps.
+	filter := ir.NewFunc("filter", 4)
+	{
+		c := filter.At(filter.EntryBlock())
+		nTaps := c.Const(taps)
+		base := c.Bin(ir.OpMul, 3, nTaps)
+		half := c.Const(taps / 2)
+		lp := c.CountedLoop(half, "tap")
+		b := lp.Body
+		two := b.Const(2)
+		off := b.Bin(ir.OpMul, lp.I, two)
+		idx := b.Bin(ir.OpAdd, base, off)
+		four := b.Const(4)
+		// Two taps per iteration (the kernel is software-pipelined).
+		for k := 0; k < 2; k++ {
+			ik := idx
+			if k == 1 {
+				one := b.Const(1)
+				ik = b.Bin(ir.OpAdd, idx, one)
+			}
+			s := b.ALoad(1, ik)
+			g := b.GetField(0, dec, "gain")
+			pv := b.GetField(0, dec, "prev")
+			t1 := b.Bin(ir.OpMul, s, g)
+			t2 := b.Bin(ir.OpAdd, t1, pv)
+			t3 := b.Bin(ir.OpShr, t2, four)
+			b.PutField(0, dec, "prev", t3)
+			b.AStore(2, ik, t3)
+		}
+		b.Jump(lp.Latch)
+		lc := lp.After
+		e := lc.GetField(0, dec, "energy")
+		last := lc.GetField(0, dec, "prev")
+		lc.PutField(0, dec, "energy", lc.Bin(ir.OpXor, e, last))
+		lc.Return(lc.GetField(0, dec, "energy"))
+	}
+	p.Funcs = append(p.Funcs, filter.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		frameLen := c.Const(subbands * taps)
+		in := c.NewArray(frameLen)
+		out := c.NewArray(frameLen)
+		seed := c.Const(0xACDC)
+		c.Call(fill, in, seed)
+		d := c.New(dec)
+		c.PutField(d, dec, "gain", c.Const(11))
+
+		acc := c.Const(0)
+		nFrames := c.Const(sc(520, scale))
+		frames := c.CountedLoop(nFrames, "frame")
+		fb := frames.Body
+		nBands := fb.Const(subbands)
+		bands := fb.CountedLoop(nBands, "band")
+		bb := bands.Body
+		e := bb.Call(filter.M, d, in, out, bands.I)
+		bb.BinTo(ir.OpAdd, acc, acc, e)
+		bb.Jump(bands.Latch)
+		wa := bands.After
+		// Windowing pass: pure-array loop (uninstrumented work).
+		win := wa.CountedLoop(frameLen, "win")
+		wb := win.Body
+		v := wb.ALoad(out, win.I)
+		three := wb.Const(3)
+		wb.AStore(in, win.I, wb.Bin(ir.OpMul, v, three))
+		wb.Jump(win.Latch)
+		wf := win.After
+		// Bit-reservoir refill every 64 frames: slow stream reads.
+		m63 := wf.Const(63)
+		lowBits := wf.Bin(ir.OpAnd, frames.I, m63)
+		isRefill := wf.Bin(ir.OpCmpEQ, lowBits, wf.Const(0))
+		refB := main.Block("refill")
+		nxB := main.Block("next")
+		wf.Branch(isRefill, refB, nxB)
+		rfc := main.At(refB)
+		rfc = emitSlowPhase(rfc, 8, 40000, d, dec, "refills")
+		rfc.Jump(nxB)
+		nx := main.At(nxB)
+		nx.Jump(frames.Latch)
+
+		fin := frames.After
+		fin.Print(acc)
+		fin.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

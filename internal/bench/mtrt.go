@@ -1,0 +1,136 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Mtrt models _227_mtrt: a ray tracer. Work is vector arithmetic on small
+// objects — dot products, reflections — invoked per ray through virtual
+// methods, giving both a dense call-edge profile and a dense field-access
+// profile.
+func Mtrt(scale float64) *ir.Program {
+	p := &ir.Program{Name: "mtrt"}
+
+	vec := &ir.Class{Name: "Vec", FieldNames: []string{"x", "y", "z"}}
+	sphere := &ir.Class{Name: "Sphere", FieldNames: []string{"cx", "cy", "cz", "r2", "hits"}}
+	p.Classes = append(p.Classes, vec, sphere)
+
+	// Vec.dot(self, other) — 6 field reads.
+	dot := ir.NewMethod(vec, "dot", 2)
+	{
+		c := dot.At(dot.EntryBlock())
+		ax := c.GetField(0, vec, "x")
+		ay := c.GetField(0, vec, "y")
+		az := c.GetField(0, vec, "z")
+		bx := c.GetField(1, vec, "x")
+		by := c.GetField(1, vec, "y")
+		bz := c.GetField(1, vec, "z")
+		t1 := c.Bin(ir.OpMul, ax, bx)
+		t2 := c.Bin(ir.OpMul, ay, by)
+		t3 := c.Bin(ir.OpMul, az, bz)
+		s := c.Bin(ir.OpAdd, t1, t2)
+		s2 := c.Bin(ir.OpAdd, s, t3)
+		c.Return(emitMix(c, s2, 6))
+	}
+	_ = dot
+
+	// Vec.scaleAdd(self, other, k): self += other * k (3 reads + 3 writes
+	// + 3 reads of other).
+	scaleAdd := ir.NewMethod(vec, "scaleAdd", 3)
+	{
+		c := scaleAdd.At(scaleAdd.EntryBlock())
+		for _, fld := range []string{"x", "y", "z"} {
+			av := c.GetField(0, vec, fld)
+			bv := c.GetField(1, vec, fld)
+			t := c.Bin(ir.OpMul, bv, 2)
+			c.PutField(0, vec, fld, c.Bin(ir.OpAdd, av, t))
+		}
+		c.Return(c.GetField(0, vec, "x"))
+	}
+	_ = scaleAdd
+
+	// Sphere.intersect(self, origin, dir): branchy hit test.
+	intersect := ir.NewMethod(sphere, "intersect", 3)
+	{
+		c := intersect.At(intersect.EntryBlock())
+		ox := c.GetField(1, vec, "x")
+		cx := c.GetField(0, sphere, "cx")
+		dx := c.Bin(ir.OpSub, cx, ox)
+		oy := c.GetField(1, vec, "y")
+		cy := c.GetField(0, sphere, "cy")
+		dy := c.Bin(ir.OpSub, cy, oy)
+		b := c.CallVirt("dot", 2, 2)
+		d2 := c.Bin(ir.OpMul, dx, dx)
+		d2y := c.Bin(ir.OpMul, dy, dy)
+		dist := c.Bin(ir.OpAdd, d2, d2y)
+		distB := c.Bin(ir.OpAdd, dist, b)
+		r2 := c.GetField(0, sphere, "r2")
+		distB = emitMix(c, distB, 12)
+		hit := c.Bin(ir.OpCmpLT, distB, r2)
+		hitB := intersect.Block("hit")
+		missB := intersect.Block("miss")
+		c.Branch(hit, hitB, missB)
+		hc := intersect.At(hitB)
+		h := hc.GetField(0, sphere, "hits")
+		one := hc.Const(1)
+		hc.PutField(0, sphere, "hits", hc.Bin(ir.OpAdd, h, one))
+		hc.Return(distB)
+		mc := intersect.At(missB)
+		mc.Return(mc.Const(0))
+	}
+	_ = intersect
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		// Scene: 8 spheres.
+		eight := c.Const(8)
+		scene := c.NewArray(eight)
+		initLp := c.CountedLoop(eight, "scene")
+		ib := initLp.Body
+		s := ib.New(sphere)
+		k := ib.Const(97)
+		ib.PutField(s, sphere, "cx", ib.Bin(ir.OpMul, initLp.I, k))
+		ib.PutField(s, sphere, "cy", ib.Bin(ir.OpMul, initLp.I, initLp.I))
+		ib.PutField(s, sphere, "r2", ib.Const(9000))
+		ib.AStore(scene, initLp.I, s)
+		ib.Jump(initLp.Latch)
+
+		a := initLp.After
+		origin := a.New(vec)
+		dir := a.New(vec)
+		a.PutField(dir, vec, "x", a.Const(3))
+		a.PutField(dir, vec, "y", a.Const(5))
+		a.PutField(dir, vec, "z", a.Const(7))
+
+		acc := a.Const(0)
+		nRays := a.Const(sc(26000, scale))
+		rays := a.CountedLoop(nRays, "ray")
+		rb := rays.Body
+		mask := rb.Const(255)
+		rb.PutField(origin, vec, "x", rb.Bin(ir.OpAnd, rays.I, mask))
+		rb.PutField(origin, vec, "y", rb.Bin(ir.OpRem, rays.I, rb.Const(191)))
+		rb.CallVirt("scaleAdd", origin, dir, rb.Const(1))
+		objs := rb.CountedLoop(eight, "obj")
+		ob := objs.Body
+		sp := ob.ALoad(scene, objs.I)
+		d := ob.CallVirt("intersect", sp, origin, dir)
+		ob.BinTo(ir.OpXor, acc, acc, d)
+		ob.Jump(objs.Latch)
+		objs.After.Jump(rays.Latch)
+
+		fin := rays.After
+		// Fold in hit counts.
+		foldLp := fin.CountedLoop(eight, "fold")
+		fb := foldLp.Body
+		sp2 := fb.ALoad(scene, foldLp.I)
+		h := fb.GetField(sp2, sphere, "hits")
+		fb.BinTo(ir.OpAdd, acc, acc, h)
+		fb.Jump(foldLp.Latch)
+		fin2 := foldLp.After
+		fin2.Print(acc)
+		fin2.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

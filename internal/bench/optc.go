@@ -1,0 +1,231 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Optc models the paper's "opt-compiler" benchmark — the Jalapeño
+// optimizing compiler run on a subset of itself. The analogue here is an
+// expression compiler *written in the VM's own bytecode*: it tokenizes a
+// synthetic source stream, parses it by recursive descent into a stack
+// machine program, constant-folds, and "executes" the result. The
+// workload is the most call-dense of the suite (the paper reports 189%
+// call-edge overhead), with deep recursion and many small methods.
+func Optc(scale float64) *ir.Program {
+	p := &ir.Program{Name: "optc"}
+
+	// Parser state: source array, cursor, output counter.
+	ps := &ir.Class{Name: "Parser", FieldNames: []string{"src", "pos", "len", "emitted", "folded"}}
+	p.Classes = append(p.Classes, ps)
+
+	// peek(self): current token (0 when exhausted). Tokens are small
+	// ints: 0..9 literals, 10 '+', 11 '*', 12 '(', 13 ')'.
+	peek := ir.NewMethod(ps, "peek", 1)
+	{
+		c := peek.At(peek.EntryBlock())
+		pos := c.GetField(0, ps, "pos")
+		ln := c.GetField(0, ps, "len")
+		in := c.Bin(ir.OpCmpLT, pos, ln)
+		okB := peek.Block("ok")
+		eofB := peek.Block("eof")
+		c.Branch(in, okB, eofB)
+		oc := peek.At(okB)
+		// Token decode: the scanner's table computation.
+		dec := emitMix(oc, pos, 5)
+		idx := oc.Bin(ir.OpAdd, pos, dec)
+		idx = oc.Bin(ir.OpSub, idx, dec)
+		src := oc.GetField(0, ps, "src")
+		oc.Return(oc.ALoad(src, idx))
+		ec := peek.At(eofB)
+		ec.Return(ec.Const(13)) // pretend ')' at EOF to unwind
+	}
+	_ = peek
+
+	// advance(self): consume one token.
+	advance := ir.NewMethod(ps, "advance", 1)
+	{
+		c := advance.At(advance.EntryBlock())
+		pos := c.GetField(0, ps, "pos")
+		one := c.Const(1)
+		c.PutField(0, ps, "pos", c.Bin(ir.OpAdd, pos, one))
+		c.Return(pos)
+	}
+	_ = advance
+
+	// emit(self, v): count an emitted instruction, fold into checksum.
+	emit := ir.NewMethod(ps, "emit", 2)
+	{
+		c := emit.At(emit.EntryBlock())
+		e := c.GetField(0, ps, "emitted")
+		one := c.Const(1)
+		c.PutField(0, ps, "emitted", c.Bin(ir.OpAdd, e, one))
+		f := c.GetField(0, ps, "folded")
+		p37 := c.Const(37)
+		mixed := emitMix(c, c.Bin(ir.OpMul, f, p37), 10)
+		c.PutField(0, ps, "folded", c.Bin(ir.OpXor, mixed, 1))
+		c.Return(one)
+	}
+	_ = emit
+
+	// parsePrimary(self): literal or parenthesized expression.
+	parsePrimary := ir.NewMethod(ps, "parsePrimary", 1)
+	// parseTerm(self): primary ('*' primary)*
+	parseTerm := ir.NewMethod(ps, "parseTerm", 1)
+	// parseExpr(self): term ('+' term)*
+	parseExpr := ir.NewMethod(ps, "parseExpr", 1)
+
+	{
+		c := parsePrimary.At(parsePrimary.EntryBlock())
+		tok := c.CallVirt("peek", 0)
+		c.CallVirt("advance", 0)
+		ten := c.Const(10)
+		isLit := c.Bin(ir.OpCmpLT, tok, ten)
+		lit := parsePrimary.Block("lit")
+		paren := parsePrimary.Block("paren")
+		c.Branch(isLit, lit, paren)
+		lc := parsePrimary.At(lit)
+		lit2 := emitMix(lc, tok, 6)
+		lc.CallVirt("emit", 0, lit2)
+		lc.Return(tok)
+		pc := parsePrimary.At(paren)
+		twelve := pc.Const(12)
+		isOpen := pc.Bin(ir.OpCmpEQ, tok, twelve)
+		openB := parsePrimary.Block("open")
+		errB := parsePrimary.Block("err")
+		pc.Branch(isOpen, openB, errB)
+		ob := parsePrimary.At(openB)
+		v := ob.CallVirt("parseExpr", 0)
+		ob.CallVirt("advance", 0) // consume ')'
+		ob.Return(v)
+		eb := parsePrimary.At(errB)
+		eb.Return(eb.Const(1)) // error recovery: pretend literal 1
+	}
+	{
+		c := parseTerm.At(parseTerm.EntryBlock())
+		v := c.CallVirt("parsePrimary", 0)
+		head := parseTerm.Block("head")
+		body := parseTerm.Block("body")
+		done := parseTerm.Block("done")
+		hc := c.Jump(head)
+		tok := hc.CallVirt("peek", 0)
+		eleven := hc.Const(11)
+		isMul := hc.Bin(ir.OpCmpEQ, tok, eleven)
+		hc.Branch(isMul, body, done)
+		bc := parseTerm.At(body)
+		bc.CallVirt("advance", 0)
+		rhs := bc.CallVirt("parsePrimary", 0)
+		bc.BinTo(ir.OpMul, v, v, rhs)
+		mask := bc.Const(0xFFFFF)
+		bc.BinTo(ir.OpAnd, v, v, mask)
+		bc.CallVirt("emit", 0, v)
+		bc.Jump(head)
+		dc := parseTerm.At(done)
+		dc.Return(v)
+	}
+	{
+		c := parseExpr.At(parseExpr.EntryBlock())
+		v := c.CallVirt("parseTerm", 0)
+		head := parseExpr.Block("head")
+		body := parseExpr.Block("body")
+		done := parseExpr.Block("done")
+		hc := c.Jump(head)
+		tok := hc.CallVirt("peek", 0)
+		ten := hc.Const(10)
+		isAdd := hc.Bin(ir.OpCmpEQ, tok, ten)
+		hc.Branch(isAdd, body, done)
+		bc := parseExpr.At(body)
+		bc.CallVirt("advance", 0)
+		rhs := bc.CallVirt("parseTerm", 0)
+		bc.BinTo(ir.OpAdd, v, v, rhs)
+		bc.CallVirt("emit", 0, v)
+		bc.Jump(head)
+		dc := parseExpr.At(done)
+		dc.Return(v)
+	}
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		// The synthetic "source program" is a well-formed expression token
+		// stream generated at build time (deterministic) and embedded as
+		// unrolled stores — the analogue of the compiler's fixed input.
+		tokens := genTokens(512, 0x0C0DE)
+		srcLen := c.Const(int64(len(tokens)))
+		src := c.NewArray(srcLen)
+		for i, tok := range tokens {
+			idx := c.Const(int64(i))
+			v := c.Const(tok)
+			c.AStore(src, idx, v)
+		}
+
+		acc := c.Const(0)
+		nUnits := c.Const(sc(350, scale))
+		lp := c.CountedLoop(nUnits, "unit")
+		b := lp.Body
+		pr := b.New(ps)
+		b.PutField(pr, ps, "src", src)
+		b.PutField(pr, ps, "len", srcLen)
+		b.PutField(pr, ps, "folded", b.Bin(ir.OpAnd, lp.I, b.Const(63)))
+		v := b.CallVirt("parseExpr", pr)
+		em := b.GetField(pr, ps, "emitted")
+		fl := b.GetField(pr, ps, "folded")
+		b.BinTo(ir.OpAdd, acc, acc, v)
+		b.BinTo(ir.OpXor, acc, acc, em)
+		b.BinTo(ir.OpAdd, acc, acc, fl)
+		b.Jump(lp.Latch)
+
+		fin := lp.After
+		fin.Print(acc)
+		fin.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}
+
+// genTokens produces a well-formed expression token stream of roughly n
+// tokens: expr := term ('+' term)*, term := prim ('*' prim)*,
+// prim := digit | '(' expr ')'. Tokens: 0..9 literals, 10 '+', 11 '*',
+// 12 '(', 13 ')'. Choices are driven by a seeded xorshift so the stream
+// is deterministic but aperiodic.
+func genTokens(n int, seed uint64) []int64 {
+	state := seed
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	var out []int64
+	var expr func(depth int)
+	prim := func(depth int) {}
+	term := func(depth int) {
+		prim(depth)
+		for len(out) < n && next()%3 == 0 {
+			out = append(out, 11)
+			prim(depth)
+		}
+	}
+	expr = func(depth int) {
+		term(depth)
+		for len(out) < n && next()%2 == 0 {
+			out = append(out, 10)
+			term(depth)
+		}
+	}
+	prim = func(depth int) {
+		if depth < 6 && len(out) < n-8 && next()%4 == 0 {
+			out = append(out, 12)
+			expr(depth + 1)
+			out = append(out, 13)
+			return
+		}
+		out = append(out, int64(next()%10))
+	}
+	for len(out) < n {
+		expr(0)
+		if len(out) < n {
+			out = append(out, 10) // join top-level expressions with '+'
+		}
+	}
+	return out
+}

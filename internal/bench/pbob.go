@@ -1,0 +1,113 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Pbob models the portable Business Object Benchmark (pBOB): several
+// worker threads each executing order transactions against their own
+// warehouse objects. Threads are green threads scheduled at yieldpoints;
+// each worker's work is fully independent (pre-partitioned warehouses),
+// so profiles are identical under any interleaving — which keeps the
+// perfect-vs-sampled comparisons exact even when the yieldpoint
+// optimization changes scheduling granularity.
+func Pbob(scale float64) *ir.Program {
+	p := &ir.Program{Name: "pbob"}
+
+	wh := &ir.Class{Name: "Warehouse", FieldNames: []string{"stock", "orders", "revenue", "tax", "audits"}}
+	p.Classes = append(p.Classes, wh)
+
+	// newOrder(w, qty): one transaction — several field updates plus a
+	// nested payment call.
+	payment := ir.NewFunc("payment", 2)
+	{
+		c := payment.At(payment.EntryBlock())
+		rev := c.GetField(0, wh, "revenue")
+		nr := c.Bin(ir.OpAdd, rev, 1)
+		c.PutField(0, wh, "revenue", nr)
+		tax := c.GetField(0, wh, "tax")
+		twenty := c.Const(20)
+		c.PutField(0, wh, "tax", c.Bin(ir.OpAdd, tax, c.Bin(ir.OpDiv, 1, twenty)))
+		c.Return(emitMix(c, nr, 18))
+	}
+	newOrder := ir.NewFunc("newOrder", 2)
+	{
+		c := newOrder.At(newOrder.EntryBlock())
+		st := c.GetField(0, wh, "stock")
+		rem := c.Bin(ir.OpSub, st, 1)
+		zero := c.Const(0)
+		ok := c.Bin(ir.OpCmpGT, rem, zero)
+		okB := newOrder.Block("ok")
+		restockB := newOrder.Block("restock")
+		contB := newOrder.Block("cont")
+		c.Branch(ok, okB, restockB)
+		oc := newOrder.At(okB)
+		oc.PutField(0, wh, "stock", rem)
+		oc.Jump(contB)
+		rc := newOrder.At(restockB)
+		rc.PutField(0, wh, "stock", rc.Const(1000))
+		rc.Jump(contB)
+		cc := newOrder.At(contB)
+		ord := cc.GetField(0, wh, "orders")
+		one := cc.Const(1)
+		cc.PutField(0, wh, "orders", cc.Bin(ir.OpAdd, ord, one))
+		r := cc.Call(payment.M, 0, 1)
+		cc.Return(emitMix(cc, r, 14))
+	}
+	p.Funcs = append(p.Funcs, payment.M, newOrder.M)
+
+	// worker(nTx, seed): run nTx transactions against a fresh warehouse.
+	worker := ir.NewFunc("worker", 2)
+	{
+		c := worker.At(worker.EntryBlock())
+		w := c.New(wh)
+		c.PutField(w, wh, "stock", c.Const(1000))
+		acc := c.Const(0)
+		lp := c.CountedLoop(0, "tx")
+		b := lp.Body
+		emitXorshift(b, 1)
+		mask := b.Const(15)
+		qty := b.Bin(ir.OpAnd, 1, mask)
+		r := b.Call(newOrder.M, w, qty)
+		b.BinTo(ir.OpXor, acc, acc, r)
+		// Audit pass every 1024 transactions: slow ledger writes.
+		m1023 := b.Const(1023)
+		lowBits := b.Bin(ir.OpAnd, lp.I, m1023)
+		isAudit := b.Bin(ir.OpCmpEQ, lowBits, b.Const(0))
+		auditB := worker.Block("audit")
+		nxB := worker.Block("next")
+		b.Branch(isAudit, auditB, nxB)
+		adc := worker.At(auditB)
+		adc = emitSlowPhase(adc, 8, 6000, w, wh, "audits")
+		adc.Jump(nxB)
+		nx := worker.At(nxB)
+		nx.Jump(lp.Latch)
+		fin := lp.After
+		ords := fin.GetField(w, wh, "orders")
+		fin.Return(fin.Bin(ir.OpAdd, acc, ords))
+	}
+	p.Funcs = append(p.Funcs, worker.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		nTx := c.Const(sc(30000, scale))
+		nW := int64(4)
+		handles := c.NewArray(c.Const(nW))
+		for i := int64(0); i < nW; i++ {
+			seed := c.Const(0x51ED + i*977)
+			h := c.Spawn(worker.M, nTx, seed)
+			c.AStore(handles, c.Const(i), h)
+		}
+		acc := c.Const(0)
+		for i := int64(0); i < nW; i++ {
+			h := c.ALoad(handles, c.Const(i))
+			r := c.Join(h)
+			c.BinTo(ir.OpAdd, acc, acc, r)
+		}
+		c.Print(acc)
+		c.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

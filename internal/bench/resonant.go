@@ -1,0 +1,87 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Resonant builds the §4.4 worst-case program: its check stream is
+// exactly periodic (two checks per outer iteration: the main loop's
+// backedge and classify's entry), so any *even* sample interval resonates
+// with the period and only ever samples one of the two check sites. Path
+// profiles expose the failure: the main loop's path is never recorded.
+// Not part of Suite(); used by the resonance ablation and tests.
+func Resonant(scale float64) *ir.Program {
+	p := &ir.Program{Name: "resonant"}
+
+	// classify(v): a branchy DAG (no loops, so its only check is the
+	// entry check).
+	classify := ir.NewFunc("classify", 1)
+	{
+		c := classify.At(classify.EntryBlock())
+		mask := c.Const(7)
+		low := c.Bin(ir.OpAnd, 0, mask)
+		three := c.Const(3)
+		small := c.Bin(ir.OpCmpLT, low, three)
+		smallB := classify.Block("small")
+		bigB := classify.Block("big")
+		mid := classify.Block("mid")
+		c.Branch(small, smallB, bigB)
+		r1 := c.Fresh()
+		sc5 := classify.At(smallB)
+		sc5.ConstTo(r1, 1)
+		sc5.Jump(mid)
+		bc := classify.At(bigB)
+		bc.ConstTo(r1, 100)
+		bc.Jump(mid)
+		mc := classify.At(mid)
+		mask2 := mc.Const(31)
+		m := mc.Bin(ir.OpAnd, 0, mask2)
+		t11 := mc.Const(11)
+		lt := mc.Bin(ir.OpCmpLT, m, t11)
+		lowB := classify.Block("low")
+		hiChk := classify.Block("hiChk")
+		done := classify.Block("done")
+		out := mc.Fresh()
+		mc.Branch(lt, lowB, hiChk)
+		lc := classify.At(lowB)
+		lc.BinTo(ir.OpAdd, out, r1, r1)
+		lc.Jump(done)
+		hc := classify.At(hiChk)
+		t23 := hc.Const(23)
+		lt2 := hc.Bin(ir.OpCmpLT, m, t23)
+		midB := classify.Block("midB")
+		highB := classify.Block("highB")
+		hc.Branch(lt2, midB, highB)
+		mb := classify.At(midB)
+		ten := mb.Const(10)
+		mb.BinTo(ir.OpAdd, out, r1, ten)
+		mb.Jump(done)
+		hb := classify.At(highB)
+		k := hb.Const(1000)
+		hb.BinTo(ir.OpAdd, out, r1, k)
+		hb.Jump(done)
+		dc := classify.At(done)
+		dc.Return(out)
+	}
+	p.Funcs = append(p.Funcs, classify.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		acc := c.Const(0)
+		prng := c.Fresh()
+		c.ConstTo(prng, 88172645463325252)
+		n := c.Const(sc(60000, scale))
+		lp := c.CountedLoop(n, "gen")
+		b := lp.Body
+		emitXorshift(b, prng)
+		r := b.Call(classify.M, prng)
+		b.BinTo(ir.OpAdd, acc, acc, r)
+		b.Jump(lp.Latch)
+		fin := lp.After
+		fin.Print(acc)
+		fin.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+)
+
+// TestResonantExhibitsResonance pins the property the workload exists
+// for: exactly two checks execute per outer iteration, so an even sample
+// interval under Full-Duplication never samples the main loop's path,
+// while a co-prime interval covers everything.
+func TestResonantExhibitsResonance(t *testing.T) {
+	prog := Resonant(0.2)
+	base, _ := run(t, prog, compile.Options{}, nil)
+	// Two checks per iteration: entries + backedges = 2 * iterations + O(1).
+	perIter := float64(base.Stats.MethodEntries+base.Stats.Backedges) /
+		float64(base.Stats.Backedges)
+	if perIter < 1.9 || perIter > 2.1 {
+		t.Fatalf("check stream period %.2f, want ~2", perIter)
+	}
+
+	paths := func() []instr.Instrumenter { return []instr.Instrumenter{&instr.PathProfile{}} }
+	_, perfect := run(t, prog, compile.Options{Instrumenters: paths()}, nil)
+	pp := perfect.Runtimes[0].Profile()
+
+	sample := func(interval int64) float64 {
+		_, res := run(t, prog, compile.Options{
+			Instrumenters: paths(),
+			Framework:     &core.Options{Variation: core.FullDuplication},
+		}, trigger.NewCounter(interval))
+		return profile.Overlap(pp, res.Runtimes[0].Profile())
+	}
+	even := sample(200)
+	odd := sample(199)
+	t.Logf("path overlap: interval 200 = %.1f%%, interval 199 = %.1f%%", even, odd)
+	if even > 70 {
+		t.Errorf("even interval should resonate badly, got %.1f%%", even)
+	}
+	if odd < 90 {
+		t.Errorf("co-prime interval should be accurate, got %.1f%%", odd)
+	}
+}
+
+// TestResonantSemanticsPreserved includes the resonant workload in the
+// semantics-preservation net.
+func TestResonantSemanticsPreserved(t *testing.T) {
+	prog := Resonant(0.05)
+	base, _ := run(t, prog, compile.Options{}, nil)
+	out, _ := run(t, prog, compile.Options{
+		Instrumenters: paperInstr(),
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	}, trigger.NewCounter(23))
+	if out.Return != base.Return {
+		t.Fatalf("sampling changed result: %d vs %d", out.Return, base.Return)
+	}
+}

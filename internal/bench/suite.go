@@ -1,0 +1,154 @@
+// Package bench provides the benchmark suite: ten deterministic programs
+// written in the IR, standing in for the paper's SPECjvm98 (input size
+// 10), opt-compiler, pBOB and VolanoMark workloads (§4.1).
+//
+// Each program is shaped to reproduce its original's *profile shape* —
+// the relative densities of loop backedges, method entries and field
+// accesses that determine where that benchmark lands in Tables 1–3:
+//
+//	compress    tight byte-compression loops, field-heavy state updates
+//	jess        rule-matching, dominated by many small method calls
+//	db          index lookups: few calls, few fields, low overheads
+//	javac       recursive AST construction and walking
+//	mpegaudio   numeric filter kernels, loop-dominated
+//	mtrt        ray-tracing-style vector-object arithmetic
+//	jack        token-scanning state machine with per-token actions
+//	optc        an expression compiler compiling synthetic sources
+//	            (the analogue of running the optimizing compiler on
+//	            itself), deeply recursive and call-dense
+//	pbob        multi-threaded warehouse transactions
+//	volano      multi-threaded message-passing rooms
+//
+// Programs take a scale factor: 1.0 is full experiment scale; tests use
+// much smaller values. All programs are deterministic, return a checksum,
+// and perform no I/O except compress/jack/volano's simulated OpIO stalls
+// (which exist to expose the timer-trigger mis-attribution of §4.6).
+package bench
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+)
+
+// Benchmark is a named program generator.
+type Benchmark struct {
+	// Name is the benchmark's short name.
+	Name string
+	// Description summarizes the workload shape.
+	Description string
+	// Build returns a fresh sealed program at the given scale.
+	Build func(scale float64) *ir.Program
+}
+
+// Suite returns the full benchmark suite in the paper's Table 1 order.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{"compress", "byte-compression loops, field-heavy", Compress},
+		{"jess", "rule matching, call-dominated", Jess},
+		{"db", "index lookups, low instrumentation density", DB},
+		{"javac", "recursive AST build and walk", Javac},
+		{"mpegaudio", "numeric filter kernels, loop-dominated", Mpegaudio},
+		{"mtrt", "vector-object ray tracing", Mtrt},
+		{"jack", "token-scanning state machine", Jack},
+		{"optc", "expression compiler on itself", Optc},
+		{"pbob", "multi-threaded warehouse transactions", Pbob},
+		{"volano", "multi-threaded chat rooms", Volano},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// sc scales an iteration count, guaranteeing at least 1.
+func sc(n int64, scale float64) int64 {
+	v := int64(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// emitXorshift appends a deterministic PRNG step to the cursor:
+// state = xorshift(state), returning nothing (updates state in place).
+// The constants are the classic 13/7/17 triple.
+func emitXorshift(c *ir.Cursor, state ir.Reg) {
+	s13 := c.Const(13)
+	s7 := c.Const(7)
+	s17 := c.Const(17)
+	t1 := c.Bin(ir.OpShl, state, s13)
+	c.BinTo(ir.OpXor, state, state, t1)
+	t2 := c.Bin(ir.OpShr, state, s7)
+	c.BinTo(ir.OpXor, state, state, t2)
+	t3 := c.Bin(ir.OpShl, state, s17)
+	c.BinTo(ir.OpXor, state, state, t3)
+}
+
+// emitMix appends `rounds` rounds of a multiply-shift-xor mixing chain to
+// the cursor, folding register x; it returns the mixed register. This is
+// the suite's stand-in for real straight-line method-body work (hashing,
+// pricing, geometry): it adds ~8 cycles per round without touching
+// memory, calls or control flow, so it shifts a benchmark's
+// instrumentation densities without changing its profile shape.
+func emitMix(c *ir.Cursor, x ir.Reg, rounds int) ir.Reg {
+	cur := x
+	for i := 0; i < rounds; i++ {
+		p := c.Const(int64(2654435761 + i*97))
+		h1 := c.Bin(ir.OpMul, cur, p)
+		s := c.Const(int64(5 + i%7))
+		h2 := c.Bin(ir.OpShr, h1, s)
+		h3 := c.Bin(ir.OpXor, h1, h2)
+		s2 := c.Const(int64(3 + i%5))
+		h4 := c.Bin(ir.OpShl, h3, s2)
+		cur = c.Bin(ir.OpXor, h3, h4)
+	}
+	return cur
+}
+
+// emitSlowPhase appends a loop of n expensive iterations: each costs
+// ioCost cycles of simulated I/O plus one update of obj's field. Slow
+// phases give benchmarks the time-heterogeneity real programs have (I/O,
+// buffer refills, checkpoints): a region that consumes a large share of
+// *time* while contributing a tiny share of *events*. This is what
+// separates the two triggers in Table 5 — a time-based trigger attributes
+// samples proportionally to time and so floods the slow phase's events,
+// while the counter-based trigger attributes them proportionally to
+// check counts and stays faithful to the event distribution.
+// Returns the cursor after the loop.
+func emitSlowPhase(c *ir.Cursor, n, ioCost int64, obj ir.Reg, cl *ir.Class, field string) *ir.Cursor {
+	nn := c.Const(n)
+	lp := c.CountedLoop(nn, "slow")
+	b := lp.Body
+	b.IO(ioCost)
+	v := b.GetField(obj, cl, field)
+	one := b.Const(1)
+	b.PutField(obj, cl, field, b.Bin(ir.OpAdd, v, one))
+	b.Jump(lp.Latch)
+	return lp.After
+}
+
+// buildFillArray creates a helper function fill(arr, seed) that fills an
+// array with deterministic pseudo-random bytes (0..255) and returns the
+// final seed.
+func buildFillArray(p *ir.Program) *ir.Method {
+	f := ir.NewFunc("fill", 2)
+	c := f.At(f.EntryBlock())
+	n := c.Un(ir.OpArrayLen, 0)
+	lp := c.CountedLoop(n, "fill")
+	b := lp.Body
+	emitXorshift(b, 1)
+	mask := b.Const(255)
+	byteVal := b.Bin(ir.OpAnd, 1, mask)
+	b.AStore(0, lp.I, byteVal)
+	b.Jump(lp.Latch)
+	lp.After.Return(1)
+	p.Funcs = append(p.Funcs, f.M)
+	return f.M
+}

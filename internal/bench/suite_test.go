@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// testScale keeps unit-test runs fast; experiments use scale 1.0.
+const testScale = 0.02
+
+func run(t *testing.T, prog *ir.Program, opts compile.Options, trig trigger.Trigger) (*vm.Result, *compile.Result) {
+	t.Helper()
+	res, err := compile.Compile(prog, opts)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", prog.Name, err)
+	}
+	out, err := vm.New(res.Prog, vm.Config{Trigger: trig, Handlers: res.Handlers}).Run()
+	if err != nil {
+		t.Fatalf("%s: run: %v", prog.Name, err)
+	}
+	return out, res
+}
+
+func paperInstr() []instr.Instrumenter {
+	return []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}}
+}
+
+// TestSuiteBaselines runs every benchmark uninstrumented and sanity-checks
+// its execution shape: nonzero work, loops, calls, and (for the threaded
+// ones) threads.
+func TestSuiteBaselines(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Build(testScale)
+			if err := prog.Verify(ir.VerifyBase); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			out, _ := run(t, prog, compile.Options{}, nil)
+			if out.Stats.Backedges == 0 {
+				t.Errorf("no backedges executed")
+			}
+			if out.Stats.MethodEntries < 2 {
+				t.Errorf("no calls executed")
+			}
+			if out.Stats.Yields != out.Stats.MethodEntries+out.Stats.Backedges {
+				t.Errorf("yields %d != entries %d + backedges %d",
+					out.Stats.Yields, out.Stats.MethodEntries, out.Stats.Backedges)
+			}
+			if len(out.Output) == 0 {
+				t.Errorf("no checksum printed")
+			}
+			switch b.Name {
+			case "pbob", "volano":
+				if out.Stats.ThreadsSpawned == 0 {
+					t.Errorf("expected threads")
+				}
+			}
+			t.Logf("%s: cycles=%d instrs=%d entries=%d backedges=%d",
+				b.Name, out.Stats.Cycles, out.Stats.Instrs,
+				out.Stats.MethodEntries, out.Stats.Backedges)
+		})
+	}
+}
+
+// TestSuiteSemanticsUnderSampling verifies DESIGN.md invariant 1 on every
+// benchmark: the program checksum is identical across baseline,
+// exhaustive instrumentation, and all framework variations.
+func TestSuiteSemanticsUnderSampling(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Build(testScale)
+			base, _ := run(t, prog, compile.Options{}, nil)
+			cfgs := []struct {
+				name string
+				fw   *core.Options
+				trig trigger.Trigger
+			}{
+				{"exhaustive", nil, nil},
+				{"full", &core.Options{Variation: core.FullDuplication}, trigger.NewCounter(23)},
+				{"partial", &core.Options{Variation: core.PartialDuplication}, trigger.NewCounter(23)},
+				{"nodup", &core.Options{Variation: core.NoDuplication}, trigger.NewCounter(23)},
+				{"hybrid", &core.Options{Variation: core.Hybrid}, trigger.NewCounter(23)},
+				{"yieldopt", &core.Options{Variation: core.FullDuplication, YieldpointOpt: true}, trigger.NewCounter(23)},
+				{"counted", &core.Options{Variation: core.FullDuplication, CountedIterations: true}, trigger.NewCounter(23)},
+			}
+			for _, cfg := range cfgs {
+				out, _ := run(t, prog, compile.Options{Instrumenters: paperInstr(), Framework: cfg.fw}, cfg.trig)
+				if out.Return != base.Return {
+					t.Errorf("%s: return %d, want %d", cfg.name, out.Return, base.Return)
+				}
+				if len(out.Output) != len(base.Output) || (len(base.Output) > 0 && out.Output[0] != base.Output[0]) {
+					t.Errorf("%s: output differs", cfg.name)
+				}
+			}
+		})
+	}
+}
+
+// TestSuitePerfectProfiles verifies invariant 5 per benchmark: interval-1
+// Full-Duplication profiles match exhaustive profiles exactly.
+func TestSuitePerfectProfiles(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Build(testScale)
+			_, ex := run(t, prog, compile.Options{Instrumenters: paperInstr()}, nil)
+			_, fd := run(t, prog, compile.Options{
+				Instrumenters: paperInstr(),
+				Framework:     &core.Options{Variation: core.FullDuplication},
+			}, trigger.Always{})
+			for i := range ex.Runtimes {
+				pe, ps := ex.Runtimes[i].Profile(), fd.Runtimes[i].Profile()
+				if pe.Total() != ps.Total() {
+					t.Errorf("%s: totals %d vs %d", pe.Name, pe.Total(), ps.Total())
+				}
+				if ov := profile.Overlap(pe, ps); ov < 99.999 {
+					t.Errorf("%s: overlap %.3f", pe.Name, ov)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteSampledAccuracy checks the headline property on real(istic)
+// workloads: a moderate sample interval yields high overlap with the
+// perfect profile at a fraction of the probes executed.
+func TestSuiteSampledAccuracy(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Build(0.1)
+			perfOut, perf := run(t, prog, compile.Options{Instrumenters: paperInstr()}, nil)
+			sampOut, samp := run(t, prog, compile.Options{
+				Instrumenters: paperInstr(),
+				Framework:     &core.Options{Variation: core.FullDuplication},
+			}, trigger.NewCounter(50))
+			if sampOut.Stats.Probes*5 > perfOut.Stats.Probes {
+				t.Errorf("sampling executed %d probes vs %d exhaustive — not sparse",
+					sampOut.Stats.Probes, perfOut.Stats.Probes)
+			}
+			for i := range perf.Runtimes {
+				pe, ps := perf.Runtimes[i].Profile(), samp.Runtimes[i].Profile()
+				ov := profile.Overlap(pe, ps)
+				t.Logf("%s overlap at interval 50: %.1f%% (%d samples)", pe.Name, ov, ps.Total())
+				// Overlap is only a meaningful accuracy measure once a
+				// reasonable sample set exists (the paper's point about
+				// interval 100,000 in §4.4); tiny test scales can leave
+				// a profile with a handful of samples.
+				if ps.Total() >= 200 && ov < 50 {
+					t.Errorf("%s: overlap %.1f%% too low for %d samples", pe.Name, ov, ps.Total())
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteProperty1 checks Property 1 on every benchmark.
+func TestSuiteProperty1(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Build(testScale)
+			base, _ := run(t, prog, compile.Options{}, nil)
+			bound := base.Stats.MethodEntries + base.Stats.Backedges
+			for _, v := range []core.Variation{core.FullDuplication, core.PartialDuplication} {
+				out, _ := run(t, prog, compile.Options{
+					Instrumenters: paperInstr(),
+					Framework:     &core.Options{Variation: v},
+				}, trigger.NewCounter(13))
+				if out.Stats.Checks > bound {
+					t.Errorf("%s: checks %d > bound %d", v, out.Stats.Checks, bound)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import "instrsample/internal/ir"
+
+// Volano models VolanoMark: a chat server where each room broadcasts every
+// client's messages to all connected clients. Each room runs on its own
+// green thread with simulated network stalls (OpIO), and work is
+// dominated by message buffer copying — array traffic with relatively few
+// calls and field accesses, giving Volano the lowest field-access
+// overhead of the suite, as in Table 1.
+func Volano(scale float64) *ir.Program {
+	p := &ir.Program{Name: "volano"}
+
+	room := &ir.Class{Name: "Room", FieldNames: []string{"delivered", "dropped", "digest"}}
+	p.Classes = append(p.Classes, room)
+
+	// deliver(r, msgBuf, len): copy a message to a client, digesting four
+	// bytes per iteration (message buffers are processed word-at-a-time,
+	// so per-backedge work is substantial — Volano's check overheads are
+	// the lowest of the threaded benchmarks).
+	deliver := ir.NewFunc("deliver", 3)
+	{
+		c := deliver.At(deliver.EntryBlock())
+		digest := c.GetField(0, room, "digest")
+		four := c.Const(4)
+		quarters := c.Bin(ir.OpDiv, 2, four)
+		lp := c.CountedLoop(quarters, "copy")
+		b := lp.Body
+		base := b.Bin(ir.OpMul, lp.I, four)
+		thirtyone := b.Const(31)
+		for k := 0; k < 4; k++ {
+			idx := base
+			if k > 0 {
+				kk := b.Const(int64(k))
+				idx = b.Bin(ir.OpAdd, base, kk)
+			}
+			v := b.ALoad(1, idx)
+			b.BinTo(ir.OpMul, digest, digest, thirtyone)
+			b.BinTo(ir.OpXor, digest, digest, v)
+		}
+		b.Jump(lp.Latch)
+		fin := lp.After
+		fin.PutField(0, room, "digest", digest)
+		d := fin.GetField(0, room, "delivered")
+		one := fin.Const(1)
+		fin.PutField(0, room, "delivered", fin.Bin(ir.OpAdd, d, one))
+		fin.Return(digest)
+	}
+	p.Funcs = append(p.Funcs, deliver.M)
+
+	// roomThread(nMsgs, seed): one chat room: generate messages, broadcast
+	// to a fixed client count, with a periodic simulated network stall.
+	roomThread := ir.NewFunc("roomThread", 2)
+	{
+		c := roomThread.At(roomThread.EntryBlock())
+		r := c.New(room)
+		msgLen := c.Const(32)
+		buf := c.NewArray(msgLen)
+		acc := c.Const(0)
+		lp := c.CountedLoop(0, "msg")
+		b := lp.Body
+		// Compose the message, four bytes per iteration.
+		fourC := b.Const(4)
+		quarters := b.Bin(ir.OpDiv, msgLen, fourC)
+		compose := b.CountedLoop(quarters, "compose")
+		cb := compose.Body
+		emitXorshift(cb, 1)
+		base := cb.Bin(ir.OpMul, compose.I, fourC)
+		mask := cb.Const(127)
+		shift := cb.Const(8)
+		word := cb.Fresh()
+		cb.Move(word, 1)
+		for k := 0; k < 4; k++ {
+			idx := base
+			if k > 0 {
+				kk := cb.Const(int64(k))
+				idx = cb.Bin(ir.OpAdd, base, kk)
+			}
+			byteV := cb.Bin(ir.OpAnd, word, mask)
+			cb.AStore(buf, idx, byteV)
+			cb.BinTo(ir.OpShr, word, word, shift)
+		}
+		cb.Jump(compose.Latch)
+		bb := compose.After
+		// Broadcast to 4 clients.
+		four := bb.Const(4)
+		bc := bb.CountedLoop(four, "client")
+		clb := bc.Body
+		dg := clb.Call(deliver.M, r, buf, msgLen)
+		clb.BinTo(ir.OpXor, acc, acc, dg)
+		clb.Jump(bc.Latch)
+		after := bc.After
+		// Periodic network stall: every 64 messages.
+		sixtythree := after.Const(63)
+		low := after.Bin(ir.OpAnd, lp.I, sixtythree)
+		zero := after.Const(0)
+		stall := after.Bin(ir.OpCmpEQ, low, zero)
+		stallB := roomThread.Block("stall")
+		contB := roomThread.Block("cont")
+		after.Branch(stall, stallB, contB)
+		st := roomThread.At(stallB)
+		// Retransmission: eight slow socket writes, each recording a
+		// drop — the expensive rare phase with its own field.
+		st = emitSlowPhase(st, 8, 5000, r, room, "dropped")
+		st.Jump(contB)
+		cc := roomThread.At(contB)
+		cc.Jump(lp.Latch)
+		fin := lp.After
+		del := fin.GetField(r, room, "delivered")
+		fin.Return(fin.Bin(ir.OpAdd, acc, del))
+	}
+	p.Funcs = append(p.Funcs, roomThread.M)
+
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		nMsgs := c.Const(sc(2600, scale))
+		nRooms := int64(6)
+		handles := c.NewArray(c.Const(nRooms))
+		for i := int64(0); i < nRooms; i++ {
+			seed := c.Const(0xC4A7 + i*7919)
+			h := c.Spawn(roomThread.M, nMsgs, seed)
+			c.AStore(handles, c.Const(i), h)
+		}
+		acc := c.Const(0)
+		for i := int64(0); i < nRooms; i++ {
+			h := c.ALoad(handles, c.Const(i))
+			r := c.Join(h)
+			c.BinTo(ir.OpXor, acc, acc, r)
+		}
+		c.Print(acc)
+		c.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}

@@ -1,0 +1,122 @@
+package compile
+
+import "instrsample/internal/ir"
+
+// Devirtualization — profile-guided receiver class prediction (the
+// paper's citation [27], one of the offline feedback-directed
+// optimizations §1 says online systems have been unable to apply for
+// want of cheap profiles). Given a receiver-class profile collected by
+// instr.ReceiverProfile under the sampling framework, virtual call sites
+// with a dominant predicted receiver are rewritten to a guarded direct
+// call:
+//
+//	r = callvirt m(recv, ...)
+//
+// becomes
+//
+//	cid = classof recv
+//	ok  = cmpeq cid, <predicted class ID>
+//	br ok, fast, slow
+//	fast: r = call Predicted.m(recv, ...) ; jmp cont
+//	slow: r = callvirt m(recv, ...)       ; jmp cont
+//	cont: ...
+//
+// The guard preserves semantics for megamorphic or mispredicted
+// receivers; the payoff is that the fast-path call is statically bound,
+// so a subsequent inlining pass can expand it (the Compile pipeline
+// re-runs the inliner after devirtualization when Options.Inline is set).
+
+// Devirtualize rewrites every virtual call site listed in sites (call-site
+// ID → predicted dense class ID) into a guarded direct call. Sites whose
+// predicted class does not define the method are skipped. Returns the
+// number of sites rewritten.
+//
+// Call-site IDs must come from a compilation with the same front-end
+// options (the IDs are assigned deterministically in method/block order,
+// so identical sources + identical options ⇒ identical IDs).
+func Devirtualize(p *ir.Program, sites map[int]int) int {
+	if len(sites) == 0 {
+		return 0
+	}
+	rewritten := 0
+	for _, m := range p.Methods() {
+		rewritten += devirtMethod(p, m, sites)
+	}
+	return rewritten
+}
+
+func devirtMethod(p *ir.Program, m *ir.Method, sites map[int]int) int {
+	rewritten := 0
+	blocks := append([]*ir.Block(nil), m.Blocks...)
+	for _, b := range blocks {
+		for {
+			site := -1
+			var target *ir.Method
+			var cls *ir.Class
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpCallVirt {
+					continue
+				}
+				cid, ok := sites[int(in.Imm)]
+				if !ok || cid < 0 || cid >= len(p.Classes) {
+					continue
+				}
+				c := p.Classes[cid]
+				tm, ok := c.Lookup(in.Name)
+				if !ok {
+					continue
+				}
+				site, target, cls = i, tm, c
+				break
+			}
+			if site < 0 {
+				break
+			}
+			b = expandGuardedCall(m, b, site, cls, target)
+			rewritten++
+		}
+	}
+	if rewritten > 0 {
+		m.Renumber()
+		m.RecomputePreds()
+	}
+	return rewritten
+}
+
+// expandGuardedCall splits b at the callvirt at index site and builds the
+// guard diamond. Returns the continuation block.
+func expandGuardedCall(m *ir.Method, b *ir.Block, site int, cls *ir.Class, target *ir.Method) *ir.Block {
+	call := b.Instrs[site].Clone()
+	cid := ir.Reg(m.NumRegs)
+	want := ir.Reg(m.NumRegs + 1)
+	ok := ir.Reg(m.NumRegs + 2)
+	m.NumRegs += 3
+
+	cont := m.NewBlock("")
+	cont.Kind = b.Kind
+	cont.Instrs = append(cont.Instrs, b.Instrs[site+1:]...)
+
+	fast := m.NewBlock("")
+	fast.Kind = b.Kind
+	direct := call.Clone()
+	direct.Op = ir.OpCall
+	direct.Method = target
+	direct.Name = ""
+	fast.Append(direct)
+	fast.Append(ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{cont}})
+
+	slow := m.NewBlock("")
+	slow.Kind = b.Kind
+	slow.Append(call.Clone())
+	slow.Append(ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{cont}})
+
+	b.Instrs = b.Instrs[:site]
+	b.Instrs = append(b.Instrs,
+		ir.Instr{Op: ir.OpClassOf, Dst: cid, A: call.Args[0]},
+		ir.Instr{Op: ir.OpConst, Dst: want, Imm: int64(cls.ID)},
+		ir.Instr{Op: ir.OpCmpEQ, Dst: ok, A: cid, B: want},
+		ir.Instr{Op: ir.OpBranch, A: ok, Targets: []*ir.Block{fast, slow}},
+	)
+	return cont
+}

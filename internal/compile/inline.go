@@ -1,0 +1,204 @@
+package compile
+
+import "instrsample/internal/ir"
+
+// Inlining: §4.3 notes the framework's method-entry check overhead "would
+// be reduced if more aggressive inlining were performed before
+// instrumentation occurs, which is likely to be the case when used online
+// in an adaptive system". This pass implements that aggressive static
+// inlining: small statically-bound callees are expanded at their call
+// sites before yieldpoints and instrumentation are inserted, so the
+// inlined code needs no entry check, no entry yieldpoint and no call-edge
+// probe of its own. The ablation-inlining experiment quantifies the
+// effect.
+
+// InlinePolicy bounds the inliner.
+type InlinePolicy struct {
+	// MaxCalleeInstrs bounds the size of an inlinable callee
+	// (default 28).
+	MaxCalleeInstrs int
+	// MaxGrowth bounds the instructions a single caller may gain
+	// (default 320).
+	MaxGrowth int
+}
+
+func (p *InlinePolicy) defaults() {
+	if p.MaxCalleeInstrs == 0 {
+		p.MaxCalleeInstrs = 28
+	}
+	if p.MaxGrowth == 0 {
+		p.MaxGrowth = 320
+	}
+}
+
+// InlineProgram applies one inlining pass over every method and returns
+// the number of call sites expanded. Only static calls (OpCall) to small
+// non-recursive callees are inlined; virtual calls and spawns are left
+// alone.
+func InlineProgram(p *ir.Program, policy InlinePolicy) int {
+	policy.defaults()
+	total := 0
+	for _, m := range p.Methods() {
+		total += inlineMethod(m, policy)
+	}
+	return total
+}
+
+func inlineMethod(caller *ir.Method, policy InlinePolicy) int {
+	grown := 0
+	inlined := 0
+	// Snapshot the block list: inlining appends new blocks whose call
+	// sites (copied from callees) must not be re-processed in this pass.
+	blocks := append([]*ir.Block(nil), caller.Blocks...)
+	for _, b := range blocks {
+		// Expanding a call splits the block; continue scanning the
+		// continuation so later call sites in the same original block
+		// are still considered.
+		for {
+			site := -1
+			var callee *ir.Method
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				cl := in.Method
+				if cl == caller || !inlinable(cl, policy) {
+					continue
+				}
+				if grown+cl.NumInstrs() > policy.MaxGrowth {
+					continue
+				}
+				site = i
+				callee = cl
+				break
+			}
+			if site < 0 {
+				break
+			}
+			grown += callee.NumInstrs()
+			b = expandCall(caller, b, site, callee)
+			inlined++
+		}
+	}
+	if inlined > 0 {
+		caller.Renumber()
+		caller.RecomputePreds()
+	}
+	return inlined
+}
+
+// inlinable reports whether the callee is small enough and structurally
+// safe to expand (no self-recursion is checked by the caller loop; spawn
+// targets stay out so thread roots remain real frames).
+func inlinable(m *ir.Method, policy InlinePolicy) bool {
+	if m.NumInstrs() > policy.MaxCalleeInstrs {
+		return false
+	}
+	for _, b := range m.Blocks {
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case ir.OpSpawn, ir.OpProbe, ir.OpCheckedProbe, ir.OpCheck,
+				ir.OpLoopCheck, ir.OpYield:
+				return false
+			case ir.OpCall:
+				// Depth-1: don't inline callees that themselves call
+				// (keeps growth predictable and avoids cycles).
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// expandCall splices callee's body in place of the call at
+// b.Instrs[site] and returns the continuation block holding the rest of
+// b's original instructions.
+func expandCall(caller *ir.Method, b *ir.Block, site int, callee *ir.Method) *ir.Block {
+	call := b.Instrs[site].Clone()
+	offset := ir.Reg(caller.NumRegs)
+	caller.NumRegs += callee.NumRegs
+
+	// Continuation block: everything after the call.
+	cont := caller.NewBlock("")
+	cont.Kind = b.Kind
+	cont.Instrs = append(cont.Instrs, b.Instrs[site+1:]...)
+
+	// Clone callee blocks with registers shifted by offset.
+	twins := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		nb := caller.NewBlock("")
+		nb.Kind = b.Kind
+		nb.Instrs = make([]ir.Instr, 0, len(cb.Instrs))
+		for i := range cb.Instrs {
+			in := cb.Instrs[i].Clone()
+			shiftRegs(&in, offset)
+			if in.Op == ir.OpReturn {
+				// return v  =>  dst = v; jmp cont
+				if call.Dst != ir.NoReg {
+					if in.A != ir.NoReg {
+						nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpMove, Dst: call.Dst, A: in.A})
+					} else {
+						nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpConst, Dst: call.Dst, Imm: 0})
+					}
+				}
+				in = ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{cont}}
+			}
+			nb.Instrs = append(nb.Instrs, in)
+		}
+		twins[cb] = nb
+	}
+	for _, nb := range twins {
+		if t := nb.Terminator(); t != nil {
+			for i, tgt := range t.Targets {
+				if c, ok := twins[tgt]; ok {
+					t.Targets[i] = c
+				}
+			}
+		}
+	}
+
+	// Rewrite the call block: argument moves, then jump into the body.
+	b.Instrs = b.Instrs[:site]
+	for j, arg := range call.Args {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpMove, Dst: offset + ir.Reg(j), A: arg})
+	}
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{twins[callee.Entry()]}})
+	return cont
+}
+
+// shiftRegs adds offset to every register operand of the instruction.
+func shiftRegs(in *ir.Instr, offset ir.Reg) {
+	sh := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return r
+		}
+		return r + offset
+	}
+	switch in.Op {
+	case ir.OpNop, ir.OpIO, ir.OpYield, ir.OpJump, ir.OpCheck, ir.OpLoopCheck:
+		return
+	case ir.OpConst, ir.OpNew:
+		in.Dst = sh(in.Dst)
+	case ir.OpPrint:
+		in.A = sh(in.A)
+	case ir.OpBranch, ir.OpReturn:
+		in.A = sh(in.A)
+	case ir.OpArrayStore:
+		in.Dst = sh(in.Dst)
+		in.A = sh(in.A)
+		in.B = sh(in.B)
+	case ir.OpCall, ir.OpCallVirt, ir.OpSpawn:
+		in.Dst = sh(in.Dst)
+		for i := range in.Args {
+			in.Args[i] = sh(in.Args[i])
+		}
+	default:
+		in.Dst = sh(in.Dst)
+		in.A = sh(in.A)
+		in.B = sh(in.B)
+	}
+	if in.Probe != nil && (in.Probe.Kind == ir.ProbeValue || in.Probe.Kind == ir.ProbeReceiver) {
+		in.Probe.Reg = sh(in.Probe.Reg)
+	}
+}

@@ -1,0 +1,185 @@
+package compile
+
+import (
+	"testing"
+
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// inlineProgram builds: add3(x) = x+3 (leaf, inlinable);
+// main loops calling add3 twice per iteration.
+func inlineProgram() *ir.Program {
+	add3 := ir.NewFunc("add3", 1)
+	{
+		c := add3.At(add3.EntryBlock())
+		three := c.Const(3)
+		c.Return(c.Bin(ir.OpAdd, 0, three))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		acc := c.Const(0)
+		n := c.Const(500)
+		lp := c.CountedLoop(n, "l")
+		b := lp.Body
+		r1 := b.Call(add3.M, lp.I)
+		r2 := b.Call(add3.M, acc)
+		b.BinTo(ir.OpAdd, acc, r1, r2)
+		// Realistic per-iteration work so calls are a modest fraction of
+		// the loop (as in real code); constants vary so folding cannot
+		// collapse the chain.
+		for k := int64(1); k <= 24; k++ {
+			kk := b.Const(k * 2654435761)
+			m1 := b.Bin(ir.OpMul, acc, kk)
+			b.BinTo(ir.OpXor, acc, acc, m1)
+		}
+		b.Jump(lp.Latch)
+		lp.After.Return(acc)
+	}
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{add3.M, mb.M}, Main: mb.M}
+	p.Seal()
+	return p
+}
+
+func TestInlineExpandsAndPreservesSemantics(t *testing.T) {
+	p := inlineProgram()
+	plain, _ := run(t, p, Options{}, nil)
+	res, err := Compile(p, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CallsInlined != 2 {
+		t.Fatalf("inlined %d sites, want 2", res.CallsInlined)
+	}
+	out, err := vm.New(res.Prog, vm.Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != plain.Return {
+		t.Fatalf("inlining changed result: %d vs %d", out.Return, plain.Return)
+	}
+	// No calls remain in the loop: method entries drop to just main.
+	if out.Stats.MethodEntries != 1 {
+		t.Errorf("entries %d, want 1 (all calls inlined)", out.Stats.MethodEntries)
+	}
+	// And the run got cheaper (call linkage gone).
+	if out.Stats.Cycles >= plain.Stats.Cycles {
+		t.Errorf("inlining did not pay: %d vs %d cycles", out.Stats.Cycles, plain.Stats.Cycles)
+	}
+}
+
+func TestInlinePreservesSemanticsFuzz(t *testing.T) {
+	for s := 0; s < 25; s++ {
+		seed := uint64(s)*104729 + 11
+		prog := ir.RandomProgram(seed, ir.RandomProgramConfig{})
+		plain, _ := run(t, prog, Options{}, nil)
+		res, err := Compile(prog, Options{Inline: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		out, err := vm.New(res.Prog, vm.Config{MaxCycles: 1 << 33}).Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Return != plain.Return {
+			t.Fatalf("seed %d: result %d vs %d", seed, out.Return, plain.Return)
+		}
+		if len(out.Output) != len(plain.Output) {
+			t.Fatalf("seed %d: output length differs", seed)
+		}
+		for i := range out.Output {
+			if out.Output[i] != plain.Output[i] {
+				t.Fatalf("seed %d: output[%d] differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestInlineRespectsRecursionAndSize(t *testing.T) {
+	// Recursive f must not be inlined into itself; big must not be
+	// inlined anywhere.
+	f := ir.NewFunc("f", 2)
+	{
+		c := f.At(f.EntryBlock())
+		zero := c.Const(0)
+		more := c.Bin(ir.OpCmpGT, 1, zero)
+		rec := f.Block("rec")
+		done := f.Block("done")
+		c.Branch(more, rec, done)
+		rc := f.At(rec)
+		one := rc.Const(1)
+		d := rc.Bin(ir.OpSub, 1, one)
+		v := rc.Call(f.M, 0, d)
+		rc.Return(v)
+		dc := f.At(done)
+		dc.Return(0)
+	}
+	big := ir.NewFunc("big", 1)
+	{
+		c := big.At(big.EntryBlock())
+		acc := ir.Reg(0)
+		for i := 0; i < 40; i++ {
+			k := c.Const(int64(i))
+			acc = c.Bin(ir.OpXor, acc, k)
+		}
+		c.Return(acc)
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		five := c.Const(5)
+		r1 := c.Call(f.M, five, five)
+		r2 := c.Call(big.M, five)
+		c.Return(c.Bin(ir.OpAdd, r1, r2))
+	}
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{f.M, big.M, mb.M}, Main: mb.M}
+	p.Seal()
+	res, err := Compile(p, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f calls itself (calls are not inlinable per depth-1 rule), big is
+	// too big: nothing expands.
+	if res.CallsInlined != 0 {
+		t.Errorf("inlined %d sites, want 0", res.CallsInlined)
+	}
+}
+
+// TestInlineReducesEntryCheckOverhead verifies §4.3's prediction: with
+// aggressive inlining, the framework's method-entry check overhead drops.
+func TestInlineReducesEntryCheckOverhead(t *testing.T) {
+	p := inlineProgram()
+	measure := func(inline bool) float64 {
+		base, err := Compile(p, Options{Inline: inline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseOut, err := vm.New(base.Prog, vm.Config{}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := Compile(p, Options{
+			Inline:        inline,
+			Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
+			Framework:     &core.Options{Variation: core.FullDuplication},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwOut, err := vm.New(fw.Prog, vm.Config{Trigger: trigger.Never{}}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 100 * (float64(fwOut.Stats.Cycles)/float64(baseOut.Stats.Cycles) - 1)
+	}
+	without := measure(false)
+	with := measure(true)
+	if with >= without {
+		t.Errorf("inlining did not reduce framework overhead: %.1f%% vs %.1f%%", with, without)
+	}
+	t.Logf("framework overhead: %.1f%% without inlining, %.1f%% with", without, with)
+}

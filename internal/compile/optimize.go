@@ -1,0 +1,360 @@
+package compile
+
+import "instrsample/internal/ir"
+
+// Optimize runs the baseline optimization pipeline on a method — the
+// stand-in for Jalapeño's O2 level at which all experiment code is
+// compiled (§4.1): local constant folding and copy propagation, dead-code
+// elimination, and jump threading. Besides making the baseline honest,
+// these passes give the compile-time measurements of Table 2 a realistic
+// front half: the sampling transform runs *after* them, so only the late
+// phases (liveness, layout) are doubled by code duplication.
+//
+// It returns the number of instructions removed or simplified.
+func Optimize(m *ir.Method) int {
+	changed := 0
+	// To a fixpoint, bounded to keep compile times predictable.
+	for round := 0; round < 4; round++ {
+		n := foldConstants(m) + localCSE(m) + propagateCopies(m) +
+			eliminateDeadCode(m) + threadJumps(m)
+		changed += n
+		if n == 0 {
+			break
+		}
+	}
+	// Loop analysis runs in the front half as well (inlining and layout
+	// heuristics would consume it); it keeps the front/back compile-time
+	// split representative of a real O2 pipeline.
+	m.ComputeDominators()
+	m.Backedges()
+	m.RemoveUnreachable()
+	return changed
+}
+
+// localCSE eliminates common pure subexpressions within a block: a
+// repeated (op, a, b, imm) computation over unmodified operands becomes a
+// register copy, which copy propagation then folds away.
+func localCSE(m *ir.Method) int {
+	type exprKey struct {
+		op   ir.Op
+		a, b ir.Reg
+		imm  int64
+	}
+	changed := 0
+	for _, blk := range m.Blocks {
+		avail := make(map[exprKey]ir.Reg)
+		invalidate := func(r ir.Reg) {
+			for k, dst := range avail {
+				if dst == r || k.a == r || k.b == r {
+					delete(avail, k)
+				}
+			}
+		}
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			cseable := isPure(in.Op) && in.Op != ir.OpMove
+			if cseable {
+				k := exprKey{op: in.Op, a: in.A, b: in.B, imm: in.Imm}
+				if prev, ok := avail[k]; ok && prev != in.Dst {
+					dst := in.Dst
+					*in = ir.Instr{Op: ir.OpMove, Dst: dst, A: prev}
+					changed++
+					invalidate(dst)
+					continue
+				}
+				d := in.Dst
+				invalidate(d)
+				// Self-referential expressions (acc = acc+x) are not
+				// available afterwards: the def killed the operand.
+				if k.a != d && k.b != d {
+					avail[k] = d
+				}
+				continue
+			}
+			if d := in.Def(); d != ir.NoReg {
+				invalidate(d)
+			}
+		}
+	}
+	return changed
+}
+
+// foldConstants evaluates arithmetic over registers whose values are
+// known constants within a block (local value tracking only — no
+// cross-block propagation, matching a quick O2 local pass).
+func foldConstants(m *ir.Method) int {
+	changed := 0
+	for _, b := range m.Blocks {
+		known := make(map[ir.Reg]int64)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpConst:
+				known[in.Dst] = in.Imm
+				continue
+			case ir.OpMove:
+				if v, ok := known[in.A]; ok {
+					in.Op = ir.OpConst
+					in.Imm = v
+					in.A = 0
+					known[in.Dst] = v
+					changed++
+					continue
+				}
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+				ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+				ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE,
+				ir.OpCmpGT, ir.OpCmpGE:
+				va, okA := known[in.A]
+				vb, okB := known[in.B]
+				if okA && okB {
+					if v, ok := evalBinop(in.Op, va, vb); ok {
+						in.Op = ir.OpConst
+						in.Imm = v
+						in.A, in.B = 0, 0
+						known[in.Dst] = v
+						changed++
+						continue
+					}
+				}
+			case ir.OpNeg:
+				if v, ok := known[in.A]; ok {
+					in.Op = ir.OpConst
+					in.Imm = -v
+					known[in.Dst] = -v
+					changed++
+					continue
+				}
+			case ir.OpNot:
+				if v, ok := known[in.A]; ok {
+					in.Op = ir.OpConst
+					in.Imm = ^v
+					known[in.Dst] = ^v
+					changed++
+					continue
+				}
+			}
+			// Anything else invalidates its destination.
+			if d := in.Def(); d != ir.NoReg {
+				delete(known, d)
+			}
+		}
+	}
+	return changed
+}
+
+func evalBinop(op ir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false // preserve the trap
+		}
+		return a / b, true
+	case ir.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << (uint64(b) & 63), true
+	case ir.OpShr:
+		return a >> (uint64(b) & 63), true
+	case ir.OpCmpEQ:
+		return b2i(a == b), true
+	case ir.OpCmpNE:
+		return b2i(a != b), true
+	case ir.OpCmpLT:
+		return b2i(a < b), true
+	case ir.OpCmpLE:
+		return b2i(a <= b), true
+	case ir.OpCmpGT:
+		return b2i(a > b), true
+	case ir.OpCmpGE:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// propagateCopies rewrites uses of move destinations to their sources
+// within a block, when neither register is redefined in between.
+func propagateCopies(m *ir.Method) int {
+	changed := 0
+	for _, b := range m.Blocks {
+		copyOf := make(map[ir.Reg]ir.Reg)
+		invalidate := func(r ir.Reg) {
+			delete(copyOf, r)
+			for d, s := range copyOf {
+				if s == r {
+					delete(copyOf, d)
+				}
+			}
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Rewrite uses.
+			rewrite := func(r *ir.Reg) {
+				if s, ok := copyOf[*r]; ok && s != *r {
+					*r = s
+					changed++
+				}
+			}
+			switch in.Op {
+			case ir.OpArrayStore:
+				rewrite(&in.Dst) // array operand is a use
+				rewrite(&in.A)
+				rewrite(&in.B)
+			default:
+				rewrite(&in.A)
+				rewrite(&in.B)
+				for j := range in.Args {
+					rewrite(&in.Args[j])
+				}
+				if in.Probe != nil && (in.Probe.Kind == ir.ProbeValue || in.Probe.Kind == ir.ProbeReceiver) {
+					rewrite(&in.Probe.Reg)
+				}
+			}
+			if in.Op == ir.OpMove && in.Dst != in.A {
+				invalidate(in.Dst)
+				copyOf[in.Dst] = in.A
+				continue
+			}
+			if d := in.Def(); d != ir.NoReg {
+				invalidate(d)
+			}
+		}
+	}
+	return changed
+}
+
+// eliminateDeadCode removes side-effect-free instructions whose results
+// are never used (per-method liveness; conservative across calls, field
+// and array operations, probes and terminators).
+func eliminateDeadCode(m *ir.Method) int {
+	lv := m.ComputeLiveness()
+	changed := 0
+	for _, b := range m.Blocks {
+		// Walk backwards, tracking liveness within the block from the
+		// block's live-out set.
+		live := append([]uint64(nil), lv.LiveOut[b]...)
+		dead := make([]bool, len(b.Instrs))
+		var scratch []ir.Reg
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			d := in.Def()
+			if isPure(in.Op) && d != ir.NoReg && !bitGet(live, d) {
+				dead[i] = true
+				changed++
+				continue
+			}
+			if d != ir.NoReg {
+				bitClear(live, d)
+			}
+			scratch = in.Uses(scratch[:0])
+			for _, u := range scratch {
+				bitSet(live, u)
+			}
+		}
+		if changed > 0 {
+			out := b.Instrs[:0]
+			for i := range b.Instrs {
+				if !dead[i] {
+					out = append(out, b.Instrs[i])
+				}
+			}
+			b.Instrs = out
+		}
+	}
+	return changed
+}
+
+// isPure reports whether the op has no side effects beyond writing Dst.
+func isPure(op ir.Op) bool {
+	switch op {
+	case ir.OpConst, ir.OpMove, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd,
+		ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpNeg, ir.OpNot,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT,
+		ir.OpCmpGE:
+		return true
+	// Div/Rem can trap; New/NewArray allocate observable objects; loads
+	// can trap on null/bounds. All stay.
+	default:
+		return false
+	}
+}
+
+// threadJumps retargets edges that point at empty forwarding blocks
+// (a single unconditional jump) directly to their destinations.
+func threadJumps(m *ir.Method) int {
+	forward := make(map[*ir.Block]*ir.Block)
+	for _, b := range m.Blocks {
+		if len(b.Instrs) == 1 && b.Instrs[0].Op == ir.OpJump && b.Instrs[0].BackedgeMask == 0 {
+			forward[b] = b.Instrs[0].Targets[0]
+		}
+	}
+	resolve := func(b *ir.Block) *ir.Block {
+		seen := 0
+		for {
+			next, ok := forward[b]
+			if !ok || next == b || seen > len(forward) {
+				return b
+			}
+			b = next
+			seen++
+		}
+	}
+	changed := 0
+	for _, b := range m.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for i, tgt := range t.Targets {
+			if r := resolve(tgt); r != tgt {
+				t.Targets[i] = r
+				changed++
+			}
+		}
+	}
+	if changed > 0 {
+		m.RecomputePreds()
+	}
+	return changed
+}
+
+func bitSet(s []uint64, r ir.Reg) {
+	if int(r) >= 0 && int(r) < len(s)*64 {
+		s[r/64] |= 1 << (uint(r) % 64)
+	}
+}
+
+func bitClear(s []uint64, r ir.Reg) {
+	if int(r) >= 0 && int(r) < len(s)*64 {
+		s[r/64] &^= 1 << (uint(r) % 64)
+	}
+}
+
+func bitGet(s []uint64, r ir.Reg) bool {
+	if int(r) < 0 || int(r) >= len(s)*64 {
+		return false
+	}
+	return s[r/64]&(1<<(uint(r)%64)) != 0
+}

@@ -1,0 +1,53 @@
+package core
+
+import "instrsample/internal/ir"
+
+// ChecksOnly configures the synthetic measurement configuration of
+// Table 2's footnote: counter-based checks are inserted on method entries
+// and/or backedges *without duplicating any code*, so the direct cost of
+// the checks can be measured in isolation from the indirect cost of code
+// growth. This configuration cannot sample instrumentation — a firing
+// check simply falls through — and exists solely to reproduce the
+// "Backedges" and "Method Entry" breakdown columns.
+type ChecksOnly struct {
+	// Entries inserts a check on every method entry.
+	Entries bool
+	// Backedges inserts a check on every backedge.
+	Backedges bool
+}
+
+// InsertChecksOnly applies the checks-only configuration to a method.
+// The inserted checks target their fall-through block on both outcomes.
+// Returns the number of checks inserted.
+func InsertChecksOnly(m *ir.Method, cfg ChecksOnly) int {
+	n := 0
+	backedges := m.Backedges()
+	if cfg.Backedges {
+		for _, e := range backedges {
+			c := m.NewBlock("")
+			c.Kind = ir.KindCheckBlock
+			c.Append(ir.Instr{
+				Op:           ir.OpCheck,
+				Targets:      []*ir.Block{e.To, e.To},
+				BackedgeMask: 0b11,
+			})
+			t := e.From.Terminator()
+			t.Targets[e.Index] = c
+			t.BackedgeMask &^= 1 << uint(e.Index)
+			n++
+		}
+	}
+	if cfg.Entries {
+		entry := m.Entry()
+		c := m.NewBlock("entrycheck")
+		c.Kind = ir.KindCheckBlock
+		c.Append(ir.Instr{Op: ir.OpCheck, Targets: []*ir.Block{entry, entry}})
+		last := len(m.Blocks) - 1
+		copy(m.Blocks[1:], m.Blocks[:last])
+		m.Blocks[0] = c
+		n++
+	}
+	m.Renumber()
+	m.RecomputePreds()
+	return n
+}

@@ -1,0 +1,128 @@
+// Package core implements the paper's contribution: the instrumentation
+// sampling framework of "A Framework for Reducing the Cost of Instrumented
+// Code" (Arnold & Ryder, PLDI 2001).
+//
+// The framework transforms an instrumented method (a method whose blocks
+// contain OpProbe instructions inserted by package instr) into a modified
+// instrumented method with low overhead, by introducing a second version
+// of the code — the duplicated code — that carries all instrumentation,
+// while the original code — the checking code — carries only cheap
+// counter-based checks on method entries and backedges. On a sample, the
+// next check transfers control into the duplicated code; every backedge in
+// the duplicated code returns to the checking code, bounding the
+// instrumented excursion (Figure 2).
+//
+// Three variations are provided, matching §2–§3 of the paper:
+//
+//   - FullDuplication duplicates every basic block. Property 1 holds:
+//     the number of checks executed is at most the number of method
+//     entries plus backedges executed, independent of how much
+//     instrumentation the method carries.
+//   - PartialDuplication removes from the duplicated code the
+//     non-instrumented top-nodes and bottom-nodes (§3.1), preserving
+//     Property 1 while duplicating less code.
+//   - NoDuplication duplicates nothing: every instrumentation operation
+//     is individually guarded by a check (§3.2, Figure 6). Property 1 may
+//     be violated; the variation wins exactly when instrumentation is
+//     sparser than entries+backedges.
+//
+// A fourth variation, Hybrid, implements the combination the paper
+// sketches at the end of §3.2: blocks carrying at least
+// Options.HybridThreshold probes participate in (partial) duplication,
+// while sparser probes are guarded in place.
+package core
+
+import "fmt"
+
+// Variation selects the framework algorithm.
+type Variation int
+
+const (
+	// FullDuplication duplicates all blocks (§2).
+	FullDuplication Variation = iota
+	// PartialDuplication removes top- and bottom-nodes (§3.1).
+	PartialDuplication
+	// NoDuplication guards each instrumentation operation (§3.2).
+	NoDuplication
+	// Hybrid combines PartialDuplication for probe-dense blocks with
+	// NoDuplication guards for sparse probes (§3.2, last paragraph).
+	Hybrid
+)
+
+func (v Variation) String() string {
+	switch v {
+	case FullDuplication:
+		return "full-duplication"
+	case PartialDuplication:
+		return "partial-duplication"
+	case NoDuplication:
+		return "no-duplication"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("variation(%d)", int(v))
+	}
+}
+
+// Options configures the transform.
+type Options struct {
+	// Variation selects the algorithm.
+	Variation Variation
+	// YieldpointOpt applies the Jalapeño-specific optimization of §4.5:
+	// yieldpoints are removed from the checking code (the duplicated code
+	// keeps its copies), so the counter-based check replaces — rather
+	// than adds to — the yieldpoint on every entry and backedge. Only
+	// meaningful for duplicating variations.
+	YieldpointOpt bool
+	// CountedIterations, when > 0, enables the §2 extension for profiling
+	// N consecutive loop iterations: duplicated-code backedges become
+	// counted backedges (OpLoopCheck) that keep execution in the
+	// duplicated code until the frame's iteration budget — installed at
+	// sample time from vm.Config.IterBudget — is exhausted. The value
+	// here only switches the shape on; the budget itself is a VM setting
+	// so it stays runtime-tunable.
+	CountedIterations bool
+	// HybridThreshold is the minimum number of probes a block must carry
+	// to participate in duplication under Hybrid (default 2).
+	HybridThreshold int
+}
+
+// MethodStats reports what the transform did to one method.
+type MethodStats struct {
+	// BlocksBefore and BlocksAfter count basic blocks.
+	BlocksBefore, BlocksAfter int
+	// BlocksDuplicated is the number of duplicated-code blocks created.
+	BlocksDuplicated int
+	// ChecksInserted counts OpCheck terminators added (entry + backedge
+	// + Partial-Duplication rule-2 checks).
+	ChecksInserted int
+	// GuardedProbes counts probes converted to OpCheckedProbe.
+	GuardedProbes int
+	// ProbesStripped counts probes removed from the checking code.
+	ProbesStripped int
+	// YieldsStripped counts yieldpoints removed from the checking code by
+	// the yieldpoint optimization.
+	YieldsStripped int
+	// TopRemoved and BottomRemoved count the nodes Partial-Duplication
+	// elided from the duplicated code.
+	TopRemoved, BottomRemoved int
+}
+
+// Add accumulates other into s.
+func (s *MethodStats) Add(other MethodStats) {
+	s.BlocksBefore += other.BlocksBefore
+	s.BlocksAfter += other.BlocksAfter
+	s.BlocksDuplicated += other.BlocksDuplicated
+	s.ChecksInserted += other.ChecksInserted
+	s.GuardedProbes += other.GuardedProbes
+	s.ProbesStripped += other.ProbesStripped
+	s.YieldsStripped += other.YieldsStripped
+	s.TopRemoved += other.TopRemoved
+	s.BottomRemoved += other.BottomRemoved
+}
+
+func (s MethodStats) String() string {
+	return fmt.Sprintf("blocks %d->%d (dup %d, top- %d, bottom- %d), checks +%d, guarded %d, probes stripped %d, yields stripped %d",
+		s.BlocksBefore, s.BlocksAfter, s.BlocksDuplicated, s.TopRemoved, s.BottomRemoved,
+		s.ChecksInserted, s.GuardedProbes, s.ProbesStripped, s.YieldsStripped)
+}

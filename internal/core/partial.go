@@ -1,0 +1,246 @@
+package core
+
+import (
+	"instrsample/internal/ir"
+)
+
+// partialDuplication implements the §3.1 algorithm: like Full-Duplication,
+// but non-instrumented top-nodes and bottom-nodes are never materialized
+// in the duplicated code. isInstrumented overrides the "node carries
+// instrumentation" predicate (used by the Hybrid variation); nil means
+// Block.HasProbe.
+//
+// Definitions, both on the duplicated-code DAG (the CFG with backedges
+// removed, whose entry points are the method entry plus every
+// backedge target, since checks enter the duplicated code there):
+//
+//   - bottom-node: non-instrumented node from which no instrumented node
+//     is reachable. Removing it is safe because once it executes, no
+//     further instrumentation can happen before returning to checking
+//     code anyway. Edges into a removed bottom-node are redirected to its
+//     checking-code counterpart.
+//   - top-node: non-instrumented node such that no path from an entry
+//     point to it contains an instrumented node. Removal requires the two
+//     adjustments of §3.1: (1) checks that branched to a removed top-node
+//     are not inserted; (2) for every DAG edge from a top-node to an
+//     instrumented node, the corresponding checking-code edge receives a
+//     check (Figure 5).
+func partialDuplication(m *ir.Method, opts Options, stats *MethodStats, isInstrumented func(*ir.Block) bool) error {
+	if isInstrumented == nil {
+		isInstrumented = (*ir.Block).HasProbe
+	}
+	backedges := m.Backedges()
+	orig := append([]*ir.Block(nil), m.Blocks...)
+	entry := m.Entry()
+
+	instrumented := make(map[*ir.Block]bool, len(orig))
+	anyInstr := false
+	for _, b := range orig {
+		if isInstrumented(b) {
+			instrumented[b] = true
+			anyInstr = true
+		}
+	}
+	if !anyInstr {
+		// Nothing to sample: the method needs no duplicated code and no
+		// checks at all. (Probes that the instrumentation predicate
+		// excluded — Hybrid's sparse probes — are handled by the caller.)
+		return nil
+	}
+
+	backedge := make(map[[2]*ir.Block]bool, len(backedges))
+	for _, e := range backedges {
+		backedge[[2]*ir.Block{e.From, e.To}] = true
+	}
+	dagSuccs := func(b *ir.Block) []*ir.Block {
+		var out []*ir.Block
+		for _, s := range b.Succs() {
+			if s != nil && !backedge[[2]*ir.Block{b, s}] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	dagPreds := func(b *ir.Block) []*ir.Block {
+		var out []*ir.Block
+		for _, p := range b.Preds {
+			if !backedge[[2]*ir.Block{p, b}] {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	m.RecomputePreds()
+	post := ir.DAGPostorder(m, backedge)
+
+	// reach[b]: an instrumented node is reachable from b in the DAG
+	// (including b itself). Computed successors-first.
+	reach := make(map[*ir.Block]bool, len(post))
+	for _, b := range post {
+		r := instrumented[b]
+		for _, s := range dagSuccs(b) {
+			r = r || reach[s]
+		}
+		reach[b] = r
+	}
+	// bad[b]: some DAG path from an entry point to b passes through an
+	// instrumented node strictly before b. Computed predecessors-first
+	// (reverse postorder).
+	bad := make(map[*ir.Block]bool, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		b := post[i]
+		v := false
+		for _, p := range dagPreds(b) {
+			if instrumented[p] || bad[p] {
+				v = true
+				break
+			}
+		}
+		bad[b] = v
+	}
+
+	isTop := func(b *ir.Block) bool { return !instrumented[b] && !bad[b] }
+	isBottom := func(b *ir.Block) bool { return !reach[b] }
+
+	var kept []*ir.Block
+	for _, b := range orig {
+		switch {
+		case instrumented[b]:
+			kept = append(kept, b)
+		case isTop(b) || isBottom(b):
+			if isTop(b) {
+				stats.TopRemoved++
+			}
+			if isBottom(b) {
+				stats.BottomRemoved++
+			}
+		default:
+			kept = append(kept, b)
+		}
+	}
+
+	// CloneBlocks remaps terminator targets within the kept set only;
+	// edges from a kept duplicated block into a removed node therefore
+	// keep pointing at the removed node's *original* (checking) block —
+	// exactly the redirection §3.1 prescribes for edges into removed
+	// bottom-nodes. (Edges from kept nodes into removed top-nodes cannot
+	// exist: a kept predecessor is instrumented or bad, which would make
+	// the target bad and hence not a top-node.)
+	twins := ir.CloneBlocks(m, kept, ir.KindDuplicated)
+	stats.BlocksDuplicated = len(twins)
+	// CloneBlocks set Twin on every cloned original; removed originals
+	// keep Twin nil, which downstream code uses as "not duplicated".
+
+	stripChecking(orig, opts, stats)
+
+	// Rule 1 falls out implicitly: checks are only inserted when their
+	// duplicated target was kept.
+	checks := make(map[ir.Edge]*ir.Block, len(backedges))
+	for _, e := range backedges {
+		if dupHeader, ok := twins[e.To]; ok {
+			checks[e] = insertBackedgeCheck(m, e, dupHeader, stats)
+		}
+	}
+	redirectDupBackedges(m, backedges, twins, checks, opts, stats)
+	if dupEntry, ok := twins[entry]; ok {
+		insertEntryCheck(m, entry, dupEntry, stats)
+	}
+
+	// Rule 2: for every DAG edge from a removed top-node to a kept
+	// instrumented node, add a check on the corresponding checking-code
+	// edge (Figure 5's check on the edge leaving block "1").
+	for _, b := range orig {
+		if !isTop(b) || twins[b] != nil {
+			continue // only *removed* top-nodes trigger rule 2
+		}
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for i, s := range t.Targets {
+			if s == nil || backedge[[2]*ir.Block{b, s}] {
+				continue
+			}
+			// After stripChecking the checking code has no probes, so
+			// consult the precomputed predicate on the original node.
+			if !instrumented[s] {
+				continue
+			}
+			dup, ok := twins[s]
+			if !ok {
+				continue
+			}
+			c := m.NewBlock("")
+			c.Kind = ir.KindCheckBlock
+			c.Append(ir.Instr{Op: ir.OpCheck, Targets: []*ir.Block{dup, s}})
+			t.Targets[i] = c
+			stats.ChecksInserted++
+		}
+	}
+	return nil
+}
+
+// hybrid implements the §3.2 combination: blocks carrying at least
+// Options.HybridThreshold probes participate in partial duplication (a
+// single check amortizes over their probes); blocks with fewer probes
+// keep them in place, individually guarded, and do not count as
+// instrumented for the top/bottom analysis.
+func hybrid(m *ir.Method, opts Options, stats *MethodStats) error {
+	threshold := opts.HybridThreshold
+	if threshold <= 0 {
+		threshold = 2
+	}
+	probeCount := func(b *ir.Block) int {
+		n := 0
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpProbe {
+				n++
+			}
+		}
+		return n
+	}
+	dense := make(map[*ir.Block]bool, len(m.Blocks))
+	var sparse []*ir.Block
+	for _, b := range m.Blocks {
+		n := probeCount(b)
+		if n >= threshold {
+			dense[b] = true
+		} else if n > 0 {
+			sparse = append(sparse, b)
+		}
+	}
+	// Detach sparse probes before duplication so they are neither copied
+	// into duplicated code nor stripped from checking code; they return
+	// as guarded probes afterwards.
+	type saved struct {
+		b      *ir.Block
+		instrs []ir.Instr
+	}
+	var savedBlocks []saved
+	for _, b := range sparse {
+		savedBlocks = append(savedBlocks, saved{b: b, instrs: append([]ir.Instr(nil), b.Instrs...)})
+		b.StripProbes()
+	}
+	err := partialDuplication(m, opts, stats, func(b *ir.Block) bool { return dense[b] })
+	if err != nil {
+		return err
+	}
+	// Restore sparse probes into the checking code as guarded probes.
+	for _, sv := range savedBlocks {
+		restored := make([]ir.Instr, 0, len(sv.instrs))
+		for _, in := range sv.instrs {
+			if in.Op == ir.OpProbe {
+				in.Op = ir.OpCheckedProbe
+				stats.GuardedProbes++
+			}
+			restored = append(restored, in)
+		}
+		// The block's terminator targets may have been rewritten by the
+		// transform (backedge checks); keep the current terminator and
+		// re-attach the restored body.
+		term := sv.b.Instrs[len(sv.b.Instrs)-1]
+		body := restored[:len(restored)-1]
+		sv.b.Instrs = append(append([]ir.Instr{}, body...), term)
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package core_test
+
+import (
+	"testing"
+
+	"instrsample/internal/core"
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// figure5Method reconstructs the CFG of the paper's Figures 2/5: a method
+// whose loop body is a diamond, with instrumentation only in the loop
+// header and one diamond arm. probe marks which blocks get a probe.
+//
+//	entry -> head; head -> (left|right); left -> join; right -> join;
+//	join -> head (backedge) | exit
+func figure5Method(probeIn map[string]bool) (*ir.Method, map[string]*ir.Block) {
+	b := ir.NewFunc("fig5", 0)
+	blocks := map[string]*ir.Block{}
+	entry := b.EntryBlock()
+	head := b.Block("head")
+	left := b.Block("left")
+	right := b.Block("right")
+	join := b.Block("join")
+	exit := b.Block("exit")
+	blocks["entry"], blocks["head"], blocks["left"] = entry, head, left
+	blocks["right"], blocks["join"], blocks["exit"] = right, join, exit
+
+	c := b.At(entry)
+	i := c.Const(0)
+	n := c.Const(8)
+	c.Jump(head)
+	hc := b.At(head)
+	one := hc.Const(1)
+	odd := hc.Bin(ir.OpAnd, i, one)
+	hc.Branch(odd, left, right)
+	lc := b.At(left)
+	lc.BinTo(ir.OpAdd, i, i, one)
+	lc.Jump(join)
+	rc := b.At(right)
+	two := rc.Const(2)
+	rc.BinTo(ir.OpAdd, i, i, two)
+	rc.Jump(join)
+	jc := b.At(join)
+	cond := jc.Bin(ir.OpCmpLT, i, n)
+	jc.Branch(cond, head, exit)
+	ec := b.At(exit)
+	ec.Return(i)
+
+	for name, blk := range blocks {
+		if probeIn[name] {
+			blk.InsertFront(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{Cost: 10}})
+		}
+	}
+	b.M.Renumber()
+	b.M.RecomputePreds()
+	return b.M, blocks
+}
+
+func sealOne(m *ir.Method) *ir.Program {
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{m}, Main: m}
+	p.Seal()
+	return p
+}
+
+func TestPartialRemovesTopAndBottomNodes(t *testing.T) {
+	// Instrumentation in head and left only (like Figure 5's two shaded
+	// nodes): entry is a top-node (no instrumented node on the path to
+	// it); exit is a bottom-node (no instrumented node reachable);
+	// right is a bottom-node too (join..exit reach head only via the
+	// backedge, which the DAG excludes... join reaches nothing
+	// instrumented forward), so right and join are bottom-nodes.
+	m, blocks := figure5Method(map[string]bool{"head": true, "left": true})
+	full, _ := figure5Method(map[string]bool{"head": true, "left": true})
+	fullStats, err := core.Transform(full, core.Options{Variation: core.FullDuplication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.Transform(m, core.Options{Variation: core.PartialDuplication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlocksDuplicated >= fullStats.BlocksDuplicated {
+		t.Errorf("partial duplicated %d blocks, full duplicated %d",
+			stats.BlocksDuplicated, fullStats.BlocksDuplicated)
+	}
+	if stats.TopRemoved == 0 {
+		t.Error("no top-nodes removed")
+	}
+	if stats.BottomRemoved == 0 {
+		t.Error("no bottom-nodes removed")
+	}
+	// head and left must be duplicated (instrumented); exit must not.
+	if blocks["head"].Twin == nil || blocks["left"].Twin == nil {
+		t.Error("instrumented nodes must be duplicated")
+	}
+	if blocks["exit"].Twin != nil {
+		t.Error("bottom-node exit must not be duplicated")
+	}
+	if err := ir.VerifyMethod(m, ir.VerifyTransformed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialEntryTopNodeDropsEntryCheck(t *testing.T) {
+	// Only the loop header is instrumented: the entry block is a
+	// top-node, so rule 1 removes the entry check; the backedge check
+	// remains; rule 2 adds a check on the entry->head edge because it
+	// connects a removed top-node to an instrumented node.
+	m, blocks := figure5Method(map[string]bool{"head": true})
+	_, err := core.Transform(m, core.Options{Variation: core.PartialDuplication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The method entry must NOT be a check block (rule 1).
+	if m.Entry().Kind == ir.KindCheckBlock {
+		t.Error("entry check should have been removed with a top-node entry")
+	}
+	// But the entry's edge to head must now pass through a rule-2 check.
+	succ := blocks["entry"].Succs()
+	if len(succ) != 1 || succ[0].Kind != ir.KindCheckBlock {
+		t.Errorf("entry->head should be guarded by a rule-2 check, goes to %s (%s)",
+			succ[0].Name(), succ[0].Kind)
+	}
+	if err := ir.VerifyMethod(m, ir.VerifyTransformed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialUninstrumentedMethodUntouched(t *testing.T) {
+	m, _ := figure5Method(nil)
+	before := len(m.Blocks)
+	stats, err := core.Transform(m, core.Options{Variation: core.PartialDuplication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlocksDuplicated != 0 || stats.ChecksInserted != 0 {
+		t.Errorf("uninstrumented method modified: %+v", stats)
+	}
+	if len(m.Blocks) != before {
+		t.Errorf("blocks %d -> %d", before, len(m.Blocks))
+	}
+}
+
+func TestPartialAllInstrumentedEqualsFull(t *testing.T) {
+	all := map[string]bool{"entry": true, "head": true, "left": true,
+		"right": true, "join": true, "exit": true}
+	pm, _ := figure5Method(all)
+	fm, _ := figure5Method(all)
+	ps, err := core.Transform(pm, core.Options{Variation: core.PartialDuplication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.Transform(fm, core.Options{Variation: core.FullDuplication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.BlocksDuplicated != fs.BlocksDuplicated {
+		t.Errorf("fully instrumented: partial duplicated %d, full %d",
+			ps.BlocksDuplicated, fs.BlocksDuplicated)
+	}
+	if ps.TopRemoved != 0 || ps.BottomRemoved != 0 {
+		t.Errorf("nothing should be removable: %+v", ps)
+	}
+	if ps.ChecksInserted != fs.ChecksInserted {
+		t.Errorf("checks: partial %d, full %d", ps.ChecksInserted, fs.ChecksInserted)
+	}
+}
+
+// TestPartialSamplesProbesProportionally runs the figure-5 method under
+// both variations at interval 1 and checks the probes fire identically.
+func TestPartialIntervalOneMatchesFull(t *testing.T) {
+	run := func(v core.Variation) uint64 {
+		m, _ := figure5Method(map[string]bool{"head": true, "left": true})
+		if _, err := core.Transform(m, core.Options{Variation: v}); err != nil {
+			t.Fatal(err)
+		}
+		p := sealOne(m)
+		out, err := vm.New(p, vm.Config{Trigger: trigger.Always{}}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Stats.Probes
+	}
+	full := run(core.FullDuplication)
+	partial := run(core.PartialDuplication)
+	if full != partial {
+		t.Errorf("interval-1 probes: full %d, partial %d", full, partial)
+	}
+	if full == 0 {
+		t.Error("no probes sampled")
+	}
+}
+
+func TestTransformTwiceRejected(t *testing.T) {
+	m, _ := figure5Method(map[string]bool{"head": true})
+	if _, err := core.Transform(m, core.Options{Variation: core.FullDuplication}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Transform(m, core.Options{Variation: core.FullDuplication}); err == nil {
+		t.Fatal("double transform accepted")
+	}
+}
+
+func TestNoDupWithYieldoptRejected(t *testing.T) {
+	m, _ := figure5Method(map[string]bool{"head": true})
+	_, err := core.Transform(m, core.Options{Variation: core.NoDuplication, YieldpointOpt: true})
+	if err == nil {
+		t.Fatal("no-duplication with yieldpoint optimization accepted")
+	}
+}
+
+// TestCountedIterationsKeepsExecutionInDupCode verifies the §2 extension:
+// with an iteration budget of N, one sample covers N consecutive loop
+// iterations in duplicated code.
+func TestCountedIterationsKeepsExecutionInDupCode(t *testing.T) {
+	run := func(budget int64) (probes, loopChecks uint64) {
+		m, _ := figure5Method(map[string]bool{"head": true})
+		opts := core.Options{Variation: core.FullDuplication, CountedIterations: budget > 0}
+		if _, err := core.Transform(m, opts); err != nil {
+			t.Fatal(err)
+		}
+		p := sealOne(m)
+		// Fire exactly once, near the start.
+		out, err := vm.New(p, vm.Config{
+			Trigger:    trigger.NewCounter(2),
+			IterBudget: budget,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Stats.Probes, out.Stats.LoopChecks
+	}
+	p1, lc1 := run(0)
+	p3, lc3 := run(3)
+	if lc1 != 0 {
+		t.Errorf("loop checks without the extension: %d", lc1)
+	}
+	if lc3 == 0 {
+		t.Error("no loop checks with the extension")
+	}
+	if p3 <= p1 {
+		t.Errorf("budget 3 sampled %d probes, budget-less sampled %d — expected more consecutive iterations", p3, p1)
+	}
+}
+
+// TestHybridGuardsSparseAndDuplicatesDense checks the Hybrid variation's
+// split: a block with one probe gets a guarded probe, a block with three
+// probes participates in duplication.
+func TestHybridGuardsSparseAndDuplicatesDense(t *testing.T) {
+	m, blocks := figure5Method(nil)
+	// left: 3 probes (dense); right: 1 probe (sparse).
+	for i := 0; i < 3; i++ {
+		blocks["left"].InsertFront(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{Cost: 5}})
+	}
+	blocks["right"].InsertFront(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{Cost: 5}})
+	stats, err := core.Transform(m, core.Options{Variation: core.Hybrid, HybridThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GuardedProbes != 1 {
+		t.Errorf("guarded probes %d, want 1", stats.GuardedProbes)
+	}
+	if blocks["left"].Twin == nil {
+		t.Error("dense block not duplicated")
+	}
+	if blocks["right"].Twin != nil {
+		t.Error("sparse block duplicated")
+	}
+	// The sparse probe must be back in the checking code as a guard.
+	found := false
+	for i := range blocks["right"].Instrs {
+		if blocks["right"].Instrs[i].Op == ir.OpCheckedProbe {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sparse probe not restored as a checked probe")
+	}
+	if err := ir.VerifyMethod(m, ir.VerifyTransformed); err != nil {
+		t.Fatal(err)
+	}
+	// And it must still execute correctly.
+	p := sealOne(m)
+	out, err := vm.New(p, vm.Config{Trigger: trigger.NewCounter(2)}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Probes == 0 {
+		t.Error("hybrid sampled nothing")
+	}
+}

@@ -1,0 +1,243 @@
+package core_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// allInstrumenters returns one of every instrumentation, so the random
+// programs exercise every probe shape at once.
+func allInstrumenters() []instr.Instrumenter {
+	return []instr.Instrumenter{
+		&instr.CallEdge{},
+		&instr.FieldAccess{},
+		&instr.EdgeProfile{},
+		&instr.BlockCount{},
+		&instr.ValueProfile{},
+		&instr.PathProfile{},
+	}
+}
+
+func runRandom(t *testing.T, prog *ir.Program, opts compile.Options, trig trigger.Trigger) *vm.Result {
+	t.Helper()
+	res, err := compile.Compile(prog, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out, err := vm.New(res.Prog, vm.Config{Trigger: trig, Handlers: res.Handlers, MaxCycles: 1 << 33}).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+// TestPropertySemanticsPreservation is DESIGN.md invariant 1 fuzzed: for
+// random structured programs, the observable behaviour (return value and
+// print sequence) is identical under no instrumentation, exhaustive
+// instrumentation, and every framework variation at several intervals.
+func TestPropertySemanticsPreservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	seeds := 40
+	for s := 0; s < seeds; s++ {
+		seed := uint64(s)*2654435761 + 1
+		prog := ir.RandomProgram(seed, ir.RandomProgramConfig{})
+		if err := prog.Verify(ir.VerifyBase); err != nil {
+			t.Fatalf("seed %d: generated program invalid: %v", seed, err)
+		}
+		base := runRandom(t, prog, compile.Options{}, nil)
+
+		type cfg struct {
+			name string
+			fw   *core.Options
+			trig trigger.Trigger
+		}
+		cfgs := []cfg{
+			{"exhaustive", nil, nil},
+			{"full-1", &core.Options{Variation: core.FullDuplication}, trigger.Always{}},
+			{"full-3", &core.Options{Variation: core.FullDuplication}, trigger.NewCounter(3)},
+			{"full-yieldopt", &core.Options{Variation: core.FullDuplication, YieldpointOpt: true}, trigger.NewCounter(5)},
+			{"full-counted", &core.Options{Variation: core.FullDuplication, CountedIterations: true}, trigger.NewCounter(7)},
+			{"partial-3", &core.Options{Variation: core.PartialDuplication}, trigger.NewCounter(3)},
+			{"nodup-3", &core.Options{Variation: core.NoDuplication}, trigger.NewCounter(3)},
+			{"hybrid-3", &core.Options{Variation: core.Hybrid}, trigger.NewCounter(3)},
+			{"full-random", &core.Options{Variation: core.FullDuplication}, trigger.NewRandomized(10, 3, seed)},
+			{"full-timer", &core.Options{Variation: core.FullDuplication}, trigger.NewTimer(977)},
+		}
+		for _, c := range cfgs {
+			out := runRandom(t, prog, compile.Options{Instrumenters: allInstrumenters(), Framework: c.fw}, c.trig)
+			if out.Return != base.Return {
+				t.Fatalf("seed %d %s: return %d, want %d", seed, c.name, out.Return, base.Return)
+			}
+			if len(out.Output) != len(base.Output) {
+				t.Fatalf("seed %d %s: %d outputs, want %d", seed, c.name, len(out.Output), len(base.Output))
+			}
+			for i := range out.Output {
+				if out.Output[i] != base.Output[i] {
+					t.Fatalf("seed %d %s: output[%d]=%d, want %d", seed, c.name, i, out.Output[i], base.Output[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertySemanticsWithThreads repeats the semantics check on
+// multi-threaded random programs. Interleavings may legally differ across
+// configurations (yieldpoint placement changes scheduling points), so the
+// comparison is on the return value and the output multiset.
+func TestPropertySemanticsWithThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for s := 0; s < 15; s++ {
+		seed := uint64(s)*977 + 13
+		prog := ir.RandomProgram(seed, ir.RandomProgramConfig{WithThreads: true})
+		base := runRandom(t, prog, compile.Options{}, nil)
+		for _, v := range []core.Variation{core.FullDuplication, core.PartialDuplication, core.NoDuplication} {
+			out := runRandom(t, prog, compile.Options{
+				Instrumenters: allInstrumenters(),
+				Framework:     &core.Options{Variation: v, YieldpointOpt: v == core.FullDuplication},
+			}, trigger.NewCounter(9))
+			if out.Return != base.Return {
+				t.Fatalf("seed %d %s: return %d, want %d", seed, v, out.Return, base.Return)
+			}
+			a := append([]int64(nil), base.Output...)
+			b := append([]int64(nil), out.Output...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if len(a) != len(b) {
+				t.Fatalf("seed %d %s: output multiset sizes differ: %d vs %d", seed, v, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d %s: output multisets differ", seed, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyCheckBound fuzzes Property 1: for Full- and
+// Partial-Duplication, checks executed never exceed entries + backedges
+// executed by the baseline.
+func TestPropertyCheckBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for s := 0; s < 25; s++ {
+		seed := uint64(s)*31 + 7
+		prog := ir.RandomProgram(seed, ir.RandomProgramConfig{})
+		base := runRandom(t, prog, compile.Options{}, nil)
+		bound := base.Stats.MethodEntries + base.Stats.Backedges
+		for _, v := range []core.Variation{core.FullDuplication, core.PartialDuplication} {
+			for _, interval := range []int64{1, 2, 17} {
+				out := runRandom(t, prog, compile.Options{
+					Instrumenters: allInstrumenters(),
+					Framework:     &core.Options{Variation: v},
+				}, trigger.NewCounter(interval))
+				if out.Stats.Checks > bound {
+					t.Fatalf("seed %d %s interval %d: checks %d > bound %d",
+						seed, v, interval, out.Stats.Checks, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyTransformedVerifies fuzzes the IR verifier invariants over
+// every variation.
+func TestPropertyTransformedVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for s := 0; s < 30; s++ {
+		seed := uint64(s)*101 + 3
+		prog := ir.RandomProgram(seed, ir.RandomProgramConfig{WithThreads: s%2 == 0})
+		for _, v := range []core.Variation{core.FullDuplication, core.PartialDuplication, core.NoDuplication, core.Hybrid} {
+			res, err := compile.Compile(prog, compile.Options{
+				Instrumenters: allInstrumenters(),
+				Framework:     &core.Options{Variation: v},
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, v, err)
+			}
+			if err := res.Prog.Verify(ir.VerifyTransformed); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, v, err)
+			}
+		}
+	}
+}
+
+// TestPropertyPerfectProfileEquality fuzzes DESIGN.md invariant 5: for
+// random programs, interval-1 Full-Duplication profiles equal exhaustive
+// profiles exactly, for every instrumentation at once.
+func TestPropertyPerfectProfileEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for s := 0; s < 20; s++ {
+		seed := uint64(s)*4099 + 17
+		prog := ir.RandomProgram(seed, ir.RandomProgramConfig{})
+		ex, err := compile.Compile(prog, compile.Options{Instrumenters: allInstrumenters()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.New(ex.Prog, vm.Config{Handlers: ex.Handlers, MaxCycles: 1 << 33}).Run(); err != nil {
+			t.Fatal(err)
+		}
+		fd, err := compile.Compile(prog, compile.Options{
+			Instrumenters: allInstrumenters(),
+			Framework:     &core.Options{Variation: core.FullDuplication},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.New(fd.Prog, vm.Config{Trigger: trigger.Always{}, Handlers: fd.Handlers, MaxCycles: 1 << 33}).Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ex.Runtimes {
+			pe, ps := ex.Runtimes[i].Profile(), fd.Runtimes[i].Profile()
+			if pe.Total() != ps.Total() {
+				t.Errorf("seed %d %s: totals %d vs %d", seed, pe.Name, pe.Total(), ps.Total())
+			}
+			if ov := profile.Overlap(pe, ps); pe.Total() > 0 && ov < 99.999 {
+				t.Errorf("seed %d %s: overlap %.3f", seed, pe.Name, ov)
+			}
+		}
+	}
+}
+
+// TestPropertyGeneratorDeterminism uses testing/quick to confirm the
+// random-program generator itself is a pure function of its seed (two
+// generations from one seed produce cycle-identical runs).
+func TestPropertyGeneratorDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		p1 := ir.RandomProgram(seed, ir.RandomProgramConfig{})
+		p2 := ir.RandomProgram(seed, ir.RandomProgramConfig{})
+		r1, err1 := compile.Compile(p1, compile.Options{})
+		r2, err2 := compile.Compile(p2, compile.Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		o1, err1 := vm.New(r1.Prog, vm.Config{MaxCycles: 1 << 33}).Run()
+		o2, err2 := vm.New(r2.Prog, vm.Config{MaxCycles: 1 << 33}).Run()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return o1.Return == o2.Return && o1.Stats.Cycles == o2.Stats.Cycles &&
+			o1.Stats.Instrs == o2.Stats.Instrs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

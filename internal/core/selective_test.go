@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+)
+
+// TestSelectiveTransformConfinesOverhead verifies the §3 adaptive
+// configuration: with instrumentation and the framework confined to one
+// hot method, every other method runs with zero checks and zero code
+// growth, and total overhead is far below whole-program transformation.
+func TestSelectiveTransformConfinesOverhead(t *testing.T) {
+	p := buildTestProgram()
+	base := mustRun(t, mustCompile(t, p, compile.Options{}), nil)
+
+	keepStep := func(m *ir.Method) bool { return m.Name == "step" }
+	sel := mustCompile(t, p, compile.Options{
+		Instrumenters:      []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}},
+		InstrumentFilter:   keepStep,
+		SelectiveTransform: true,
+		Framework:          &core.Options{Variation: core.FullDuplication},
+	})
+	full := mustCompile(t, p, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}},
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	})
+
+	// Structure: only step carries checks and duplicated code.
+	for _, m := range sel.Prog.Methods() {
+		hasDup := false
+		for _, b := range m.Blocks {
+			if b.Kind == ir.KindDuplicated || b.Kind == ir.KindCheckBlock {
+				hasDup = true
+			}
+		}
+		if m.Name == "step" && !hasDup {
+			t.Error("hot method was not transformed")
+		}
+		if m.Name != "step" && hasDup {
+			t.Errorf("cold method %s was transformed", m.FullName())
+		}
+	}
+	if sel.DuplicatedCodeSize >= full.DuplicatedCodeSize {
+		t.Errorf("selective duplicated %d bytes, full %d", sel.DuplicatedCodeSize, full.DuplicatedCodeSize)
+	}
+
+	// Behaviour: correct result, working profile, lower overhead than the
+	// whole-program transform.
+	selOut := mustRun(t, sel, trigger.NewCounter(3))
+	if selOut.Return != base.Return {
+		t.Fatalf("selective transform changed result: %d vs %d", selOut.Return, base.Return)
+	}
+	if sel.Runtimes[0].Profile().Total() == 0 {
+		t.Error("hot method collected no call-edge samples")
+	}
+	fullOut := mustRun(t, full, trigger.NewCounter(3))
+	if selOut.Stats.Checks >= fullOut.Stats.Checks {
+		t.Errorf("selective checks %d not below full %d", selOut.Stats.Checks, fullOut.Stats.Checks)
+	}
+	if selOut.Stats.Cycles >= fullOut.Stats.Cycles {
+		t.Errorf("selective cycles %d not below full %d", selOut.Stats.Cycles, fullOut.Stats.Cycles)
+	}
+}

@@ -1,0 +1,382 @@
+package core_test
+
+import (
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// buildTestProgram constructs a small but representative program: a class
+// with two fields, a virtual method, a helper function called in a loop,
+// and a nested loop in main. Result: a deterministic checksum.
+func buildTestProgram() *ir.Program {
+	p := &ir.Program{Name: "test"}
+	point := &ir.Class{Name: "Point", FieldNames: []string{"x", "y"}}
+	p.Classes = append(p.Classes, point)
+
+	// Point.sum(self) { return self.x + self.y }
+	sum := ir.NewMethod(point, "sum", 1)
+	{
+		c := sum.At(sum.EntryBlock())
+		x := c.GetField(0, point, "x")
+		y := c.GetField(0, point, "y")
+		c.Return(c.Bin(ir.OpAdd, x, y))
+	}
+
+	// step(v) { return v*3 + 1 }
+	step := ir.NewFunc("step", 1)
+	{
+		c := step.At(step.EntryBlock())
+		three := c.Const(3)
+		one := c.Const(1)
+		t := c.Bin(ir.OpMul, 0, three)
+		c.Return(c.Bin(ir.OpAdd, t, one))
+	}
+
+	// main() {
+	//   p = new Point; acc = 0
+	//   for i in 0..40 { p.x = i; p.y = acc%7; acc += p.sum() + step(i)
+	//     for j in 0..5 { acc = acc ^ j } }
+	//   return acc
+	// }
+	main := ir.NewFunc("main", 0)
+	{
+		c := main.At(main.EntryBlock())
+		pt := c.New(point)
+		acc := c.Const(0)
+		n := c.Const(40)
+		lp := c.CountedLoop(n, "outer")
+		b := lp.Body
+		b.PutField(pt, point, "x", lp.I)
+		seven := b.Const(7)
+		b.PutField(pt, point, "y", b.Bin(ir.OpRem, acc, seven))
+		s := b.CallVirt("sum", pt)
+		st := b.Call(step.M, lp.I)
+		b.BinTo(ir.OpAdd, acc, acc, s)
+		b.BinTo(ir.OpAdd, acc, acc, st)
+		five := b.Const(5)
+		inner := b.CountedLoop(five, "inner")
+		inner.Body.BinTo(ir.OpXor, acc, acc, inner.I)
+		inner.Body.Jump(inner.Latch)
+		inner.After.Jump(lp.Latch)
+		lp.After.Return(acc)
+	}
+	p.Funcs = append(p.Funcs, step.M, main.M)
+	p.Main = main.M
+	p.Seal()
+	return p
+}
+
+func mustCompile(t *testing.T, p *ir.Program, opts compile.Options) *compile.Result {
+	t.Helper()
+	res, err := compile.Compile(p, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+func mustRun(t *testing.T, res *compile.Result, trig trigger.Trigger) *vm.Result {
+	t.Helper()
+	out, err := vm.New(res.Prog, vm.Config{Trigger: trig, Handlers: res.Handlers}).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+var paperInstrumenters = func() []instr.Instrumenter {
+	return []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}}
+}
+
+func TestBaselineRuns(t *testing.T) {
+	p := buildTestProgram()
+	res := mustCompile(t, p, compile.Options{})
+	out := mustRun(t, res, nil)
+	if out.Return == 0 {
+		t.Fatalf("expected non-zero checksum")
+	}
+	if out.Stats.Yields == 0 {
+		t.Fatalf("expected yieldpoints to execute")
+	}
+	t.Logf("baseline: ret=%d cycles=%d yields=%d", out.Return, out.Stats.Cycles, out.Stats.Yields)
+}
+
+// TestSemanticsPreserved checks DESIGN.md invariant 1 across every
+// configuration: the program result must be identical under no
+// instrumentation, exhaustive instrumentation, and each framework
+// variation at several intervals.
+func TestSemanticsPreserved(t *testing.T) {
+	p := buildTestProgram()
+	base := mustRun(t, mustCompile(t, p, compile.Options{}), nil)
+
+	configs := []struct {
+		name string
+		opts compile.Options
+		trig trigger.Trigger
+	}{
+		{"exhaustive", compile.Options{Instrumenters: paperInstrumenters()}, nil},
+		{"full-int1", compile.Options{Instrumenters: paperInstrumenters(),
+			Framework: &core.Options{Variation: core.FullDuplication}}, trigger.Always{}},
+		{"full-int7", compile.Options{Instrumenters: paperInstrumenters(),
+			Framework: &core.Options{Variation: core.FullDuplication}}, trigger.NewCounter(7)},
+		{"full-yieldopt", compile.Options{Instrumenters: paperInstrumenters(),
+			Framework: &core.Options{Variation: core.FullDuplication, YieldpointOpt: true}}, trigger.NewCounter(13)},
+		{"partial-int5", compile.Options{Instrumenters: paperInstrumenters(),
+			Framework: &core.Options{Variation: core.PartialDuplication}}, trigger.NewCounter(5)},
+		{"nodup-int5", compile.Options{Instrumenters: paperInstrumenters(),
+			Framework: &core.Options{Variation: core.NoDuplication}}, trigger.NewCounter(5)},
+		{"hybrid-int5", compile.Options{Instrumenters: paperInstrumenters(),
+			Framework: &core.Options{Variation: core.Hybrid}}, trigger.NewCounter(5)},
+		{"full-never", compile.Options{Instrumenters: paperInstrumenters(),
+			Framework: &core.Options{Variation: core.FullDuplication}}, trigger.Never{}},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			out := mustRun(t, mustCompile(t, p, cfg.opts), cfg.trig)
+			if out.Return != base.Return {
+				t.Fatalf("return %d, want %d", out.Return, base.Return)
+			}
+			if len(out.Output) != len(base.Output) {
+				t.Fatalf("output length %d, want %d", len(out.Output), len(base.Output))
+			}
+		})
+	}
+}
+
+// TestPerfectProfileAtInterval1 checks DESIGN.md invariant 5: sampling at
+// interval 1 under Full-Duplication reproduces the exhaustive profile
+// exactly (100% overlap, identical totals).
+func TestPerfectProfileAtInterval1(t *testing.T) {
+	p := buildTestProgram()
+	ex := mustCompile(t, p, compile.Options{Instrumenters: paperInstrumenters()})
+	exOut := mustRun(t, ex, nil)
+	_ = exOut
+
+	fd := mustCompile(t, p, compile.Options{
+		Instrumenters: paperInstrumenters(),
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	})
+	mustRun(t, fd, trigger.Always{})
+
+	for i := range ex.Runtimes {
+		pe, ps := ex.Runtimes[i].Profile(), fd.Runtimes[i].Profile()
+		if ov := profile.Overlap(pe, ps); ov < 99.999 {
+			t.Errorf("%s: overlap %.3f, want 100", pe.Name, ov)
+		}
+		if pe.Total() != ps.Total() {
+			t.Errorf("%s: sampled total %d, exhaustive %d", pe.Name, ps.Total(), pe.Total())
+		}
+	}
+}
+
+// TestProperty1 checks the paper's Property 1 dynamically: under Full-
+// and Partial-Duplication the number of executed checks is at most the
+// number of method entries plus backedges executed by the baseline.
+func TestProperty1(t *testing.T) {
+	p := buildTestProgram()
+	base := mustRun(t, mustCompile(t, p, compile.Options{}), nil)
+	bound := base.Stats.MethodEntries + base.Stats.Backedges
+
+	for _, v := range []core.Variation{core.FullDuplication, core.PartialDuplication} {
+		for _, interval := range []int64{1, 3, 100} {
+			res := mustCompile(t, p, compile.Options{
+				Instrumenters: paperInstrumenters(),
+				Framework:     &core.Options{Variation: v},
+			})
+			out := mustRun(t, res, trigger.NewCounter(interval))
+			if out.Stats.Checks > bound {
+				t.Errorf("%s interval %d: checks %d > entries+backedges %d",
+					v, interval, out.Stats.Checks, bound)
+			}
+		}
+	}
+}
+
+// TestProperty1TightAtFullDuplication sharpens Property 1 into an
+// equality: under Full-Duplication every method entry and every backedge
+// traversal passes through exactly one check, regardless of trigger, so
+// checks executed == baseline entries + backedges.
+func TestProperty1TightAtFullDuplication(t *testing.T) {
+	p := buildTestProgram()
+	base := mustRun(t, mustCompile(t, p, compile.Options{}), nil)
+	want := base.Stats.MethodEntries + base.Stats.Backedges
+	for _, trig := range []trigger.Trigger{trigger.Never{}, trigger.Always{}, trigger.NewCounter(7)} {
+		res := mustCompile(t, p, compile.Options{
+			Instrumenters: paperInstrumenters(),
+			Framework:     &core.Options{Variation: core.FullDuplication},
+		})
+		out := mustRun(t, res, trig)
+		if out.Stats.Checks != want {
+			t.Errorf("%s: checks %d, want exactly %d", trig.Name(), out.Stats.Checks, want)
+		}
+		if out.Stats.MethodEntries+out.Stats.Backedges != want {
+			t.Errorf("%s: entries+backedges %d, want %d (accounting drift)",
+				trig.Name(), out.Stats.MethodEntries+out.Stats.Backedges, want)
+		}
+	}
+}
+
+// TestNeverTriggerStaysInCheckingCode verifies that with the sample
+// condition permanently false no probe executes and no duplicated code is
+// entered.
+func TestNeverTriggerStaysInCheckingCode(t *testing.T) {
+	p := buildTestProgram()
+	res := mustCompile(t, p, compile.Options{
+		Instrumenters: paperInstrumenters(),
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	})
+	out := mustRun(t, res, trigger.Never{})
+	if out.Stats.Probes != 0 {
+		t.Errorf("probes executed: %d, want 0", out.Stats.Probes)
+	}
+	if out.Stats.DupEntries != 0 {
+		t.Errorf("duplicated-code entries: %d, want 0", out.Stats.DupEntries)
+	}
+	for _, rt := range res.Runtimes {
+		if rt.Profile().Total() != 0 {
+			t.Errorf("%s: non-empty profile", rt.Profile().Name)
+		}
+	}
+}
+
+// TestDeterminism checks DESIGN.md invariant 4: two identical runs
+// produce byte-identical profiles and cycle counts.
+func TestDeterminism(t *testing.T) {
+	p := buildTestProgram()
+	run := func() (*vm.Result, []*profile.Profile) {
+		res := mustCompile(t, p, compile.Options{
+			Instrumenters: paperInstrumenters(),
+			Framework:     &core.Options{Variation: core.FullDuplication},
+		})
+		out := mustRun(t, res, trigger.NewCounter(17))
+		var profs []*profile.Profile
+		for _, rt := range res.Runtimes {
+			profs = append(profs, rt.Profile())
+		}
+		return out, profs
+	}
+	o1, p1 := run()
+	o2, p2 := run()
+	if o1.Stats.Cycles != o2.Stats.Cycles {
+		t.Errorf("cycles differ: %d vs %d", o1.Stats.Cycles, o2.Stats.Cycles)
+	}
+	if o1.Stats.CheckFires != o2.Stats.CheckFires {
+		t.Errorf("samples differ: %d vs %d", o1.Stats.CheckFires, o2.Stats.CheckFires)
+	}
+	for i := range p1 {
+		if ov := profile.Overlap(p1[i], p2[i]); ov < 99.999 {
+			t.Errorf("%s: runs differ, overlap %.3f", p1[i].Name, ov)
+		}
+		if p1[i].Total() != p2[i].Total() {
+			t.Errorf("%s: totals differ: %d vs %d", p1[i].Name, p1[i].Total(), p2[i].Total())
+		}
+	}
+}
+
+// TestFrameworkOverheadIsModest sanity-checks the headline claim on the
+// toy program: Full-Duplication with no samples costs only a few percent
+// over baseline, far less than exhaustive instrumentation.
+func TestFrameworkOverheadIsModest(t *testing.T) {
+	p := buildTestProgram()
+	base := mustRun(t, mustCompile(t, p, compile.Options{}), nil)
+	ex := mustRun(t, mustCompile(t, p, compile.Options{Instrumenters: paperInstrumenters()}), nil)
+	fw := mustRun(t, mustCompile(t, p, compile.Options{
+		Instrumenters: paperInstrumenters(),
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	}), trigger.Never{})
+
+	overhead := func(x *vm.Result) float64 {
+		return 100 * (float64(x.Stats.Cycles)/float64(base.Stats.Cycles) - 1)
+	}
+	exOv, fwOv := overhead(ex), overhead(fw)
+	t.Logf("exhaustive %.1f%%, framework %.1f%%", exOv, fwOv)
+	if fwOv >= exOv {
+		t.Errorf("framework overhead %.1f%% not below exhaustive %.1f%%", fwOv, exOv)
+	}
+	// The toy program's inner loop body is only a handful of cycles, so a
+	// 5-cycle check per backedge costs tens of percent here — the
+	// realistic per-benchmark overheads are measured in internal/bench and
+	// the experiment suite, where loop bodies have realistic weight.
+	if fwOv > 40 {
+		t.Errorf("framework overhead %.1f%% unexpectedly high", fwOv)
+	}
+}
+
+// TestTransformedVerifies checks that every variation's output passes the
+// transformed-mode IR verifier and reports sensible stats.
+func TestTransformedVerifies(t *testing.T) {
+	for _, v := range []core.Variation{core.FullDuplication, core.PartialDuplication, core.NoDuplication, core.Hybrid} {
+		p := buildTestProgram()
+		res := mustCompile(t, p, compile.Options{
+			Instrumenters: paperInstrumenters(),
+			Framework:     &core.Options{Variation: v},
+		})
+		if err := res.Prog.Verify(ir.VerifyTransformed); err != nil {
+			t.Errorf("%s: %v", v, err)
+		}
+		switch v {
+		case core.FullDuplication:
+			if res.FrameworkStats.BlocksDuplicated == 0 || res.FrameworkStats.ChecksInserted == 0 {
+				t.Errorf("full-duplication: no duplication/checks: %+v", res.FrameworkStats)
+			}
+		case core.NoDuplication:
+			if res.FrameworkStats.GuardedProbes == 0 || res.FrameworkStats.BlocksDuplicated != 0 {
+				t.Errorf("no-duplication: unexpected stats: %+v", res.FrameworkStats)
+			}
+		}
+	}
+}
+
+// TestYieldpointOptRemovesCheckingYields confirms §4.5: after the
+// optimization the checking code has no yieldpoints, but the duplicated
+// code still does, so the distance between yieldpoints stays finite while
+// sampling is on.
+func TestYieldpointOptRemovesCheckingYields(t *testing.T) {
+	p := buildTestProgram()
+	res := mustCompile(t, p, compile.Options{
+		Instrumenters: paperInstrumenters(),
+		Framework:     &core.Options{Variation: core.FullDuplication, YieldpointOpt: true},
+	})
+	dupYields, checkYields := 0, 0
+	for _, m := range res.Prog.Methods() {
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op != ir.OpYield {
+					continue
+				}
+				if b.Kind == ir.KindDuplicated {
+					dupYields++
+				} else {
+					checkYields++
+				}
+			}
+		}
+	}
+	if checkYields != 0 {
+		t.Errorf("checking code retains %d yieldpoints", checkYields)
+	}
+	if dupYields == 0 {
+		t.Errorf("duplicated code lost its yieldpoints")
+	}
+	// With sampling off, no yieldpoints execute at all.
+	out := mustRun(t, res, trigger.Never{})
+	if out.Stats.Yields != 0 {
+		t.Errorf("yields executed with sampling off: %d", out.Stats.Yields)
+	}
+	// With sampling on, yieldpoints execute in duplicated code.
+	res2 := mustCompile(t, p, compile.Options{
+		Instrumenters: paperInstrumenters(),
+		Framework:     &core.Options{Variation: core.FullDuplication, YieldpointOpt: true},
+	})
+	out2 := mustRun(t, res2, trigger.NewCounter(10))
+	if out2.Stats.Yields == 0 {
+		t.Errorf("no yields executed with sampling on")
+	}
+}

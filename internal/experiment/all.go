@@ -1,0 +1,43 @@
+package experiment
+
+import "fmt"
+
+// Generator produces one experiment table.
+type Generator func(Config) (*Table, error)
+
+// All maps artifact IDs to their generators, in paper order.
+func All() []struct {
+	ID  string
+	Gen Generator
+} {
+	return []struct {
+		ID  string
+		Gen Generator
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"table4", Table4},
+		{"figure7", Figure7},
+		{"figure8a", Figure8A},
+		{"figure8b", Figure8B},
+		{"table5", Table5},
+		{"ablation-variations", AblationVariations},
+		{"ablation-resonance", AblationResonance},
+		{"ablation-counted", AblationCountedIterations},
+		{"ablation-inlining", AblationInlining},
+		{"ablation-cct", AblationCCT},
+		{"ablation-adaptive", AblationAdaptive},
+		{"ablation-icache", AblationICache},
+	}
+}
+
+// ByID returns the generator for one artifact.
+func ByID(id string) (Generator, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Gen, nil
+		}
+	}
+	return nil, fmt.Errorf("experiment: unknown artifact %q (want table1..table5, figure7, figure8a, figure8b, or ablation-{variations,resonance,counted,inlining,cct,icache,adaptive})", id)
+}

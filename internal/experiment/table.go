@@ -1,0 +1,106 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (§4) on the synthetic benchmark suite: exhaustive
+// instrumentation cost (Table 1), framework overhead and its breakdown
+// (Table 2), No-Duplication check overhead (Table 3), the
+// overhead/accuracy sweep over sample intervals (Table 4), the javac
+// call-edge profile (Figure 7), the yieldpoint optimization (Figure 8)
+// and the trigger-mechanism comparison (Table 5).
+//
+// Overheads are deterministic simulated-cycle ratios; see DESIGN.md for
+// the substitution argument. Compile-time increases are wall-clock.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the paper artifact this reproduces ("table1" ... "figure8b").
+	ID string
+	// Title is the caption.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+	// Notes hold methodology remarks appended below the table.
+	Notes []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table as aligned ASCII.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i == 0 {
+				sb.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+	fmt.Fprintln(w)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "*Note: %s*\n\n", n)
+	}
+}
+
+// String renders the ASCII form.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+)
+
+// Table4Intervals is the paper's sample-interval sweep.
+var Table4Intervals = []int64{1, 10, 100, 1000, 10000, 100000}
+
+// Table4 reproduces the paper's Table 4: overhead and accuracy of sampled
+// instrumentation (call-edge and field-access applied together) across
+// sample intervals, for Full-Duplication and No-Duplication, averaged
+// over the suite.
+//
+// Per the paper: "Sampled Instrum." excludes the framework's own overhead
+// (it is the cost of the samples themselves), "Total" includes
+// everything; accuracy is the overlap percentage against the perfect
+// profile (interval 1 under Full-Duplication, which equals the exhaustive
+// profile).
+func Table4(cfg Config) (*Table, error) {
+	suite, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "table4",
+		Title: "Overhead and accuracy of sampled instrumentation vs sample interval (suite averages)",
+		Header: []string{"Variation", "Interval", "Num Samples",
+			"Sampled Instrum. (%)", "Total (%)", "Call-Edge Acc (%)", "Field-Access Acc (%)"},
+	}
+
+	type perBench struct {
+		baseCycles uint64
+		perfect    []*profile.Profile
+	}
+
+	variations := []struct {
+		name string
+		v    core.Variation
+	}{
+		{"Full-Duplication", core.FullDuplication},
+		{"No-Duplication", core.NoDuplication},
+	}
+
+	// Per-benchmark invariants: baseline cycles and the perfect profile.
+	var bases []perBench
+	for _, b := range suite {
+		prog := b.Build(cfg.Scale)
+		base, err := cfg.run(prog, compile.Options{}, nil)
+		if err != nil {
+			return nil, err
+		}
+		perfect, err := cfg.run(prog, compile.Options{Instrumenters: paperInstrumenters()}, nil)
+		if err != nil {
+			return nil, err
+		}
+		bases = append(bases, perBench{
+			baseCycles: base.out.Stats.Cycles,
+			perfect:    perfect.profiles(),
+		})
+		cfg.progress("table4 %s: baseline and perfect profile done", b.Name)
+	}
+
+	for _, va := range variations {
+		// Framework-only cycles per benchmark (Never trigger), used to
+		// separate "sampled instrumentation" overhead from framework
+		// overhead.
+		fwCycles := make([]uint64, len(suite))
+		for i, b := range suite {
+			prog := b.Build(cfg.Scale)
+			fw, err := cfg.run(prog, compile.Options{
+				Instrumenters: paperInstrumenters(),
+				Framework:     &core.Options{Variation: va.v},
+			}, trigger.Never{})
+			if err != nil {
+				return nil, err
+			}
+			fwCycles[i] = fw.out.Stats.Cycles
+		}
+		for _, interval := range Table4Intervals {
+			var sumSamples, sumInstrOv, sumTotalOv, sumCE, sumFA float64
+			for i, b := range suite {
+				prog := b.Build(cfg.Scale)
+				out, err := cfg.run(prog, compile.Options{
+					Instrumenters: paperInstrumenters(),
+					Framework:     &core.Options{Variation: va.v},
+				}, trigger.NewCounter(interval))
+				if err != nil {
+					return nil, err
+				}
+				base := float64(bases[i].baseCycles)
+				sumSamples += float64(out.out.Stats.CheckFires)
+				sumInstrOv += 100 * float64(out.out.Stats.Cycles-fwCycles[i]) / base
+				sumTotalOv += 100 * (float64(out.out.Stats.Cycles)/base - 1)
+				profs := out.profiles()
+				sumCE += profile.Overlap(bases[i].perfect[0], profs[0])
+				sumFA += profile.Overlap(bases[i].perfect[1], profs[1])
+			}
+			n := float64(len(suite))
+			t.AddRow(va.name, fmt.Sprintf("%d", interval),
+				fmt.Sprintf("%.3g", sumSamples/n),
+				pct(sumInstrOv/n), pct(sumTotalOv/n),
+				fmt.Sprintf("%.0f", sumCE/n), fmt.Sprintf("%.0f", sumFA/n))
+			cfg.progress("table4 %s interval %d: total %.1f%%, acc CE %.0f FA %.0f",
+				va.name, interval, sumTotalOv/n, sumCE/n, sumFA/n)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper (Full-Duplication, interval 1000): 1.1e4 samples, sampled 0.8%, total 6.3%, acc 94/97",
+		"paper (No-Duplication, interval 1000): 6.7e4 samples, sampled 1.0%, total 57.2%, acc 93/98",
+		"perfect profile = exhaustive instrumentation (identical to interval-1 Full-Duplication)")
+	return t, nil
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+)
+
+// Table5CounterInterval is the counter interval used for the trigger
+// comparison. The paper uses 30 000 against its 10 ms timer because that
+// yields about the same number of samples on its benchmarks; we apply the
+// same equalization per benchmark: the timer period is set to
+// baselineCycles / (baselineChecks / interval), so both triggers take the
+// same expected number of samples.
+const Table5CounterInterval = 3000
+
+// Table5 reproduces the paper's Table 5: accuracy of field-access
+// profiling under Full-Duplication when samples are driven by a
+// time-based trigger versus the counter-based trigger. The timer
+// mis-attributes samples — a long cycle stretch (e.g. an OpIO) absorbs
+// the interrupt and the *next* check takes the sample — and its rate is
+// capped by the interrupt frequency, so it is markedly less accurate
+// (paper: 63% vs 84% average overlap).
+func Table5(cfg Config) (*Table, error) {
+	suite, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "table5",
+		Title:  "Accuracy (overlap %) of field-access profiling: time-based vs counter-based trigger",
+		Header: []string{"Benchmark", "Time-based (%)", "Counter-based (%)"},
+	}
+	fieldOnly := func() []instr.Instrumenter {
+		return []instr.Instrumenter{&instr.FieldAccess{}}
+	}
+	var sumT, sumC float64
+	for _, b := range suite {
+		prog := b.Build(cfg.Scale)
+		base, err := cfg.run(prog, compile.Options{}, nil)
+		if err != nil {
+			return nil, err
+		}
+		perfect, err := cfg.run(prog, compile.Options{Instrumenters: fieldOnly()}, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Equalize expected sample counts between the two triggers.
+		checks := base.out.Stats.MethodEntries + base.out.Stats.Backedges
+		expectedSamples := checks / Table5CounterInterval
+		if expectedSamples == 0 {
+			expectedSamples = 1
+		}
+		period := base.out.Stats.Cycles / expectedSamples
+
+		fwOpts := compile.Options{
+			Instrumenters: fieldOnly(),
+			Framework:     &core.Options{Variation: core.FullDuplication},
+		}
+		timed, err := cfg.run(prog, fwOpts, trigger.NewTimer(period))
+		if err != nil {
+			return nil, err
+		}
+		counted, err := cfg.run(prog, fwOpts, trigger.NewCounter(Table5CounterInterval))
+		if err != nil {
+			return nil, err
+		}
+		ovT := profile.Overlap(perfect.profiles()[0], timed.profiles()[0])
+		ovC := profile.Overlap(perfect.profiles()[0], counted.profiles()[0])
+		sumT += ovT
+		sumC += ovC
+		t.AddRow(b.Name, pct(ovT), pct(ovC))
+		cfg.progress("table5 %s: timer %.0f%% (%d samples) counter %.0f%% (%d samples)",
+			b.Name, ovT, timed.out.Stats.CheckFires, ovC, counted.out.Stats.CheckFires)
+	}
+	n := float64(len(suite))
+	t.AddRow("Average", pct(sumT/n), pct(sumC/n))
+	t.Notes = append(t.Notes,
+		"paper: time-based avg 63%, counter-based avg 84% (counter interval 30000 vs 10ms timer)",
+		"timer period equalized per benchmark to match the counter's expected sample count")
+	return t, nil
+}

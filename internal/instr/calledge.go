@@ -1,0 +1,89 @@
+package instr
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// CallEdge is the paper's first example instrumentation (§4.2): every
+// method entry examines the call stack and records the (caller method,
+// call site, callee method) edge in a counter. The probe cost reflects
+// the stack walk plus a hash-table update — the paper measures this naive
+// implementation at 88.3% average overhead when exhaustive.
+type CallEdge struct {
+	// Cost overrides the per-probe cycle cost (default 45).
+	Cost uint32
+}
+
+// DefaultCallEdgeCost is the probe cost modelling the stack examination
+// and counter update: walking to the caller frame, decoding the call
+// site, and a hash-table lookup/insert. The paper's Table 1/Table 2 pair
+// implies a cost of this magnitude (call-edge instrumentation averages
+// 88.3% overhead where bare entry checks average ~1.3%).
+const DefaultCallEdgeCost = 240
+
+// Name returns "call-edge".
+func (*CallEdge) Name() string { return "call-edge" }
+
+// Instrument inserts a ProbeCallEdge at the top of the method's entry
+// block.
+func (c *CallEdge) Instrument(p *ir.Program, m *ir.Method, owner int) {
+	cost := c.Cost
+	if cost == 0 {
+		cost = DefaultCallEdgeCost
+	}
+	entry := m.Entry()
+	entry.InsertFront(ir.Instr{
+		Op: ir.OpProbe,
+		Probe: &ir.Probe{
+			Owner: owner,
+			Kind:  ir.ProbeCallEdge,
+			ID:    m.ID,
+			Cost:  cost,
+		},
+	})
+}
+
+// NewRuntime returns a call-edge profile accumulator.
+func (c *CallEdge) NewRuntime(p *ir.Program) Runtime {
+	rt := &callEdgeRuntime{prof: profile.New("call-edge"), prog: p}
+	rt.prof.Labeler = rt.label
+	return rt
+}
+
+type callEdgeRuntime struct {
+	prof *profile.Profile
+	prog *ir.Program
+}
+
+func (rt *callEdgeRuntime) HandleProbe(ev *vm.ProbeEvent) {
+	caller := uint64(0)
+	site := uint64(0)
+	if ev.CallerMethod != nil {
+		caller = uint64(ev.CallerMethod.ID) + 1
+		site = uint64(ev.CallSite)
+	}
+	rt.prof.Inc(pack3(caller, site, uint64(ev.Method.ID)+1))
+}
+
+func (rt *callEdgeRuntime) Profile() *profile.Profile { return rt.prof }
+
+func (rt *callEdgeRuntime) label(key uint64) string {
+	caller, site, callee := unpack3(key)
+	callerName := "<root>"
+	if caller > 0 {
+		callerName = rt.methodName(int(caller - 1))
+	}
+	return fmt.Sprintf("%s --site%d--> %s", callerName, site, rt.methodName(int(callee-1)))
+}
+
+func (rt *callEdgeRuntime) methodName(id int) string {
+	ms := rt.prog.Methods()
+	if id >= 0 && id < len(ms) {
+		return ms[id].FullName()
+	}
+	return fmt.Sprintf("m#%d", id)
+}

@@ -1,0 +1,170 @@
+package instr
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// Calling-context-tree profiling. §2 singles the CCT ([3], Ammons–Ball–
+// Larus) out as an instrumentation that needs special treatment under
+// sampling: the exhaustive version "updates a context-sensitive data
+// structure on all method entries and exits", and if only a sampled
+// subset of those events is observed, the runtime's notion of the current
+// context desynchronizes from reality. The paper points at [8]
+// (Arnold–Sweeney) for the fix: reconstruct the context from the actual
+// call stack at each sample instead of tracking it incrementally.
+//
+// Both variants are implemented here:
+//
+//   - CCT is the naive enter/exit instrumentation. It is exact when run
+//     exhaustively and *wrong* when sampled (the framework samples
+//     entries and exits independently, so the shadow stack drifts) — the
+//     failure mode the paper warns about.
+//   - SampledCCT is the [8]-style instrumentation: a single entry probe
+//     whose handler walks the VM's real frame stack, so every observed
+//     sample lands on the true context no matter how sparse sampling is.
+//
+// Tree nodes are identified by a deterministic hash chain over the path
+// from the root, so two runs (or two variants) can be compared with the
+// standard overlap metric: a profile key is "this exact calling context".
+
+// cctHash extends a context hash by one callee.
+func cctHash(parent uint64, methodID int) uint64 {
+	h := parent ^ (uint64(methodID+1) * 0x9E3779B97F4A7C15)
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// cctRootHash is the context hash of a thread root.
+const cctRootHash = 0x243F6A8885A308D3
+
+// CCT is the naive calling-context-tree instrumentation: probes on every
+// method entry and every method exit maintain a per-thread shadow stack.
+type CCT struct {
+	// Cost overrides the per-probe cycle cost (default 14: a child
+	// lookup/insert in the tree on entry, a pop on exit).
+	Cost uint32
+}
+
+// Name returns "cct".
+func (*CCT) Name() string { return "cct" }
+
+// cctEnter / cctExit discriminate the probe via Probe.Imm.
+const (
+	cctEnter = 0
+	cctExit  = 1
+)
+
+// Instrument inserts an entry probe at the top of the entry block and an
+// exit probe before every return.
+func (c *CCT) Instrument(p *ir.Program, m *ir.Method, owner int) {
+	cost := c.Cost
+	if cost == 0 {
+		cost = 14
+	}
+	m.Entry().InsertFront(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{
+		Owner: owner, Kind: ir.ProbeEvent, ID: m.ID, Imm: cctEnter, Cost: cost,
+	}})
+	for _, b := range m.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpReturn {
+			continue
+		}
+		b.InsertBeforeTerminator(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{
+			Owner: owner, Kind: ir.ProbeEvent, ID: m.ID, Imm: cctExit, Cost: cost / 2,
+		}})
+	}
+}
+
+// NewRuntime returns the shadow-stack CCT accumulator.
+func (c *CCT) NewRuntime(p *ir.Program) Runtime {
+	return &cctRuntime{prof: newCCTProfile("cct", p), prog: p}
+}
+
+type cctRuntime struct {
+	prof *profile.Profile
+	prog *ir.Program
+	// stacks holds the per-thread shadow context hashes.
+	stacks map[int][]uint64
+}
+
+func (rt *cctRuntime) HandleProbe(ev *vm.ProbeEvent) {
+	if rt.stacks == nil {
+		rt.stacks = make(map[int][]uint64)
+	}
+	st := rt.stacks[ev.ThreadID]
+	if len(st) == 0 {
+		st = append(st, cctRootHash)
+	}
+	switch ev.Probe.Imm {
+	case cctEnter:
+		ctx := cctHash(st[len(st)-1], ev.Probe.ID)
+		st = append(st, ctx)
+		rt.prof.Inc(ctx)
+	default: // cctExit
+		// Pop — and here lies the sampling hazard: if the matching enter
+		// was not sampled, this pop desynchronizes the shadow stack.
+		if len(st) > 1 {
+			st = st[:len(st)-1]
+		}
+	}
+	rt.stacks[ev.ThreadID] = st
+}
+
+func (rt *cctRuntime) Profile() *profile.Profile { return rt.prof }
+
+// SampledCCT is the Arnold–Sweeney-style sampling-safe variant: one probe
+// per method entry whose handler reconstructs the full context from the
+// VM's real call stack, so partial observation cannot corrupt the tree.
+type SampledCCT struct {
+	// Cost overrides the per-probe cycle cost (default 40: walking the
+	// stack is proportional to its depth; 40 models the paper's
+	// "examine the call stack" cost).
+	Cost uint32
+}
+
+// Name returns "cct-sampled".
+func (*SampledCCT) Name() string { return "cct-sampled" }
+
+// Instrument inserts a single entry probe.
+func (c *SampledCCT) Instrument(p *ir.Program, m *ir.Method, owner int) {
+	cost := c.Cost
+	if cost == 0 {
+		cost = 40
+	}
+	m.Entry().InsertFront(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{
+		Owner: owner, Kind: ir.ProbeEvent, ID: m.ID, Cost: cost,
+	}})
+}
+
+// NewRuntime returns the stack-walking CCT accumulator.
+func (c *SampledCCT) NewRuntime(p *ir.Program) Runtime {
+	return &sampledCCTRuntime{prof: newCCTProfile("cct-sampled", p)}
+}
+
+type sampledCCTRuntime struct {
+	prof *profile.Profile
+}
+
+func (rt *sampledCCTRuntime) HandleProbe(ev *vm.ProbeEvent) {
+	ctx := uint64(cctRootHash)
+	for _, f := range ev.Thread.Frames {
+		ctx = cctHash(ctx, f.Method.ID)
+	}
+	rt.prof.Inc(ctx)
+}
+
+func (rt *sampledCCTRuntime) Profile() *profile.Profile { return rt.prof }
+
+// newCCTProfile builds a profile labelled with context hashes. Context
+// hashes are opaque; the labeler renders them compactly.
+func newCCTProfile(name string, p *ir.Program) *profile.Profile {
+	prof := profile.New(name)
+	prof.Labeler = func(key uint64) string { return fmt.Sprintf("ctx:%016x", key) }
+	return prof
+}

@@ -1,0 +1,133 @@
+package instr
+
+import (
+	"testing"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// cctProgram builds a program with context-sensitive behaviour: leaf() is
+// called both directly from main and through mid(), so a context-blind
+// profile cannot distinguish the two, while a CCT must.
+func cctProgram() *ir.Program {
+	leaf := ir.NewFunc("leaf", 1)
+	{
+		c := leaf.At(leaf.EntryBlock())
+		one := c.Const(1)
+		c.Return(c.Bin(ir.OpAdd, 0, one))
+	}
+	mid := ir.NewFunc("mid", 1)
+	{
+		c := mid.At(mid.EntryBlock())
+		r := c.Call(leaf.M, 0)
+		two := c.Const(2)
+		c.Return(c.Bin(ir.OpMul, r, two))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		acc := c.Const(0)
+		n := c.Const(400)
+		lp := c.CountedLoop(n, "l")
+		b := lp.Body
+		r1 := b.Call(leaf.M, lp.I) // context main->leaf
+		r2 := b.Call(mid.M, lp.I)  // contexts main->mid, main->mid->leaf
+		b.BinTo(ir.OpAdd, acc, acc, r1)
+		b.BinTo(ir.OpAdd, acc, acc, r2)
+		b.Jump(lp.Latch)
+		lp.After.Return(acc)
+	}
+	p := &ir.Program{Name: "cct", Funcs: []*ir.Method{leaf.M, mid.M, mb.M}, Main: mb.M}
+	p.Seal()
+	return p
+}
+
+func runCCT(t *testing.T, ins Instrumenter, exhaustive bool, interval int64) (Runtime, *vm.Result) {
+	t.Helper()
+	q := ir.CloneProgram(cctProgram())
+	AssignCallSiteIDs(q)
+	InstrumentAll(q, []Instrumenter{ins})
+	rts, handlers := NewRuntimes(q, []Instrumenter{ins})
+	q.Seal()
+	var trig trigger.Trigger = trigger.Always{}
+	if !exhaustive {
+		// Guard every probe individually so enters and exits are sampled
+		// independently — the §2 hazard in its purest form.
+		for _, m := range q.Methods() {
+			for _, b := range m.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].Op == ir.OpProbe {
+						b.Instrs[i].Op = ir.OpCheckedProbe
+					}
+				}
+			}
+		}
+		trig = trigger.NewCounter(interval)
+	}
+	out, err := vm.New(q, vm.Config{Handlers: handlers, Trigger: trig}).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rts[0], out
+}
+
+func TestCCTExhaustiveDistinguishesContexts(t *testing.T) {
+	rt, _ := runCCT(t, &CCT{}, true, 0)
+	prof := rt.Profile()
+	// Contexts: main, main->leaf, main->mid, main->mid->leaf.
+	if prof.NumEvents() != 4 {
+		t.Fatalf("%d contexts, want 4", prof.NumEvents())
+	}
+	// leaf is entered 800 times across two distinct contexts, 400 each.
+	counts := map[uint64]uint64{}
+	for _, e := range prof.Entries() {
+		counts[e.Count]++
+	}
+	if counts[400] != 3 { // main->leaf, main->mid, main->mid->leaf
+		t.Errorf("expected three 400-count contexts: %v", prof.Entries())
+	}
+}
+
+// TestSampledCCTMatchesExhaustiveShape verifies the [8]-style variant
+// agrees with the exhaustive tree exactly when exhaustive, and stays
+// faithful under sparse sampling, while the naive variant corrupts.
+func TestSampledCCTMatchesExhaustiveShape(t *testing.T) {
+	exh, _ := runCCT(t, &SampledCCT{}, true, 0)
+	perfect := exh.Profile()
+	if perfect.NumEvents() != 4 {
+		t.Fatalf("stack-walk exhaustive: %d contexts, want 4", perfect.NumEvents())
+	}
+
+	naiveExh, _ := runCCT(t, &CCT{}, true, 0)
+	if ov := profile.Overlap(perfect, naiveExh.Profile()); ov < 99.99 {
+		t.Fatalf("exhaustive naive vs stack-walk disagree: %.1f%%", ov)
+	}
+
+	// Sparse sampling: the naive shadow stack desynchronizes, the
+	// stack-walking variant does not.
+	sampled, _ := runCCT(t, &SampledCCT{}, false, 7)
+	ovSampled := profile.Overlap(perfect, sampled.Profile())
+	naive, _ := runCCT(t, &CCT{}, false, 7)
+	ovNaive := profile.Overlap(perfect, naive.Profile())
+	t.Logf("sampled CCT overlap: stack-walk %.1f%%, naive shadow-stack %.1f%%", ovSampled, ovNaive)
+	if ovSampled < 90 {
+		t.Errorf("stack-walking CCT inaccurate under sampling: %.1f%%", ovSampled)
+	}
+	if ovNaive >= ovSampled {
+		t.Errorf("naive CCT (%.1f%%) should corrupt under sampling vs stack-walk (%.1f%%)",
+			ovNaive, ovSampled)
+	}
+}
+
+// TestCCTDeterministicHashes pins the context hash chain: same program,
+// same contexts, across runs.
+func TestCCTDeterministicHashes(t *testing.T) {
+	a, _ := runCCT(t, &SampledCCT{}, true, 0)
+	b, _ := runCCT(t, &SampledCCT{}, true, 0)
+	if ov := profile.Overlap(a.Profile(), b.Profile()); ov < 99.99 {
+		t.Fatalf("hash chain not deterministic: %.1f%%", ov)
+	}
+}

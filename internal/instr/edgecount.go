@@ -1,0 +1,210 @@
+package instr
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// EdgeProfile performs intraprocedural edge profiling: one counter per CFG
+// edge. Edges out of multi-successor terminators are split so the probe
+// sits on the edge itself. Edge profiling is the classic feedback profile
+// for superblock scheduling and code layout; the paper cites it as a
+// standard event-counting instrumentation that the framework samples
+// unmodified (§2).
+type EdgeProfile struct {
+	// Cost overrides the per-probe cycle cost (default 4).
+	Cost uint32
+
+	nextID int
+	labels map[int]string
+}
+
+// DefaultEdgeProbeCost models a load, increment and store on the edge
+// counter array.
+const DefaultEdgeProbeCost = 4
+
+// Name returns "edge".
+func (*EdgeProfile) Name() string { return "edge" }
+
+// Instrument splits every multi-successor edge with a trampoline block
+// holding the probe; single-successor blocks get the probe before their
+// terminator.
+func (e *EdgeProfile) Instrument(p *ir.Program, m *ir.Method, owner int) {
+	cost := e.Cost
+	if cost == 0 {
+		cost = DefaultEdgeProbeCost
+	}
+	if e.labels == nil {
+		e.labels = make(map[int]string)
+	}
+	blocks := append([]*ir.Block(nil), m.Blocks...)
+	for _, b := range blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		newProbe := func(to *ir.Block) ir.Instr {
+			id := e.nextID
+			e.nextID++
+			e.labels[id] = fmt.Sprintf("%s: %s->%s", m.FullName(), b.Name(), to.Name())
+			return ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{
+				Owner: owner, Kind: ir.ProbeEvent, ID: id, Cost: cost,
+			}}
+		}
+		switch len(t.Targets) {
+		case 0:
+			// Return edge: count the return itself as an edge event.
+			in := newProbe(b)
+			b.InsertBeforeTerminator(in)
+		case 1:
+			in := newProbe(t.Targets[0])
+			b.InsertBeforeTerminator(in)
+		default:
+			for i, tgt := range t.Targets {
+				tramp := m.NewBlock("")
+				tramp.Append(newProbe(tgt))
+				tramp.Append(ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{tgt}})
+				// The trampoline inherits the edge's backedge marking so
+				// yieldpoint insertion and stats stay consistent.
+				if t.BackedgeMask&(1<<uint(i)) != 0 {
+					t.BackedgeMask &^= 1 << uint(i)
+					tramp.Instrs[len(tramp.Instrs)-1].BackedgeMask = 1
+				}
+				t.Targets[i] = tramp
+			}
+		}
+	}
+	m.RecomputePreds()
+	m.Renumber()
+}
+
+// NewRuntime returns an edge-profile accumulator.
+func (e *EdgeProfile) NewRuntime(p *ir.Program) Runtime {
+	rt := &eventRuntime{prof: profile.New("edge")}
+	labels := e.labels
+	rt.prof.Labeler = func(key uint64) string {
+		if s, ok := labels[int(key)]; ok {
+			return s
+		}
+		return fmt.Sprintf("edge#%d", key)
+	}
+	return rt
+}
+
+// BlockCount counts basic-block executions: one probe at the top of every
+// block. This is the densest possible event-counting instrumentation and
+// a good stress test for Partial-Duplication (every node is instrumented,
+// so nothing can be removed).
+type BlockCount struct {
+	// Cost overrides the per-probe cycle cost (default 4).
+	Cost uint32
+
+	nextID int
+	labels map[int]string
+}
+
+// Name returns "block-count".
+func (*BlockCount) Name() string { return "block-count" }
+
+// Instrument inserts a counting probe at the top of every block.
+func (bc *BlockCount) Instrument(p *ir.Program, m *ir.Method, owner int) {
+	cost := bc.Cost
+	if cost == 0 {
+		cost = DefaultEdgeProbeCost
+	}
+	if bc.labels == nil {
+		bc.labels = make(map[int]string)
+	}
+	for _, b := range m.Blocks {
+		id := bc.nextID
+		bc.nextID++
+		bc.labels[id] = fmt.Sprintf("%s:%s", m.FullName(), b.Name())
+		b.InsertFront(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{
+			Owner: owner, Kind: ir.ProbeEvent, ID: id, Cost: cost,
+		}})
+	}
+}
+
+// NewRuntime returns a block-count accumulator.
+func (bc *BlockCount) NewRuntime(p *ir.Program) Runtime {
+	rt := &eventRuntime{prof: profile.New("block-count")}
+	labels := bc.labels
+	rt.prof.Labeler = func(key uint64) string {
+		if s, ok := labels[int(key)]; ok {
+			return s
+		}
+		return fmt.Sprintf("block#%d", key)
+	}
+	return rt
+}
+
+// eventRuntime counts ProbeEvent IDs.
+type eventRuntime struct {
+	prof *profile.Profile
+}
+
+func (rt *eventRuntime) HandleProbe(ev *vm.ProbeEvent) { rt.prof.Inc(uint64(ev.Probe.ID)) }
+func (rt *eventRuntime) Profile() *profile.Profile     { return rt.prof }
+
+// ValueProfile records the runtime values of the first parameter of every
+// method with at least one parameter — the §4.3 suggestion that "there are
+// also other types of profile information available at method entry, such
+// as parameter values that can be used to guide specialization".
+type ValueProfile struct {
+	// Cost overrides the per-probe cycle cost (default 12: the paper's
+	// value-profiling citations maintain a top-N-values table per site).
+	Cost uint32
+}
+
+// DefaultValueProbeCost models a hashed table lookup and update.
+const DefaultValueProbeCost = 12
+
+// Name returns "value".
+func (*ValueProfile) Name() string { return "value" }
+
+// Instrument inserts a ProbeValue on register 0 at entry of every method
+// that has parameters.
+func (v *ValueProfile) Instrument(p *ir.Program, m *ir.Method, owner int) {
+	if m.NumParams == 0 {
+		return
+	}
+	cost := v.Cost
+	if cost == 0 {
+		cost = DefaultValueProbeCost
+	}
+	m.Entry().InsertFront(ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{
+		Owner: owner, Kind: ir.ProbeValue, ID: m.ID, Reg: 0, Cost: cost,
+	}})
+}
+
+// NewRuntime returns a value-profile accumulator keyed by
+// (method, observed value).
+func (v *ValueProfile) NewRuntime(p *ir.Program) Runtime {
+	rt := &valueRuntime{prof: profile.New("value"), prog: p}
+	rt.prof.Labeler = rt.label
+	return rt
+}
+
+type valueRuntime struct {
+	prof *profile.Profile
+	prog *ir.Program
+}
+
+func (rt *valueRuntime) HandleProbe(ev *vm.ProbeEvent) {
+	rt.prof.Inc(pack3(uint64(ev.Probe.ID), 0, uint64(ev.Value)))
+}
+
+func (rt *valueRuntime) Profile() *profile.Profile { return rt.prof }
+
+func (rt *valueRuntime) label(key uint64) string {
+	mid, _, val := unpack3(key)
+	ms := rt.prog.Methods()
+	name := fmt.Sprintf("m#%d", mid)
+	if int(mid) < len(ms) {
+		name = ms[mid].FullName()
+	}
+	return fmt.Sprintf("%s(param0=%d)", name, val)
+}

@@ -1,0 +1,195 @@
+package instr
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// PathProfile implements Ball–Larus efficient path profiling ("Efficient
+// Path Profiling", MICRO-29, cited as [11] by the paper): each acyclic
+// path through a method receives a compact integer, computed at runtime by
+// summing per-edge increments into a frame-local path register, and a
+// counter is bumped when the path completes (at returns and at loop
+// backedges, which act as path terminators and restarters).
+//
+// The instrumentation demonstrates a multi-probe, frame-stateful
+// instrumentation inside the sampling framework: §2 notes that
+// instrumentation attached to backedges simply moves to the
+// duplicated-to-checking exit edge, which happens naturally here because
+// the probes sit in blocks, before the terminators.
+type PathProfile struct {
+	// Cost overrides the path-record probe cost (default 8). Increment
+	// probes cost 2.
+	Cost uint32
+	// MaxPathsPerMethod skips methods whose acyclic-path count exceeds
+	// the bound (default 1 << 16), keeping the path ID space dense.
+	MaxPathsPerMethod int64
+
+	nextBase int64
+	bases    map[int]int64 // method ID -> base
+	names    map[int]string
+}
+
+// DefaultPathRecordCost models the counter-table update when a path
+// completes; increments along the way cost DefaultPathIncCost.
+const (
+	DefaultPathRecordCost = 8
+	DefaultPathIncCost    = 2
+)
+
+// Name returns "path".
+func (*PathProfile) Name() string { return "path" }
+
+// Instrument numbers the method's acyclic paths and inserts the
+// register-update and record probes.
+func (pp *PathProfile) Instrument(p *ir.Program, m *ir.Method, owner int) {
+	recCost := pp.Cost
+	if recCost == 0 {
+		recCost = DefaultPathRecordCost
+	}
+	maxPaths := pp.MaxPathsPerMethod
+	if maxPaths == 0 {
+		maxPaths = 1 << 16
+	}
+	if pp.bases == nil {
+		pp.bases = make(map[int]int64)
+		pp.names = make(map[int]string)
+	}
+
+	// Build the acyclic view: DAG edges are all edges minus backedges.
+	backedge := make(map[[2]*ir.Block]bool)
+	for _, e := range m.Backedges() {
+		backedge[[2]*ir.Block{e.From, e.To}] = true
+	}
+
+	// numPaths(v): number of acyclic paths from v to any exit, treating
+	// backedge sources as exits and backedge targets as additional
+	// entries (the standard Ball–Larus loop handling). Process blocks in
+	// reverse topological order of the DAG.
+	order := ir.DAGPostorder(m, backedge)
+	numPaths := make(map[*ir.Block]int64, len(order))
+	// val[edge] is the increment assigned to each DAG edge.
+	val := make(map[[2]int]int64)
+	for _, v := range order { // postorder: successors first
+		t := v.Terminator()
+		isExit := t == nil || len(t.Targets) == 0
+		var n int64
+		for i, s := range t.Targets {
+			if backedge[[2]*ir.Block{v, s}] {
+				// Backedge: path terminates here (recorded), so this
+				// successor contributes one path ending at v.
+				n++
+				_ = i
+				continue
+			}
+			val[[2]int{v.ID, i}] = n
+			n += numPaths[s]
+		}
+		if isExit || n == 0 {
+			n = 1
+		}
+		numPaths[v] = n
+	}
+	total := numPaths[m.Entry()]
+	if total <= 0 || total > maxPaths {
+		return // degenerate or too many paths; skip this method
+	}
+	base := pp.nextBase
+	pp.nextBase += total
+	pp.bases[m.ID] = base
+	pp.names[m.ID] = m.FullName()
+
+	// Frame scratch slot for the path register.
+	slot := ir.Reg(m.ProbeRegs)
+	m.ProbeRegs++
+
+	probe := func(kind ir.ProbeKind, imm int64, cost uint32) ir.Instr {
+		return ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{
+			Owner: owner, Kind: kind, ID: int(base), Reg: slot, Imm: imm, Cost: cost,
+		}}
+	}
+
+	// Entry: initialize the path register.
+	m.Entry().InsertFront(probe(ir.ProbePathInit, 0, DefaultPathIncCost))
+
+	// Edge increments. Single-successor edges add before the terminator;
+	// multi-successor edges with non-zero increments need trampolines.
+	blocks := append([]*ir.Block(nil), m.Blocks...)
+	for _, b := range blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		if len(t.Targets) == 0 {
+			// Return: record the completed path.
+			b.InsertBeforeTerminator(probe(ir.ProbePathRecord, 0, recCost))
+			continue
+		}
+		for i := range t.Targets {
+			tgt := t.Targets[i]
+			if backedge[[2]*ir.Block{b, tgt}] {
+				// Backedge: record, then restart the path register for
+				// the next iteration. Needs a trampoline so the
+				// record/reset happens only when the backedge is taken.
+				tramp := m.NewBlock("")
+				tramp.Append(probe(ir.ProbePathRecord, 0, recCost))
+				tramp.Append(probe(ir.ProbePathInit, 0, DefaultPathIncCost))
+				tramp.Append(ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{tgt}})
+				if t.BackedgeMask&(1<<uint(i)) != 0 {
+					t.BackedgeMask &^= 1 << uint(i)
+					tramp.Instrs[len(tramp.Instrs)-1].BackedgeMask = 1
+				}
+				t.Targets[i] = tramp
+				continue
+			}
+			inc := val[[2]int{b.ID, i}]
+			if inc == 0 {
+				continue
+			}
+			if len(t.Targets) == 1 {
+				b.InsertBeforeTerminator(probe(ir.ProbePathInc, inc, DefaultPathIncCost))
+				continue
+			}
+			tramp := m.NewBlock("")
+			tramp.Append(probe(ir.ProbePathInc, inc, DefaultPathIncCost))
+			tramp.Append(ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{tgt}})
+			t.Targets[i] = tramp
+		}
+	}
+	m.RecomputePreds()
+	m.Renumber()
+}
+
+// NewRuntime returns a path-profile accumulator keyed by
+// (method path base + path number).
+func (pp *PathProfile) NewRuntime(p *ir.Program) Runtime {
+	rt := &pathRuntime{prof: profile.New("path")}
+	bases, names := pp.bases, pp.names
+	rt.prof.Labeler = func(key uint64) string {
+		// Find the method whose range contains the key.
+		bestID, bestBase := -1, int64(-1)
+		for id, b := range bases {
+			if b <= int64(key) && b > bestBase {
+				bestID, bestBase = id, b
+			}
+		}
+		if bestID < 0 {
+			return fmt.Sprintf("path#%d", key)
+		}
+		return fmt.Sprintf("%s path %d", names[bestID], int64(key)-bestBase)
+	}
+	return rt
+}
+
+type pathRuntime struct {
+	prof *profile.Profile
+}
+
+func (rt *pathRuntime) HandleProbe(ev *vm.ProbeEvent) {
+	rt.prof.Inc(uint64(int64(ev.Probe.ID) + ev.Value))
+}
+
+func (rt *pathRuntime) Profile() *profile.Profile { return rt.prof }

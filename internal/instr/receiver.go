@@ -1,0 +1,136 @@
+package instr
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// ReceiverProfile records the dynamic receiver class at every virtual
+// call site — the profile behind profile-guided receiver class prediction
+// (Grove, Dean, Garrett & Chambers, the paper's citation [27], and the
+// kind of "offline feedback-directed optimization" §1 motivates bringing
+// online). A site whose receivers are monomorphic in the sampled profile
+// can be devirtualized with a guard (compile.Devirtualize) and the
+// resulting static call becomes inlinable.
+type ReceiverProfile struct {
+	// Cost overrides the per-probe cycle cost (default 6: a class-word
+	// load plus a table update).
+	Cost uint32
+}
+
+// Name returns "receiver".
+func (*ReceiverProfile) Name() string { return "receiver" }
+
+// Instrument inserts a ProbeReceiver immediately before every virtual
+// call, observing the receiver register under the call's site ID. Call
+// sites must already be numbered (instr.AssignCallSiteIDs — the compile
+// pipeline guarantees this).
+func (r *ReceiverProfile) Instrument(p *ir.Program, m *ir.Method, owner int) {
+	cost := r.Cost
+	if cost == 0 {
+		cost = 6
+	}
+	for _, b := range m.Blocks {
+		var out []ir.Instr
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCallVirt {
+				out = append(out, ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{
+					Owner: owner,
+					Kind:  ir.ProbeReceiver,
+					ID:    int(in.Imm), // call-site ID
+					Reg:   in.Args[0],
+					Cost:  cost,
+				}})
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}
+
+// NewRuntime returns a receiver-class accumulator keyed by
+// (call site, receiver class).
+func (r *ReceiverProfile) NewRuntime(p *ir.Program) Runtime {
+	rt := &receiverRuntime{prof: profile.New("receiver"), prog: p}
+	rt.prof.Labeler = rt.label
+	return rt
+}
+
+type receiverRuntime struct {
+	prof *profile.Profile
+	prog *ir.Program
+}
+
+// receiverKey packs (site, class+3) so the -1/-2 sentinels stay positive.
+func receiverKey(site int, classID int64) uint64 {
+	return pack3(uint64(site), 0, uint64(classID+3))
+}
+
+// DecodeReceiver unpacks a receiver-profile key into (call-site ID,
+// dense class ID); classID is -1 for non-class objects and -2 for null.
+func DecodeReceiver(key uint64) (site int, classID int) {
+	a, _, c := unpack3(key)
+	return int(a), int(c) - 3
+}
+
+func (rt *receiverRuntime) HandleProbe(ev *vm.ProbeEvent) {
+	rt.prof.Inc(receiverKey(ev.Probe.ID, ev.Value))
+}
+
+func (rt *receiverRuntime) Profile() *profile.Profile { return rt.prof }
+
+func (rt *receiverRuntime) label(key uint64) string {
+	site, cid := DecodeReceiver(key)
+	cls := "?"
+	switch {
+	case cid == -1:
+		cls = "<non-class>"
+	case cid == -2:
+		cls = "<null>"
+	case cid >= 0 && cid < len(rt.prog.Classes):
+		cls = rt.prog.Classes[cid].Name
+	}
+	return fmt.Sprintf("site%d recv=%s", site, cls)
+}
+
+// PredictReceivers turns a receiver profile into devirtualization
+// decisions: for each call site whose dominant receiver class accounts
+// for at least minShare of its samples (and at least minSamples were
+// seen), the site maps to that class's dense ID — the input to
+// compile.Options.DevirtSites.
+func PredictReceivers(prof *profile.Profile, minShare float64, minSamples uint64) map[int]int {
+	type acc struct {
+		total uint64
+		byCls map[int]uint64
+	}
+	sites := make(map[int]*acc)
+	for _, e := range prof.Entries() {
+		site, cid := DecodeReceiver(e.Key)
+		a := sites[site]
+		if a == nil {
+			a = &acc{byCls: make(map[int]uint64)}
+			sites[site] = a
+		}
+		a.total += e.Count
+		a.byCls[cid] += e.Count
+	}
+	out := make(map[int]int)
+	for site, a := range sites {
+		if a.total < minSamples {
+			continue
+		}
+		bestCls, bestN := -10, uint64(0)
+		for cid, n := range a.byCls {
+			if n > bestN || (n == bestN && cid < bestCls) {
+				bestCls, bestN = cid, n
+			}
+		}
+		if bestCls >= 0 && float64(bestN) >= minShare*float64(a.total) {
+			out[site] = bestCls
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package ir
+
+import "fmt"
+
+// BlockKind classifies blocks after the sampling framework has run.
+type BlockKind uint8
+
+const (
+	// KindChecking marks original code: minimally instrumented, carrying
+	// only the counter-based checks (and, unless the yieldpoint
+	// optimization is on, the yieldpoints).
+	KindChecking BlockKind = iota
+	// KindDuplicated marks the duplicated code that carries all
+	// instrumentation.
+	KindDuplicated
+	// KindCheckBlock marks a synthesized block holding a single OpCheck
+	// terminator (the diamonds of Figure 2).
+	KindCheckBlock
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case KindChecking:
+		return "checking"
+	case KindDuplicated:
+		return "duplicated"
+	case KindCheckBlock:
+		return "check"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// single terminator. Control-flow structure lives in the terminator's
+// Targets; Preds is derived (call Method.RecomputePreds or rely on the
+// analyses to refresh it).
+type Block struct {
+	// ID is unique within the method and dense from 0 in Method.Blocks
+	// order after Method.Renumber.
+	ID int
+	// Label is an optional assembler label.
+	Label string
+	// Instrs holds the block body; the last instruction is the terminator.
+	Instrs []Instr
+	// Preds are the predecessor blocks (derived).
+	Preds []*Block
+	// Kind records the framework role of the block (see BlockKind).
+	Kind BlockKind
+	// Twin links a checking block to its duplicated copy and vice versa
+	// (nil before the framework runs, or when the copy was elided by
+	// Partial-Duplication).
+	Twin *Block
+	// Addr and Size are the code address and byte size assigned by the
+	// layout pass (used by the i-cache model and the space accounting).
+	Addr, Size int
+
+	rpoIndex int // position in reverse postorder; -1 when unreachable
+}
+
+// Name returns a printable name for the block.
+func (b *Block) Name() string {
+	if b.Label != "" {
+		return fmt.Sprintf("%s(b%d)", b.Label, b.ID)
+	}
+	return fmt.Sprintf("b%d", b.ID)
+}
+
+// Terminator returns the block's terminator instruction, or nil if the
+// block is empty or unterminated (only legal mid-construction).
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the block's successors (the terminator's targets).
+// The returned slice aliases the terminator; treat it as read-only.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+// HasProbe reports whether the block contains any instrumentation probe.
+// This is the "instrumented node" predicate of the Partial-Duplication
+// algorithm (§3.1).
+func (b *Block) HasProbe() bool {
+	for i := range b.Instrs {
+		if b.Instrs[i].Op == OpProbe || b.Instrs[i].Op == OpCheckedProbe {
+			return true
+		}
+	}
+	return false
+}
+
+// Append adds an instruction to the block. It panics if the block is
+// already terminated: transforms must not silently append dead code.
+func (b *Block) Append(in Instr) {
+	if t := b.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: append %v to terminated block %s", in.Op, b.Name()))
+	}
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertFront inserts instructions at the beginning of the block.
+func (b *Block) InsertFront(ins ...Instr) {
+	b.Instrs = append(append([]Instr{}, ins...), b.Instrs...)
+}
+
+// InsertBeforeTerminator inserts instructions just before the terminator.
+// It panics if the block is unterminated.
+func (b *Block) InsertBeforeTerminator(ins ...Instr) {
+	if b.Terminator() == nil {
+		panic("ir: InsertBeforeTerminator on unterminated block " + b.Name())
+	}
+	n := len(b.Instrs) - 1
+	rest := append([]Instr{}, b.Instrs[n:]...)
+	b.Instrs = append(append(b.Instrs[:n:n], ins...), rest...)
+}
+
+// ReplaceTarget rewrites every terminator target equal to old with new. It
+// returns the number of replacements.
+func (b *Block) ReplaceTarget(old, new *Block) int {
+	t := b.Terminator()
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i, tgt := range t.Targets {
+		if tgt == old {
+			t.Targets[i] = new
+			n++
+		}
+	}
+	return n
+}
+
+// StripProbes removes all OpProbe/OpCheckedProbe instructions from the
+// block, returning how many were removed.
+func (b *Block) StripProbes() int {
+	out := b.Instrs[:0]
+	removed := 0
+	for _, in := range b.Instrs {
+		if in.Op == OpProbe || in.Op == OpCheckedProbe {
+			removed++
+			continue
+		}
+		out = append(out, in)
+	}
+	b.Instrs = out
+	return removed
+}
+
+// StripYields removes all OpYield instructions from the block, returning
+// how many were removed. Used by the yieldpoint optimization (§4.5).
+func (b *Block) StripYields() int {
+	out := b.Instrs[:0]
+	removed := 0
+	for _, in := range b.Instrs {
+		if in.Op == OpYield {
+			removed++
+			continue
+		}
+		out = append(out, in)
+	}
+	b.Instrs = out
+	return removed
+}

@@ -1,0 +1,238 @@
+package ir
+
+import "fmt"
+
+// Builder provides a fluent API for constructing methods. It manages
+// register allocation and block creation so benchmark programs and tests
+// read like straight-line pseudocode.
+//
+//	f := ir.NewFunc("sum", 1)
+//	b := f.At(f.EntryBlock())
+//	acc := b.Const(0)
+//	...
+type Builder struct {
+	M    *Method
+	next Reg
+}
+
+// NewFunc creates a free function with the given parameter count and
+// returns a builder for it. Parameter registers are 0..numParams-1.
+func NewFunc(name string, numParams int) *Builder {
+	m := &Method{Name: name, NumParams: numParams, NumRegs: numParams}
+	m.NewBlock("entry")
+	return &Builder{M: m, next: Reg(numParams)}
+}
+
+// NewMethod creates a virtual method on class c. numParams counts the
+// receiver, which arrives in register 0.
+func NewMethod(c *Class, name string, numParams int) *Builder {
+	b := NewFunc(name, numParams)
+	c.AddMethod(b.M)
+	return b
+}
+
+// FreshReg allocates a new virtual register.
+func (bd *Builder) FreshReg() Reg {
+	r := bd.next
+	bd.next++
+	if int(bd.next) > bd.M.NumRegs {
+		bd.M.NumRegs = int(bd.next)
+	}
+	return r
+}
+
+// EntryBlock returns the method's entry block.
+func (bd *Builder) EntryBlock() *Block { return bd.M.Entry() }
+
+// Block creates a new labelled block.
+func (bd *Builder) Block(label string) *Block { return bd.M.NewBlock(label) }
+
+// At returns a cursor appending to block b.
+func (bd *Builder) At(b *Block) *Cursor { return &Cursor{bd: bd, b: b} }
+
+// Cursor appends instructions to a specific block.
+type Cursor struct {
+	bd *Builder
+	b  *Block
+}
+
+// Blk returns the cursor's block.
+func (c *Cursor) Blk() *Block { return c.b }
+
+// Fresh allocates a new register via the underlying builder.
+func (c *Cursor) Fresh() Reg { return c.bd.FreshReg() }
+
+// Const emits Dst = imm into a fresh register.
+func (c *Cursor) Const(imm int64) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: OpConst, Dst: r, Imm: imm})
+	return r
+}
+
+// ConstTo emits dst = imm.
+func (c *Cursor) ConstTo(dst Reg, imm int64) {
+	c.b.Append(Instr{Op: OpConst, Dst: dst, Imm: imm})
+}
+
+// Move emits dst = src.
+func (c *Cursor) Move(dst, src Reg) {
+	c.b.Append(Instr{Op: OpMove, Dst: dst, A: src})
+}
+
+// Bin emits a fresh register = a op b for an arithmetic/comparison op.
+func (c *Cursor) Bin(op Op, a, b Reg) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: op, Dst: r, A: a, B: b})
+	return r
+}
+
+// BinTo emits dst = a op b.
+func (c *Cursor) BinTo(op Op, dst, a, b Reg) {
+	c.b.Append(Instr{Op: op, Dst: dst, A: a, B: b})
+}
+
+// Un emits a fresh register = op a (OpNeg, OpNot, OpArrayLen).
+func (c *Cursor) Un(op Op, a Reg) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: op, Dst: r, A: a})
+	return r
+}
+
+// New emits allocation of class cl into a fresh register.
+func (c *Cursor) New(cl *Class) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: OpNew, Dst: r, Class: cl})
+	return r
+}
+
+// GetField emits a load of cl.field from the object in obj.
+func (c *Cursor) GetField(obj Reg, cl *Class, field string) Reg {
+	idx, ok := cl.FieldIndex(field)
+	if !ok {
+		panic(fmt.Sprintf("ir: class %s has no field %s", cl.Name, field))
+	}
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: OpGetField, Dst: r, A: obj, Class: cl, Field: idx})
+	return r
+}
+
+// PutField emits a store of val into cl.field of the object in obj.
+func (c *Cursor) PutField(obj Reg, cl *Class, field string, val Reg) {
+	idx, ok := cl.FieldIndex(field)
+	if !ok {
+		panic(fmt.Sprintf("ir: class %s has no field %s", cl.Name, field))
+	}
+	c.b.Append(Instr{Op: OpPutField, A: val, B: obj, Class: cl, Field: idx})
+}
+
+// NewArray emits allocation of an array of length in reg ln.
+func (c *Cursor) NewArray(ln Reg) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: OpNewArray, Dst: r, A: ln})
+	return r
+}
+
+// ALoad emits a fresh register = arr[idx].
+func (c *Cursor) ALoad(arr, idx Reg) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: OpArrayLoad, Dst: r, A: arr, B: idx})
+	return r
+}
+
+// AStore emits arr[idx] = val.
+func (c *Cursor) AStore(arr, idx, val Reg) {
+	c.b.Append(Instr{Op: OpArrayStore, Dst: arr, A: val, B: idx})
+}
+
+// Call emits a static call to m.
+func (c *Cursor) Call(m *Method, args ...Reg) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: OpCall, Dst: r, Method: m, Args: append([]Reg(nil), args...)})
+	return r
+}
+
+// CallVirt emits a virtual call: recv.name(args...).
+func (c *Cursor) CallVirt(name string, recv Reg, args ...Reg) Reg {
+	r := c.bd.FreshReg()
+	all := append([]Reg{recv}, args...)
+	c.b.Append(Instr{Op: OpCallVirt, Dst: r, Name: name, Args: all})
+	return r
+}
+
+// Spawn emits a thread spawn of m(args...), returning the handle register.
+func (c *Cursor) Spawn(m *Method, args ...Reg) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: OpSpawn, Dst: r, Method: m, Args: append([]Reg(nil), args...)})
+	return r
+}
+
+// Join emits a join on the thread handle in h, yielding its result.
+func (c *Cursor) Join(h Reg) Reg {
+	r := c.bd.FreshReg()
+	c.b.Append(Instr{Op: OpJoin, Dst: r, A: h})
+	return r
+}
+
+// IO emits a simulated expensive operation of the given cycle cost.
+func (c *Cursor) IO(cycles int64) {
+	c.b.Append(Instr{Op: OpIO, Imm: cycles})
+}
+
+// Print emits an output of register a.
+func (c *Cursor) Print(a Reg) {
+	c.b.Append(Instr{Op: OpPrint, A: a})
+}
+
+// Jump terminates the block with a jump to t and moves the cursor to t.
+func (c *Cursor) Jump(t *Block) *Cursor {
+	c.b.Append(Instr{Op: OpJump, Targets: []*Block{t}})
+	return &Cursor{bd: c.bd, b: t}
+}
+
+// Branch terminates the block with a conditional branch.
+func (c *Cursor) Branch(cond Reg, then, els *Block) {
+	c.b.Append(Instr{Op: OpBranch, A: cond, Targets: []*Block{then, els}})
+}
+
+// Return terminates the block returning r.
+func (c *Cursor) Return(r Reg) {
+	c.b.Append(Instr{Op: OpReturn, A: r})
+}
+
+// ReturnVoid terminates the block returning 0.
+func (c *Cursor) ReturnVoid() {
+	c.b.Append(Instr{Op: OpReturn, A: NoReg})
+}
+
+// Loop builds a counted loop `for i = 0; i < n; i++ { body }` and returns
+// (loop-variable register, body cursor, after-loop cursor). The body
+// cursor's block must eventually be terminated by calling its Continue
+// function, which jumps to the loop latch.
+//
+// For flexibility the helper returns the latch block so multi-block bodies
+// can branch to it from anywhere.
+type LoopParts struct {
+	I     Reg     // loop variable
+	Body  *Cursor // start of body
+	Latch *Block  // jump here to continue the loop
+	After *Cursor // code after the loop
+}
+
+// CountedLoop emits the skeleton of `for i = 0; i < n; i++`.
+func (c *Cursor) CountedLoop(n Reg, name string) LoopParts {
+	bd := c.bd
+	i := bd.FreshReg()
+	c.ConstTo(i, 0)
+	head := bd.Block(name + "_head")
+	body := bd.Block(name + "_body")
+	latch := bd.Block(name + "_latch")
+	after := bd.Block(name + "_after")
+	hc := c.Jump(head)
+	cond := hc.Bin(OpCmpLT, i, n)
+	hc.Branch(cond, body, after)
+	lc := bd.At(latch)
+	one := lc.Const(1)
+	lc.BinTo(OpAdd, i, i, one)
+	lc.Jump(head)
+	return LoopParts{I: i, Body: bd.At(body), Latch: latch, After: bd.At(after)}
+}

@@ -1,0 +1,259 @@
+package ir
+
+// ReversePostorder returns the method's blocks in reverse postorder of a
+// depth-first traversal from the entry, and records each block's RPO index
+// (unreachable blocks get index -1 and are omitted).
+func (m *Method) ReversePostorder() []*Block {
+	for _, b := range m.Blocks {
+		b.rpoIndex = -1
+	}
+	post := make([]*Block, 0, len(m.Blocks))
+	visited := make(map[*Block]bool, len(m.Blocks))
+
+	// Iterative DFS with an explicit frame stack so deep CFGs (large
+	// generated programs) cannot overflow the Go stack.
+	type frame struct {
+		b    *Block
+		next int
+	}
+	if m.Entry() == nil {
+		return nil
+	}
+	stack := []frame{{b: m.Entry()}}
+	visited[m.Entry()] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := f.b.Succs()
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if s != nil && !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	// Reverse.
+	rpo := make([]*Block, len(post))
+	for i, b := range post {
+		idx := len(post) - 1 - i
+		rpo[idx] = b
+		b.rpoIndex = idx
+	}
+	return rpo
+}
+
+// Dominators computes the immediate-dominator relation using the iterative
+// algorithm of Cooper, Harvey and Kennedy. The result maps each reachable
+// block to its immediate dominator; the entry maps to itself.
+type Dominators struct {
+	idom map[*Block]*Block
+	rpo  []*Block
+}
+
+// ComputeDominators runs the dominator analysis on the method.
+func (m *Method) ComputeDominators() *Dominators {
+	rpo := m.ReversePostorder()
+	m.RecomputePreds()
+	d := &Dominators{idom: make(map[*Block]*Block, len(rpo)), rpo: rpo}
+	if len(rpo) == 0 {
+		return d
+	}
+	entry := rpo[0]
+	d.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if d.idom[p] == nil {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *Dominators) intersect(a, b *Block) *Block {
+	for a != b {
+		for a.rpoIndex > b.rpoIndex {
+			a = d.idom[a]
+		}
+		for b.rpoIndex > a.rpoIndex {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (entry for itself), or nil if
+// b is unreachable.
+func (d *Dominators) Idom(b *Block) *Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *Dominators) Dominates(a, b *Block) bool {
+	if d.idom[b] == nil || d.idom[a] == nil {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == b {
+			return false // reached entry
+		}
+		b = next
+	}
+}
+
+// Edge is a CFG edge.
+type Edge struct {
+	From, To *Block
+	// Index is the position of To in From's terminator targets.
+	Index int
+}
+
+// Edges returns every CFG edge of the method in deterministic order.
+func (m *Method) Edges() []Edge {
+	var out []Edge
+	for _, b := range m.Blocks {
+		for i, s := range b.Succs() {
+			if s != nil {
+				out = append(out, Edge{From: b, To: s, Index: i})
+			}
+		}
+	}
+	return out
+}
+
+// Backedges returns the method's backedges: edges whose target dominates
+// their source (natural-loop backedges), plus any DFS retreating edge in
+// irreducible regions. This matches the set of edges on which the paper
+// places checks and Jalapeño places yieldpoints — together with method
+// entry they bound the code executable between two checks.
+func (m *Method) Backedges() []Edge {
+	dom := m.ComputeDominators()
+	// DFS retreating edges: target still on the DFS stack.
+	state := make(map[*Block]int, len(m.Blocks)) // 0 unseen, 1 on-stack, 2 done
+	retreat := make(map[[2]*Block]bool)
+	type frame struct {
+		b    *Block
+		next int
+	}
+	if m.Entry() == nil {
+		return nil
+	}
+	stack := []frame{{b: m.Entry()}}
+	state[m.Entry()] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := f.b.Succs()
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if s == nil {
+				continue
+			}
+			switch state[s] {
+			case 0:
+				state[s] = 1
+				stack = append(stack, frame{b: s})
+			case 1:
+				retreat[[2]*Block{f.b, s}] = true
+			}
+			continue
+		}
+		state[f.b] = 2
+		stack = stack[:len(stack)-1]
+	}
+	var out []Edge
+	for _, e := range m.Edges() {
+		if dom.Dominates(e.To, e.From) || retreat[[2]*Block{e.From, e.To}] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LoopHeaders returns the set of blocks that are targets of backedges.
+func (m *Method) LoopHeaders() map[*Block]bool {
+	heads := make(map[*Block]bool)
+	for _, e := range m.Backedges() {
+		heads[e.To] = true
+	}
+	return heads
+}
+
+// DAGPostorder returns the reachable blocks of m in postorder of a DFS
+// that ignores the given backedges. The result is a reverse-topological
+// order of the acyclic view of the CFG (the "duplicated code DAG" of §3.1
+// and the acyclic CFG of Ball–Larus path numbering): iterating it forward
+// visits all non-backedge successors of a block before the block itself.
+func DAGPostorder(m *Method, backedge map[[2]*Block]bool) []*Block {
+	var post []*Block
+	state := make(map[*Block]int, len(m.Blocks))
+	type frame struct {
+		b    *Block
+		next int
+	}
+	if m.Entry() == nil {
+		return nil
+	}
+	var stack []frame
+	push := func(b *Block) {
+		state[b] = 1
+		stack = append(stack, frame{b: b})
+	}
+	push(m.Entry())
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := f.b.Succs()
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if s == nil || backedge[[2]*Block{f.b, s}] || state[s] != 0 {
+				continue
+			}
+			push(s)
+			continue
+		}
+		post = append(post, f.b)
+		state[f.b] = 2
+		stack = stack[:len(stack)-1]
+	}
+	return post
+}
+
+// NaturalLoop returns the body of the natural loop of backedge e (the set
+// of blocks that can reach e.From without passing through e.To), including
+// the header.
+func NaturalLoop(e Edge) map[*Block]bool {
+	body := map[*Block]bool{e.To: true}
+	stack := []*Block{e.From}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if body[b] {
+			continue
+		}
+		body[b] = true
+		for _, p := range b.Preds {
+			stack = append(stack, p)
+		}
+	}
+	return body
+}

@@ -1,0 +1,144 @@
+package ir
+
+// CloneBlocks deep-copies the given blocks, remapping all terminator
+// targets that point *within* the set onto the corresponding copies.
+// Targets pointing outside the set are preserved as-is. The returned map
+// sends each original block to its copy. Copies are appended to m.Blocks
+// and marked with the given kind; each copy's Twin is set to its original
+// and vice versa.
+func CloneBlocks(m *Method, blocks []*Block, kind BlockKind) map[*Block]*Block {
+	twins := make(map[*Block]*Block, len(blocks))
+	for _, b := range blocks {
+		nb := m.NewBlock("")
+		if b.Label != "" {
+			nb.Label = b.Label + ".dup"
+		}
+		nb.Kind = kind
+		nb.Instrs = make([]Instr, len(b.Instrs))
+		for i := range b.Instrs {
+			nb.Instrs[i] = b.Instrs[i].Clone()
+		}
+		twins[b] = nb
+		nb.Twin = b
+		b.Twin = nb
+	}
+	for _, b := range blocks {
+		nb := twins[b]
+		if t := nb.Terminator(); t != nil {
+			for i, tgt := range t.Targets {
+				if c, ok := twins[tgt]; ok {
+					t.Targets[i] = c
+				}
+			}
+		}
+	}
+	return twins
+}
+
+// CloneMethod deep-copies an entire method, including all blocks and
+// instructions. Twin links inside the copy point within the copy. The
+// copy shares Class/Method references of call instructions (it calls the
+// same callees).
+func CloneMethod(m *Method) *Method {
+	nm := &Method{
+		Name:        m.Name,
+		Class:       m.Class,
+		NumParams:   m.NumParams,
+		NumRegs:     m.NumRegs,
+		ProbeRegs:   m.ProbeRegs,
+		ID:          m.ID,
+		CodeSize:    m.CodeSize,
+		Transformed: m.Transformed,
+	}
+	twins := make(map[*Block]*Block, len(m.Blocks))
+	for _, b := range m.Blocks {
+		nb := nm.NewBlock(b.Label)
+		nb.Kind = b.Kind
+		nb.Addr, nb.Size = b.Addr, b.Size
+		nb.Instrs = make([]Instr, len(b.Instrs))
+		for i := range b.Instrs {
+			nb.Instrs[i] = b.Instrs[i].Clone()
+		}
+		twins[b] = nb
+	}
+	for _, b := range m.Blocks {
+		nb := twins[b]
+		if t := nb.Terminator(); t != nil {
+			for i, tgt := range t.Targets {
+				if c, ok := twins[tgt]; ok {
+					t.Targets[i] = c
+				}
+			}
+		}
+		if b.Twin != nil {
+			if c, ok := twins[b.Twin]; ok {
+				nb.Twin = c
+			}
+		}
+	}
+	nm.RecomputePreds()
+	return nm
+}
+
+// CloneProgram deep-copies an entire program: classes, methods, blocks.
+// Call instructions are remapped to the copied methods, OpNew/field
+// instructions to the copied classes. The copy is sealed. This is what
+// the experiment harness uses to compile the same source program under
+// many configurations without cross-contamination.
+func CloneProgram(p *Program) *Program {
+	np := &Program{Name: p.Name}
+	classMap := make(map[*Class]*Class, len(p.Classes))
+	for _, c := range p.Classes {
+		nc := &Class{
+			Name:       c.Name,
+			FieldNames: append([]string(nil), c.FieldNames...),
+		}
+		classMap[c] = nc
+		np.Classes = append(np.Classes, nc)
+	}
+	for _, c := range p.Classes {
+		if c.Super != nil {
+			classMap[c].Super = classMap[c.Super]
+		}
+	}
+	methodMap := make(map[*Method]*Method, len(p.Methods()))
+	cloneInto := func(m *Method) *Method {
+		nm := CloneMethod(m)
+		methodMap[m] = nm
+		return nm
+	}
+	for _, f := range p.Funcs {
+		np.Funcs = append(np.Funcs, cloneInto(f))
+	}
+	for _, c := range p.Classes {
+		for name, m := range c.Methods {
+			nm := cloneInto(m)
+			nm.Class = classMap[c]
+			if classMap[c].Methods == nil {
+				classMap[c].Methods = make(map[string]*Method, len(c.Methods))
+			}
+			classMap[c].Methods[name] = nm
+		}
+	}
+	// Remap instruction references.
+	for _, nm := range methodMap {
+		for _, b := range nm.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Class != nil {
+					in.Class = classMap[in.Class]
+				}
+				if in.Method != nil {
+					if mm, ok := methodMap[in.Method]; ok {
+						in.Method = mm
+					}
+				}
+			}
+		}
+	}
+	if p.Main != nil {
+		np.Main = methodMap[p.Main]
+	}
+	np.Seal()
+	return np
+}

@@ -1,0 +1,220 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is a virtual register index within a method frame. Registers are
+// untyped 64-bit slots that may hold either an integer or a reference;
+// the verifier does not enforce a type discipline (the interpreter traps
+// on misuse, which the test suite exercises).
+type Reg int32
+
+// NoReg marks an unused register operand (e.g. a void return).
+const NoReg Reg = -1
+
+// ProbeKind discriminates the runtime behaviour of an instrumentation
+// probe. The set is deliberately small: the paper's point is that *any*
+// event-counting instrumentation works unmodified, so probes reduce to a
+// few primitive shapes that the instrumentation runtimes interpret.
+type ProbeKind uint8
+
+const (
+	// ProbeEvent counts an occurrence of event ID.
+	ProbeEvent ProbeKind = iota
+	// ProbeCallEdge records a call edge at a method entry: the handler
+	// walks the VM call stack to find the caller, callee and call site,
+	// exactly as the paper's call-edge instrumentation does (§4.2).
+	ProbeCallEdge
+	// ProbeValue records the runtime value of register Reg under event ID.
+	ProbeValue
+	// ProbePathInit zeroes the frame's path register (Ball–Larus).
+	ProbePathInit
+	// ProbePathInc adds Imm to the frame's path register (Ball–Larus).
+	ProbePathInc
+	// ProbePathRecord counts the path (ID = method path-space base, path
+	// number = frame path register).
+	ProbePathRecord
+	// ProbeReceiver records the dynamic class of the object in register
+	// Reg under event ID (the call-site ID): the receiver-class profile
+	// that drives profile-guided devirtualization (Grove et al. [27]).
+	// The observed Value is the dense class ID, -1 for non-class objects,
+	// -2 for null.
+	ProbeReceiver
+)
+
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeEvent:
+		return "event"
+	case ProbeCallEdge:
+		return "calledge"
+	case ProbeValue:
+		return "value"
+	case ProbePathInit:
+		return "pathinit"
+	case ProbePathInc:
+		return "pathinc"
+	case ProbePathRecord:
+		return "pathrecord"
+	case ProbeReceiver:
+		return "receiver"
+	default:
+		return fmt.Sprintf("probekind(%d)", uint8(k))
+	}
+}
+
+// Probe is the payload of an OpProbe / OpCheckedProbe instruction. A probe
+// belongs to one instrumentation (identified by Owner, an index into the
+// VM's registered instrumentation runtimes), and carries its own cycle
+// cost so the cost model charges instrumentations by the instruction
+// sequences they would expand to.
+type Probe struct {
+	// Owner is the index of the instrumentation that inserted this probe,
+	// matching the order instrumentations were registered with the VM.
+	Owner int
+	// Kind selects the runtime behaviour.
+	Kind ProbeKind
+	// ID identifies the profiled event (field ID, call-site ID, edge ID,
+	// path-space base — meaning is per Kind/Owner).
+	ID int
+	// Reg is the observed register for ProbeValue.
+	Reg Reg
+	// Imm is the increment for ProbePathInc.
+	Imm int64
+	// Cost is the probe's cycle cost when executed.
+	Cost uint32
+}
+
+func (p *Probe) String() string {
+	return fmt.Sprintf("%s owner=%d id=%d reg=%d imm=%d cost=%d",
+		p.Kind, p.Owner, p.ID, p.Reg, p.Imm, p.Cost)
+}
+
+// Instr is a single IR instruction. Operand meaning is per-Op (see the
+// opcode documentation). Instructions are values inside Block.Instrs;
+// transforms copy them freely.
+type Instr struct {
+	Op  Op
+	Dst Reg
+	A   Reg
+	B   Reg
+	Imm int64
+
+	// Class is the class operand of OpNew, and the declaring class used to
+	// resolve Field for OpGetField/OpPutField.
+	Class *Class
+	// Field is the flattened field slot index for OpGetField/OpPutField.
+	Field int
+	// Method is the callee of OpCall and OpSpawn.
+	Method *Method
+	// Name is the virtual method name for OpCallVirt.
+	Name string
+	// Args are the arguments of OpCall, OpCallVirt and OpSpawn. For
+	// OpCallVirt, Args[0] is the receiver.
+	Args []Reg
+	// Probe is the payload of OpProbe / OpCheckedProbe.
+	Probe *Probe
+	// Targets are the successor blocks of a terminator.
+	Targets []*Block
+	// BackedgeMask marks which terminator targets are backedges (bit i set
+	// means the edge to Targets[i] is a backedge). Set by the
+	// yieldpoint-insertion pass; the VM uses it to count backedge
+	// traversals, the bound side of Property 1.
+	BackedgeMask uint8
+}
+
+// IsTerminator reports whether the instruction terminates a block.
+func (in *Instr) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// Clone returns a deep copy of the instruction. Targets are copied
+// shallowly (the caller remaps them); Args and Probe are duplicated.
+func (in *Instr) Clone() Instr {
+	out := *in
+	if in.Args != nil {
+		out.Args = append([]Reg(nil), in.Args...)
+	}
+	if in.Targets != nil {
+		out.Targets = append([]*Block(nil), in.Targets...)
+	}
+	if in.Probe != nil {
+		p := *in.Probe
+		out.Probe = &p
+	}
+	return out
+}
+
+// String renders the instruction in assembler syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case OpNop, OpYield:
+	case OpConst:
+		fmt.Fprintf(&b, " r%d, %d", in.Dst, in.Imm)
+	case OpMove, OpNeg, OpNot, OpArrayLen, OpJoin, OpClassOf:
+		fmt.Fprintf(&b, " r%d, r%d", in.Dst, in.A)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE, OpArrayLoad:
+		fmt.Fprintf(&b, " r%d, r%d, r%d", in.Dst, in.A, in.B)
+	case OpNew:
+		fmt.Fprintf(&b, " r%d, %s", in.Dst, in.Class.Name)
+	case OpGetField:
+		fmt.Fprintf(&b, " r%d, r%d, %s", in.Dst, in.A, in.fieldName())
+	case OpPutField:
+		fmt.Fprintf(&b, " r%d, %s, r%d", in.B, in.fieldName(), in.A)
+	case OpNewArray:
+		fmt.Fprintf(&b, " r%d, r%d", in.Dst, in.A)
+	case OpArrayStore:
+		fmt.Fprintf(&b, " r%d, r%d, r%d", in.Dst, in.B, in.A)
+	case OpCall, OpSpawn:
+		fmt.Fprintf(&b, " r%d, %s%s", in.Dst, in.Method.FullName(), regList(in.Args))
+	case OpCallVirt:
+		fmt.Fprintf(&b, " r%d, %s%s", in.Dst, in.Name, regList(in.Args))
+	case OpIO:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	case OpPrint:
+		fmt.Fprintf(&b, " r%d", in.A)
+	case OpProbe, OpCheckedProbe:
+		fmt.Fprintf(&b, " [%s]", in.Probe)
+	case OpJump:
+		fmt.Fprintf(&b, " %s", blockName(in.Targets, 0))
+	case OpBranch:
+		fmt.Fprintf(&b, " r%d, %s, %s", in.A, blockName(in.Targets, 0), blockName(in.Targets, 1))
+	case OpReturn:
+		if in.A != NoReg {
+			fmt.Fprintf(&b, " r%d", in.A)
+		}
+	case OpCheck, OpLoopCheck:
+		fmt.Fprintf(&b, " fire=%s, else=%s", blockName(in.Targets, 0), blockName(in.Targets, 1))
+	}
+	return b.String()
+}
+
+func (in *Instr) fieldName() string {
+	if in.Class == nil {
+		return fmt.Sprintf("#%d", in.Field)
+	}
+	return in.Class.Name + "." + in.Class.FieldName(in.Field)
+}
+
+func regList(args []Reg) string {
+	var b strings.Builder
+	b.WriteString("(")
+	for i, r := range args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "r%d", r)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func blockName(ts []*Block, i int) string {
+	if i >= len(ts) || ts[i] == nil {
+		return "?"
+	}
+	return ts[i].Name()
+}

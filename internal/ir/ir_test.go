@@ -1,0 +1,476 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds:   entry -> (left | right) -> exit
+func diamond() (*Method, *Block, *Block, *Block, *Block) {
+	b := NewFunc("diamond", 1)
+	entry := b.EntryBlock()
+	left := b.Block("left")
+	right := b.Block("right")
+	exit := b.Block("exit")
+	c := b.At(entry)
+	cond := c.Bin(OpCmpGT, 0, c.Const(5))
+	c.Branch(cond, left, right)
+	lc := b.At(left)
+	lc.Jump(exit)
+	rc := b.At(right)
+	rc.Jump(exit)
+	ec := b.At(exit)
+	ec.Return(0)
+	b.M.Renumber()
+	b.M.RecomputePreds()
+	return b.M, entry, left, right, exit
+}
+
+// loopMethod builds: entry -> head; head -> (body | exit); body -> head.
+func loopMethod() (*Method, *Block, *Block, *Block) {
+	b := NewFunc("loop", 1)
+	entry := b.EntryBlock()
+	c := b.At(entry)
+	n := c.Const(10)
+	lp := c.CountedLoop(n, "l")
+	lp.Body.Jump(lp.Latch)
+	lp.After.Return(lp.I)
+	b.M.Renumber()
+	b.M.RecomputePreds()
+	return b.M, entry, lp.Body.Blk(), lp.After.Blk()
+}
+
+func TestOpcodeNames(t *testing.T) {
+	for op := OpNop; op <= OpCheckedProbe; op++ {
+		s := op.String()
+		if strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+		back, ok := OpForName(s)
+		if !ok || back != op {
+			t.Errorf("OpForName(%q) = %v, %v", s, back, ok)
+		}
+	}
+	for _, op := range []Op{OpJump, OpBranch, OpReturn, OpCheck, OpLoopCheck} {
+		if !op.IsTerminator() {
+			t.Errorf("%s should be a terminator", op)
+		}
+	}
+	if OpAdd.IsTerminator() {
+		t.Error("add is not a terminator")
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	m, entry, _, _, exit := diamond()
+	rpo := m.ReversePostorder()
+	if len(rpo) != 4 {
+		t.Fatalf("rpo length %d, want 4", len(rpo))
+	}
+	if rpo[0] != entry {
+		t.Errorf("rpo[0] = %s, want entry", rpo[0].Name())
+	}
+	if rpo[3] != exit {
+		t.Errorf("rpo[3] = %s, want exit", rpo[3].Name())
+	}
+}
+
+func TestDominators(t *testing.T) {
+	m, entry, left, right, exit := diamond()
+	dom := m.ComputeDominators()
+	if dom.Idom(entry) != entry {
+		t.Error("entry must idom itself")
+	}
+	if dom.Idom(left) != entry || dom.Idom(right) != entry {
+		t.Error("branch arms must be idom'd by entry")
+	}
+	if dom.Idom(exit) != entry {
+		t.Errorf("exit idom = %s, want entry", dom.Idom(exit).Name())
+	}
+	if !dom.Dominates(entry, exit) {
+		t.Error("entry dominates exit")
+	}
+	if dom.Dominates(left, exit) {
+		t.Error("left must not dominate exit")
+	}
+	if !dom.Dominates(left, left) {
+		t.Error("dominates is reflexive")
+	}
+}
+
+func TestBackedges(t *testing.T) {
+	m, _, _, _ := loopMethod()
+	be := m.Backedges()
+	if len(be) != 1 {
+		t.Fatalf("backedges = %d, want 1", len(be))
+	}
+	// The latch jumps to the head; the head must dominate the latch.
+	dom := m.ComputeDominators()
+	if !dom.Dominates(be[0].To, be[0].From) {
+		t.Error("backedge target must dominate source")
+	}
+	heads := m.LoopHeaders()
+	if !heads[be[0].To] || len(heads) != 1 {
+		t.Errorf("loop headers: %v", heads)
+	}
+	body := NaturalLoop(be[0])
+	if !body[be[0].To] || !body[be[0].From] {
+		t.Error("natural loop must contain header and latch")
+	}
+	if len(body) < 3 {
+		t.Errorf("natural loop of the counted loop should span head/body/latch, got %d blocks", len(body))
+	}
+}
+
+func TestBackedgesIrreducible(t *testing.T) {
+	// entry -> a | b; a -> b; b -> a (irreducible cycle: neither a nor b
+	// dominates the other). Both cycle edges must be reported.
+	b := NewFunc("irr", 1)
+	entry := b.EntryBlock()
+	aB := b.Block("a")
+	bB := b.Block("b")
+	exit := b.Block("exit")
+	c := b.At(entry)
+	cond := c.Bin(OpCmpGT, 0, c.Const(0))
+	c.Branch(cond, aB, bB)
+	ca := b.At(aB)
+	cond2 := ca.Bin(OpCmpGT, 0, ca.Const(100))
+	ca.Branch(cond2, exit, bB)
+	cb := b.At(bB)
+	cond3 := cb.Bin(OpCmpGT, 0, cb.Const(200))
+	cb.Branch(cond3, exit, aB)
+	b.At(exit).Return(0)
+	b.M.Renumber()
+	b.M.RecomputePreds()
+	be := b.M.Backedges()
+	if len(be) == 0 {
+		t.Fatal("irreducible cycle produced no backedges; checks would be missing")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	m, entry, _, _, exit := diamond()
+	lv := m.ComputeLiveness()
+	// Parameter 0 is used in entry (the comparison) and again in exit
+	// (the return), so it is live into every block.
+	for _, b := range []*Block{entry, exit} {
+		if !lv.LiveInAt(b, 0) {
+			t.Errorf("r0 should be live into %s", b.Name())
+		}
+	}
+	// The condition register is consumed by the branch: dead into exit.
+	condReg := entry.Instrs[len(entry.Instrs)-1].A
+	if lv.LiveInAt(exit, condReg) {
+		t.Error("branch condition must be dead after the branch")
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	in := Instr{Op: OpArrayStore, Dst: 1, A: 2, B: 3}
+	uses := in.Uses(nil)
+	if len(uses) != 3 {
+		t.Fatalf("astore uses %v, want [arr val idx]", uses)
+	}
+	if in.Def() != NoReg {
+		t.Error("astore defines no register")
+	}
+	call := Instr{Op: OpCall, Dst: 4, Args: []Reg{5, 6}}
+	if call.Def() != 4 {
+		t.Error("call defines Dst")
+	}
+	if got := call.Uses(nil); len(got) != 2 {
+		t.Errorf("call uses %v", got)
+	}
+	probe := Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeValue, Reg: 7}}
+	if got := probe.Uses(nil); len(got) != 1 || got[0] != 7 {
+		t.Errorf("value probe uses %v, want [7]", got)
+	}
+}
+
+func TestCloneBlocksRemapsInternalTargets(t *testing.T) {
+	m, entry, left, right, exit := diamond()
+	// Clone only {entry, left}: the branch edge to left remaps to the
+	// copy, the edge to right stays pointing at the original.
+	twins := CloneBlocks(m, []*Block{entry, left}, KindDuplicated)
+	ct := twins[entry].Terminator()
+	if ct.Targets[0] != twins[left] {
+		t.Error("internal target must remap to the copy")
+	}
+	if ct.Targets[1] != right {
+		t.Error("external target must stay at the original")
+	}
+	if twins[left].Terminator().Targets[0] != exit {
+		t.Error("copy of left must still jump to the original exit")
+	}
+	if entry.Twin != twins[entry] || twins[entry].Twin != entry {
+		t.Error("twin links must be bilateral")
+	}
+}
+
+func TestCloneMethodIndependence(t *testing.T) {
+	m, _, _, _ := loopMethod()
+	n := CloneMethod(m)
+	if n.NumInstrs() != m.NumInstrs() || len(n.Blocks) != len(m.Blocks) {
+		t.Fatal("clone differs in size")
+	}
+	// Mutating the clone must not touch the original.
+	n.Blocks[0].Instrs[0].Imm = 999
+	if m.Blocks[0].Instrs[0].Imm == 999 {
+		t.Error("clone shares instruction storage with the original")
+	}
+	for _, b := range n.Blocks {
+		for _, s := range b.Succs() {
+			found := false
+			for _, nb := range n.Blocks {
+				if s == nb {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("clone has an edge into the original method")
+			}
+		}
+	}
+}
+
+func TestCloneProgramIndependence(t *testing.T) {
+	p := RandomProgram(7, RandomProgramConfig{})
+	q := CloneProgram(p)
+	if q.NumMethods() != p.NumMethods() || len(q.Classes) != len(p.Classes) {
+		t.Fatal("clone differs in shape")
+	}
+	// No method pointer may be shared.
+	orig := make(map[*Method]bool)
+	for _, m := range p.Methods() {
+		orig[m] = true
+	}
+	for _, m := range q.Methods() {
+		if orig[m] {
+			t.Fatal("clone shares a method with the original")
+		}
+		for _, b := range m.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Method != nil && orig[b.Instrs[i].Method] {
+					t.Fatal("clone calls into the original program")
+				}
+			}
+		}
+	}
+	if err := q.Verify(VerifyBase); err != nil {
+		t.Fatalf("cloned program invalid: %v", err)
+	}
+}
+
+func TestSealFieldLayout(t *testing.T) {
+	base := &Class{Name: "Base", FieldNames: []string{"a", "b"}}
+	der := &Class{Name: "Derived", Super: base, FieldNames: []string{"c"}}
+	p := &Program{Name: "t", Classes: []*Class{der, base}} // child first on purpose
+	mb := NewFunc("main", 0)
+	mb.At(mb.EntryBlock()).ReturnVoid()
+	p.Funcs = []*Method{mb.M}
+	p.Main = mb.M
+	p.Seal()
+	if base.NumFields() != 2 || der.NumFields() != 3 {
+		t.Fatalf("field counts: base %d, derived %d", base.NumFields(), der.NumFields())
+	}
+	if idx, ok := der.FieldIndex("a"); !ok || idx != 0 {
+		t.Errorf("Derived.a slot = %d, %v", idx, ok)
+	}
+	if idx, ok := der.FieldIndex("c"); !ok || idx != 2 {
+		t.Errorf("Derived.c slot = %d, %v", idx, ok)
+	}
+	if name := der.FieldName(2); name != "c" {
+		t.Errorf("FieldName(2) = %q", name)
+	}
+	if !der.IsSubclassOf(base) || base.IsSubclassOf(der) {
+		t.Error("subclass relation wrong")
+	}
+	// Field IDs must be unique program-wide.
+	seen := map[int]bool{}
+	for _, c := range p.Classes {
+		for s := 0; s < c.NumFields(); s++ {
+			id := p.FieldID(c, s)
+			if seen[id] {
+				t.Errorf("field ID %d reused", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSealInheritanceCycle(t *testing.T) {
+	a := &Class{Name: "A"}
+	b := &Class{Name: "B", Super: a}
+	a.Super = b
+	mb := NewFunc("main", 0)
+	mb.At(mb.EntryBlock()).ReturnVoid()
+	p := &Program{Name: "t", Classes: []*Class{a, b}, Funcs: []*Method{mb.M}, Main: mb.M}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on inheritance cycle")
+		}
+	}()
+	p.Seal()
+}
+
+func TestVerifyCatchesBrokenIR(t *testing.T) {
+	build := func(f func(*Builder)) error {
+		b := NewFunc("main", 0)
+		f(b)
+		p := &Program{Name: "t", Funcs: []*Method{b.M}, Main: b.M}
+		p.Seal()
+		return p.Verify(VerifyBase)
+	}
+	if err := build(func(b *Builder) {
+		b.At(b.EntryBlock()).ReturnVoid()
+	}); err != nil {
+		t.Errorf("valid method rejected: %v", err)
+	}
+	// Unterminated block.
+	if err := build(func(b *Builder) {
+		b.EntryBlock().Instrs = []Instr{{Op: OpConst, Dst: 0, Imm: 1}}
+		b.M.NumRegs = 1
+	}); err == nil {
+		t.Error("unterminated block accepted")
+	}
+	// Register out of range.
+	if err := build(func(b *Builder) {
+		c := b.At(b.EntryBlock())
+		c.Return(99)
+	}); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+	// Terminator mid-block.
+	if err := build(func(b *Builder) {
+		e := b.EntryBlock()
+		e.Instrs = []Instr{
+			{Op: OpReturn, A: NoReg},
+			{Op: OpReturn, A: NoReg},
+		}
+	}); err == nil {
+		t.Error("mid-block terminator accepted")
+	}
+	// Target outside method.
+	if err := build(func(b *Builder) {
+		other := &Block{ID: 99, Instrs: []Instr{{Op: OpReturn, A: NoReg}}}
+		b.EntryBlock().Instrs = []Instr{{Op: OpJump, Targets: []*Block{other}}}
+	}); err == nil {
+		t.Error("foreign target accepted")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	m, _, _, _, _ := diamond()
+	dead := m.NewBlock("dead")
+	dead.Append(Instr{Op: OpReturn, A: NoReg})
+	if n := m.RemoveUnreachable(); n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if len(m.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(m.Blocks))
+	}
+}
+
+func TestAppendPanicsAfterTerminator(t *testing.T) {
+	b := NewFunc("t", 0)
+	c := b.At(b.EntryBlock())
+	c.ReturnVoid()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic appending past terminator")
+		}
+	}()
+	b.EntryBlock().Append(Instr{Op: OpNop})
+}
+
+func TestInsertBeforeTerminator(t *testing.T) {
+	b := NewFunc("t", 0)
+	c := b.At(b.EntryBlock())
+	r := c.Const(1)
+	c.Return(r)
+	e := b.EntryBlock()
+	e.InsertBeforeTerminator(Instr{Op: OpNop}, Instr{Op: OpNop})
+	if len(e.Instrs) != 4 || e.Instrs[1].Op != OpNop || e.Instrs[3].Op != OpReturn {
+		t.Fatalf("unexpected layout: %v", e.Instrs)
+	}
+}
+
+func TestStripProbesAndYields(t *testing.T) {
+	b := NewFunc("t", 0)
+	e := b.EntryBlock()
+	e.Append(Instr{Op: OpYield})
+	e.Append(Instr{Op: OpProbe, Probe: &Probe{}})
+	e.Append(Instr{Op: OpCheckedProbe, Probe: &Probe{}})
+	e.Append(Instr{Op: OpReturn, A: NoReg})
+	if !e.HasProbe() {
+		t.Error("HasProbe should see probes")
+	}
+	if n := e.StripProbes(); n != 2 {
+		t.Errorf("stripped %d probes, want 2", n)
+	}
+	if n := e.StripYields(); n != 1 {
+		t.Errorf("stripped %d yields, want 1", n)
+	}
+	if len(e.Instrs) != 1 || e.HasProbe() {
+		t.Errorf("remaining: %v", e.Instrs)
+	}
+}
+
+func TestDAGPostorder(t *testing.T) {
+	m, _, _, _ := loopMethod()
+	be := m.Backedges()
+	bset := map[[2]*Block]bool{}
+	for _, e := range be {
+		bset[[2]*Block{e.From, e.To}] = true
+	}
+	post := DAGPostorder(m, bset)
+	if len(post) != len(m.Blocks) {
+		t.Fatalf("postorder covers %d of %d blocks", len(post), len(m.Blocks))
+	}
+	// Reverse-topological: every non-backedge edge goes from a later
+	// position to an earlier one.
+	pos := map[*Block]int{}
+	for i, b := range post {
+		pos[b] = i
+	}
+	for _, e := range m.Edges() {
+		if bset[[2]*Block{e.From, e.To}] {
+			continue
+		}
+		if pos[e.From] <= pos[e.To] {
+			t.Errorf("edge %s->%s violates reverse-topological order", e.From.Name(), e.To.Name())
+		}
+	}
+}
+
+func TestPrintRoundsmoke(t *testing.T) {
+	p := RandomProgram(3, RandomProgramConfig{})
+	var sb strings.Builder
+	FprintProgram(&sb, p)
+	out := sb.String()
+	if !strings.Contains(out, "method main") {
+		t.Error("disassembly missing main")
+	}
+	if !strings.Contains(out, "ret") {
+		t.Error("disassembly missing terminators")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Dst: 1, Imm: 42}, "const r1, 42"},
+		{Instr{Op: OpAdd, Dst: 1, A: 2, B: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpReturn, A: NoReg}, "ret"},
+		{Instr{Op: OpReturn, A: 4}, "ret r4"},
+		{Instr{Op: OpYield}, "yield"},
+		{Instr{Op: OpIO, Imm: 100}, "io 100"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

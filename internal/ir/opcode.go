@@ -1,0 +1,196 @@
+// Package ir defines the intermediate representation used throughout the
+// instrumentation-sampling framework: a register-based, CFG-structured
+// bytecode with classes, fields, virtual dispatch and green-thread
+// primitives. It plays the role Jalapeño's LIR plays in the paper — the
+// level at which instrumentation is inserted and at which the sampling
+// framework performs its code duplication.
+package ir
+
+import "fmt"
+
+// Op identifies an IR operation. Every instruction carries exactly one Op.
+// Terminator ops (IsTerminator reports true) must appear only as the last
+// instruction of a basic block, and every block must end with one.
+type Op uint8
+
+// Non-terminator opcodes.
+const (
+	// OpNop does nothing. Used as a placeholder by transforms.
+	OpNop Op = iota
+
+	// OpConst sets Dst to the immediate Imm.
+	OpConst
+	// OpMove copies register A to Dst.
+	OpMove
+
+	// Arithmetic: Dst = A op B. Division and remainder by zero trap.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	// OpNeg sets Dst = -A; OpNot sets Dst = ^A.
+	OpNeg
+	OpNot
+
+	// Comparisons: Dst = 1 if the relation holds between A and B, else 0.
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+
+	// OpNew allocates an instance of Class into Dst.
+	OpNew
+	// OpGetField loads field Field of the object in A into Dst.
+	OpGetField
+	// OpPutField stores A into field Field of the object in B.
+	OpPutField
+	// OpNewArray allocates an array of length A into Dst.
+	OpNewArray
+	// OpArrayLoad loads element B of the array in A into Dst.
+	OpArrayLoad
+	// OpArrayStore stores A into element B of the array in Dst's register.
+	// (Dst names the array register; it is read, not written.)
+	OpArrayStore
+	// OpArrayLen sets Dst to the length of the array in A.
+	OpArrayLen
+
+	// OpCall invokes Method statically: Dst = Method(Args...).
+	OpCall
+	// OpCallVirt invokes the method named Name resolved against the
+	// dynamic class of the receiver Args[0]: Dst = recv.Name(Args[1:]...).
+	OpCallVirt
+
+	// OpSpawn starts a new green thread executing Method(Args...) and sets
+	// Dst to a thread handle.
+	OpSpawn
+	// OpJoin blocks the current thread until the thread whose handle is in
+	// A terminates; Dst receives that thread's result.
+	OpJoin
+
+	// OpClassOf sets Dst to the dense class ID of the object in A (-1 for
+	// arrays and thread handles; traps on null). It is the class test
+	// that guarded devirtualization compiles to — the runtime half of
+	// profile-guided receiver class prediction (Grove et al., the paper's
+	// citation [27]).
+	OpClassOf
+
+	// OpIO models an expensive opaque operation (I/O, syscall) costing Imm
+	// cycles. It exists so workloads can contain long non-branching
+	// stretches, which is what exposes the timer-trigger mis-attribution
+	// the paper describes in §2.1.
+	OpIO
+	// OpPrint appends the value of A to the VM's output log (used by
+	// examples and by the semantics-preservation property tests).
+	OpPrint
+
+	// OpYield is a thread-scheduling yieldpoint. The baseline compiler
+	// places one on every method entry and before every backedge, exactly
+	// as Jalapeño does (§4.5).
+	OpYield
+
+	// OpProbe executes the instrumentation probe in Probe. Probes are
+	// inserted by the instrumenters in package instr and carry their own
+	// cycle cost.
+	OpProbe
+	// OpCheckedProbe is OpProbe guarded by a sample-condition check: the
+	// probe body runs only when the trigger fires. This is the
+	// No-Duplication variation's guarded instrumentation (Figure 6).
+	OpCheckedProbe
+)
+
+// Terminator opcodes.
+const (
+	// OpJump transfers control to Targets[0].
+	OpJump Op = iota + 64
+	// OpBranch transfers control to Targets[0] if A is non-zero, else to
+	// Targets[1].
+	OpBranch
+	// OpReturn returns A from the current method. If HasValue is false
+	// (encoded as Dst == NoReg... see Instr), returns void (value 0).
+	OpReturn
+	// OpCheck is a counter-based sample check (Figure 3): it polls the
+	// trigger; on fire control goes to Targets[0] (duplicated code),
+	// otherwise to Targets[1] (checking code). Inserted by the framework
+	// on method entries and backedges.
+	OpCheck
+	// OpLoopCheck is the counted-backedge extension (§2): it decrements
+	// the frame's iteration budget; while the budget is positive control
+	// stays in duplicated code via Targets[0], afterwards it returns to
+	// checking code via Targets[1].
+	OpLoopCheck
+)
+
+// IsTerminator reports whether op may only appear as a block terminator.
+func (op Op) IsTerminator() bool { return op >= OpJump }
+
+var opNames = map[Op]string{
+	OpNop:          "nop",
+	OpConst:        "const",
+	OpMove:         "move",
+	OpAdd:          "add",
+	OpSub:          "sub",
+	OpMul:          "mul",
+	OpDiv:          "div",
+	OpRem:          "rem",
+	OpAnd:          "and",
+	OpOr:           "or",
+	OpXor:          "xor",
+	OpShl:          "shl",
+	OpShr:          "shr",
+	OpNeg:          "neg",
+	OpNot:          "not",
+	OpCmpEQ:        "cmpeq",
+	OpCmpNE:        "cmpne",
+	OpCmpLT:        "cmplt",
+	OpCmpLE:        "cmple",
+	OpCmpGT:        "cmpgt",
+	OpCmpGE:        "cmpge",
+	OpNew:          "new",
+	OpGetField:     "getfield",
+	OpPutField:     "putfield",
+	OpNewArray:     "newarray",
+	OpArrayLoad:    "aload",
+	OpArrayStore:   "astore",
+	OpArrayLen:     "alen",
+	OpCall:         "call",
+	OpCallVirt:     "callvirt",
+	OpSpawn:        "spawn",
+	OpJoin:         "join",
+	OpClassOf:      "classof",
+	OpIO:           "io",
+	OpPrint:        "print",
+	OpYield:        "yield",
+	OpProbe:        "probe",
+	OpCheckedProbe: "checkedprobe",
+	OpJump:         "jmp",
+	OpBranch:       "br",
+	OpReturn:       "ret",
+	OpCheck:        "check",
+	OpLoopCheck:    "loopcheck",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// OpForName returns the opcode whose mnemonic is s, or OpNop, false.
+func OpForName(s string) (Op, bool) {
+	for op, name := range opNames {
+		if name == s {
+			return op, true
+		}
+	}
+	return OpNop, false
+}

@@ -1,0 +1,49 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint writes a human-readable disassembly of the method to w.
+func Fprint(w io.Writer, m *Method) {
+	fmt.Fprintf(w, "method %s params=%d regs=%d", m.FullName(), m.NumParams, m.NumRegs)
+	if m.Transformed != "" {
+		fmt.Fprintf(w, " transformed=%s", m.Transformed)
+	}
+	fmt.Fprintln(w, " {")
+	for _, b := range m.Blocks {
+		kind := ""
+		if b.Kind != KindChecking {
+			kind = "  ; " + b.Kind.String()
+		}
+		fmt.Fprintf(w, "%s:%s\n", b.Name(), kind)
+		for i := range b.Instrs {
+			fmt.Fprintf(w, "    %s\n", b.Instrs[i].String())
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// Sprint returns the disassembly of a method as a string.
+func Sprint(m *Method) string {
+	var sb strings.Builder
+	Fprint(&sb, m)
+	return sb.String()
+}
+
+// FprintProgram writes a disassembly of the whole program.
+func FprintProgram(w io.Writer, p *Program) {
+	fmt.Fprintf(w, "program %s\n", p.Name)
+	for _, c := range p.Classes {
+		super := ""
+		if c.Super != nil {
+			super = " extends " + c.Super.Name
+		}
+		fmt.Fprintf(w, "class %s%s { fields: %s }\n", c.Name, super, strings.Join(c.FieldNames, ", "))
+	}
+	for _, m := range p.Methods() {
+		Fprint(w, m)
+	}
+}

@@ -1,0 +1,358 @@
+package ir
+
+// RandomProgram generates structured, always-terminating random programs
+// for property-based testing. Generated programs exercise loops (bounded
+// counted loops, occasionally nested), branches, calls (including
+// recursion with an explicit depth budget), virtual dispatch, field and
+// array traffic, and printing — everything the instrumentation passes and
+// the sampling framework have to transform correctly.
+//
+// The generator is deterministic for a given seed, so failures shrink to
+// a reproducible seed.
+
+// Rand is the minimal PRNG used by the generator (xorshift64*), kept
+// local so test behaviour never depends on math/rand changes across Go
+// versions.
+type Rand struct{ s uint64 }
+
+// NewRand returns a deterministic PRNG (seed 0 is remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// RandomProgramConfig bounds the generated program.
+type RandomProgramConfig struct {
+	// MaxFuncs bounds the number of helper functions (default 4).
+	MaxFuncs int
+	// MaxDepth bounds statement-tree nesting (default 4).
+	MaxDepth int
+	// MaxLoopIters bounds each counted loop (default 12).
+	MaxLoopIters int
+	// WithThreads allows spawn/join in main (default false: single
+	// thread keeps property failures easy to read).
+	WithThreads bool
+}
+
+func (c *RandomProgramConfig) defaults() {
+	if c.MaxFuncs == 0 {
+		c.MaxFuncs = 4
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	if c.MaxLoopIters == 0 {
+		c.MaxLoopIters = 12
+	}
+}
+
+// RandomProgram builds a random sealed program from the seed.
+func RandomProgram(seed uint64, cfg RandomProgramConfig) *Program {
+	cfg.defaults()
+	r := NewRand(seed)
+	g := &progGen{r: r, cfg: cfg}
+	return g.program()
+}
+
+type progGen struct {
+	r   *Rand
+	cfg RandomProgramConfig
+
+	prog    *Program
+	classes []*Class
+	funcs   []*Method // callable helpers (built so far)
+
+	// est tracks a static per-helper work estimate so call emission can
+	// keep the whole program's dynamic cost bounded: loops multiply the
+	// context, calls add the callee's estimate, and a statement that
+	// would blow the budget degrades to cheap arithmetic.
+	est map[*Method]int64
+}
+
+// workBudget bounds the estimated dynamic instruction count of any single
+// generated function body (including everything it transitively calls).
+const workBudget = 1 << 21
+
+func (g *progGen) program() *Program {
+	g.prog = &Program{Name: "random"}
+
+	// One or two classes with 1-3 fields, each with a virtual method.
+	nClasses := 1 + g.r.Intn(2)
+	for i := 0; i < nClasses; i++ {
+		c := &Class{Name: string(rune('A' + i))}
+		nf := 1 + g.r.Intn(3)
+		for f := 0; f < nf; f++ {
+			c.FieldNames = append(c.FieldNames, "f"+string(rune('0'+f)))
+		}
+		g.prog.Classes = append(g.prog.Classes, c)
+		g.classes = append(g.classes, c)
+		// Virtual method: mixes the receiver's fields with the argument.
+		vb := NewMethod(c, "mix", 2)
+		cur := vb.At(vb.EntryBlock())
+		acc := cur.Const(int64(i + 1))
+		for f := 0; f < nf; f++ {
+			fv := cur.GetField(0, c, c.FieldNames[f])
+			acc = cur.Bin(OpAdd, acc, fv)
+		}
+		acc = cur.Bin(OpXor, acc, 1)
+		cur.PutField(0, c, c.FieldNames[0], acc)
+		cur.Return(acc)
+	}
+
+	// Helper functions, each built from random statements. Functions can
+	// call previously built functions, so the call graph is a DAG plus
+	// optional bounded self-recursion.
+	nFuncs := 1 + g.r.Intn(g.cfg.MaxFuncs)
+	for i := 0; i < nFuncs; i++ {
+		g.funcs = append(g.funcs, g.function(i))
+	}
+
+	mainB := NewFunc("main", 0)
+	g.prog.Funcs = append(g.prog.Funcs, mainB.M)
+	g.prog.Main = mainB.M
+	cur := mainB.At(mainB.EntryBlock())
+	env := g.newEnv(mainB, cur)
+	if g.cfg.WithThreads && len(g.funcs) > 0 && g.r.Intn(2) == 0 {
+		// Spawn one or two helpers as threads, join them into the
+		// accumulator.
+		n := 1 + g.r.Intn(2)
+		var handles []Reg
+		for t := 0; t < n; t++ {
+			f := g.funcs[g.r.Intn(len(g.funcs))]
+			args := make([]Reg, f.NumParams)
+			for a := range args {
+				args[a] = env.cur.Const(int64(g.r.Intn(20)))
+			}
+			handles = append(handles, env.cur.Spawn(f, args...))
+		}
+		for _, h := range handles {
+			v := env.cur.Join(h)
+			env.cur.BinTo(OpAdd, env.acc, env.acc, v)
+		}
+	}
+	env = g.statements(env, g.cfg.MaxDepth)
+	env.cur.Print(env.acc)
+	env.cur.Return(env.acc)
+
+	for _, f := range g.funcs {
+		g.prog.Funcs = append(g.prog.Funcs, f)
+	}
+	g.prog.Seal()
+	return g.prog
+}
+
+// genEnv carries the builder state through statement generation.
+type genEnv struct {
+	b    *Builder
+	cur  *Cursor
+	acc  Reg // running accumulator, always live
+	vars []Reg
+	// depthParam is the recursion budget register of the enclosing
+	// function (NoReg for main).
+	depthParam Reg
+	self       *Method
+	// mult is the product of enclosing loop iteration counts; spent
+	// accumulates the estimated dynamic cost of the function body.
+	mult  int64
+	spent *int64
+}
+
+func (e *genEnv) child(cur *Cursor, mult int64) *genEnv {
+	return &genEnv{b: e.b, cur: cur, acc: e.acc, depthParam: e.depthParam,
+		self: e.self, mult: mult, spent: e.spent}
+}
+
+// charge records est units of work in the current loop context and
+// reports whether the budget allows it.
+func (e *genEnv) charge(est int64) bool {
+	cost := est * e.mult
+	if *e.spent+cost > workBudget {
+		return false
+	}
+	*e.spent += cost
+	return true
+}
+
+func (g *progGen) newEnv(b *Builder, cur *Cursor) *genEnv {
+	env := &genEnv{b: b, cur: cur, acc: b.FreshReg(), depthParam: NoReg,
+		mult: 1, spent: new(int64)}
+	cur.ConstTo(env.acc, int64(g.r.Intn(100)))
+	return env
+}
+
+// function builds helper i: func hi(x, depth) with random statements and
+// optional bounded self-recursion.
+func (g *progGen) function(i int) *Method {
+	b := NewFunc("h"+string(rune('0'+i)), 2)
+	cur := b.At(b.EntryBlock())
+	env := &genEnv{b: b, cur: cur, acc: b.FreshReg(), depthParam: 1,
+		self: b.M, mult: 1, spent: new(int64)}
+	cur.ConstTo(env.acc, int64(i*7+1))
+	env.cur.BinTo(OpAdd, env.acc, env.acc, 0) // fold in x
+	env = g.statements(env, 2+g.r.Intn(g.cfg.MaxDepth-1))
+	env.cur.Return(env.acc)
+	if g.est == nil {
+		g.est = make(map[*Method]int64)
+	}
+	// A helper's callers must assume the worst case: the body estimate
+	// times the maximum self-recursion fanout (self-calls are emitted
+	// outside loops with budget <= 2, so a factor of 4 is conservative).
+	g.est[b.M] = *env.spent*4 + int64(b.M.NumInstrs())
+	return b.M
+}
+
+// statements emits 1-4 random statements at the given nesting depth and
+// returns the (possibly moved) environment.
+func (g *progGen) statements(env *genEnv, depth int) *genEnv {
+	n := 1 + g.r.Intn(4)
+	for i := 0; i < n; i++ {
+		env = g.statement(env, depth)
+	}
+	return env
+}
+
+func (g *progGen) statement(env *genEnv, depth int) *genEnv {
+	choices := 6 // arithmetic, field, array, call, io, print
+	if depth > 0 {
+		choices += 3 // if, loop, virtual call
+	}
+	if !env.charge(8) {
+		// Budget exhausted: emit only constant-cost arithmetic.
+		k := env.cur.Const(int64(g.r.Intn(97) + 1))
+		env.cur.BinTo(OpXor, env.acc, env.acc, k)
+		return env
+	}
+	switch g.r.Intn(choices) {
+	case 0, 1: // arithmetic chain
+		ops := []Op{OpAdd, OpSub, OpMul, OpXor, OpAnd, OpOr}
+		k := env.cur.Const(int64(g.r.Intn(1000) + 1))
+		env.cur.BinTo(ops[g.r.Intn(len(ops))], env.acc, env.acc, k)
+		// Remainder keeps values bounded (and exercises the trap-free
+		// path: divisor is a non-zero constant).
+		mod := env.cur.Const(int64(g.r.Intn(9000) + 1000))
+		env.cur.BinTo(OpRem, env.acc, env.acc, mod)
+	case 2: // object create + field traffic
+		c := g.classes[g.r.Intn(len(g.classes))]
+		o := env.cur.New(c)
+		fld := c.FieldNames[g.r.Intn(len(c.FieldNames))]
+		env.cur.PutField(o, c, fld, env.acc)
+		v := env.cur.GetField(o, c, fld)
+		env.cur.BinTo(OpAdd, env.acc, env.acc, v)
+	case 3: // array create + element traffic
+		ln := env.cur.Const(int64(g.r.Intn(6) + 2))
+		arr := env.cur.NewArray(ln)
+		idx := env.cur.Const(int64(g.r.Intn(2)))
+		env.cur.AStore(arr, idx, env.acc)
+		v := env.cur.ALoad(arr, idx)
+		env.cur.BinTo(OpXor, env.acc, env.acc, v)
+	case 4: // call a helper (earlier helper, or bounded self-recursion)
+		env = g.emitCall(env)
+	case 5: // io or print
+		if g.r.Intn(2) == 0 {
+			env.cur.IO(int64(g.r.Intn(500) + 10))
+		} else {
+			env.cur.Print(env.acc)
+		}
+	case 6: // if/else
+		env = g.emitIf(env, depth)
+	case 7: // counted loop
+		env = g.emitLoop(env, depth)
+	case 8: // virtual call
+		c := g.classes[g.r.Intn(len(g.classes))]
+		o := env.cur.New(c)
+		env.cur.PutField(o, c, c.FieldNames[0], env.acc)
+		v := env.cur.CallVirt("mix", o, env.acc)
+		env.cur.BinTo(OpAdd, env.acc, env.acc, v)
+	}
+	return env
+}
+
+func (g *progGen) emitCall(env *genEnv) *genEnv {
+	// Self-recursion with budget, or a call to an existing helper.
+	// Self-recursion only outside loops (mult == 1), so the recursion
+	// fanout stays within the estimate recorded by function().
+	if env.self != nil && env.depthParam != NoReg && env.mult == 1 &&
+		env.charge(2000) && g.r.Intn(3) == 0 {
+		zero := env.cur.Const(0)
+		cond := env.cur.Bin(OpCmpGT, env.depthParam, zero)
+		thenB := env.b.Block("")
+		elseB := env.b.Block("")
+		env.cur.Branch(cond, thenB, elseB)
+		tc := env.b.At(thenB)
+		one := tc.Const(1)
+		d1 := tc.Bin(OpSub, env.depthParam, one)
+		v := tc.Call(env.self, env.acc, d1)
+		tc.BinTo(OpAdd, env.acc, env.acc, v)
+		tc.Jump(elseB)
+		env.cur = env.b.At(elseB)
+		return env
+	}
+	if len(g.funcs) == 0 {
+		return env
+	}
+	f := g.funcs[g.r.Intn(len(g.funcs))]
+	if !env.charge(g.est[f] + 40) {
+		return env
+	}
+	budget := env.cur.Const(int64(g.r.Intn(3)))
+	v := env.cur.Call(f, env.acc, budget)
+	env.cur.BinTo(OpXor, env.acc, env.acc, v)
+	return env
+}
+
+func (g *progGen) emitIf(env *genEnv, depth int) *genEnv {
+	k := env.cur.Const(int64(g.r.Intn(64)))
+	masked := env.cur.Bin(OpAnd, env.acc, k)
+	zero := env.cur.Const(0)
+	cond := env.cur.Bin(OpCmpNE, masked, zero)
+	thenB := env.b.Block("")
+	elseB := env.b.Block("")
+	joinB := env.b.Block("")
+	env.cur.Branch(cond, thenB, elseB)
+
+	tEnv := env.child(env.b.At(thenB), env.mult)
+	tEnv = g.statements(tEnv, depth-1)
+	tEnv.cur.Jump(joinB)
+
+	eEnv := env.child(env.b.At(elseB), env.mult)
+	if g.r.Intn(2) == 0 {
+		eEnv = g.statements(eEnv, depth-1)
+	}
+	eEnv.cur.Jump(joinB)
+
+	env.cur = env.b.At(joinB)
+	return env
+}
+
+func (g *progGen) emitLoop(env *genEnv, depth int) *genEnv {
+	iters := int64(g.r.Intn(g.cfg.MaxLoopIters) + 1)
+	if !env.charge(iters * 10) {
+		return env
+	}
+	n := env.cur.Const(iters)
+	lp := env.cur.CountedLoop(n, "")
+	bodyEnv := env.child(lp.Body, env.mult*iters)
+	bodyEnv = g.statements(bodyEnv, depth-1)
+	bodyEnv.cur.BinTo(OpAdd, env.acc, env.acc, lp.I)
+	bodyEnv.cur.Jump(lp.Latch)
+	env.cur = lp.After
+	return env
+}

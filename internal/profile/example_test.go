@@ -1,0 +1,37 @@
+package profile_test
+
+import (
+	"fmt"
+
+	"instrsample/internal/profile"
+)
+
+// ExampleOverlap demonstrates the paper's §4.4 accuracy metric: each
+// event contributes the minimum of its two sample-percentages.
+func ExampleOverlap() {
+	perfect := profile.New("perfect")
+	perfect.Add(1, 80) // event 1: 80%
+	perfect.Add(2, 20) // event 2: 20%
+
+	sampled := profile.New("sampled")
+	sampled.Add(1, 6) // 60%
+	sampled.Add(2, 3) // 30%
+	sampled.Add(3, 1) // 10% noise
+
+	fmt.Printf("%.0f%%\n", profile.Overlap(perfect, sampled))
+	// Output: 80%
+}
+
+// ExampleProfile_Entries shows deterministic, descending iteration.
+func ExampleProfile_Entries() {
+	p := profile.New("demo")
+	p.Labeler = func(k uint64) string { return fmt.Sprintf("event-%d", k) }
+	p.Add(7, 5)
+	p.Add(3, 10)
+	for _, e := range p.Entries() {
+		fmt.Printf("%s %d (%.1f%%)\n", p.Labeler(e.Key), e.Count, e.Percent)
+	}
+	// Output:
+	// event-3 10 (66.7%)
+	// event-7 5 (33.3%)
+}

@@ -1,0 +1,56 @@
+package profile
+
+import "encoding/json"
+
+// jsonEntry is the serialized form of one profile event.
+type jsonEntry struct {
+	Key     uint64  `json:"key"`
+	Label   string  `json:"label,omitempty"`
+	Count   uint64  `json:"count"`
+	Percent float64 `json:"percent"`
+}
+
+type jsonProfile struct {
+	Name    string      `json:"name"`
+	Total   uint64      `json:"total"`
+	Events  int         `json:"events"`
+	Entries []jsonEntry `json:"entries"`
+}
+
+// MarshalJSON serializes the profile with entries in descending-count
+// order (deterministic), including labels when a Labeler is attached.
+// Consumers that post-process profiles (dashboards, diffing tools,
+// offline optimizers) get a stable machine-readable form.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	out := jsonProfile{
+		Name:    p.Name,
+		Total:   p.Total(),
+		Events:  p.NumEvents(),
+		Entries: make([]jsonEntry, 0, p.NumEvents()),
+	}
+	for _, e := range p.Entries() {
+		je := jsonEntry{Key: e.Key, Count: e.Count, Percent: e.Percent}
+		if p.Labeler != nil {
+			je.Label = p.Labeler(e.Key)
+		}
+		out.Entries = append(out.Entries, je)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a profile serialized by MarshalJSON. Labels are
+// not restored (they are derived from the program); attach a Labeler
+// after loading if reports need them.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var in jsonProfile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	p.Name = in.Name
+	p.counts = make(map[uint64]uint64, len(in.Entries))
+	p.total = 0
+	for _, e := range in.Entries {
+		p.Add(e.Key, e.Count)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package profile
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := New("field-access")
+	p.Labeler = func(k uint64) string { return "f" + string(rune('0'+k)) }
+	p.Add(0, 90)
+	p.Add(1, 60)
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"name":"field-access"`, `"total":150`, `"label":"f0"`, `"percent":60`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON %s missing %s", s, want)
+		}
+	}
+
+	var q Profile
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Total() != p.Total() || q.NumEvents() != p.NumEvents() {
+		t.Fatalf("round trip lost data: %+v", q)
+	}
+	if ov := Overlap(p, &q); ov < 99.999 {
+		t.Fatalf("round-trip overlap %.3f", ov)
+	}
+}
+
+func TestJSONEmptyProfile(t *testing.T) {
+	p := New("empty")
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Profile
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Total() != 0 || q.NumEvents() != 0 {
+		t.Fatal("empty profile round trip broken")
+	}
+	// The restored profile must be usable (maps initialized).
+	q.Inc(5)
+	if q.Total() != 1 {
+		t.Fatal("restored profile not writable")
+	}
+}
+
+func TestJSONDeterministicOrder(t *testing.T) {
+	p := New("t")
+	for i := uint64(0); i < 20; i++ {
+		p.Add(i, 100-i)
+	}
+	a, _ := json.Marshal(p)
+	b, _ := json.Marshal(p)
+	if string(a) != string(b) {
+		t.Fatal("JSON serialization not deterministic")
+	}
+	if !strings.Contains(string(a), `"count":100`) {
+		t.Fatal("descending order lost")
+	}
+}

@@ -1,0 +1,179 @@
+package trigger
+
+import "fmt"
+
+// Counter is the compiler-inserted counter-based trigger of §2.2
+// (Figure 3): a global counter is decremented at every check; when it
+// reaches zero a sample fires and the counter resets to the sample
+// interval. It is deterministic: running a deterministic application
+// twice produces identical profiles.
+type Counter struct {
+	// Interval is the sample interval (checks per sample). The paper's
+	// Table 4 sweeps 1, 10, 100, 1000, 10 000, 100 000.
+	Interval int64
+
+	remaining int64
+}
+
+// NewCounter returns a counter-based trigger with the given interval.
+// Interval values below 1 are treated as 1.
+func NewCounter(interval int64) *Counter {
+	if interval < 1 {
+		interval = 1
+	}
+	c := &Counter{Interval: interval}
+	c.Reset()
+	return c
+}
+
+// Poll decrements the global counter and fires when it reaches zero.
+func (c *Counter) Poll(int, uint64) bool {
+	c.remaining--
+	if c.remaining <= 0 {
+		c.remaining = c.Interval
+		return true
+	}
+	return false
+}
+
+// Reset restores the counter to one full interval.
+func (c *Counter) Reset() { c.remaining = c.Interval }
+
+// Name returns "counter/<interval>".
+func (c *Counter) Name() string { return fmt.Sprintf("counter/%d", c.Interval) }
+
+// Disable sets the sample condition permanently false, as §2 describes for
+// retiring an instrumented method that keeps executing: execution then
+// remains in the checking code.
+func (c *Counter) Disable() { c.Interval = 1 << 62; c.remaining = 1 << 62 }
+
+// SetInterval retunes the sample rate while the program runs — the
+// framework's "tradeoff between overhead and accuracy [can] be adjusted
+// easily at runtime" knob. The new interval takes effect after the
+// current countdown expires (or immediately if shorter than what
+// remains).
+func (c *Counter) SetInterval(interval int64) {
+	if interval < 1 {
+		interval = 1
+	}
+	c.Interval = interval
+	if c.remaining > interval {
+		c.remaining = interval
+	}
+}
+
+// PerThread gives each thread its own sample counter, the variant §2.2
+// proposes to avoid contention on the global counter in multi-threaded
+// applications. Each thread's counter behaves like Counter independently.
+type PerThread struct {
+	// Interval is the per-thread sample interval.
+	Interval int64
+
+	remaining []int64
+}
+
+// NewPerThread returns a per-thread counter trigger.
+func NewPerThread(interval int64) *PerThread {
+	if interval < 1 {
+		interval = 1
+	}
+	return &PerThread{Interval: interval}
+}
+
+// Poll decrements the polling thread's counter.
+func (p *PerThread) Poll(threadID int, _ uint64) bool {
+	for threadID >= len(p.remaining) {
+		p.remaining = append(p.remaining, p.Interval)
+	}
+	p.remaining[threadID]--
+	if p.remaining[threadID] <= 0 {
+		p.remaining[threadID] = p.Interval
+		return true
+	}
+	return false
+}
+
+// Reset clears all per-thread counters.
+func (p *PerThread) Reset() { p.remaining = p.remaining[:0] }
+
+// Name returns "perthread/<interval>".
+func (p *PerThread) Name() string { return fmt.Sprintf("perthread/%d", p.Interval) }
+
+// Randomized is a counter trigger whose reset value is Interval plus a
+// small uniform perturbation in [-Jitter, +Jitter]. §4.4 suggests this to
+// break pathological correlation between a program's periodic behaviour
+// and a fixed sample interval (the "every 1000th iteration" worst case).
+// The perturbation comes from a seeded xorshift generator, so results
+// remain reproducible for a fixed seed.
+type Randomized struct {
+	// Interval is the mean sample interval.
+	Interval int64
+	// Jitter bounds the perturbation. Must be < Interval.
+	Jitter int64
+	// Seed initializes the PRNG; Reset returns to this seed.
+	Seed uint64
+
+	remaining int64
+	state     uint64
+}
+
+// NewRandomized returns a randomized counter trigger.
+func NewRandomized(interval, jitter int64, seed uint64) *Randomized {
+	if interval < 1 {
+		interval = 1
+	}
+	if jitter >= interval {
+		jitter = interval - 1
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := &Randomized{Interval: interval, Jitter: jitter, Seed: seed}
+	r.Reset()
+	return r
+}
+
+func (r *Randomized) next() uint64 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return x
+}
+
+func (r *Randomized) reload() {
+	v := r.Interval
+	if r.Jitter > 0 {
+		v += int64(r.next()%uint64(2*r.Jitter+1)) - r.Jitter
+	}
+	if v < 1 {
+		v = 1
+	}
+	r.remaining = v
+}
+
+// Poll decrements the counter; on zero it fires and reloads with a
+// perturbed interval.
+func (r *Randomized) Poll(int, uint64) bool {
+	r.remaining--
+	if r.remaining <= 0 {
+		r.reload()
+		return true
+	}
+	return false
+}
+
+// Reset reseeds the PRNG and reloads the counter.
+func (r *Randomized) Reset() {
+	r.state = r.Seed
+	r.reload()
+}
+
+// Name returns "randomized/<interval>±<jitter>".
+func (r *Randomized) Name() string {
+	return fmt.Sprintf("randomized/%d±%d", r.Interval, r.Jitter)
+}

@@ -1,0 +1,54 @@
+// Package trigger implements the sample-trigger mechanisms of §2.1–2.2:
+// the compiler-inserted counter-based trigger (global and per-thread
+// variants, plus the randomized-interval variant suggested in §4.4) and a
+// timer-based trigger driven by a periodic interrupt bit, used to
+// reproduce the Table 5 comparison.
+//
+// The interpreter polls the trigger every time an OpCheck (or the guard of
+// an OpCheckedProbe) executes; Poll answers whether that check fires a
+// sample.
+package trigger
+
+// Trigger decides, at each executed check, whether a sample fires.
+//
+// Poll is called with the polling thread's ID and the VM's current
+// simulated cycle count. Implementations must be deterministic functions
+// of their configuration and the Poll sequence.
+type Trigger interface {
+	// Poll is invoked once per executed check; it returns true when the
+	// sample condition is true at this check.
+	Poll(threadID int, cycles uint64) bool
+	// Reset restores the trigger to its initial state.
+	Reset()
+	// Name identifies the trigger in reports.
+	Name() string
+}
+
+// Never is a trigger that never fires. Setting the sample condition
+// permanently false is how the framework retires instrumentation while a
+// method keeps running (§2); it is also how the framework-overhead
+// experiments (Table 2, Table 3, Figure 8A) are measured.
+type Never struct{}
+
+// Poll always reports false.
+func (Never) Poll(int, uint64) bool { return false }
+
+// Reset does nothing.
+func (Never) Reset() {}
+
+// Name returns "never".
+func (Never) Name() string { return "never" }
+
+// Always is a trigger that fires at every check. Under Full-Duplication
+// this produces the paper's "perfect profile" (sample interval 1: all
+// execution occurs in duplicated code).
+type Always struct{}
+
+// Poll always reports true.
+func (Always) Poll(int, uint64) bool { return true }
+
+// Reset does nothing.
+func (Always) Reset() {}
+
+// Name returns "always".
+func (Always) Name() string { return "always" }

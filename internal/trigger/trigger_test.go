@@ -1,0 +1,217 @@
+package trigger
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func countFires(tr Trigger, polls int) int {
+	n := 0
+	for i := 0; i < polls; i++ {
+		if tr.Poll(0, uint64(i)*10) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCounterFiresEveryInterval(t *testing.T) {
+	for _, interval := range []int64{1, 2, 10, 1000} {
+		tr := NewCounter(interval)
+		polls := int(interval) * 50
+		fires := countFires(tr, polls)
+		if fires != 50 {
+			t.Errorf("interval %d: %d fires over %d polls, want 50", interval, fires, polls)
+		}
+	}
+}
+
+func TestCounterFirePositions(t *testing.T) {
+	tr := NewCounter(3)
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if tr.Poll(0, 0) {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fires) != len(want) {
+		t.Fatalf("fires at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires at %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestCounterResetAndDisable(t *testing.T) {
+	tr := NewCounter(2)
+	tr.Poll(0, 0)
+	tr.Reset()
+	if tr.Poll(0, 0) {
+		t.Error("fired immediately after reset")
+	}
+	if !tr.Poll(0, 0) {
+		t.Error("second poll after reset should fire")
+	}
+	tr.Disable()
+	for i := 0; i < 10000; i++ {
+		if tr.Poll(0, 0) {
+			t.Fatal("disabled trigger fired")
+		}
+	}
+}
+
+func TestCounterClampsInterval(t *testing.T) {
+	tr := NewCounter(0)
+	if !tr.Poll(0, 0) {
+		t.Error("interval 0 must clamp to 1 (always fire)")
+	}
+}
+
+func TestPerThreadIndependence(t *testing.T) {
+	tr := NewPerThread(3)
+	// Thread 0 polls twice, thread 1 polls three times: only thread 1
+	// fires.
+	if tr.Poll(0, 0) || tr.Poll(0, 0) {
+		t.Error("thread 0 fired early")
+	}
+	if tr.Poll(1, 0) || tr.Poll(1, 0) {
+		t.Error("thread 1 fired early")
+	}
+	if !tr.Poll(1, 0) {
+		t.Error("thread 1 third poll must fire")
+	}
+	if !tr.Poll(0, 0) {
+		t.Error("thread 0 third poll must fire")
+	}
+	tr.Reset()
+	if tr.Poll(0, 0) || tr.Poll(1, 0) {
+		t.Error("fired after reset")
+	}
+}
+
+func TestTimerConsumesOneBitPerPeriod(t *testing.T) {
+	tr := NewTimer(1000)
+	if tr.Poll(0, 999) {
+		t.Error("fired before first period")
+	}
+	if !tr.Poll(0, 1001) {
+		t.Error("must fire after period elapses")
+	}
+	if tr.Poll(0, 1500) {
+		t.Error("bit already consumed this period")
+	}
+	// Several periods pass without a check: still just one fire.
+	if !tr.Poll(0, 5500) {
+		t.Error("must fire after long gap")
+	}
+	if tr.Poll(0, 5600) {
+		t.Error("only one bit regardless of elapsed periods")
+	}
+}
+
+func TestTimerRateCap(t *testing.T) {
+	// 10k polls spread over 100 periods: at most ~100 fires, however
+	// dense the checks are — the sample-rate cap of §2.1.
+	tr := NewTimer(100)
+	fires := 0
+	for i := 0; i < 10000; i++ {
+		if tr.Poll(0, uint64(i)) {
+			fires++
+		}
+	}
+	if fires > 100 {
+		t.Errorf("%d fires, cap is 100", fires)
+	}
+	if fires < 95 {
+		t.Errorf("%d fires, expected close to 100", fires)
+	}
+}
+
+func TestRandomizedMeanAndDeterminism(t *testing.T) {
+	tr := NewRandomized(100, 20, 7)
+	polls := 200000
+	fires := countFires(tr, polls)
+	mean := float64(polls) / float64(fires)
+	if mean < 90 || mean > 110 {
+		t.Errorf("mean interval %.1f, want ~100", mean)
+	}
+	// Determinism: same seed, same fire sequence.
+	a := NewRandomized(50, 10, 99)
+	b := NewRandomized(50, 10, 99)
+	for i := 0; i < 5000; i++ {
+		if a.Poll(0, 0) != b.Poll(0, 0) {
+			t.Fatal("same-seed randomized triggers diverge")
+		}
+	}
+	// Different seeds eventually diverge.
+	c := NewRandomized(50, 10, 100)
+	d := NewRandomized(50, 10, 101)
+	same := true
+	for i := 0; i < 5000; i++ {
+		if c.Poll(0, 0) != d.Poll(0, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestRandomizedJitterClamped(t *testing.T) {
+	tr := NewRandomized(5, 50, 1) // jitter > interval must clamp
+	fires := countFires(tr, 5000)
+	if fires == 0 {
+		t.Fatal("no fires")
+	}
+	mean := 5000.0 / float64(fires)
+	if mean < 2 || mean > 10 {
+		t.Errorf("mean %.1f out of sane range", mean)
+	}
+}
+
+func TestNeverAlways(t *testing.T) {
+	if (Never{}).Poll(0, 0) {
+		t.Error("Never fired")
+	}
+	if !(Always{}).Poll(0, 0) {
+		t.Error("Always did not fire")
+	}
+	if Never.Name(Never{}) != "never" || Always.Name(Always{}) != "always" {
+		t.Error("names wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, tc := range []struct {
+		tr   Trigger
+		want string
+	}{
+		{NewCounter(1000), "counter/1000"},
+		{NewPerThread(5), "perthread/5"},
+		{NewTimer(333), "timer/333"},
+	} {
+		if tc.tr.Name() != tc.want {
+			t.Errorf("Name() = %q, want %q", tc.tr.Name(), tc.want)
+		}
+	}
+}
+
+// TestQuickCounterProportionality: for any interval and poll count, the
+// number of fires is exactly floor(polls/interval) — the property that
+// makes counter-based sampling statistically faithful.
+func TestQuickCounterProportionality(t *testing.T) {
+	f := func(interval uint16, polls uint16) bool {
+		iv := int64(interval%5000) + 1
+		n := int(polls)
+		tr := NewCounter(iv)
+		fires := countFires(tr, n)
+		return fires == n/int(iv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

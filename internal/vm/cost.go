@@ -1,0 +1,180 @@
+package vm
+
+import "instrsample/internal/ir"
+
+// CostModel assigns a simulated cycle cost to every IR operation. The
+// defaults are loosely modelled on a simple in-order RISC (the paper's
+// PowerPC 604e): ALU operations cost a cycle, memory operations a couple,
+// calls cost their linkage, and the two framework-relevant sequences match
+// the paper's descriptions:
+//
+//   - Check: §2.2 describes the naive check as a memory load, compare,
+//     branch, decrement and store — five cycles here.
+//   - Yield: Jalapeño's yieldpoint is "similar, but slightly different"
+//     (§4.5) — four cycles here (a bit-test rather than a
+//     decrement-and-store), which is why the yieldpoint optimization
+//     (replace the yieldpoint with the check instead of adding the check
+//     next to it) leaves only ~1 cycle of overhead per entry/backedge and
+//     makes framework overhead nearly vanish.
+//
+// Probe costs are carried by each probe (set by the instrumenters), not by
+// the model, because the paper's point is that instrumentation cost is
+// arbitrary and instrumentation-specific.
+type CostModel struct {
+	// Simple is the cost of ALU/move/const/compare operations.
+	Simple uint32
+	// DivRem is the cost of division and remainder (multi-cycle on the
+	// 604e).
+	DivRem uint32
+	// Branch is the cost of jumps and conditional branches.
+	Branch uint32
+	// FieldAccess is the cost of OpGetField/OpPutField.
+	FieldAccess uint32
+	// ArrayAccess is the cost of array loads/stores.
+	ArrayAccess uint32
+	// New is the allocation cost of OpNew.
+	New uint32
+	// NewArrayBase is the base allocation cost of OpNewArray.
+	NewArrayBase uint32
+	// Call is the call-linkage cost of OpCall (frame push, argument
+	// copy); CallVirt adds VirtExtra for dispatch.
+	Call      uint32
+	VirtExtra uint32
+	// Return is the return-linkage cost.
+	Return uint32
+	// Spawn and Join are threading costs.
+	Spawn uint32
+	Join  uint32
+	// Yield is the yieldpoint cost.
+	Yield uint32
+	// Check is the counter-based check cost (also the guard cost of a
+	// checked probe under No-Duplication).
+	Check uint32
+	// Print is the output cost.
+	Print uint32
+	// ICacheMissPenalty is charged per instruction-cache miss when the
+	// i-cache model is enabled.
+	ICacheMissPenalty uint32
+}
+
+// DefaultCostModel returns the model used by all experiments.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		Simple:            1,
+		DivRem:            12,
+		Branch:            1,
+		FieldAccess:       3,
+		ArrayAccess:       4,
+		New:               24,
+		NewArrayBase:      24,
+		Call:              20,
+		VirtExtra:         6,
+		Return:            8,
+		Spawn:             60,
+		Join:              12,
+		Yield:             4,
+		Check:             5,
+		Print:             4,
+		ICacheMissPenalty: 12,
+	}
+}
+
+// opCost returns the cost of a non-probe instruction. Probe and IO costs
+// are charged from the instruction payload by the interpreter.
+func (c *CostModel) opCost(in *ir.Instr) uint32 {
+	switch in.Op {
+	case ir.OpNop:
+		return 0
+	case ir.OpConst, ir.OpMove, ir.OpAdd, ir.OpSub, ir.OpMul,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpNeg, ir.OpNot, ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT,
+		ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE, ir.OpArrayLen:
+		return c.Simple
+	case ir.OpDiv, ir.OpRem:
+		return c.DivRem
+	case ir.OpGetField, ir.OpPutField, ir.OpClassOf:
+		return c.FieldAccess
+	case ir.OpArrayLoad, ir.OpArrayStore:
+		return c.ArrayAccess
+	case ir.OpNew:
+		return c.New
+	case ir.OpNewArray:
+		return c.NewArrayBase
+	case ir.OpCall:
+		return c.Call
+	case ir.OpCallVirt:
+		return c.Call + c.VirtExtra
+	case ir.OpSpawn:
+		return c.Spawn
+	case ir.OpJoin:
+		return c.Join
+	case ir.OpPrint:
+		return c.Print
+	case ir.OpYield:
+		return c.Yield
+	case ir.OpJump, ir.OpBranch:
+		return c.Branch
+	case ir.OpReturn:
+		return c.Return
+	case ir.OpCheck, ir.OpLoopCheck:
+		return c.Check
+	default:
+		return c.Simple
+	}
+}
+
+// ICacheConfig configures the direct-mapped instruction cache model.
+type ICacheConfig struct {
+	// SizeBytes is the total cache size; must be a power of two.
+	SizeBytes int
+	// LineBytes is the line size; must be a power of two.
+	LineBytes int
+}
+
+// DefaultICache returns a 16 KiB, 64-byte-line cache, a plausible L1i for
+// the paper's era.
+func DefaultICache() *ICacheConfig {
+	return &ICacheConfig{SizeBytes: 16 << 10, LineBytes: 64}
+}
+
+// icache is the runtime state of the i-cache model.
+type icache struct {
+	tags      []int64 // -1 = invalid
+	lineShift uint
+	setMask   int64
+	misses    uint64
+}
+
+func newICache(cfg *ICacheConfig) *icache {
+	numLines := cfg.SizeBytes / cfg.LineBytes
+	c := &icache{
+		tags:    make([]int64, numLines),
+		setMask: int64(numLines - 1),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// touch simulates fetching [addr, addr+size) and returns the miss count.
+func (c *icache) touch(addr, size int) uint64 {
+	if size <= 0 {
+		return 0
+	}
+	first := int64(addr) >> c.lineShift
+	last := int64(addr+size-1) >> c.lineShift
+	var misses uint64
+	for line := first; line <= last; line++ {
+		set := line & c.setMask
+		if c.tags[set] != line {
+			c.tags[set] = line
+			misses++
+		}
+	}
+	c.misses += misses
+	return misses
+}

@@ -1,0 +1,287 @@
+package vm
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+)
+
+// ProbeEvent is the information handed to an instrumentation runtime when
+// one of its probes executes.
+type ProbeEvent struct {
+	// Probe is the executed probe.
+	Probe *ir.Probe
+	// Method is the method containing the probe.
+	Method *ir.Method
+	// CallerMethod and CallSite identify the call that created the
+	// current frame (nil/-1 in a thread root frame). Used by call-edge
+	// instrumentation.
+	CallerMethod *ir.Method
+	CallSite     int
+	// ThreadID is the executing thread.
+	ThreadID int
+	// Thread is the executing thread. Handlers may walk Thread.Frames to
+	// observe the full call stack — the mechanism behind stack-sampling
+	// instrumentations like the sampled calling-context tree (the §2
+	// "special treatment" the paper cites from Arnold–Sweeney [8]).
+	Thread *Thread
+	// Value is the observed value (register content for ProbeValue, path
+	// number for ProbePathRecord, 0 otherwise).
+	Value int64
+}
+
+// ProbeHandler receives probe events for one instrumentation. Handlers
+// are registered in Config.Handlers; a probe with Owner == i dispatches to
+// Handlers[i].
+type ProbeHandler interface {
+	HandleProbe(ev *ProbeEvent)
+}
+
+// Config configures a VM run.
+type Config struct {
+	// Trigger is the sample trigger polled by checks; nil means Never.
+	Trigger trigger.Trigger
+	// Handlers are the instrumentation runtimes, indexed by probe Owner.
+	Handlers []ProbeHandler
+	// Cost is the cycle cost model; nil means DefaultCostModel.
+	Cost *CostModel
+	// ICache enables the instruction-cache model (requires the layout
+	// pass to have assigned block addresses); nil disables it.
+	ICache *ICacheConfig
+	// MaxStack bounds call depth (default 2048).
+	MaxStack int
+	// MaxCycles aborts runaway programs (default 1 << 40).
+	MaxCycles uint64
+	// Quantum is the number of yieldpoints a thread executes before the
+	// scheduler rotates (default 64).
+	Quantum int
+	// IterBudget is the duplicated-code iteration budget installed when a
+	// sample fires, consumed by OpLoopCheck (0 when the counted-backedge
+	// extension is unused).
+	IterBudget int64
+	// CostScale, when non-nil, returns a per-method cycle-cost multiplier
+	// (nil or a return of 0 means 1). It models compilation levels in an
+	// adaptive system: baseline-compiled methods run slower than
+	// optimized ones, which is what profile-driven recompilation
+	// (package adaptive) then fixes.
+	CostScale func(*ir.Method) uint32
+}
+
+// Stats aggregates execution counters for one run.
+type Stats struct {
+	// Cycles is the simulated cycle total — the "execution time" all
+	// overhead percentages are computed from.
+	Cycles uint64
+	// Instrs is the number of IR instructions executed.
+	Instrs uint64
+	// Checks is the number of executed sample checks (OpCheck plus the
+	// guards of OpCheckedProbe).
+	Checks uint64
+	// CheckFires is the number of checks whose sample condition was true
+	// — the paper's "Num Samples" column in Table 4.
+	CheckFires uint64
+	// LoopChecks counts executed OpLoopCheck terminators.
+	LoopChecks uint64
+	// Yields counts executed yieldpoints. In baseline code yieldpoints
+	// sit exactly on method entries and backedges, so this equals
+	// entries+backedges executed — the bound of Property 1.
+	Yields uint64
+	// MethodEntries counts frame pushes (calls, spawns and thread roots).
+	MethodEntries uint64
+	// Backedges counts executions of instructions marked as backedge
+	// jumps by the yieldpoint-insertion pass.
+	Backedges uint64
+	// ICacheMisses counts instruction-cache misses (0 when disabled).
+	ICacheMisses uint64
+	// Probes counts executed (unguarded or fired) instrumentation probes.
+	Probes uint64
+	// ThreadsSpawned counts spawned threads, excluding main.
+	ThreadsSpawned uint64
+	// DupEntries counts transfers from checking into duplicated code.
+	DupEntries uint64
+}
+
+// Result is the outcome of a completed run.
+type Result struct {
+	// Return is the main method's return value.
+	Return int64
+	// Output is the sequence of OpPrint values, across all threads in
+	// execution order.
+	Output []int64
+	// Stats are the run's counters.
+	Stats Stats
+}
+
+// RuntimeError is a trap: null dereference, out-of-bounds access, division
+// by zero, stack overflow, deadlock or cycle-budget exhaustion.
+type RuntimeError struct {
+	Reason string
+	Method *ir.Method
+	Block  *ir.Block
+	PC     int
+}
+
+func (e *RuntimeError) Error() string {
+	loc := "?"
+	if e.Method != nil {
+		loc = e.Method.FullName()
+		if e.Block != nil {
+			loc += ":" + e.Block.Name()
+			loc += fmt.Sprintf(":%d", e.PC)
+		}
+	}
+	return fmt.Sprintf("vm: %s at %s", e.Reason, loc)
+}
+
+// VM executes a sealed program under a Config.
+type VM struct {
+	prog *ir.Program
+	cfg  Config
+	cost *CostModel
+	trig trigger.Trigger
+	ic   *icache
+
+	threads []*Thread
+	runq    []*Thread
+	cycles  uint64
+	stats   Stats
+	output  []int64
+	quantum int
+}
+
+// New prepares a VM for the program. The program must be sealed and
+// should be verified.
+func New(prog *ir.Program, cfg Config) *VM {
+	if cfg.Cost == nil {
+		cfg.Cost = DefaultCostModel()
+	}
+	if cfg.Trigger == nil {
+		cfg.Trigger = trigger.Never{}
+	}
+	if cfg.MaxStack == 0 {
+		cfg.MaxStack = 2048
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 40
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 64
+	}
+	v := &VM{prog: prog, cfg: cfg, cost: cfg.Cost, trig: cfg.Trigger}
+	if cfg.ICache != nil {
+		v.ic = newICache(cfg.ICache)
+	}
+	return v
+}
+
+// Run executes the program to completion of all threads and returns the
+// result. The trigger is reset before execution.
+func (v *VM) Run() (*Result, error) {
+	if !v.prog.Sealed() {
+		return nil, fmt.Errorf("vm: program %q is not sealed", v.prog.Name)
+	}
+	v.trig.Reset()
+	main := v.newThread(v.prog.Main, nil)
+	v.runq = append(v.runq, main)
+	v.quantum = v.cfg.Quantum
+
+	for len(v.runq) > 0 {
+		t := v.runq[0]
+		if t.State != StateRunnable {
+			v.runq = v.runq[1:]
+			continue
+		}
+		reschedule, err := v.runThread(t)
+		if err != nil {
+			return nil, err
+		}
+		if reschedule || t.State != StateRunnable {
+			// Rotate: move to the back if still runnable.
+			v.runq = v.runq[1:]
+			if t.State == StateRunnable {
+				v.runq = append(v.runq, t)
+			}
+			v.quantum = v.cfg.Quantum
+		}
+	}
+	for _, t := range v.threads {
+		if t.State != StateDone {
+			return nil, &RuntimeError{Reason: fmt.Sprintf("deadlock: thread %d %s", t.ID, t.State)}
+		}
+	}
+	v.stats.Cycles = v.cycles
+	v.stats.ICacheMisses = 0
+	if v.ic != nil {
+		v.stats.ICacheMisses = v.ic.misses
+	}
+	return &Result{Return: main.Result.I, Output: v.output, Stats: v.stats}, nil
+}
+
+// Stats returns the counters accumulated so far.
+func (v *VM) Stats() Stats {
+	s := v.stats
+	s.Cycles = v.cycles
+	if v.ic != nil {
+		s.ICacheMisses = v.ic.misses
+	}
+	return s
+}
+
+func (v *VM) newThread(m *ir.Method, args []Value) *Thread {
+	t := &Thread{ID: len(v.threads), State: StateRunnable}
+	t.handle = &Object{Thread: t}
+	f := v.newFrame(m, args, ir.NoReg, nil, -1)
+	t.Frames = append(t.Frames, f)
+	v.threads = append(v.threads, t)
+	v.stats.MethodEntries++
+	return t
+}
+
+func (v *VM) newFrame(m *ir.Method, args []Value, retDst ir.Reg, caller *ir.Method, site int) *Frame {
+	f := &Frame{
+		Method:       m,
+		Regs:         make([]Value, m.NumRegs),
+		Block:        m.Entry(),
+		RetDst:       retDst,
+		CallerMethod: caller,
+		CallSite:     site,
+		costScale:    1,
+	}
+	if v.cfg.CostScale != nil {
+		if s := v.cfg.CostScale(m); s > 0 {
+			f.costScale = s
+		}
+	}
+	if m.ProbeRegs > 0 {
+		f.Scratch = make([]int64, m.ProbeRegs)
+	}
+	copy(f.Regs, args)
+	return f
+}
+
+func (v *VM) trap(t *Thread, reason string) error {
+	f := t.Top()
+	e := &RuntimeError{Reason: reason}
+	if f != nil {
+		e.Method, e.Block, e.PC = f.Method, f.Block, f.PC
+	}
+	return e
+}
+
+func (v *VM) enterBlock(f *Frame, b *ir.Block) {
+	f.Block = b
+	f.PC = 0
+	v.touchCode(b)
+}
+
+// touchCode simulates the instruction fetch of a block, charging the miss
+// penalty for every line the i-cache model misses on.
+func (v *VM) touchCode(b *ir.Block) {
+	if v.ic == nil {
+		return
+	}
+	if m := v.ic.touch(b.Addr, b.Size); m > 0 {
+		v.cycles += m * uint64(v.cost.ICacheMissPenalty)
+	}
+}

@@ -1,0 +1,489 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"instrsample/internal/ir"
+)
+
+// buildMain wraps a body builder into a runnable one-function program.
+func buildMain(f func(b *ir.Builder, c *ir.Cursor)) *ir.Program {
+	b := ir.NewFunc("main", 0)
+	f(b, b.At(b.EntryBlock()))
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{b.M}, Main: b.M}
+	p.Seal()
+	return p
+}
+
+func mustRun(t *testing.T, p *ir.Program, cfg Config) *Result {
+	t.Helper()
+	out, err := New(p, cfg).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op   ir.Op
+		a, b int64
+		want int64
+	}{
+		{ir.OpAdd, 7, 5, 12},
+		{ir.OpSub, 7, 5, 2},
+		{ir.OpMul, 7, 5, 35},
+		{ir.OpDiv, 7, 5, 1},
+		{ir.OpDiv, -7, 5, -1},
+		{ir.OpRem, 7, 5, 2},
+		{ir.OpRem, -7, 5, -2},
+		{ir.OpAnd, 6, 3, 2},
+		{ir.OpOr, 6, 3, 7},
+		{ir.OpXor, 6, 3, 5},
+		{ir.OpShl, 3, 2, 12},
+		{ir.OpShr, 12, 2, 3},
+		{ir.OpShr, -8, 1, -4}, // arithmetic shift
+		{ir.OpShl, 1, 200, 1 << (200 & 63)},
+		{ir.OpCmpEQ, 4, 4, 1},
+		{ir.OpCmpNE, 4, 4, 0},
+		{ir.OpCmpLT, 3, 4, 1},
+		{ir.OpCmpLE, 4, 4, 1},
+		{ir.OpCmpGT, 4, 3, 1},
+		{ir.OpCmpGE, 3, 4, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		p := buildMain(func(b *ir.Builder, c *ir.Cursor) {
+			a := c.Const(tc.a)
+			bb := c.Const(tc.b)
+			c.Return(c.Bin(tc.op, a, bb))
+		})
+		out := mustRun(t, p, Config{})
+		if out.Return != tc.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", tc.op, tc.a, tc.b, out.Return, tc.want)
+		}
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	p := buildMain(func(b *ir.Builder, c *ir.Cursor) {
+		v := c.Const(5)
+		n := c.Un(ir.OpNeg, v)
+		nn := c.Un(ir.OpNot, n) // ^-5 = 4
+		c.Return(nn)
+	})
+	if out := mustRun(t, p, Config{}); out.Return != 4 {
+		t.Errorf("got %d, want 4", out.Return)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(b *ir.Builder, c *ir.Cursor)
+		want string
+	}{
+		{"div by zero", func(b *ir.Builder, c *ir.Cursor) {
+			z := c.Const(0)
+			o := c.Const(1)
+			c.Return(c.Bin(ir.OpDiv, o, z))
+		}, "division by zero"},
+		{"rem by zero", func(b *ir.Builder, c *ir.Cursor) {
+			z := c.Const(0)
+			o := c.Const(1)
+			c.Return(c.Bin(ir.OpRem, o, z))
+		}, "remainder by zero"},
+		{"null getfield", func(b *ir.Builder, c *ir.Cursor) {
+			cl := &ir.Class{Name: "C", FieldNames: []string{"f"}}
+			// Register never assigned: null.
+			nul := b.FreshReg()
+			_ = cl
+			c.Blk().Append(ir.Instr{Op: ir.OpGetField, Dst: nul, A: nul, Class: cl, Field: 0})
+			c.Return(nul)
+		}, "getfield on null"},
+		{"array oob", func(b *ir.Builder, c *ir.Cursor) {
+			n := c.Const(4)
+			arr := c.NewArray(n)
+			idx := c.Const(4)
+			c.Return(c.ALoad(arr, idx))
+		}, "out of range"},
+		{"array negative length", func(b *ir.Builder, c *ir.Cursor) {
+			n := c.Const(-1)
+			c.Return(c.NewArray(n))
+		}, "newarray with length"},
+		{"aload on int", func(b *ir.Builder, c *ir.Cursor) {
+			n := c.Const(4)
+			c.Return(c.ALoad(n, n))
+		}, "aload on null or non-array"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := buildMain(tc.f)
+			_, err := New(p, Config{}).Run()
+			if err == nil {
+				t.Fatalf("expected trap %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+			var re *RuntimeError
+			if !asRuntimeError(err, &re) {
+				t.Fatalf("error is not a *RuntimeError: %T", err)
+			}
+			if re.Method == nil {
+				t.Error("trap lost its method context")
+			}
+		})
+	}
+}
+
+func asRuntimeError(err error, out **RuntimeError) bool {
+	re, ok := err.(*RuntimeError)
+	if ok {
+		*out = re
+	}
+	return ok
+}
+
+func TestStackOverflow(t *testing.T) {
+	// f(n) { return f(n) } — infinite recursion trips MaxStack.
+	b := ir.NewFunc("f", 1)
+	c := b.At(b.EntryBlock())
+	r := c.Call(b.M, 0)
+	c.Return(r)
+	mb := ir.NewFunc("main", 0)
+	mc := mb.At(mb.EntryBlock())
+	z := mc.Const(0)
+	mc.Return(mc.Call(b.M, z))
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{b.M, mb.M}, Main: mb.M}
+	p.Seal()
+	_, err := New(p, Config{MaxStack: 64}).Run()
+	if err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Fatalf("expected stack overflow, got %v", err)
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	p := buildMain(func(b *ir.Builder, c *ir.Cursor) {
+		n := c.Const(1 << 40)
+		lp := c.CountedLoop(n, "l")
+		lp.Body.Jump(lp.Latch)
+		lp.After.Return(lp.I)
+	})
+	_, err := New(p, Config{MaxCycles: 10000}).Run()
+	if err == nil || !strings.Contains(err.Error(), "cycle budget") {
+		t.Fatalf("expected cycle budget error, got %v", err)
+	}
+}
+
+func TestObjectsAndVirtualDispatch(t *testing.T) {
+	base := &ir.Class{Name: "Base", FieldNames: []string{"v"}}
+	der := &ir.Class{Name: "Der", Super: base}
+	// Base.get returns v; Der.get returns v*2.
+	bg := ir.NewMethod(base, "get", 1)
+	{
+		c := bg.At(bg.EntryBlock())
+		c.Return(c.GetField(0, base, "v"))
+	}
+	dg := ir.NewMethod(der, "get", 1)
+	{
+		c := dg.At(dg.EntryBlock())
+		v := c.GetField(0, base, "v")
+		two := c.Const(2)
+		c.Return(c.Bin(ir.OpMul, v, two))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		o1 := c.New(base)
+		o2 := c.New(der)
+		ten := c.Const(10)
+		c.PutField(o1, base, "v", ten)
+		c.PutField(o2, base, "v", ten)
+		r1 := c.CallVirt("get", o1)
+		r2 := c.CallVirt("get", o2)
+		c.Return(c.Bin(ir.OpAdd, r1, r2)) // 10 + 20
+	}
+	p := &ir.Program{Name: "t", Classes: []*ir.Class{base, der}, Funcs: []*ir.Method{mb.M}, Main: mb.M}
+	p.Seal()
+	if out := mustRun(t, p, Config{}); out.Return != 30 {
+		t.Errorf("virtual dispatch sum = %d, want 30", out.Return)
+	}
+}
+
+func TestThreadsJoinAndResult(t *testing.T) {
+	// worker(n) returns n*2; main spawns 3 workers and sums.
+	w := ir.NewFunc("worker", 1)
+	{
+		c := w.At(w.EntryBlock())
+		two := c.Const(2)
+		c.Return(c.Bin(ir.OpMul, 0, two))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		acc := c.Const(0)
+		var hs []ir.Reg
+		for i := int64(1); i <= 3; i++ {
+			n := c.Const(i)
+			hs = append(hs, c.Spawn(w.M, n))
+		}
+		for _, h := range hs {
+			r := c.Join(h)
+			c.BinTo(ir.OpAdd, acc, acc, r)
+		}
+		c.Return(acc)
+	}
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{w.M, mb.M}, Main: mb.M}
+	p.Seal()
+	out := mustRun(t, p, Config{})
+	if out.Return != 12 {
+		t.Errorf("sum = %d, want 12", out.Return)
+	}
+	if out.Stats.ThreadsSpawned != 3 {
+		t.Errorf("spawned %d, want 3", out.Stats.ThreadsSpawned)
+	}
+}
+
+func TestJoinBeforeAndAfterCompletion(t *testing.T) {
+	// Main spawns a long worker and a short one; joining in both orders
+	// must work (join-on-done and block-until-done paths).
+	long := ir.NewFunc("long", 1)
+	{
+		c := long.At(long.EntryBlock())
+		lp := c.CountedLoop(0, "l")
+		lp.Body.Jump(lp.Latch)
+		lp.After.Return(lp.I)
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		big := c.Const(5000)
+		small := c.Const(3)
+		h1 := c.Spawn(long.M, big)
+		h2 := c.Spawn(long.M, small)
+		r1 := c.Join(h1) // blocks: h1 still running
+		r2 := c.Join(h2) // h2 done by now
+		c.Return(c.Bin(ir.OpAdd, r1, r2))
+	}
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{long.M, mb.M}, Main: mb.M}
+	p.Seal()
+	// Yieldpoints are required for preemption; insert one per backedge by
+	// compiling... here we run without them: the scheduler still makes
+	// progress because Run drains every runnable thread to completion.
+	out := mustRun(t, p, Config{Quantum: 4})
+	if out.Return != 5003 {
+		t.Errorf("got %d, want 5003", out.Return)
+	}
+}
+
+func TestJoinOnNonThreadTraps(t *testing.T) {
+	p := buildMain(func(b *ir.Builder, c *ir.Cursor) {
+		v := c.Const(1)
+		c.Return(c.Join(v))
+	})
+	_, err := New(p, Config{}).Run()
+	if err == nil || !strings.Contains(err.Error(), "join on non-thread") {
+		t.Fatalf("expected join trap, got %v", err)
+	}
+}
+
+func TestOutputOrderSingleThread(t *testing.T) {
+	p := buildMain(func(b *ir.Builder, c *ir.Cursor) {
+		for i := int64(1); i <= 4; i++ {
+			v := c.Const(i * 11)
+			c.Print(v)
+		}
+		c.ReturnVoid()
+	})
+	out := mustRun(t, p, Config{})
+	want := []int64{11, 22, 33, 44}
+	if len(out.Output) != len(want) {
+		t.Fatalf("output %v", out.Output)
+	}
+	for i := range want {
+		if out.Output[i] != want[i] {
+			t.Fatalf("output %v, want %v", out.Output, want)
+		}
+	}
+}
+
+func TestIOCostAndDeterminism(t *testing.T) {
+	build := func(cost int64) *ir.Program {
+		return buildMain(func(b *ir.Builder, c *ir.Cursor) {
+			c.IO(cost)
+			c.ReturnVoid()
+		})
+	}
+	a := mustRun(t, build(0), Config{})
+	bo := mustRun(t, build(12345), Config{})
+	if bo.Stats.Cycles-a.Stats.Cycles != 12345 {
+		t.Errorf("io cost delta = %d, want 12345", bo.Stats.Cycles-a.Stats.Cycles)
+	}
+	c1 := mustRun(t, build(7), Config{})
+	c2 := mustRun(t, build(7), Config{})
+	if c1.Stats != c2.Stats {
+		t.Error("two identical runs differ")
+	}
+}
+
+func TestCostScalePerMethod(t *testing.T) {
+	// slow() and fast() have identical bodies; CostScale makes slow 3x.
+	mk := func(name string) *ir.Method {
+		b := ir.NewFunc(name, 0)
+		c := b.At(b.EntryBlock())
+		n := c.Const(1000)
+		lp := c.CountedLoop(n, "l")
+		lp.Body.Jump(lp.Latch)
+		lp.After.Return(lp.I)
+		return b.M
+	}
+	slow, fast := mk("slow"), mk("fast")
+	mb := ir.NewFunc("main", 0)
+	c := mb.At(mb.EntryBlock())
+	r1 := c.Call(slow)
+	r2 := c.Call(fast)
+	c.Return(c.Bin(ir.OpAdd, r1, r2))
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{slow, fast, mb.M}, Main: mb.M}
+	p.Seal()
+
+	base := mustRun(t, p, Config{})
+	scaled := mustRun(t, p, Config{CostScale: func(m *ir.Method) uint32 {
+		if m.Name == "slow" {
+			return 3
+		}
+		return 1
+	}})
+	if scaled.Stats.Cycles <= base.Stats.Cycles {
+		t.Fatal("cost scaling had no effect")
+	}
+	// slow ~ half the baseline cycles; tripling it adds ~one baseline's
+	// worth: total should be close to 2x baseline, clearly below 3x.
+	ratio := float64(scaled.Stats.Cycles) / float64(base.Stats.Cycles)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("scaled/base = %.2f, want ~2", ratio)
+	}
+}
+
+func TestICacheModel(t *testing.T) {
+	c := newICache(&ICacheConfig{SizeBytes: 1024, LineBytes: 64})
+	if m := c.touch(0, 64); m != 1 {
+		t.Errorf("first touch: %d misses, want 1", m)
+	}
+	if m := c.touch(0, 64); m != 0 {
+		t.Errorf("second touch: %d misses, want 0", m)
+	}
+	if m := c.touch(60, 8); m != 1 {
+		t.Errorf("straddling touch: %d misses, want 1 (second line)", m)
+	}
+	// Conflict: address 1024 maps to the same set as 0.
+	if m := c.touch(1024, 4); m != 1 {
+		t.Errorf("conflicting touch: %d misses, want 1", m)
+	}
+	if m := c.touch(0, 4); m != 1 {
+		t.Errorf("evicted line: %d misses, want 1", m)
+	}
+	if c.misses != 4 {
+		t.Errorf("total misses %d, want 4", c.misses)
+	}
+}
+
+func TestICacheChargesCycles(t *testing.T) {
+	p := buildMain(func(b *ir.Builder, c *ir.Cursor) {
+		n := c.Const(100)
+		lp := c.CountedLoop(n, "l")
+		lp.Body.Jump(lp.Latch)
+		lp.After.Return(lp.I)
+	})
+	// Layout assigns addresses; without it the i-cache sees zero sizes.
+	for _, m := range p.Methods() {
+		addr := 0
+		for _, b := range m.Blocks {
+			b.Addr = addr
+			b.Size = len(b.Instrs) * 4
+			addr += b.Size
+		}
+	}
+	plain := mustRun(t, p, Config{})
+	cached := mustRun(t, p, Config{ICache: DefaultICache()})
+	if cached.Stats.ICacheMisses == 0 {
+		t.Fatal("no i-cache misses recorded")
+	}
+	if cached.Stats.Cycles <= plain.Stats.Cycles {
+		t.Error("i-cache misses did not cost cycles")
+	}
+}
+
+func TestYieldQuantumRotation(t *testing.T) {
+	// Two threads with yieldpoints in their loops must interleave: both
+	// make progress before either finishes (observable via Print order).
+	w := ir.NewFunc("worker", 1)
+	{
+		c := w.At(w.EntryBlock())
+		n := c.Const(50)
+		lp := c.CountedLoop(n, "l")
+		lp.Body.Blk().InsertFront(ir.Instr{Op: ir.OpYield})
+		lp.Body.Print(0)
+		lp.Body.Jump(lp.Latch)
+		lp.After.Return(lp.I)
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		one := c.Const(1)
+		two := c.Const(2)
+		h1 := c.Spawn(w.M, one)
+		h2 := c.Spawn(w.M, two)
+		r1 := c.Join(h1)
+		r2 := c.Join(h2)
+		c.Return(c.Bin(ir.OpAdd, r1, r2))
+	}
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{w.M, mb.M}, Main: mb.M}
+	p.Seal()
+	out := mustRun(t, p, Config{Quantum: 5})
+	// With quantum 5 the print stream must alternate between tags 1 and 2
+	// at least once before the end.
+	saw1after2 := false
+	saw2 := false
+	for _, v := range out.Output {
+		if v == 2 {
+			saw2 = true
+		}
+		if v == 1 && saw2 {
+			saw1after2 = true
+		}
+	}
+	if !saw1after2 {
+		t.Errorf("threads did not interleave: %v", out.Output[:10])
+	}
+	if out.Stats.Yields == 0 {
+		t.Error("no yields recorded")
+	}
+}
+
+func TestUnsealedProgramRejected(t *testing.T) {
+	b := ir.NewFunc("main", 0)
+	b.At(b.EntryBlock()).ReturnVoid()
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{b.M}, Main: b.M}
+	if _, err := New(p, Config{}).Run(); err == nil {
+		t.Fatal("unsealed program accepted")
+	}
+}
+
+func TestCmpValuesReferences(t *testing.T) {
+	cl := &ir.Class{Name: "C", FieldNames: []string{"f"}}
+	mb := ir.NewFunc("main", 0)
+	c := mb.At(mb.EntryBlock())
+	o1 := c.New(cl)
+	o2 := c.New(cl)
+	same := c.Bin(ir.OpCmpEQ, o1, o1)
+	diff := c.Bin(ir.OpCmpEQ, o1, o2)
+	two := c.Const(2)
+	c.Return(c.Bin(ir.OpAdd, c.Bin(ir.OpMul, same, two), diff)) // want 2
+	p := &ir.Program{Name: "t", Classes: []*ir.Class{cl}, Funcs: []*ir.Method{mb.M}, Main: mb.M}
+	p.Seal()
+	if out := mustRun(t, p, Config{}); out.Return != 2 {
+		t.Errorf("reference equality result %d, want 2", out.Return)
+	}
+}
