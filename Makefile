@@ -1,0 +1,33 @@
+# Tier-1 verification for this repository. `make ci` is what a change
+# must keep green (see CONTRIBUTING.md).
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race experiments clean-cache
+
+ci: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment engine runs measurement cells on concurrent goroutines;
+# keep it race-clean.
+race:
+	$(GO) test -race ./internal/experiment/
+
+# Full-scale regeneration of the recorded results (slow).
+experiments:
+	$(GO) run ./cmd/experiments -markdown -q -no-cache -o results_full.md
+
+clean-cache:
+	rm -rf "$${XDG_CACHE_HOME:-$$HOME/.cache}/instrsample/experiments"

@@ -6,6 +6,16 @@
 //	experiments -scale 0.25        # faster, smaller workloads
 //	experiments -markdown -o results.md
 //	experiments -bench javac,db    # restrict the suite
+//	experiments -j 8               # run cells on 8 workers
+//	experiments -no-cache          # ignore the on-disk result cache
+//	experiments -timings           # report the slowest cells
+//
+// Artifacts decompose into independent measurement cells executed on a
+// bounded worker pool (-j, default GOMAXPROCS); cells shared between
+// artifacts run once, and results are cached on disk (-cache-dir) keyed
+// by the cell and the binary's build ID, so repeated invocations at the
+// same scale are near-instant. Output is assembled in deterministic
+// order and is byte-identical at any -j.
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured results.
@@ -16,7 +26,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"instrsample/internal/experiment"
@@ -24,24 +37,45 @@ import (
 
 func main() {
 	var (
-		artifact = flag.String("artifact", "", "one of table1..table5, figure7, figure8a, figure8b (default: all)")
+		artifact = flag.String("artifact", "", "one of table1..table5, figure7, figure8a, figure8b, ablation-* (default: all)")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		markdown = flag.Bool("markdown", false, "emit markdown instead of ASCII tables")
 		outPath  = flag.String("o", "", "write to file instead of stdout")
 		benches  = flag.String("bench", "", "comma-separated benchmark subset")
 		noICache = flag.Bool("no-icache", false, "disable the i-cache model")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "number of parallel cell workers")
+		cacheDir = flag.String("cache-dir", defaultCacheDir(), "on-disk result cache directory (empty disables)")
+		noCache  = flag.Bool("no-cache", false, "disable the on-disk result cache")
+		timings  = flag.Bool("timings", false, "report the slowest cells after generation")
 	)
 	flag.Parse()
 
-	cfg := experiment.Config{Scale: *scale, ICache: !*noICache}
+	var cache *experiment.Cache
+	if !*noCache && *cacheDir != "" {
+		c, err := experiment.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cache disabled:", err)
+		} else {
+			cache = c
+		}
+	}
+	eng := experiment.NewEngine(*workers, cache)
+
+	cfg := experiment.Config{Scale: *scale, ICache: !*noICache, Engine: eng}
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {
 			cfg.Benchmarks = append(cfg.Benchmarks, strings.TrimSpace(b))
 		}
 	}
 	if !*quiet {
-		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+		// Cells complete on pool goroutines; serialize the hook.
+		var mu sync.Mutex
+		cfg.Progress = func(line string) {
+			mu.Lock()
+			fmt.Fprintln(os.Stderr, "  "+line)
+			mu.Unlock()
+		}
 	}
 
 	var out io.Writer = os.Stdout
@@ -71,21 +105,69 @@ func main() {
 		}
 	}
 
-	for _, j := range jobs {
-		start := time.Now()
-		tab, err := j.gen(cfg)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", j.id, err))
+	// Generators run concurrently — each blocks on the shared engine, so
+	// the worker pool bounds actual parallelism and cells shared between
+	// artifacts run once. Tables print in artifact order regardless of
+	// completion order, keeping output bytes deterministic.
+	start := time.Now()
+	type result struct {
+		tab *experiment.Table
+		err error
+		dur time.Duration
+	}
+	results := make([]result, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			s := time.Now()
+			tab, err := j.gen(cfg)
+			results[i] = result{tab, err, time.Since(s)}
+		}(i, j)
+	}
+	wg.Wait()
+
+	for i, j := range jobs {
+		r := results[i]
+		if r.err != nil {
+			fatal(fmt.Errorf("%s: %w", j.id, r.err))
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "%s done in %v\n", j.id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", j.id, r.dur.Round(time.Millisecond))
 		}
 		if *markdown {
-			tab.Markdown(out)
+			r.tab.Markdown(out)
 		} else {
-			tab.Fprint(out)
+			r.tab.Fprint(out)
 		}
 	}
+
+	if !*quiet {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "%d cells (%d cache hits, %d shared) on %d workers in %v\n",
+			st.CellsRun, st.CacheHits, st.MemoHits, eng.Workers(),
+			time.Since(start).Round(time.Millisecond))
+	}
+	if *timings {
+		fmt.Fprintln(os.Stderr, "slowest cells:")
+		for _, ct := range eng.Slowest(10) {
+			tag := ""
+			if ct.Cached {
+				tag = " (cache)"
+			}
+			fmt.Fprintf(os.Stderr, "  %8v%s  %s\n", ct.Duration.Round(time.Millisecond), tag, ct.Key)
+		}
+	}
+}
+
+// defaultCacheDir places the cache under the user cache directory.
+func defaultCacheDir() string {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(dir, "instrsample", "experiments")
 }
 
 func fatal(err error) {

@@ -9,6 +9,8 @@
 // Compilation levels are modelled by vm.Config.CostScale: baseline
 // methods execute each instruction at BaselineFactor times its optimized
 // cost.
+//
+// See DESIGN.md §3 (system inventory) and §4 (ablation-adaptive).
 package adaptive
 
 import (

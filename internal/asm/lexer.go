@@ -28,6 +28,8 @@
 // signature order); labels introduce basic blocks; a block without an
 // explicit terminator falls through to the next label via an implicit
 // jump.
+//
+// See DESIGN.md §3 (system inventory).
 package asm
 
 import (

@@ -23,6 +23,14 @@
 // much smaller values. All programs are deterministic, return a checksum,
 // and perform no I/O except compress/jack/volano's simulated OpIO stalls
 // (which exist to expose the timer-trigger mis-attribution of §4.6).
+//
+// Build functions are pure: each call constructs a fresh ir.Program and
+// shares no mutable state with other calls, so the same benchmark may be
+// built concurrently from multiple goroutines (package experiment's
+// parallel engine depends on this).
+//
+// See DESIGN.md §2 (workload substitution argument) and §3 (system
+// inventory).
 package bench
 
 import (

@@ -5,7 +5,12 @@
 // sampling-framework transform, and the late backend phases — code layout
 // / encoding and liveness analysis — that run *after* duplication, which
 // is why the paper's Table 2 attributes the compile-time increase mostly
-// to post-duplication phases.
+// to post-duplication phases. Result.Work records that cost as a
+// deterministic instruction-visit count so Table 2's compile column is
+// reproducible to the byte.
+//
+// See DESIGN.md §3 (system inventory) and §4 (Table 2,
+// ablation-inlining).
 package compile
 
 import (
@@ -75,9 +80,20 @@ type Result struct {
 	// CheckingCodeSize and DuplicatedCodeSize split CodeSize by block
 	// kind (check blocks count as checking code).
 	CheckingCodeSize, DuplicatedCodeSize int
-	// CompileTime is the wall-clock time of the pipeline, for the
-	// Table 2 compile-time-increase comparison.
+	// CompileTime is the wall-clock time of the pipeline. It is noisy
+	// and machine-dependent; deterministic comparisons (Table 2's
+	// compile-cost column) use Work instead.
 	CompileTime time.Duration
+	// Work is a deterministic compile-cost measure: the number of
+	// instruction visits the pipeline performs, charging the front-half
+	// phases (inlining, optimization, numbering, yieldpoints) for the
+	// pre-duplication code and the late phases (the framework transform,
+	// liveness, layout) for the code they actually traverse. Because the
+	// late phases run after duplication, Work grows with the duplicated
+	// code exactly as the paper's Table 2 compile-time column does, but —
+	// unlike CompileTime — it is identical across runs, machines and
+	// degrees of parallelism.
+	Work int64
 	// FrameworkStats aggregates the transform's per-method statistics
 	// (zero value when no framework ran).
 	FrameworkStats core.MethodStats
@@ -132,6 +148,9 @@ func Compile(src *ir.Program, opts Options) (*Result, error) {
 	for _, m := range p.Methods() {
 		res.Yieldpoints += InsertYieldpoints(m)
 	}
+	// The front half made three passes (inlining+optimization, call-site
+	// numbering, yieldpoints) over pre-duplication code.
+	res.Work += 3 * countInstrs(p)
 
 	// Instrumentation.
 	if len(opts.Instrumenters) > 0 {
@@ -163,7 +182,10 @@ func Compile(src *ir.Program, opts Options) (*Result, error) {
 	}
 
 	// Late phases (run after duplication, so their cost scales with the
-	// duplicated code): liveness analysis and layout/encoding.
+	// duplicated code): liveness analysis and layout/encoding. The
+	// framework transform plus these two passes each traverse the
+	// post-duplication code.
+	res.Work += 3 * countInstrs(p)
 	for _, m := range p.Methods() {
 		m.ComputeLiveness()
 	}
@@ -209,6 +231,18 @@ func InsertYieldpoints(m *ir.Method) int {
 	}
 	m.RecomputePreds()
 	m.Renumber()
+	return n
+}
+
+// countInstrs totals the program's instructions (one unit per block for
+// block-level bookkeeping), the unit of the deterministic Work measure.
+func countInstrs(p *ir.Program) int64 {
+	var n int64
+	for _, m := range p.Methods() {
+		for _, b := range m.Blocks {
+			n += int64(len(b.Instrs)) + 1
+		}
+	}
 	return n
 }
 

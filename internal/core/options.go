@@ -30,6 +30,9 @@
 // sketches at the end of §3.2: blocks carrying at least
 // Options.HybridThreshold probes participate in (partial) duplication,
 // while sparser probes are guarded in place.
+//
+// See DESIGN.md §1 (what the paper builds), §3 (system inventory) and §5
+// (Property 1 and the other tested invariants).
 package core
 
 import "fmt"

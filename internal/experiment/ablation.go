@@ -3,13 +3,8 @@ package experiment
 import (
 	"fmt"
 
-	"instrsample/internal/bench"
-	"instrsample/internal/compile"
 	"instrsample/internal/core"
-	"instrsample/internal/instr"
 	"instrsample/internal/profile"
-	"instrsample/internal/trigger"
-	"instrsample/internal/vm"
 )
 
 // The ablations quantify design dimensions the paper discusses but does
@@ -28,12 +23,6 @@ func AblationVariations(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:    "ablation-variations",
-		Title: "Variation trade-offs: space vs overhead vs accuracy (interval 1000, suite averages)",
-		Header: []string{"Variation", "Code growth (%)", "Framework Overhead (%)",
-			"Total @1000 (%)", "Call-Edge Acc (%)", "Field-Access Acc (%)"},
-	}
 	variations := []struct {
 		name string
 		opts core.Options
@@ -43,33 +32,46 @@ func AblationVariations(cfg Config) (*Table, error) {
 		{"No-Duplication", core.Options{Variation: core.NoDuplication}},
 		{"Hybrid", core.Options{Variation: core.Hybrid}},
 	}
-	for _, va := range variations {
+
+	bt := cfg.NewBatch()
+	base := make([]*Ref, len(suite))
+	perfect := make([]*Ref, len(suite))
+	for i, b := range suite {
+		base[i] = bt.Cell(b.Name, OptsSpec{}, NeverTrigger())
+		perfect[i] = bt.Cell(b.Name, OptsSpec{Instr: paperInstr()}, NeverTrigger())
+	}
+	type pair struct{ fw, sampled *Ref }
+	cells := make([][]pair, len(variations)) // [variation][bench]
+	for vi := range variations {
+		fwOpts := OptsSpec{Instr: paperInstr(), Framework: &variations[vi].opts}
+		cells[vi] = make([]pair, len(suite))
+		for i, b := range suite {
+			cells[vi][i] = pair{
+				fw:      bt.Cell(b.Name, fwOpts, NeverTrigger()),
+				sampled: bt.Cell(b.Name, fwOpts, CounterTrigger(1000)),
+			}
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "ablation-variations",
+		Title: "Variation trade-offs: space vs overhead vs accuracy (interval 1000, suite averages)",
+		Header: []string{"Variation", "Code growth (%)", "Framework Overhead (%)",
+			"Total @1000 (%)", "Call-Edge Acc (%)", "Field-Access Acc (%)"},
+	}
+	for vi, va := range variations {
 		var growth, fwOv, totOv, ceAcc, faAcc float64
-		for _, b := range suite {
-			prog := b.Build(cfg.Scale)
-			base, err := cfg.run(prog, compile.Options{}, nil)
-			if err != nil {
-				return nil, err
-			}
-			perfect, err := cfg.run(prog, compile.Options{Instrumenters: paperInstrumenters()}, nil)
-			if err != nil {
-				return nil, err
-			}
-			fwOpts := compile.Options{Instrumenters: paperInstrumenters(), Framework: &va.opts}
-			fw, err := cfg.run(prog, fwOpts, trigger.Never{})
-			if err != nil {
-				return nil, err
-			}
-			sampled, err := cfg.run(prog, fwOpts, trigger.NewCounter(1000))
-			if err != nil {
-				return nil, err
-			}
-			growth += 100 * (float64(fw.cr.CodeSize)/float64(base.cr.CodeSize) - 1)
-			fwOv += overhead(fw.out, base.out)
-			totOv += overhead(sampled.out, base.out)
-			pp, sp := perfect.profiles(), sampled.profiles()
-			ceAcc += profile.Overlap(pp[0], sp[0])
-			faAcc += profile.Overlap(pp[1], sp[1])
+		for i := range suite {
+			b, fw, sampled := base[i].R(), cells[vi][i].fw.R(), cells[vi][i].sampled.R()
+			growth += 100 * (float64(fw.CodeSize)/float64(b.CodeSize) - 1)
+			fwOv += overhead(fw, b)
+			totOv += overhead(sampled, b)
+			pp := perfect[i].R().Profiles
+			ceAcc += profile.Overlap(pp[0], sampled.Profiles[0])
+			faAcc += profile.Overlap(pp[1], sampled.Profiles[1])
 		}
 		n := float64(len(suite))
 		t.AddRow(va.name, pct(growth/n), pct(fwOv/n), pct(totOv/n),
@@ -90,32 +92,37 @@ func AblationVariations(cfg Config) (*Table, error) {
 // disappears — and both an odd (co-prime) interval and the randomized
 // trigger restore it.
 func AblationResonance(cfg Config) (*Table, error) {
-	prog := bench.Resonant(cfg.Scale)
-	paths := func() []instr.Instrumenter { return []instr.Instrumenter{&instr.PathProfile{}} }
-	perfect, err := cfg.run(prog, compile.Options{Instrumenters: paths()}, nil)
-	if err != nil {
+	paths := OptsSpec{Instr: []string{"path"}}
+	fwPaths := OptsSpec{
+		Instr:     []string{"path"},
+		Framework: &core.Options{Variation: core.FullDuplication},
+	}
+	triggers := []TriggerSpec{
+		CounterTrigger(200), // even: resonates with the period-2 stream
+		CounterTrigger(199), // co-prime: no resonance
+		RandomizedTrigger(200, 20, 12345),
+	}
+
+	bt := cfg.NewBatch()
+	perfect := bt.Cell("resonant", paths, NeverTrigger())
+	runs := make([]*Ref, len(triggers))
+	for i, tr := range triggers {
+		runs[i] = bt.Cell("resonant", fwPaths, tr)
+	}
+	if err := bt.Run(); err != nil {
 		return nil, err
 	}
+
 	t := &Table{
 		ID:     "ablation-resonance",
 		Title:  "Fixed vs randomized sample interval on a check-periodic workload (path profiling)",
 		Header: []string{"Trigger", "Samples", "Path Acc (%)", "Paths seen"},
 	}
-	triggers := []trigger.Trigger{
-		trigger.NewCounter(200), // even: resonates with the period-2 stream
-		trigger.NewCounter(199), // co-prime: no resonance
-		trigger.NewRandomized(200, 20, 12345),
-	}
-	for _, tr := range triggers {
-		out, err := cfg.run(prog, compile.Options{
-			Instrumenters: paths(),
-			Framework:     &core.Options{Variation: core.FullDuplication},
-		}, tr)
-		if err != nil {
-			return nil, err
-		}
-		pp, sp := perfect.profiles()[0], out.profiles()[0]
-		t.AddRow(tr.Name(), fmt.Sprintf("%d", out.out.Stats.CheckFires),
+	pp := perfect.R().Profiles[0]
+	for i, tr := range triggers {
+		out := runs[i].R()
+		sp := out.Profiles[0]
+		t.AddRow(tr.Name(), fmt.Sprintf("%d", out.Stats.CheckFires),
 			fmt.Sprintf("%.0f", profile.Overlap(pp, sp)),
 			fmt.Sprintf("%d of %d", sp.NumEvents(), pp.NumEvents()))
 		cfg.progress("ablation-resonance %s done", tr.Name())
@@ -135,51 +142,47 @@ func AblationCountedIterations(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	budgets := []int64{0, 4, 16, 64}
+
+	bt := cfg.NewBatch()
+	base := make([]*Ref, len(suite))
+	perfect := make([]*Ref, len(suite))
+	for i, b := range suite {
+		base[i] = bt.Cell(b.Name, OptsSpec{}, NeverTrigger())
+		perfect[i] = bt.Cell(b.Name, OptsSpec{Instr: paperInstr()}, NeverTrigger())
+	}
+	runs := make([][]*Ref, len(budgets)) // [budget][bench]
+	for bi, budget := range budgets {
+		opts := OptsSpec{
+			Instr: paperInstr(),
+			Framework: &core.Options{
+				Variation:         core.FullDuplication,
+				CountedIterations: budget > 0,
+			},
+			IterBudget: budget,
+		}
+		runs[bi] = make([]*Ref, len(suite))
+		for i, b := range suite {
+			runs[bi][i] = bt.Cell(b.Name, opts, CounterTrigger(1000))
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:    "ablation-counted",
 		Title: "Counted-backedge extension: N consecutive iterations per sample (interval 1000, suite averages)",
 		Header: []string{"Iteration budget", "Probes executed", "Total Overhead (%)",
 			"Field-Access Acc (%)"},
 	}
-	for _, budget := range []int64{0, 4, 16, 64} {
+	for bi, budget := range budgets {
 		var probes, totOv, faAcc float64
-		for _, b := range suite {
-			prog := b.Build(cfg.Scale)
-			base, err := cfg.run(prog, compile.Options{}, nil)
-			if err != nil {
-				return nil, err
-			}
-			perfect, err := cfg.run(prog, compile.Options{Instrumenters: paperInstrumenters()}, nil)
-			if err != nil {
-				return nil, err
-			}
-			opts := compile.Options{
-				Instrumenters: paperInstrumenters(),
-				Framework: &core.Options{
-					Variation:         core.FullDuplication,
-					CountedIterations: budget > 0,
-				},
-			}
-			cr, err := compile.Compile(prog, opts)
-			if err != nil {
-				return nil, err
-			}
-			out, err := vm.New(cr.Prog, vm.Config{
-				Trigger:    trigger.NewCounter(1000),
-				Handlers:   cr.Handlers,
-				ICache:     cfg.icache(),
-				IterBudget: budget,
-			}).Run()
-			if err != nil {
-				return nil, err
-			}
+		for i := range suite {
+			out := runs[bi][i].R()
 			probes += float64(out.Stats.Probes)
-			totOv += 100 * (float64(out.Stats.Cycles)/float64(base.out.Stats.Cycles) - 1)
-			var sp []*profile.Profile
-			for _, rt := range cr.Runtimes {
-				sp = append(sp, rt.Profile())
-			}
-			faAcc += profile.Overlap(perfect.profiles()[1], sp[1])
+			totOv += overhead(out, base[i].R())
+			faAcc += profile.Overlap(perfect[i].R().Profiles[1], out.Profiles[1])
 		}
 		n := float64(len(suite))
 		t.AddRow(fmt.Sprintf("%d", budget), fmt.Sprintf("%.3g", probes/n),
@@ -202,6 +205,32 @@ func AblationInlining(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	configs := []bool{false, true}
+
+	bt := cfg.NewBatch()
+	type row struct{ base, me, fw *Ref }
+	rows := make([][]row, len(configs)) // [inline][bench]
+	for ci, inline := range configs {
+		rows[ci] = make([]row, len(suite))
+		for i, b := range suite {
+			rows[ci][i] = row{
+				base: bt.Cell(b.Name, OptsSpec{Inline: inline}, NeverTrigger()),
+				me: bt.Cell(b.Name, OptsSpec{
+					Inline:     inline,
+					ChecksOnly: &core.ChecksOnly{Entries: true},
+				}, NeverTrigger()),
+				fw: bt.Cell(b.Name, OptsSpec{
+					Inline:    inline,
+					Instr:     paperInstr(),
+					Framework: &core.Options{Variation: core.FullDuplication},
+				}, NeverTrigger()),
+			}
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:    "ablation-inlining",
 		Title: "Aggressive inlining vs framework overhead (suite averages)",
@@ -209,32 +238,13 @@ func AblationInlining(cfg Config) (*Table, error) {
 			"Entry-check overhead (%)", "FD framework overhead (%)"},
 	}
 	var baselineEntries float64
-	for _, inline := range []bool{false, true} {
+	for ci, inline := range configs {
 		var entries, meOv, fwOv float64
-		for _, b := range suite {
-			prog := b.Build(cfg.Scale)
-			base, err := cfg.run(prog, compile.Options{Inline: inline}, nil)
-			if err != nil {
-				return nil, err
-			}
-			me, err := cfg.run(prog, compile.Options{
-				Inline:     inline,
-				ChecksOnly: &core.ChecksOnly{Entries: true},
-			}, trigger.Never{})
-			if err != nil {
-				return nil, err
-			}
-			fw, err := cfg.run(prog, compile.Options{
-				Inline:        inline,
-				Instrumenters: paperInstrumenters(),
-				Framework:     &core.Options{Variation: core.FullDuplication},
-			}, trigger.Never{})
-			if err != nil {
-				return nil, err
-			}
-			entries += float64(base.out.Stats.MethodEntries)
-			meOv += overhead(me.out, base.out)
-			fwOv += overhead(fw.out, base.out)
+		for i := range suite {
+			r := rows[ci][i]
+			entries += float64(r.base.R().Stats.MethodEntries)
+			meOv += overhead(r.me.R(), r.base.R())
+			fwOv += overhead(r.fw.R(), r.base.R())
 		}
 		n := float64(len(suite))
 		if !inline {
@@ -262,36 +272,43 @@ func AblationICache(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	configs := []bool{false, true}
+	fwOpts := OptsSpec{
+		Instr:     paperInstr(),
+		Framework: &core.Options{Variation: core.FullDuplication},
+	}
+
+	bt := cfg.NewBatch()
+	type row struct{ base, fw, i1 *Ref }
+	rows := make([][]row, len(configs)) // [icache][bench]
+	for ci, useIC := range configs {
+		sub := cfg
+		sub.ICache = useIC
+		rows[ci] = make([]row, len(suite))
+		for i, b := range suite {
+			rows[ci][i] = row{
+				base: bt.Add(sub.Cell(b.Name, OptsSpec{}, NeverTrigger())),
+				fw:   bt.Add(sub.Cell(b.Name, fwOpts, NeverTrigger())),
+				i1:   bt.Add(sub.Cell(b.Name, fwOpts, AlwaysTrigger())),
+			}
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:    "ablation-icache",
 		Title: "Direct vs indirect framework overhead: i-cache model off/on (suite averages)",
 		Header: []string{"Configuration", "Framework Overhead (%)",
 			"Total @ interval 1 (%)"},
 	}
-	for _, useIC := range []bool{false, true} {
-		sub := cfg
-		sub.ICache = useIC
+	for ci, useIC := range configs {
 		var fwOv, int1Ov float64
-		for _, b := range suite {
-			prog := b.Build(cfg.Scale)
-			base, err := sub.run(prog, compile.Options{}, nil)
-			if err != nil {
-				return nil, err
-			}
-			opts := compile.Options{
-				Instrumenters: paperInstrumenters(),
-				Framework:     &core.Options{Variation: core.FullDuplication},
-			}
-			fw, err := sub.run(prog, opts, trigger.Never{})
-			if err != nil {
-				return nil, err
-			}
-			i1, err := sub.run(prog, opts, trigger.Always{})
-			if err != nil {
-				return nil, err
-			}
-			fwOv += overhead(fw.out, base.out)
-			int1Ov += overhead(i1.out, base.out)
+		for i := range suite {
+			r := rows[ci][i]
+			fwOv += overhead(r.fw.R(), r.base.R())
+			int1Ov += overhead(r.i1.R(), r.base.R())
 		}
 		n := float64(len(suite))
 		name := "no i-cache (direct costs only)"

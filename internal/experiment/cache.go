@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// Cache is a content-keyed on-disk store of cell results. Entries are
+// keyed by a hash of the cell's canonical key together with the running
+// binary's build ID (a hash of the executable), so results computed by a
+// stale build are never reused after the code changes.
+//
+// The cache is best-effort: load and store failures silently fall back to
+// recomputing the cell. A Cache is safe for concurrent use — entries are
+// written to a temporary file and renamed into place.
+type Cache struct {
+	dir string
+	id  string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: cache: %w", err)
+	}
+	return &Cache{dir: dir, id: buildID()}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// buildIDOnce computes the build ID one time per process.
+var buildIDOnce = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown-build"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown-build"
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+})
+
+// buildID identifies the running binary's code content.
+func buildID() string { return buildIDOnce() }
+
+// path maps a cell key to its entry file.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(c.id + "\x00" + key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// cachedEntry is the serialized form of one profile event.
+type cachedEntry struct {
+	Key   uint64 `json:"k"`
+	Count uint64 `json:"n"`
+	Label string `json:"l,omitempty"`
+}
+
+// cachedProfile is the serialized form of one profile, entries in
+// descending-count order. Labels are stored so reports that render them
+// (Figure 7) stay byte-identical on a cache hit.
+type cachedProfile struct {
+	Name    string        `json:"name"`
+	Entries []cachedEntry `json:"entries"`
+}
+
+// cachedCell is the on-disk form of a CellResult.
+type cachedCell struct {
+	CellKey            string           `json:"cell"`
+	Stats              vm.Stats         `json:"stats"`
+	Profiles           []cachedProfile  `json:"profiles,omitempty"`
+	CodeSize           int              `json:"code_size"`
+	CheckingCodeSize   int              `json:"checking_code_size"`
+	DuplicatedCodeSize int              `json:"duplicated_code_size"`
+	Work               int64            `json:"work"`
+	Aux                map[string]int64 `json:"aux,omitempty"`
+}
+
+// Load returns the cached result for key, if present and decodable.
+func (c *Cache) Load(key string) (*CellResult, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var in cachedCell
+	if err := json.Unmarshal(data, &in); err != nil || in.CellKey != key {
+		return nil, false
+	}
+	res := &CellResult{
+		Stats:              in.Stats,
+		CodeSize:           in.CodeSize,
+		CheckingCodeSize:   in.CheckingCodeSize,
+		DuplicatedCodeSize: in.DuplicatedCodeSize,
+		Work:               in.Work,
+		Aux:                in.Aux,
+	}
+	for _, cp := range in.Profiles {
+		p := profile.New(cp.Name)
+		labels := make(map[uint64]string)
+		for _, e := range cp.Entries {
+			p.Add(e.Key, e.Count)
+			if e.Label != "" {
+				labels[e.Key] = e.Label
+			}
+		}
+		if len(labels) > 0 {
+			p.Labeler = func(k uint64) string {
+				if l, ok := labels[k]; ok {
+					return l
+				}
+				return fmt.Sprintf("%#x", k)
+			}
+		}
+		res.Profiles = append(res.Profiles, p)
+	}
+	return res, true
+}
+
+// Store writes the result for key. Failures are ignored: the cache is an
+// accelerator, never a correctness dependency.
+func (c *Cache) Store(key string, res *CellResult) {
+	out := cachedCell{
+		CellKey:            key,
+		Stats:              res.Stats,
+		CodeSize:           res.CodeSize,
+		CheckingCodeSize:   res.CheckingCodeSize,
+		DuplicatedCodeSize: res.DuplicatedCodeSize,
+		Work:               res.Work,
+		Aux:                res.Aux,
+	}
+	for _, p := range res.Profiles {
+		cp := cachedProfile{Name: p.Name}
+		for _, e := range p.Entries() {
+			ce := cachedEntry{Key: e.Key, Count: e.Count}
+			if p.Labeler != nil {
+				ce.Label = p.Labeler(e.Key)
+			}
+			cp.Entries = append(cp.Entries, ce)
+		}
+		out.Profiles = append(out.Profiles, cp)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "cell-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// TestCacheWarmRun is the cache acceptance check: a second engine over
+// the same directory serves every cell from disk and the rendered
+// artifact is byte-identical, including Figure 7, whose method labels
+// must survive the serialization round trip.
+func TestCacheWarmRun(t *testing.T) {
+	dir := t.TempDir()
+	gen := func() (string, string, EngineStats) {
+		cache, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smokeConfig()
+		cfg.Engine = NewEngine(4, cache)
+		t1, err := Table1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f7cfg := Config{Scale: 0.1, ICache: true, Engine: cfg.Engine}
+		f7, err := Figure7(f7cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t1.String(), f7.String(), cfg.Engine.Stats()
+	}
+
+	coldT1, coldF7, coldStats := gen()
+	if coldStats.CacheHits != 0 {
+		t.Fatalf("cold run had %d cache hits", coldStats.CacheHits)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != coldStats.CellsRun {
+		t.Errorf("%d cache files for %d unique cells", len(entries), coldStats.CellsRun)
+	}
+
+	warmT1, warmF7, warmStats := gen()
+	if warmT1 != coldT1 {
+		t.Error("table1 differs between cold and warm runs")
+	}
+	if warmF7 != coldF7 {
+		t.Error("figure7 differs between cold and warm runs (labels lost in cache?)")
+	}
+	if warmStats.CacheHits != warmStats.CellsRun || warmStats.CellsRun == 0 {
+		t.Errorf("warm stats %+v, want every cell cache-hit", warmStats)
+	}
+}
+
+// TestCacheRoundTripFields: every CellResult field survives Store/Load,
+// and profile labels are reconstructed through the Labeler.
+func TestCacheRoundTripFields(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.New("edges")
+	p.Add(7, 100)
+	p.Add(9, 3)
+	p.Labeler = func(k uint64) string { return map[uint64]string{7: "A->B", 9: "C->D"}[k] }
+	in := &CellResult{
+		Stats:              vm.Stats{Cycles: 123, CheckFires: 5},
+		Profiles:           []*profile.Profile{p},
+		CodeSize:           10,
+		CheckingCodeSize:   20,
+		DuplicatedCodeSize: 30,
+		Work:               40,
+		Aux:                map[string]int64{"promotions": 2},
+	}
+	cache.Store("cell-a", in)
+	out, ok := cache.Load("cell-a")
+	if !ok {
+		t.Fatal("stored cell not loadable")
+	}
+	if out.Stats != in.Stats || out.CodeSize != 10 || out.CheckingCodeSize != 20 ||
+		out.DuplicatedCodeSize != 30 || out.Work != 40 || out.Aux["promotions"] != 2 {
+		t.Errorf("fields corrupted: %+v", out)
+	}
+	if len(out.Profiles) != 1 || out.Profiles[0].Name != "edges" {
+		t.Fatalf("profiles corrupted: %+v", out.Profiles)
+	}
+	if got := out.Profiles[0].Count(7); got != 100 {
+		t.Errorf("entry 7 count %d, want 100", got)
+	}
+	if out.Profiles[0].Labeler == nil || out.Profiles[0].Labeler(7) != "A->B" {
+		t.Error("labels lost through the cache")
+	}
+}
+
+// TestCacheMisses: absent keys, corrupt entries, and key collisions in
+// the file name space all miss cleanly.
+func TestCacheMisses(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Load("never-stored"); ok {
+		t.Error("absent key reported as hit")
+	}
+	cache.Store("cell-b", &CellResult{})
+	if _, ok := cache.Load("cell-c"); ok {
+		t.Error("different key reported as hit")
+	}
+	// A corrupt entry file must fall back to a miss, not an error.
+	if err := os.WriteFile(cache.path("cell-d"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Load("cell-d"); ok {
+		t.Error("corrupt entry reported as hit")
+	}
+}
+
+// TestCacheSeparateDirs: caches in different directories are independent.
+func TestCacheSeparateDirs(t *testing.T) {
+	root := t.TempDir()
+	a, err := OpenCache(filepath.Join(root, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenCache(filepath.Join(root, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Store("shared-key", &CellResult{Stats: vm.Stats{Cycles: 1}})
+	if _, ok := b.Load("shared-key"); ok {
+		t.Error("entry leaked across cache directories")
+	}
+	if res, ok := a.Load("shared-key"); !ok || res.Stats.Cycles != 1 {
+		t.Error("entry lost in its own directory")
+	}
+}

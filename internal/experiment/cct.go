@@ -3,12 +3,8 @@ package experiment
 import (
 	"fmt"
 
-	"instrsample/internal/bench"
-	"instrsample/internal/compile"
 	"instrsample/internal/core"
-	"instrsample/internal/instr"
 	"instrsample/internal/profile"
-	"instrsample/internal/trigger"
 )
 
 // AblationCCT reproduces §2's warning about instrumentations "that rely
@@ -19,42 +15,46 @@ import (
 // ([8]) remains accurate at every interval. Measured on javac (deeply
 // recursive, context-rich).
 func AblationCCT(cfg Config) (*Table, error) {
-	prog := bench.Javac(cfg.Scale)
+	const benchName = "javac"
+	variants := []struct {
+		name string
+		ins  string
+	}{
+		{"naive enter/exit shadow stack", "cct"},
+		{"stack-walking (Arnold–Sweeney)", "cct-sampled"},
+	}
+	intervals := []int64{1, 100, 1000}
 
+	bt := cfg.NewBatch()
 	// Perfect tree: stack-walking CCT run exhaustively.
-	perfect, err := cfg.run(prog, compile.Options{
-		Instrumenters: []instr.Instrumenter{&instr.SampledCCT{}},
-	}, nil)
-	if err != nil {
+	perfect := bt.Cell(benchName, OptsSpec{Instr: []string{"cct-sampled"}}, NeverTrigger())
+	runs := make([][]*Ref, len(variants)) // [variant][interval]
+	for vi, va := range variants {
+		runs[vi] = make([]*Ref, len(intervals))
+		for ii, interval := range intervals {
+			runs[vi][ii] = bt.Cell(benchName, OptsSpec{
+				Instr:     []string{va.ins},
+				Framework: &core.Options{Variation: core.FullDuplication},
+			}, CounterTrigger(interval))
+		}
+	}
+	if err := bt.Run(); err != nil {
 		return nil, err
 	}
-	pp := perfect.profiles()[0]
 
+	pp := perfect.R().Profiles[0]
 	t := &Table{
 		ID:    "ablation-cct",
 		Title: "Calling-context-tree profiling under sampling (javac)",
 		Header: []string{"CCT variant", "Interval", "Samples",
 			"Tree overlap (%)", "Contexts seen"},
 	}
-	type variant struct {
-		name string
-		ins  instr.Instrumenter
-	}
-	for _, va := range []variant{
-		{"naive enter/exit shadow stack", &instr.CCT{}},
-		{"stack-walking (Arnold–Sweeney)", &instr.SampledCCT{}},
-	} {
-		for _, interval := range []int64{1, 100, 1000} {
-			out, err := cfg.run(prog, compile.Options{
-				Instrumenters: []instr.Instrumenter{va.ins},
-				Framework:     &core.Options{Variation: core.FullDuplication},
-			}, trigger.NewCounter(interval))
-			if err != nil {
-				return nil, err
-			}
-			sp := out.profiles()[0]
+	for vi, va := range variants {
+		for ii, interval := range intervals {
+			out := runs[vi][ii].R()
+			sp := out.Profiles[0]
 			t.AddRow(va.name, fmt.Sprintf("%d", interval),
-				fmt.Sprintf("%d", out.out.Stats.CheckFires),
+				fmt.Sprintf("%d", out.Stats.CheckFires),
 				pct(profile.Overlap(pp, sp)),
 				fmt.Sprintf("%d of %d", sp.NumEvents(), pp.NumEvents()))
 			cfg.progress("ablation-cct %s interval %d done", va.name, interval)

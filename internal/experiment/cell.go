@@ -1,0 +1,355 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"instrsample/internal/bench"
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// A Cell is the unit of work the experiment engine schedules: one
+// deterministic (benchmark, compile configuration, trigger, VM
+// configuration) measurement. Every artifact generator decomposes into
+// cells, which lets the engine run them across a worker pool, deduplicate
+// cells shared between artifacts, and cache their results on disk.
+//
+// Cells must be pure: Run builds a fresh program, compiles it, and
+// executes it in a private VM, sharing no mutable state with any other
+// cell. Two cells with equal non-empty Keys must produce identical
+// results; the engine relies on this to memoize. A Cell with an empty Key
+// is never deduplicated or cached.
+type Cell struct {
+	// Key canonically identifies the measurement ("" = uncacheable).
+	Key string
+	// Run performs the measurement.
+	Run func() (*CellResult, error)
+}
+
+// CellResult is the serializable outcome of one cell: everything the
+// artifact generators consume when assembling tables. Results are shared
+// between generators by the engine's memo table, so consumers must treat
+// them as immutable.
+type CellResult struct {
+	// Stats are the VM's execution counters.
+	Stats vm.Stats
+	// Profiles are the accumulated instrumentation profiles, in owner
+	// order (matching OptsSpec.Instr).
+	Profiles []*profile.Profile
+	// CodeSize, CheckingCodeSize and DuplicatedCodeSize are the compiled
+	// code sizes in bytes.
+	CodeSize, CheckingCodeSize, DuplicatedCodeSize int
+	// Work is the deterministic compile-cost measure (compile.Result.Work).
+	Work int64
+	// Aux carries artifact-specific scalars produced by custom cells
+	// (e.g. the adaptive ablation's promotion count).
+	Aux map[string]int64
+}
+
+// OptsSpec is a pure-data description of a compile.Options value, so a
+// cell key can be derived from it and fresh instrumenter instances can be
+// constructed inside each cell run.
+type OptsSpec struct {
+	// Instr names the instrumenters to apply, in owner order. Valid
+	// names: "call-edge", "field-access", "path", "cct", "cct-sampled",
+	// "edge", "block-count", "value", "receiver".
+	Instr []string
+	// Framework, when non-nil, applies the sampling framework.
+	Framework *core.Options
+	// ChecksOnly, when non-nil, inserts bare checks without duplication.
+	ChecksOnly *core.ChecksOnly
+	// Inline enables aggressive inlining before instrumentation.
+	Inline bool
+	// IterBudget is the VM's duplicated-code iteration budget (the
+	// counted-backedge extension).
+	IterBudget int64
+}
+
+// newInstrumenter constructs a fresh instrumenter from its Name(). Fresh
+// instances per cell keep cells goroutine-safe even if an instrumenter
+// ever grows compile-time state.
+func newInstrumenter(name string) (instr.Instrumenter, error) {
+	switch name {
+	case "call-edge":
+		return &instr.CallEdge{}, nil
+	case "field-access":
+		return &instr.FieldAccess{}, nil
+	case "path":
+		return &instr.PathProfile{}, nil
+	case "cct":
+		return &instr.CCT{}, nil
+	case "cct-sampled":
+		return &instr.SampledCCT{}, nil
+	case "edge":
+		return &instr.EdgeProfile{}, nil
+	case "block-count":
+		return &instr.BlockCount{}, nil
+	case "value":
+		return &instr.ValueProfile{}, nil
+	case "receiver":
+		return &instr.ReceiverProfile{}, nil
+	}
+	return nil, fmt.Errorf("experiment: unknown instrumenter %q", name)
+}
+
+// compileOptions materializes the spec into compile.Options with fresh
+// instrumenter instances.
+func (o OptsSpec) compileOptions() (compile.Options, error) {
+	opts := compile.Options{
+		Framework:  o.Framework,
+		ChecksOnly: o.ChecksOnly,
+		Inline:     o.Inline,
+	}
+	for _, name := range o.Instr {
+		ins, err := newInstrumenter(name)
+		if err != nil {
+			return compile.Options{}, err
+		}
+		opts.Instrumenters = append(opts.Instrumenters, ins)
+	}
+	return opts, nil
+}
+
+// key renders the spec canonically for cell identity.
+func (o OptsSpec) key() string {
+	instrs := "-"
+	if len(o.Instr) > 0 {
+		instrs = strings.Join(o.Instr, "+")
+	}
+	fw := "-"
+	if o.Framework != nil {
+		f := o.Framework
+		fw = f.Variation.String()
+		if f.YieldpointOpt {
+			fw += "+yp"
+		}
+		if f.CountedIterations {
+			fw += "+counted"
+		}
+		if f.HybridThreshold != 0 {
+			fw += fmt.Sprintf("+ht%d", f.HybridThreshold)
+		}
+	}
+	checks := "-"
+	if o.ChecksOnly != nil {
+		checks = ""
+		if o.ChecksOnly.Backedges {
+			checks += "be"
+		}
+		if o.ChecksOnly.Entries {
+			checks += "me"
+		}
+	}
+	return fmt.Sprintf("instr=%s fw=%s checks=%s inline=%v iter=%d",
+		instrs, fw, checks, o.Inline, o.IterBudget)
+}
+
+// TriggerSpec is a pure-data description of a trigger.Trigger. Triggers
+// are stateful, so each cell run constructs a fresh instance from its
+// spec; sharing one instance across runs would corrupt both.
+type TriggerSpec struct {
+	// Kind selects the mechanism: "never", "always", "counter",
+	// "randomized", "perthread" or "timer". The zero value means "never".
+	Kind string
+	// Interval is the sample interval for counter-family triggers.
+	Interval int64
+	// Jitter bounds the randomized trigger's perturbation.
+	Jitter int64
+	// Seed initializes the randomized trigger's PRNG.
+	Seed uint64
+	// Period is the timer trigger's interrupt period in cycles.
+	Period uint64
+}
+
+// NeverTrigger returns the trigger spec that never fires (the
+// framework-overhead configuration, and the exhaustive-instrumentation
+// configuration when no framework is applied).
+func NeverTrigger() TriggerSpec { return TriggerSpec{Kind: "never"} }
+
+// AlwaysTrigger returns the spec that fires at every check (interval 1).
+func AlwaysTrigger() TriggerSpec { return TriggerSpec{Kind: "always"} }
+
+// CounterTrigger returns the counter-based trigger spec of §2.2.
+func CounterTrigger(interval int64) TriggerSpec {
+	return TriggerSpec{Kind: "counter", Interval: interval}
+}
+
+// RandomizedTrigger returns the randomized-interval trigger spec of §4.4.
+func RandomizedTrigger(interval, jitter int64, seed uint64) TriggerSpec {
+	return TriggerSpec{Kind: "randomized", Interval: interval, Jitter: jitter, Seed: seed}
+}
+
+// TimerTrigger returns the timer-interrupt trigger spec of §2.1/§4.6.
+func TimerTrigger(period uint64) TriggerSpec {
+	return TriggerSpec{Kind: "timer", Period: period}
+}
+
+// New constructs a fresh trigger instance from the spec.
+func (s TriggerSpec) New() trigger.Trigger {
+	switch s.Kind {
+	case "", "never":
+		return trigger.Never{}
+	case "always":
+		return trigger.Always{}
+	case "counter":
+		return trigger.NewCounter(s.Interval)
+	case "randomized":
+		return trigger.NewRandomized(s.Interval, s.Jitter, s.Seed)
+	case "perthread":
+		return trigger.NewPerThread(s.Interval)
+	case "timer":
+		return trigger.NewTimer(s.Period)
+	}
+	panic(fmt.Sprintf("experiment: unknown trigger kind %q", s.Kind))
+}
+
+// Name returns the report label of the trigger this spec constructs.
+func (s TriggerSpec) Name() string { return s.New().Name() }
+
+// key renders the spec canonically for cell identity.
+func (s TriggerSpec) key() string {
+	switch s.Kind {
+	case "", "never":
+		return "trig=never"
+	case "always":
+		return "trig=always"
+	case "counter":
+		return fmt.Sprintf("trig=counter/%d", s.Interval)
+	case "randomized":
+		return fmt.Sprintf("trig=randomized/%d±%d/%d", s.Interval, s.Jitter, s.Seed)
+	case "perthread":
+		return fmt.Sprintf("trig=perthread/%d", s.Interval)
+	case "timer":
+		return fmt.Sprintf("trig=timer/%d", s.Period)
+	}
+	return "trig=" + s.Kind
+}
+
+// Cell builds the standard measurement cell: compile the named benchmark
+// under the spec'd options and execute it under the spec'd trigger, with
+// the Config's scale and i-cache setting. The cell key identifies the
+// measurement independently of which artifact requested it, which is what
+// lets the engine share cells across artifacts.
+func (c Config) Cell(benchName string, o OptsSpec, t TriggerSpec) Cell {
+	key := fmt.Sprintf("bench=%s scale=%g icache=%v %s %s",
+		benchName, c.Scale, c.ICache, o.key(), t.key())
+	return Cell{Key: key, Run: func() (*CellResult, error) {
+		return c.runCell(benchName, o, t)
+	}}
+}
+
+// runCell performs the standard cell measurement.
+func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec) (*CellResult, error) {
+	prog, err := benchProgram(benchName, c.Scale)
+	if err != nil {
+		return nil, err
+	}
+	copts, err := o.compileOptions()
+	if err != nil {
+		return nil, err
+	}
+	cr, err := compile.Compile(prog, copts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: compile: %w", benchName, err)
+	}
+	out, err := vm.New(cr.Prog, vm.Config{
+		Trigger:    t.New(),
+		Handlers:   cr.Handlers,
+		ICache:     c.icache(),
+		IterBudget: o.IterBudget,
+	}).Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: run: %w", benchName, err)
+	}
+	res := &CellResult{
+		Stats:              out.Stats,
+		CodeSize:           cr.CodeSize,
+		CheckingCodeSize:   cr.CheckingCodeSize,
+		DuplicatedCodeSize: cr.DuplicatedCodeSize,
+		Work:               cr.Work,
+	}
+	for _, rt := range cr.Runtimes {
+		res.Profiles = append(res.Profiles, rt.Profile())
+	}
+	return res, nil
+}
+
+// benchProgram constructs a fresh sealed program for the named benchmark
+// at the given scale. Beyond the regular suite it accepts "resonant", the
+// purpose-built periodic workload of the resonance ablation. Each call
+// returns a private program, so cells never share IR.
+func benchProgram(name string, scale float64) (*ir.Program, error) {
+	if name == "resonant" {
+		return bench.Resonant(scale), nil
+	}
+	b, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(scale), nil
+}
+
+// A Ref is a handle to one cell's pending result within a Batch. It
+// becomes readable after the Batch runs.
+type Ref struct {
+	b *Batch
+	i int
+}
+
+// R returns the cell's result. It panics if the Batch has not run yet.
+func (r *Ref) R() *CellResult {
+	if r.i >= len(r.b.results) {
+		panic("experiment: Ref read before Batch.Run")
+	}
+	return r.b.results[r.i]
+}
+
+// A Batch collects the cells one artifact generator needs and runs them
+// through the Config's engine. Generators request every cell up front
+// (so independent cells can execute concurrently), call Run, then
+// assemble their table from the Refs in deterministic order — which is
+// why artifact output is byte-identical at any worker count.
+//
+// Run may be called repeatedly: each call executes the cells added since
+// the previous call. This supports artifacts whose later cells depend on
+// earlier results (Table 5 derives its timer period from the baseline
+// run's cycle count).
+type Batch struct {
+	cfg     Config
+	cells   []Cell
+	results []*CellResult
+}
+
+// NewBatch returns an empty batch bound to the Config.
+func (c Config) NewBatch() *Batch { return &Batch{cfg: c} }
+
+// Cell adds a standard measurement cell (see Config.Cell) and returns its
+// handle.
+func (b *Batch) Cell(benchName string, o OptsSpec, t TriggerSpec) *Ref {
+	return b.Add(b.cfg.Cell(benchName, o, t))
+}
+
+// Add appends an arbitrary cell and returns its handle.
+func (b *Batch) Add(c Cell) *Ref {
+	b.cells = append(b.cells, c)
+	return &Ref{b: b, i: len(b.cells) - 1}
+}
+
+// Run executes every cell added since the last Run and publishes their
+// results to the corresponding Refs. The first cell error (in add order)
+// is returned.
+func (b *Batch) Run() error {
+	pending := b.cells[len(b.results):]
+	res, err := b.cfg.engine().Do(b.cfg, pending)
+	if err != nil {
+		return err
+	}
+	b.results = append(b.results, res...)
+	return nil
+}

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Engine executes cells across a bounded worker pool, deduplicating
+// in-flight and completed cells by key (so a cell shared by several
+// artifacts runs once per process) and consulting an optional on-disk
+// Cache before running anything (so repeated invocations at the same
+// scale are near-instant).
+//
+// One Engine is meant to be shared by every artifact generated in one
+// invocation: cmd/experiments creates one and stores it in
+// Config.Engine. An Engine is safe for concurrent use; generators
+// running in parallel goroutines may call Do simultaneously.
+type Engine struct {
+	workers int
+	cache   *Cache
+	sem     chan struct{}
+
+	mu        sync.Mutex
+	memo      map[string]*flight
+	timings   []CellTiming
+	scheduled int
+	completed int
+	runs      int
+	memoHits  int
+	cacheHits int
+}
+
+// flight is one unique cell's execution slot: requesters past the first
+// wait on done and share the result.
+type flight struct {
+	done chan struct{}
+	res  *CellResult
+	err  error
+}
+
+// CellTiming records how long one executed cell took.
+type CellTiming struct {
+	// Key is the cell's canonical key.
+	Key string
+	// Duration is the wall-clock execution (or cache-load) time.
+	Duration time.Duration
+	// Cached reports whether the result came from the on-disk cache.
+	Cached bool
+}
+
+// EngineStats summarizes an engine's activity.
+type EngineStats struct {
+	// CellsRun is the number of unique cells executed or cache-loaded.
+	CellsRun int
+	// MemoHits is the number of requests served by the in-memory memo
+	// (cells shared across artifacts or repeated within one).
+	MemoHits int
+	// CacheHits is the number of unique cells served by the on-disk cache.
+	CacheHits int
+}
+
+// NewEngine returns an engine running at most workers cells concurrently
+// (minimum 1), consulting cache when non-nil.
+func NewEngine(workers int, cache *Cache) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{
+		workers: workers,
+		cache:   cache,
+		sem:     make(chan struct{}, workers),
+		memo:    make(map[string]*flight),
+	}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Do executes the cells and returns their results in input order, which
+// is what keeps artifact assembly — and therefore output bytes —
+// independent of scheduling. Keyed duplicates are computed once. On
+// error, the first failing cell's error (in input order) is returned.
+//
+// cfg supplies the Progress hook for per-cell completion lines; when the
+// engine runs cells concurrently the hook must be safe for concurrent
+// use.
+func (e *Engine) Do(cfg Config, cells []Cell) ([]*CellResult, error) {
+	e.mu.Lock()
+	e.scheduled += len(cells)
+	e.mu.Unlock()
+
+	results := make([]*CellResult, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.one(cfg, cells[i])
+			e.mu.Lock()
+			e.completed++
+			e.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// one resolves a single cell request through the memo table.
+func (e *Engine) one(cfg Config, c Cell) (*CellResult, error) {
+	if c.Key == "" {
+		return e.execute(cfg, c)
+	}
+	e.mu.Lock()
+	if f, ok := e.memo[c.Key]; ok {
+		e.memoHits++
+		e.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.memo[c.Key] = f
+	e.mu.Unlock()
+	f.res, f.err = e.execute(cfg, c)
+	close(f.done)
+	return f.res, f.err
+}
+
+// execute runs (or cache-loads) one unique cell under the worker
+// semaphore and records its timing.
+func (e *Engine) execute(cfg Config, c Cell) (*CellResult, error) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	start := time.Now()
+	if c.Key != "" && e.cache != nil {
+		if res, ok := e.cache.Load(c.Key); ok {
+			e.record(cfg, c.Key, time.Since(start), true)
+			return res, nil
+		}
+	}
+	res, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	if c.Key != "" && e.cache != nil {
+		e.cache.Store(c.Key, res)
+	}
+	e.record(cfg, c.Key, time.Since(start), false)
+	return res, nil
+}
+
+// record accounts one executed cell and emits a progress line.
+func (e *Engine) record(cfg Config, key string, d time.Duration, cached bool) {
+	e.mu.Lock()
+	e.runs++
+	if cached {
+		e.cacheHits++
+	}
+	e.timings = append(e.timings, CellTiming{Key: key, Duration: d, Cached: cached})
+	done, sched := e.completed, e.scheduled
+	e.mu.Unlock()
+	tag := ""
+	if cached {
+		tag = " cache"
+	}
+	if key == "" {
+		key = "(unkeyed cell)"
+	}
+	cfg.progress("cell %d/%d%s %v  %s", done+1, sched, tag, d.Round(time.Millisecond), key)
+}
+
+// Stats returns the engine's cumulative counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{CellsRun: e.runs, MemoHits: e.memoHits, CacheHits: e.cacheHits}
+}
+
+// Slowest returns up to n executed cells ordered by descending duration
+// (ties broken by key), for the -timings report.
+func (e *Engine) Slowest(n int) []CellTiming {
+	e.mu.Lock()
+	out := make([]CellTiming, len(e.timings))
+	copy(out, e.timings)
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"instrsample/internal/vm"
+)
+
+// renderAll generates every artifact under cfg and concatenates the
+// ASCII renderings in registry order.
+func renderAll(t *testing.T, cfg Config) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, e := range All() {
+		tab, err := e.Gen(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		sb.WriteString(tab.String())
+	}
+	return sb.String()
+}
+
+// TestParallelDeterminism is the tentpole acceptance check: every
+// artifact rendered through a 1-worker engine must be byte-identical to
+// the same artifacts rendered through an 8-worker engine shared by
+// generators running in concurrent goroutines (the cmd/experiments
+// shape). Run under -race this also exercises the engine, cache-less
+// memo table, and cell runners for data races.
+func TestParallelDeterminism(t *testing.T) {
+	serialCfg := smokeConfig()
+	serialCfg.Engine = NewEngine(1, nil)
+	serial := renderAll(t, serialCfg)
+
+	parCfg := smokeConfig()
+	parCfg.Engine = NewEngine(8, nil)
+	all := All()
+	outs := make([]string, len(all))
+	errs := make([]error, len(all))
+	var wg sync.WaitGroup
+	for i, e := range all {
+		wg.Add(1)
+		go func(i int, gen Generator) {
+			defer wg.Done()
+			tab, err := gen(parCfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = tab.String()
+		}(i, e.Gen)
+	}
+	wg.Wait()
+	var sb strings.Builder
+	for i, e := range all {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", e.ID, errs[i])
+		}
+		sb.WriteString(outs[i])
+	}
+	if parallel := sb.String(); parallel != serial {
+		t.Errorf("parallel rendering differs from serial (%d vs %d bytes)",
+			len(parallel), len(serial))
+	}
+	st := parCfg.Engine.Stats()
+	if st.MemoHits == 0 {
+		t.Error("no memo hits: artifacts share cells, dedup should trigger")
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("cache hits %d without a cache", st.CacheHits)
+	}
+}
+
+// TestEngineMemoDedup: N requests for one keyed cell run it once and all
+// share the result.
+func TestEngineMemoDedup(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	c := Cell{Key: "k1", Run: func() (*CellResult, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return &CellResult{Stats: vm.Stats{Cycles: 42}}, nil
+	}}
+	eng := NewEngine(4, nil)
+	cells := make([]Cell, 10)
+	for i := range cells {
+		cells[i] = c
+	}
+	res, err := eng.Do(Config{}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("cell ran %d times, want 1", runs)
+	}
+	for i, r := range res {
+		if r != res[0] {
+			t.Errorf("result %d is not the shared result", i)
+		}
+	}
+	st := eng.Stats()
+	if st.CellsRun != 1 || st.MemoHits != 9 {
+		t.Errorf("stats %+v, want CellsRun 1 MemoHits 9", st)
+	}
+}
+
+// TestEngineUnkeyedNotMemoized: cells with an empty key always execute.
+func TestEngineUnkeyedNotMemoized(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	c := Cell{Run: func() (*CellResult, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return &CellResult{}, nil
+	}}
+	eng := NewEngine(2, nil)
+	if _, err := eng.Do(Config{}, []Cell{c, c, c}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 {
+		t.Errorf("unkeyed cell ran %d times, want 3", runs)
+	}
+}
+
+// TestEngineErrorOrder: Do reports the first failing cell in input
+// order, regardless of completion order.
+func TestEngineErrorOrder(t *testing.T) {
+	ok := Cell{Run: func() (*CellResult, error) { return &CellResult{}, nil }}
+	fail := func(i int) Cell {
+		return Cell{Run: func() (*CellResult, error) {
+			return nil, fmt.Errorf("cell %d failed", i)
+		}}
+	}
+	eng := NewEngine(4, nil)
+	_, err := eng.Do(Config{}, []Cell{ok, fail(1), ok, fail(3)})
+	if err == nil || !strings.Contains(err.Error(), "cell 1") {
+		t.Errorf("got %v, want cell 1's error", err)
+	}
+}
+
+// TestEngineErrorMemoShared: a keyed failure is memoized like a success.
+func TestEngineErrorMemoShared(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	boom := errors.New("boom")
+	c := Cell{Key: "bad", Run: func() (*CellResult, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return nil, boom
+	}}
+	eng := NewEngine(4, nil)
+	if _, err := eng.Do(Config{}, []Cell{c, c, c, c}); !errors.Is(err, boom) {
+		t.Errorf("got %v, want boom", err)
+	}
+	if runs != 1 {
+		t.Errorf("failing cell ran %d times, want 1", runs)
+	}
+}
+
+// TestEngineWorkersFloor: worker counts below 1 are clamped.
+func TestEngineWorkersFloor(t *testing.T) {
+	if w := NewEngine(0, nil).Workers(); w != 1 {
+		t.Errorf("Workers() = %d, want 1", w)
+	}
+	if w := NewEngine(-3, nil).Workers(); w != 1 {
+		t.Errorf("Workers() = %d, want 1", w)
+	}
+}
+
+// TestEngineSlowest: timings are sorted descending and capped at n.
+func TestEngineSlowest(t *testing.T) {
+	eng := NewEngine(1, nil)
+	for i := 0; i < 5; i++ {
+		i := i
+		c := Cell{Key: fmt.Sprintf("k%d", i), Run: func() (*CellResult, error) {
+			return &CellResult{}, nil
+		}}
+		if _, err := eng.Do(Config{}, []Cell{c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow := eng.Slowest(3)
+	if len(slow) != 3 {
+		t.Fatalf("Slowest(3) returned %d entries", len(slow))
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Duration > slow[i-1].Duration {
+			t.Errorf("timings not descending at %d", i)
+		}
+	}
+}

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"instrsample/internal/compile"
+	"instrsample/internal/bench"
 	"instrsample/internal/core"
 	"instrsample/internal/profile"
-	"instrsample/internal/trigger"
 )
 
 // Figure7 reproduces the paper's Figure 7: the javac call-edge profile,
@@ -19,35 +18,28 @@ func Figure7(cfg Config) (*Table, error) {
 	if len(cfg.Benchmarks) == 1 {
 		benchName = cfg.Benchmarks[0]
 	}
-	sub := cfg
-	sub.Benchmarks = nil
-	suite, err := Config{Scale: cfg.Scale, Benchmarks: []string{benchName}}.suite()
-	if err != nil {
-		return nil, err
-	}
-	b := suite[0]
-	prog := b.Build(cfg.Scale)
-
-	perfect, err := sub.run(prog, compile.Options{Instrumenters: paperInstrumenters()}, nil)
-	if err != nil {
-		return nil, err
-	}
-	sampled, err := sub.run(prog, compile.Options{
-		Instrumenters: paperInstrumenters(),
-		Framework:     &core.Options{Variation: core.FullDuplication},
-	}, trigger.NewCounter(1000))
-	if err != nil {
+	if _, err := bench.ByName(benchName); err != nil {
 		return nil, err
 	}
 
-	pp := perfect.profiles()[0] // call-edge
-	sp := sampled.profiles()[0]
+	bt := cfg.NewBatch()
+	perfect := bt.Cell(benchName, OptsSpec{Instr: paperInstr()}, NeverTrigger())
+	sampled := bt.Cell(benchName, OptsSpec{
+		Instr:     paperInstr(),
+		Framework: &core.Options{Variation: core.FullDuplication},
+	}, CounterTrigger(1000))
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
+	pp := perfect.R().Profiles[0] // call-edge
+	sp := sampled.R().Profiles[0]
 	ov := profile.Overlap(pp, sp)
 
 	t := &Table{
 		ID: "figure7",
 		Title: fmt.Sprintf("%s call-edge profile, perfect vs sampled (interval 1000): overlap %.1f%%",
-			b.Name, ov),
+			benchName, ov),
 		Header: []string{"Call edge", "Perfect (%)", "Sampled (%)", "Distribution"},
 	}
 	entries := pp.Entries()

@@ -3,10 +3,17 @@ package experiment
 import (
 	"fmt"
 
-	"instrsample/internal/compile"
 	"instrsample/internal/core"
-	"instrsample/internal/trigger"
 )
+
+// yieldpointOpts is the Figure 8 configuration: Full-Duplication with the
+// yieldpoint optimization.
+func yieldpointOpts() OptsSpec {
+	return OptsSpec{
+		Instr:     paperInstr(),
+		Framework: &core.Options{Variation: core.FullDuplication, YieldpointOpt: true},
+	}
+}
 
 // Figure8A reproduces Table (A) of the paper's Figure 8: the framework
 // overhead of the Jalapeño-specific implementation — Full-Duplication
@@ -18,26 +25,27 @@ func Figure8A(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	bt := cfg.NewBatch()
+	type row struct{ base, fw *Ref }
+	rows := make([]row, len(suite))
+	for i, b := range suite {
+		rows[i] = row{
+			base: bt.Cell(b.Name, OptsSpec{}, NeverTrigger()),
+			fw:   bt.Cell(b.Name, yieldpointOpts(), NeverTrigger()),
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:     "figure8a",
 		Title:  "Framework overhead with the yieldpoint optimization (no samples taken)",
 		Header: []string{"Benchmark", "Framework Overhead (%)"},
 	}
 	var sum float64
-	for _, b := range suite {
-		prog := b.Build(cfg.Scale)
-		base, err := cfg.run(prog, compile.Options{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		fw, err := cfg.run(prog, compile.Options{
-			Instrumenters: paperInstrumenters(),
-			Framework:     &core.Options{Variation: core.FullDuplication, YieldpointOpt: true},
-		}, trigger.Never{})
-		if err != nil {
-			return nil, err
-		}
-		ov := overhead(fw.out, base.out)
+	for i, b := range suite {
+		ov := overhead(rows[i].fw.R(), rows[i].base.R())
 		sum += ov
 		t.AddRow(b.Name, pct(ov))
 		cfg.progress("figure8a %s: %.1f%%", b.Name, ov)
@@ -56,32 +64,31 @@ func Figure8B(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	bt := cfg.NewBatch()
+	base := make([]*Ref, len(suite))
+	for i, b := range suite {
+		base[i] = bt.Cell(b.Name, OptsSpec{}, NeverTrigger())
+	}
+	sampled := make([][]*Ref, len(Table4Intervals)) // [interval][bench]
+	for ii, interval := range Table4Intervals {
+		sampled[ii] = make([]*Ref, len(suite))
+		for i, b := range suite {
+			sampled[ii][i] = bt.Cell(b.Name, yieldpointOpts(), CounterTrigger(interval))
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:     "figure8b",
 		Title:  "Total sampling overhead with the yieldpoint optimization (suite averages)",
 		Header: []string{"Sample Interval", "Total Sampling Overhead (%)"},
 	}
-	baseCycles := make([]uint64, len(suite))
-	for i, b := range suite {
-		prog := b.Build(cfg.Scale)
-		base, err := cfg.run(prog, compile.Options{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		baseCycles[i] = base.out.Stats.Cycles
-	}
-	for _, interval := range Table4Intervals {
+	for ii, interval := range Table4Intervals {
 		var sum float64
-		for i, b := range suite {
-			prog := b.Build(cfg.Scale)
-			out, err := cfg.run(prog, compile.Options{
-				Instrumenters: paperInstrumenters(),
-				Framework:     &core.Options{Variation: core.FullDuplication, YieldpointOpt: true},
-			}, trigger.NewCounter(interval))
-			if err != nil {
-				return nil, err
-			}
-			sum += 100 * (float64(out.out.Stats.Cycles)/float64(baseCycles[i]) - 1)
+		for i := range suite {
+			sum += overhead(sampled[ii][i].R(), base[i].R())
 		}
 		avg := sum / float64(len(suite))
 		t.AddRow(fmt.Sprintf("%d", interval), pct(avg))

@@ -4,11 +4,6 @@ import (
 	"fmt"
 
 	"instrsample/internal/bench"
-	"instrsample/internal/compile"
-	"instrsample/internal/instr"
-	"instrsample/internal/ir"
-	"instrsample/internal/profile"
-	"instrsample/internal/trigger"
 	"instrsample/internal/vm"
 )
 
@@ -21,12 +16,27 @@ type Config struct {
 	ICache bool
 	// Benchmarks restricts the suite (nil = all).
 	Benchmarks []string
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed cell and
+	// per assembled table row. When Engine runs more than one worker,
+	// Progress is called from multiple goroutines and must be safe for
+	// concurrent use.
 	Progress func(string)
+	// Engine executes the artifact's cells. Nil means a private serial
+	// engine per batch — correct, but without cross-artifact cell
+	// sharing, parallelism or caching; cmd/experiments always sets one.
+	Engine *Engine
 }
 
 // DefaultConfig is full experiment scale with the i-cache model on.
 func DefaultConfig() Config { return Config{Scale: 1.0, ICache: true} }
+
+// engine returns the configured engine, or a throwaway serial one.
+func (c Config) engine() *Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return NewEngine(1, nil)
+}
 
 func (c Config) suite() ([]bench.Benchmark, error) {
 	all := bench.Suite()
@@ -64,45 +74,11 @@ func (c Config) icache() *vm.ICacheConfig {
 	return &vm.ICacheConfig{SizeBytes: 2 << 10, LineBytes: 32}
 }
 
-// paperInstrumenters returns the two instrumentations of §4.2, in the
-// order the experiments expect (0 = call-edge, 1 = field-access).
-func paperInstrumenters() []instr.Instrumenter {
-	return []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}}
-}
-
-// runOut bundles one completed run.
-type runOut struct {
-	out *vm.Result
-	cr  *compile.Result
-}
-
-// profiles returns the run's accumulated profiles in owner order.
-func (r *runOut) profiles() []*profile.Profile {
-	var out []*profile.Profile
-	for _, rt := range r.cr.Runtimes {
-		out = append(out, rt.Profile())
-	}
-	return out
-}
-
-// run compiles prog under opts and executes it under trig.
-func (c Config) run(prog *ir.Program, opts compile.Options, trig trigger.Trigger) (*runOut, error) {
-	cr, err := compile.Compile(prog, opts)
-	if err != nil {
-		return nil, fmt.Errorf("%s: compile: %w", prog.Name, err)
-	}
-	out, err := vm.New(cr.Prog, vm.Config{
-		Trigger:  trig,
-		Handlers: cr.Handlers,
-		ICache:   c.icache(),
-	}).Run()
-	if err != nil {
-		return nil, fmt.Errorf("%s: run: %w", prog.Name, err)
-	}
-	return &runOut{out: out, cr: cr}, nil
-}
+// paperInstr names the two instrumentations of §4.2, in the order the
+// experiments expect (0 = call-edge, 1 = field-access).
+func paperInstr() []string { return []string{"call-edge", "field-access"} }
 
 // overhead returns the percentage execution-time increase of x over base.
-func overhead(x, base *vm.Result) float64 {
+func overhead(x, base *CellResult) float64 {
 	return 100 * (float64(x.Stats.Cycles)/float64(base.Stats.Cycles) - 1)
 }

@@ -6,8 +6,18 @@
 // call-edge profile (Figure 7), the yieldpoint optimization (Figure 8)
 // and the trigger-mechanism comparison (Table 5).
 //
-// Overheads are deterministic simulated-cycle ratios; see DESIGN.md for
-// the substitution argument. Compile-time increases are wall-clock.
+// Overheads are deterministic simulated-cycle ratios and compile-cost
+// increases are deterministic instruction-visit ratios (compile.Result.Work),
+// so every artifact is reproducible to the byte; see DESIGN.md §2 for the
+// substitution argument and §4 for the per-experiment index.
+//
+// Each artifact decomposes its measurements into Cells — pure, keyed units
+// of work (benchmark × compile options × trigger) — and requests them
+// through a Batch against an Engine, which executes unique cells across a
+// bounded worker pool, deduplicates cells shared between artifacts, and
+// consults an optional on-disk Cache keyed by the binary's build ID.
+// Because cells are pure and assembly happens in request order, rendered
+// output is byte-identical at any worker count, with or without a cache.
 package experiment
 
 import (

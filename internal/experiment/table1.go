@@ -1,10 +1,5 @@
 package experiment
 
-import (
-	"instrsample/internal/compile"
-	"instrsample/internal/instr"
-)
-
 // Table1 reproduces the paper's Table 1: the execution-time overhead of
 // exhaustive call-edge and field-access instrumentation (no framework)
 // relative to uninstrumented code, per benchmark. The paper's averages
@@ -16,32 +11,29 @@ func Table1(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	bt := cfg.NewBatch()
+	type row struct{ base, ce, fa *Ref }
+	rows := make([]row, len(suite))
+	for i, b := range suite {
+		rows[i] = row{
+			base: bt.Cell(b.Name, OptsSpec{}, NeverTrigger()),
+			ce:   bt.Cell(b.Name, OptsSpec{Instr: []string{"call-edge"}}, NeverTrigger()),
+			fa:   bt.Cell(b.Name, OptsSpec{Instr: []string{"field-access"}}, NeverTrigger()),
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:     "table1",
 		Title:  "Time overhead of exhaustive instrumentation without the framework (%)",
 		Header: []string{"Benchmark", "Call-edge (%)", "Field-access (%)"},
 	}
 	var sumCE, sumFA float64
-	for _, b := range suite {
-		prog := b.Build(cfg.Scale)
-		base, err := cfg.run(prog, compile.Options{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		ce, err := cfg.run(prog, compile.Options{
-			Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
-		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		fa, err := cfg.run(prog, compile.Options{
-			Instrumenters: []instr.Instrumenter{&instr.FieldAccess{}},
-		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		ceOv := overhead(ce.out, base.out)
-		faOv := overhead(fa.out, base.out)
+	for i, b := range suite {
+		ceOv := overhead(rows[i].ce.R(), rows[i].base.R())
+		faOv := overhead(rows[i].fa.R(), rows[i].base.R())
 		sumCE += ceOv
 		sumFA += faOv
 		t.AddRow(b.Name, pct(ceOv), pct(faOv))

@@ -2,12 +2,8 @@ package experiment
 
 import (
 	"fmt"
-	"time"
 
-	"instrsample/internal/compile"
 	"instrsample/internal/core"
-	"instrsample/internal/ir"
-	"instrsample/internal/trigger"
 )
 
 // Table2 reproduces the paper's Table 2: the overhead of the
@@ -15,53 +11,57 @@ import (
 // overhead, the approximate breakdown into backedge checks and
 // method-entry checks (measured with bare checks and no duplication, as
 // the paper's footnote prescribes), the maximum space increase, and the
-// compile-time increase attributable to doubling the code before the late
+// compile-cost increase attributable to doubling the code before the late
 // compiler phases.
+//
+// The compile-cost column uses compile.Result.Work, a deterministic
+// instruction-visit count, rather than wall-clock time: the ratio
+// captures the same effect (the late phases run over twice the code
+// under Full-Duplication) while staying byte-identical across runs,
+// machines and worker counts.
 func Table2(cfg Config) (*Table, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
 	}
+	bt := cfg.NewBatch()
+	type row struct{ base, fw, be, me *Ref }
+	rows := make([]row, len(suite))
+	for i, b := range suite {
+		rows[i] = row{
+			base: bt.Cell(b.Name, OptsSpec{}, NeverTrigger()),
+			fw: bt.Cell(b.Name, OptsSpec{
+				Instr:     paperInstr(),
+				Framework: &core.Options{Variation: core.FullDuplication},
+			}, NeverTrigger()),
+			be: bt.Cell(b.Name, OptsSpec{
+				ChecksOnly: &core.ChecksOnly{Backedges: true},
+			}, NeverTrigger()),
+			me: bt.Cell(b.Name, OptsSpec{
+				ChecksOnly: &core.ChecksOnly{Entries: true},
+			}, NeverTrigger()),
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:    "table2",
 		Title: "Framework overhead of Full-Duplication (no samples taken)",
 		Header: []string{"Benchmark", "Total Framework Overhead (%)",
 			"Backedges (%)", "Method Entry (%)", "Max space increase (KB)",
-			"Compile Time Increase (%)"},
+			"Compile Work Increase (%)"},
 	}
 	var sumTotal, sumBE, sumME, sumCT float64
 	var sumSpace float64
-	for _, b := range suite {
-		prog := b.Build(cfg.Scale)
-		base, err := cfg.run(prog, compile.Options{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		fw, err := cfg.run(prog, compile.Options{
-			Instrumenters: paperInstrumenters(),
-			Framework:     &core.Options{Variation: core.FullDuplication},
-		}, trigger.Never{})
-		if err != nil {
-			return nil, err
-		}
-		be, err := cfg.run(prog, compile.Options{
-			ChecksOnly: &core.ChecksOnly{Backedges: true},
-		}, trigger.Never{})
-		if err != nil {
-			return nil, err
-		}
-		me, err := cfg.run(prog, compile.Options{
-			ChecksOnly: &core.ChecksOnly{Entries: true},
-		}, trigger.Never{})
-		if err != nil {
-			return nil, err
-		}
-
-		totalOv := overhead(fw.out, base.out)
-		beOv := overhead(be.out, base.out)
-		meOv := overhead(me.out, base.out)
-		spaceKB := float64(fw.cr.CodeSize-base.cr.CodeSize) / 1024
-		ctInc := compileTimeIncrease(prog)
+	for i, b := range suite {
+		base, fw := rows[i].base.R(), rows[i].fw.R()
+		totalOv := overhead(fw, base)
+		beOv := overhead(rows[i].be.R(), base)
+		meOv := overhead(rows[i].me.R(), base)
+		spaceKB := float64(fw.CodeSize-base.CodeSize) / 1024
+		ctInc := 100 * (float64(fw.Work)/float64(base.Work) - 1)
 
 		sumTotal += totalOv
 		sumBE += beOv
@@ -77,37 +77,8 @@ func Table2(cfg Config) (*Table, error) {
 	t.AddRow("Average", pct(sumTotal/n), pct(sumBE/n), pct(sumME/n),
 		fmt.Sprintf("%.0f", sumSpace/n), pct(sumCT/n))
 	t.Notes = append(t.Notes,
-		"paper: total avg 4.9%, backedges 3.5%, entries 1.3%, space 285KB, compile +34%",
-		"backedge/entry columns measured with bare checks and no duplication (paper footnote 2)")
+		"paper: total avg 4.9%, backedges 3.5%, entries 1.3%, space 285KB, compile +34% (wall-clock)",
+		"backedge/entry columns measured with bare checks and no duplication (paper footnote 2)",
+		"compile column is the deterministic instruction-visit ratio, not wall-clock")
 	return t, nil
-}
-
-// compileTimeIncrease measures the wall-clock compile-time increase of
-// Full-Duplication over a baseline compile. Each configuration is
-// compiled several times and the fastest run is used, which removes most
-// scheduler noise from the tiny absolute times involved.
-func compileTimeIncrease(prog *ir.Program) float64 {
-	const reps = 5
-	best := func(opts compile.Options) time.Duration {
-		var min time.Duration
-		for i := 0; i < reps; i++ {
-			res, err := compile.Compile(prog, opts)
-			if err != nil {
-				return 0
-			}
-			if min == 0 || res.CompileTime < min {
-				min = res.CompileTime
-			}
-		}
-		return min
-	}
-	baseT := best(compile.Options{})
-	fwT := best(compile.Options{
-		Instrumenters: paperInstrumenters(),
-		Framework:     &core.Options{Variation: core.FullDuplication},
-	})
-	if baseT == 0 {
-		return 0
-	}
-	return 100 * (float64(fwT)/float64(baseT) - 1)
 }

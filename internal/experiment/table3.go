@@ -1,11 +1,6 @@
 package experiment
 
-import (
-	"instrsample/internal/compile"
-	"instrsample/internal/core"
-	"instrsample/internal/instr"
-	"instrsample/internal/trigger"
-)
+import "instrsample/internal/core"
 
 // Table3 reproduces the paper's Table 3: the check-only overhead of the
 // No-Duplication variation, per instrumentation. Since No-Duplication
@@ -19,34 +14,35 @@ func Table3(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	bt := cfg.NewBatch()
+	type row struct{ base, ce, fa *Ref }
+	rows := make([]row, len(suite))
+	nd := func(instrName string) OptsSpec {
+		return OptsSpec{
+			Instr:     []string{instrName},
+			Framework: &core.Options{Variation: core.NoDuplication},
+		}
+	}
+	for i, b := range suite {
+		rows[i] = row{
+			base: bt.Cell(b.Name, OptsSpec{}, NeverTrigger()),
+			ce:   bt.Cell(b.Name, nd("call-edge"), NeverTrigger()),
+			fa:   bt.Cell(b.Name, nd("field-access"), NeverTrigger()),
+		}
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:     "table3",
 		Title:  "Framework overhead of No-Duplication (no samples taken)",
 		Header: []string{"Benchmark", "Call-edge (%)", "Field-access (%)"},
 	}
 	var sumCE, sumFA float64
-	for _, b := range suite {
-		prog := b.Build(cfg.Scale)
-		base, err := cfg.run(prog, compile.Options{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		ce, err := cfg.run(prog, compile.Options{
-			Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
-			Framework:     &core.Options{Variation: core.NoDuplication},
-		}, trigger.Never{})
-		if err != nil {
-			return nil, err
-		}
-		fa, err := cfg.run(prog, compile.Options{
-			Instrumenters: []instr.Instrumenter{&instr.FieldAccess{}},
-			Framework:     &core.Options{Variation: core.NoDuplication},
-		}, trigger.Never{})
-		if err != nil {
-			return nil, err
-		}
-		ceOv := overhead(ce.out, base.out)
-		faOv := overhead(fa.out, base.out)
+	for i, b := range suite {
+		ceOv := overhead(rows[i].ce.R(), rows[i].base.R())
+		faOv := overhead(rows[i].fa.R(), rows[i].base.R())
 		sumCE += ceOv
 		sumFA += faOv
 		t.AddRow(b.Name, pct(ceOv), pct(faOv))

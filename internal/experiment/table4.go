@@ -3,10 +3,8 @@ package experiment
 import (
 	"fmt"
 
-	"instrsample/internal/compile"
 	"instrsample/internal/core"
 	"instrsample/internal/profile"
-	"instrsample/internal/trigger"
 )
 
 // Table4Intervals is the paper's sample-interval sweep.
@@ -27,18 +25,6 @@ func Table4(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:    "table4",
-		Title: "Overhead and accuracy of sampled instrumentation vs sample interval (suite averages)",
-		Header: []string{"Variation", "Interval", "Num Samples",
-			"Sampled Instrum. (%)", "Total (%)", "Call-Edge Acc (%)", "Field-Access Acc (%)"},
-	}
-
-	type perBench struct {
-		baseCycles uint64
-		perfect    []*profile.Profile
-	}
-
 	variations := []struct {
 		name string
 		v    core.Variation
@@ -47,59 +33,58 @@ func Table4(cfg Config) (*Table, error) {
 		{"No-Duplication", core.NoDuplication},
 	}
 
-	// Per-benchmark invariants: baseline cycles and the perfect profile.
-	var bases []perBench
-	for _, b := range suite {
-		prog := b.Build(cfg.Scale)
-		base, err := cfg.run(prog, compile.Options{}, nil)
-		if err != nil {
-			return nil, err
+	// Every cell of the sweep is independent: per-benchmark invariants
+	// (baseline cycles, perfect profile), per-variation framework-only
+	// runs, and the (variation × interval × benchmark) sampled runs.
+	bt := cfg.NewBatch()
+	base := make([]*Ref, len(suite))
+	perfect := make([]*Ref, len(suite))
+	for i, b := range suite {
+		base[i] = bt.Cell(b.Name, OptsSpec{}, NeverTrigger())
+		perfect[i] = bt.Cell(b.Name, OptsSpec{Instr: paperInstr()}, NeverTrigger())
+	}
+	fw := make([][]*Ref, len(variations))        // [variation][bench]
+	sampled := make([][][]*Ref, len(variations)) // [variation][interval][bench]
+	for vi, va := range variations {
+		opts := OptsSpec{Instr: paperInstr(), Framework: &core.Options{Variation: va.v}}
+		fw[vi] = make([]*Ref, len(suite))
+		for i, b := range suite {
+			fw[vi][i] = bt.Cell(b.Name, opts, NeverTrigger())
 		}
-		perfect, err := cfg.run(prog, compile.Options{Instrumenters: paperInstrumenters()}, nil)
-		if err != nil {
-			return nil, err
+		sampled[vi] = make([][]*Ref, len(Table4Intervals))
+		for ii, interval := range Table4Intervals {
+			sampled[vi][ii] = make([]*Ref, len(suite))
+			for i, b := range suite {
+				sampled[vi][ii][i] = bt.Cell(b.Name, opts, CounterTrigger(interval))
+			}
 		}
-		bases = append(bases, perBench{
-			baseCycles: base.out.Stats.Cycles,
-			perfect:    perfect.profiles(),
-		})
-		cfg.progress("table4 %s: baseline and perfect profile done", b.Name)
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
 	}
 
-	for _, va := range variations {
-		// Framework-only cycles per benchmark (Never trigger), used to
-		// separate "sampled instrumentation" overhead from framework
-		// overhead.
-		fwCycles := make([]uint64, len(suite))
-		for i, b := range suite {
-			prog := b.Build(cfg.Scale)
-			fw, err := cfg.run(prog, compile.Options{
-				Instrumenters: paperInstrumenters(),
-				Framework:     &core.Options{Variation: va.v},
-			}, trigger.Never{})
-			if err != nil {
-				return nil, err
-			}
-			fwCycles[i] = fw.out.Stats.Cycles
-		}
-		for _, interval := range Table4Intervals {
+	t := &Table{
+		ID:    "table4",
+		Title: "Overhead and accuracy of sampled instrumentation vs sample interval (suite averages)",
+		Header: []string{"Variation", "Interval", "Num Samples",
+			"Sampled Instrum. (%)", "Total (%)", "Call-Edge Acc (%)", "Field-Access Acc (%)"},
+	}
+	for _, b := range suite {
+		cfg.progress("table4 %s: baseline and perfect profile done", b.Name)
+	}
+	for vi, va := range variations {
+		for ii, interval := range Table4Intervals {
 			var sumSamples, sumInstrOv, sumTotalOv, sumCE, sumFA float64
-			for i, b := range suite {
-				prog := b.Build(cfg.Scale)
-				out, err := cfg.run(prog, compile.Options{
-					Instrumenters: paperInstrumenters(),
-					Framework:     &core.Options{Variation: va.v},
-				}, trigger.NewCounter(interval))
-				if err != nil {
-					return nil, err
-				}
-				base := float64(bases[i].baseCycles)
-				sumSamples += float64(out.out.Stats.CheckFires)
-				sumInstrOv += 100 * float64(out.out.Stats.Cycles-fwCycles[i]) / base
-				sumTotalOv += 100 * (float64(out.out.Stats.Cycles)/base - 1)
-				profs := out.profiles()
-				sumCE += profile.Overlap(bases[i].perfect[0], profs[0])
-				sumFA += profile.Overlap(bases[i].perfect[1], profs[1])
+			for i := range suite {
+				out := sampled[vi][ii][i].R()
+				baseCycles := float64(base[i].R().Stats.Cycles)
+				fwCycles := fw[vi][i].R().Stats.Cycles
+				sumSamples += float64(out.Stats.CheckFires)
+				sumInstrOv += 100 * float64(out.Stats.Cycles-fwCycles) / baseCycles
+				sumTotalOv += 100 * (float64(out.Stats.Cycles)/baseCycles - 1)
+				pp := perfect[i].R().Profiles
+				sumCE += profile.Overlap(pp[0], out.Profiles[0])
+				sumFA += profile.Overlap(pp[1], out.Profiles[1])
 			}
 			n := float64(len(suite))
 			t.AddRow(va.name, fmt.Sprintf("%d", interval),

@@ -1,11 +1,8 @@
 package experiment
 
 import (
-	"instrsample/internal/compile"
 	"instrsample/internal/core"
-	"instrsample/internal/instr"
 	"instrsample/internal/profile"
-	"instrsample/internal/trigger"
 )
 
 // Table5CounterInterval is the counter interval used for the trigger
@@ -23,57 +20,63 @@ const Table5CounterInterval = 3000
 // the interrupt and the *next* check takes the sample — and its rate is
 // capped by the interrupt frequency, so it is markedly less accurate
 // (paper: 63% vs 84% average overlap).
+//
+// This artifact runs in two waves: the timer period of the second-wave
+// cells is derived from the first wave's baseline cycle counts.
 func Table5(cfg Config) (*Table, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
 	}
+	fieldOnly := []string{"field-access"}
+	bt := cfg.NewBatch()
+	base := make([]*Ref, len(suite))
+	perfect := make([]*Ref, len(suite))
+	for i, b := range suite {
+		base[i] = bt.Cell(b.Name, OptsSpec{}, NeverTrigger())
+		perfect[i] = bt.Cell(b.Name, OptsSpec{Instr: fieldOnly}, NeverTrigger())
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
+	// Second wave: equalize expected sample counts between the triggers.
+	fwOpts := OptsSpec{
+		Instr:     fieldOnly,
+		Framework: &core.Options{Variation: core.FullDuplication},
+	}
+	timed := make([]*Ref, len(suite))
+	counted := make([]*Ref, len(suite))
+	for i, b := range suite {
+		stats := base[i].R().Stats
+		checks := stats.MethodEntries + stats.Backedges
+		expectedSamples := checks / Table5CounterInterval
+		if expectedSamples == 0 {
+			expectedSamples = 1
+		}
+		period := stats.Cycles / expectedSamples
+		timed[i] = bt.Cell(b.Name, fwOpts, TimerTrigger(period))
+		counted[i] = bt.Cell(b.Name, fwOpts, CounterTrigger(Table5CounterInterval))
+	}
+	if err := bt.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		ID:     "table5",
 		Title:  "Accuracy (overlap %) of field-access profiling: time-based vs counter-based trigger",
 		Header: []string{"Benchmark", "Time-based (%)", "Counter-based (%)"},
 	}
-	fieldOnly := func() []instr.Instrumenter {
-		return []instr.Instrumenter{&instr.FieldAccess{}}
-	}
 	var sumT, sumC float64
-	for _, b := range suite {
-		prog := b.Build(cfg.Scale)
-		base, err := cfg.run(prog, compile.Options{}, nil)
-		if err != nil {
-			return nil, err
-		}
-		perfect, err := cfg.run(prog, compile.Options{Instrumenters: fieldOnly()}, nil)
-		if err != nil {
-			return nil, err
-		}
-		// Equalize expected sample counts between the two triggers.
-		checks := base.out.Stats.MethodEntries + base.out.Stats.Backedges
-		expectedSamples := checks / Table5CounterInterval
-		if expectedSamples == 0 {
-			expectedSamples = 1
-		}
-		period := base.out.Stats.Cycles / expectedSamples
-
-		fwOpts := compile.Options{
-			Instrumenters: fieldOnly(),
-			Framework:     &core.Options{Variation: core.FullDuplication},
-		}
-		timed, err := cfg.run(prog, fwOpts, trigger.NewTimer(period))
-		if err != nil {
-			return nil, err
-		}
-		counted, err := cfg.run(prog, fwOpts, trigger.NewCounter(Table5CounterInterval))
-		if err != nil {
-			return nil, err
-		}
-		ovT := profile.Overlap(perfect.profiles()[0], timed.profiles()[0])
-		ovC := profile.Overlap(perfect.profiles()[0], counted.profiles()[0])
+	for i, b := range suite {
+		pp := perfect[i].R().Profiles[0]
+		ovT := profile.Overlap(pp, timed[i].R().Profiles[0])
+		ovC := profile.Overlap(pp, counted[i].R().Profiles[0])
 		sumT += ovT
 		sumC += ovC
 		t.AddRow(b.Name, pct(ovT), pct(ovC))
 		cfg.progress("table5 %s: timer %.0f%% (%d samples) counter %.0f%% (%d samples)",
-			b.Name, ovT, timed.out.Stats.CheckFires, ovC, counted.out.Stats.CheckFires)
+			b.Name, ovT, timed[i].R().Stats.CheckFires, ovC, counted[i].R().Stats.CheckFires)
 	}
 	n := float64(len(suite))
 	t.AddRow("Average", pct(sumT/n), pct(sumC/n))

@@ -13,6 +13,9 @@
 // edge profiling, basic-block counting, Ball–Larus path profiling and
 // value profiling, demonstrating §2's claim that any event-counting
 // instrumentation drops into the framework unmodified.
+//
+// See DESIGN.md §3 (system inventory) and §4 (Tables 1, 3 and
+// ablation-cct).
 package instr
 
 import (

@@ -4,6 +4,8 @@
 // primitives. It plays the role Jalapeño's LIR plays in the paper — the
 // level at which instrumentation is inserted and at which the sampling
 // framework performs its code duplication.
+//
+// See DESIGN.md §2 (IR substitution argument) and §3 (system inventory).
 package ir
 
 import "fmt"

@@ -2,6 +2,8 @@
 // runtimes write into, and the overlap-percentage accuracy metric the
 // paper uses in §4.4 to compare sampled profiles against the perfect
 // profile.
+//
+// See DESIGN.md §3 (system inventory) and §5 (overlap-metric invariants).
 package profile
 
 import (

@@ -7,6 +7,14 @@
 // The interpreter polls the trigger every time an OpCheck (or the guard of
 // an OpCheckedProbe) executes; Poll answers whether that check fires a
 // sample.
+//
+// Triggers are stateful (counters, timer bits, PRNG state): construct a
+// fresh instance per VM run and never share one across concurrent VMs.
+// Package experiment encodes this by describing triggers as pure
+// TriggerSpec values and instantiating them inside each cell.
+//
+// See DESIGN.md §2 (timer substitution argument) and §4 (Table 5,
+// ablation-resonance).
 package trigger
 
 // Trigger decides, at each executed check, whether a sample fires.

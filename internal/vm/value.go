@@ -15,6 +15,16 @@
 //   - the runtime half of the sampling framework: OpCheck polls a
 //     trigger.Trigger, probes dispatch to registered instrumentation
 //     runtimes.
+//
+// Interpreter instances are fully isolated: the package keeps no mutable
+// package-level state, and a VM touches only the program, trigger,
+// handlers and i-cache it was configured with. Distinct VMs may therefore
+// run concurrently on separate goroutines (package experiment's engine
+// relies on this), provided they do not share a Trigger, ProbeHandler or
+// ICache instance; a single VM is not safe for concurrent use.
+//
+// See DESIGN.md §2 (cost-model substitution argument) and §3 (system
+// inventory).
 package vm
 
 import (
