@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race experiments clean-cache
+.PHONY: ci fmt vet build test race bench bench-short experiments clean-cache
 
-ci: fmt vet build test race
+ci: fmt vet build test race bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -20,10 +20,21 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiment engine runs measurement cells on concurrent goroutines;
-# keep it race-clean.
+# The experiment engine runs measurement cells on concurrent goroutines,
+# and the VM's differential tests run parallel subtests over the frame
+# pools and scheduler; keep both race-clean.
 race:
-	$(GO) test -race ./internal/experiment/
+	$(GO) test -race ./internal/experiment/ ./internal/vm/
+
+# Full benchmark sweep (slow). BENCH_*.json snapshots in the repo root
+# record curated before/after numbers from these benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration of every benchmark: a smoke test that the bench harness
+# itself stays green, cheap enough for ci.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 ./...
 
 # Full-scale regeneration of the recorded results (slow).
 experiments:

@@ -145,6 +145,71 @@ func BenchmarkInterpreter(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "M-instrs/sec")
 }
 
+// BenchmarkInterpreterReference measures the retained reference dispatch
+// on the same kernel; the gap to BenchmarkInterpreter is the fast path's
+// win (precomputed cost table, pooled frames, hoisted budget checks).
+func BenchmarkInterpreterReference(b *testing.B) {
+	prog := bench.Compress(benchScale)
+	res, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		out, err := vm.New(res.Prog, vm.Config{Reference: true}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += out.Stats.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "M-instrs/sec")
+}
+
+// BenchmarkInterpreterCalls measures call-dense throughput (naive fib,
+// two calls per node) — the workload where frame pooling matters most.
+func BenchmarkInterpreterCalls(b *testing.B) {
+	fb := ir.NewFunc("fib", 1)
+	{
+		c := fb.At(fb.EntryBlock())
+		two := c.Const(2)
+		cond := c.Bin(ir.OpCmpLT, 0, two)
+		thenB := fb.Block("")
+		elseB := fb.Block("")
+		c.Branch(cond, thenB, elseB)
+		tc := fb.At(thenB)
+		tc.Return(0)
+		ec := fb.At(elseB)
+		one := ec.Const(1)
+		n1 := ec.Bin(ir.OpSub, 0, one)
+		n2 := ec.Bin(ir.OpSub, n1, one)
+		ec.Return(ec.Bin(ir.OpAdd, ec.Call(fb.M, n1), ec.Call(fb.M, n2)))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		n := c.Const(22)
+		c.Return(c.Call(fb.M, n))
+	}
+	p := &ir.Program{Name: "fib", Funcs: []*ir.Method{fb.M, mb.M}, Main: mb.M}
+	p.Seal()
+	res, err := compile.Compile(p, compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		out, err := vm.New(res.Prog, vm.Config{}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += out.Stats.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "M-instrs/sec")
+}
+
 // BenchmarkInterpreterICache measures the same kernel with the i-cache
 // model enabled, quantifying the model's own cost.
 func BenchmarkInterpreterICache(b *testing.B) {

@@ -181,6 +181,13 @@ func Compile(src *ir.Program, opts Options) (*Result, error) {
 		}
 	}
 
+	// Re-seal: the transforms above add and clone blocks, invalidating the
+	// seal-time annotations (dense program-wide block GIDs, vtables). Each
+	// transform renumbers the methods it touches, so this pass changes no
+	// IDs the instrumentation already recorded; it refreshes the
+	// program-wide tables the VM's fast paths index by.
+	p.Seal()
+
 	// Late phases (run after duplication, so their cost scales with the
 	// duplicated code): liveness analysis and layout/encoding. The
 	// framework transform plus these two passes each traverse the
@@ -212,6 +219,7 @@ func Compile(src *ir.Program, opts Options) (*Result, error) {
 // in BackedgeMask. Returns the number of yieldpoints inserted.
 func InsertYieldpoints(m *ir.Method) int {
 	n := 0
+	trampolines := 0
 	m.Entry().InsertFront(ir.Instr{Op: ir.OpYield})
 	n++
 	for _, e := range m.Backedges() {
@@ -226,11 +234,16 @@ func InsertYieldpoints(m *ir.Method) int {
 			tramp.Append(ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{e.To}, BackedgeMask: 1})
 			t.Targets[e.Index] = tramp
 			t.BackedgeMask &^= 1 << uint(e.Index)
+			trampolines++
 		}
 		n++
 	}
-	m.RecomputePreds()
-	m.Renumber()
+	// Straight-line yieldpoints don't change the CFG; only trampoline
+	// blocks add edges and IDs worth recomputing.
+	if trampolines > 0 {
+		m.RecomputePreds()
+		m.Renumber()
+	}
 	return n
 }
 

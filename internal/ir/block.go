@@ -39,6 +39,10 @@ type Block struct {
 	// ID is unique within the method and dense from 0 in Method.Blocks
 	// order after Method.Renumber.
 	ID int
+	// GID is unique across the whole program and dense from 0, assigned
+	// by Program.Seal. The VM uses it to index per-block side tables
+	// (e.g. precomputed block cycle costs) without touching shared IR.
+	GID int
 	// Label is an optional assembler label.
 	Label string
 	// Instrs holds the block body; the last instruction is the terminator.
@@ -110,20 +114,29 @@ func (b *Block) Append(in Instr) {
 	b.Instrs = append(b.Instrs, in)
 }
 
-// InsertFront inserts instructions at the beginning of the block.
+// InsertFront inserts instructions at the beginning of the block. The
+// slice is edited in place (instrumentation passes call this on every
+// method entry, so it must not copy the whole block each time); pointers
+// into Instrs obtained before the call are stale afterwards.
 func (b *Block) InsertFront(ins ...Instr) {
-	b.Instrs = append(append([]Instr{}, ins...), b.Instrs...)
+	k := len(ins)
+	b.Instrs = append(b.Instrs, ins...) // grow by k, values overwritten below
+	copy(b.Instrs[k:], b.Instrs)
+	copy(b.Instrs, ins)
 }
 
 // InsertBeforeTerminator inserts instructions just before the terminator.
-// It panics if the block is unterminated.
+// It panics if the block is unterminated. Like InsertFront it edits the
+// slice in place: re-fetch Terminator() after the call rather than holding
+// a pointer across it.
 func (b *Block) InsertBeforeTerminator(ins ...Instr) {
 	if b.Terminator() == nil {
 		panic("ir: InsertBeforeTerminator on unterminated block " + b.Name())
 	}
 	n := len(b.Instrs) - 1
-	rest := append([]Instr{}, b.Instrs[n:]...)
-	b.Instrs = append(append(b.Instrs[:n:n], ins...), rest...)
+	term := b.Instrs[n]
+	b.Instrs = append(b.Instrs[:n], ins...)
+	b.Instrs = append(b.Instrs, term)
 }
 
 // ReplaceTarget rewrites every terminator target equal to old with new. It

@@ -21,6 +21,12 @@ type Class struct {
 	ID int
 	// fieldBase is the slot offset of this class's first own field.
 	fieldBase int
+	// vtab is the flattened dispatch table built by Program.Seal: every
+	// method visible on this class (own or inherited), keyed by name, so
+	// Lookup is a single map hit instead of a superclass-chain walk on the
+	// interpreter's OpCallVirt path. Nil before Seal; AddMethod drops it
+	// (mutating a sealed hierarchy requires re-sealing).
+	vtab map[string]*Method
 }
 
 // NumFields returns the total number of field slots of an instance,
@@ -53,10 +59,15 @@ func (c *Class) FieldName(idx int) string {
 	return fmt.Sprintf("#%d", idx)
 }
 
-// Lookup resolves a virtual method name against this class, walking the
-// superclass chain. The second result is false if no class in the chain
-// declares the method.
+// Lookup resolves a virtual method name against this class. After Seal it
+// is a single lookup in the flattened vtable; before Seal (or after a
+// post-seal AddMethod) it walks the superclass chain. The second result is
+// false if no class in the chain declares the method.
 func (c *Class) Lookup(name string) (*Method, bool) {
+	if c.vtab != nil {
+		m, ok := c.vtab[name]
+		return m, ok
+	}
 	for cl := c; cl != nil; cl = cl.Super {
 		if m, ok := cl.Methods[name]; ok {
 			return m, true
@@ -75,12 +86,34 @@ func (c *Class) IsSubclassOf(other *Class) bool {
 	return false
 }
 
-// AddMethod declares a virtual method on the class and returns it.
+// AddMethod declares a virtual method on the class and returns it. It
+// invalidates the class's sealed vtable; if the program was already
+// sealed, Seal must run again before dispatch (subclass vtables are
+// rebuilt there too).
 func (c *Class) AddMethod(m *Method) *Method {
 	if c.Methods == nil {
 		c.Methods = make(map[string]*Method)
 	}
 	m.Class = c
 	c.Methods[m.Name] = m
+	c.vtab = nil
 	return m
+}
+
+// buildVtab flattens the dispatch table: the superclass's table (already
+// built — Seal processes parents first) overlaid with own declarations.
+func (c *Class) buildVtab() {
+	n := len(c.Methods)
+	if c.Super != nil {
+		n += len(c.Super.vtab)
+	}
+	c.vtab = make(map[string]*Method, n)
+	if c.Super != nil {
+		for name, m := range c.Super.vtab {
+			c.vtab[name] = m
+		}
+	}
+	for name, m := range c.Methods {
+		c.vtab[name] = m
+	}
 }

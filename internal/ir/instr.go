@@ -95,18 +95,29 @@ func (p *Probe) String() string {
 // Instr is a single IR instruction. Operand meaning is per-Op (see the
 // opcode documentation). Instructions are values inside Block.Instrs;
 // transforms copy them freely.
+// Field order is interpreter-conscious: everything the VM touches while
+// executing straight-line code and block transfers (Op through Field)
+// packs into the struct's first cache line; the call/probe-only operands
+// follow.
 type Instr struct {
-	Op  Op
-	Dst Reg
-	A   Reg
-	B   Reg
-	Imm int64
+	Op Op
+	// BackedgeMask marks which terminator targets are backedges (bit i set
+	// means the edge to Targets[i] is a backedge). Set by the
+	// yieldpoint-insertion pass; the VM uses it to count backedge
+	// traversals, the bound side of Property 1.
+	BackedgeMask uint8
+	Dst          Reg
+	A            Reg
+	B            Reg
+	Imm          int64
+	// Targets are the successor blocks of a terminator.
+	Targets []*Block
+	// Field is the flattened field slot index for OpGetField/OpPutField.
+	Field int
 
 	// Class is the class operand of OpNew, and the declaring class used to
 	// resolve Field for OpGetField/OpPutField.
 	Class *Class
-	// Field is the flattened field slot index for OpGetField/OpPutField.
-	Field int
 	// Method is the callee of OpCall and OpSpawn.
 	Method *Method
 	// Name is the virtual method name for OpCallVirt.
@@ -116,13 +127,6 @@ type Instr struct {
 	Args []Reg
 	// Probe is the payload of OpProbe / OpCheckedProbe.
 	Probe *Probe
-	// Targets are the successor blocks of a terminator.
-	Targets []*Block
-	// BackedgeMask marks which terminator targets are backedges (bit i set
-	// means the edge to Targets[i] is a backedge). Set by the
-	// yieldpoint-insertion pass; the VM uses it to count backedge
-	// traversals, the bound side of Property 1.
-	BackedgeMask uint8
 }
 
 // IsTerminator reports whether the instruction terminates a block.

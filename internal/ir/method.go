@@ -142,6 +142,7 @@ type Program struct {
 	// fieldIDs maps (class ID, slot) to a dense program-wide field ID.
 	fieldBase []int
 	numFields int
+	numBlocks int
 }
 
 // Methods returns every method in the program (free functions first, then
@@ -154,6 +155,10 @@ func (p *Program) NumMethods() int { return len(p.methods) }
 // NumFieldIDs returns the size of the dense program-wide field ID space.
 // Valid after Seal.
 func (p *Program) NumFieldIDs() int { return p.numFields }
+
+// NumBlocks returns the size of the dense program-wide block GID space.
+// Valid after Seal.
+func (p *Program) NumBlocks() int { return p.numBlocks }
 
 // FieldID maps a class and flattened slot index to a dense program-wide
 // field identifier, used by field-access profiles. Valid after Seal.
@@ -182,7 +187,9 @@ func (p *Program) MethodByName(full string) (*Method, bool) {
 }
 
 // Seal freezes the program: assigns class/method/field IDs, computes field
-// layouts, renumbers blocks and recomputes predecessors. It must be called
+// layouts and flattened dispatch tables (the seal-time annotations the
+// VM's fast paths rely on), renumbers blocks and recomputes predecessors.
+// It must be called
 // once construction is complete and again is harmless. Seal panics on
 // structural errors that would make IDs meaningless (nil Main, duplicate
 // class names); deeper validation belongs to Verify.
@@ -211,6 +218,7 @@ func (p *Program) Seal() {
 			} else {
 				c.fieldBase = 0
 			}
+			c.buildVtab()
 			done[c] = true
 			remaining--
 			progress = true
@@ -232,11 +240,17 @@ func (p *Program) Seal() {
 			p.methods = append(p.methods, c.Methods[n])
 		}
 	}
+	gid := 0
 	for i, m := range p.methods {
 		m.ID = i
 		m.Renumber()
 		m.RecomputePreds()
+		for _, b := range m.Blocks {
+			b.GID = gid
+			gid++
+		}
 	}
+	p.numBlocks = gid
 	// Field IDs: reserve the full flattened slot width per class so that
 	// FieldID(c, slot) is O(1) even for inherited slots. The space is
 	// slightly sparse (an inherited slot has a distinct ID on each

@@ -130,6 +130,12 @@ const (
 	OpLoopCheck
 )
 
+// NumOpcodes is the size of the dense opcode index space (Op is a uint8).
+// Side tables indexed by Op — such as the VM's precomputed per-opcode
+// cycle-cost table — use this as their length so every representable
+// opcode, including gaps and future additions, has a slot.
+const NumOpcodes = 256
+
 // IsTerminator reports whether op may only appear as a block terminator.
 func (op Op) IsTerminator() bool { return op >= OpJump }
 

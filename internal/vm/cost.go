@@ -79,8 +79,25 @@ func DefaultCostModel() *CostModel {
 	}
 }
 
+// table flattens the model into an opcode-indexed cycle-cost side table.
+// VM.New calls it once per run so the interpreter's hot loop charges
+// cycles with a single array index instead of re-running the opCost
+// switch on every instruction. The table is built *from* opCost, so the
+// two agree for every opcode by construction; TestCostTableMatchesOpCost
+// pins the invariant against future divergence.
+func (c *CostModel) table() [ir.NumOpcodes]uint32 {
+	var t [ir.NumOpcodes]uint32
+	for op := 0; op < ir.NumOpcodes; op++ {
+		t[op] = c.opCost(&ir.Instr{Op: ir.Op(op)})
+	}
+	return t
+}
+
 // opCost returns the cost of a non-probe instruction. Probe and IO costs
-// are charged from the instruction payload by the interpreter.
+// are charged from the instruction payload by the interpreter. This is
+// the reference implementation: the fast path reads the flattened table
+// instead (see table), and the retained reference dispatch
+// (Config.Reference) still calls it directly.
 func (c *CostModel) opCost(in *ir.Instr) uint32 {
 	switch in.Op {
 	case ir.OpNop:

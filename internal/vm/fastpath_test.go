@@ -1,0 +1,250 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"instrsample/internal/ir"
+)
+
+// TestCostTableMatchesOpCost pins the fast path's cost-table invariant:
+// for every representable opcode, the flattened table built by
+// CostModel.table agrees with the opCost switch the reference dispatch
+// still runs. If a new opcode gets a cost case, this fails until the
+// table (rebuilt from opCost) and the switch agree again.
+func TestCostTableMatchesOpCost(t *testing.T) {
+	models := map[string]*CostModel{
+		"default": DefaultCostModel(),
+		"skewed": {
+			Simple: 3, DivRem: 50, Branch: 7, FieldAccess: 11,
+			ArrayAccess: 13, New: 170, NewArrayBase: 90, Call: 41,
+			VirtExtra: 17, Return: 19, Spawn: 230, Join: 29,
+			Yield: 31, Check: 37, Print: 43, ICacheMissPenalty: 47,
+		},
+	}
+	for name, m := range models {
+		tab := m.table()
+		for op := 0; op < ir.NumOpcodes; op++ {
+			want := m.opCost(&ir.Instr{Op: ir.Op(op)})
+			if tab[op] != want {
+				t.Errorf("%s: table[%s] = %d, opCost = %d", name, ir.Op(op), tab[op], want)
+			}
+		}
+	}
+}
+
+// TestThreadQueue exercises the ring buffer directly: FIFO order across
+// growth and wraparound, and nil-on-pop so the queue never pins threads.
+func TestThreadQueue(t *testing.T) {
+	var q threadQueue
+	mk := func(id int) *Thread { return &Thread{ID: id} }
+
+	if q.len() != 0 {
+		t.Fatalf("fresh queue len %d", q.len())
+	}
+	// Interleave pushes and pops so head walks around the buffer several
+	// times while the queue also grows past its initial capacity.
+	next, expect := 0, 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.push(mk(next))
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := q.front().ID; got != expect {
+				t.Fatalf("front = t%d, want t%d", got, expect)
+			}
+			if got := q.pop().ID; got != expect {
+				t.Fatalf("pop = t%d, want t%d", got, expect)
+			}
+			expect++
+		}
+	}
+	for q.len() > 0 {
+		if got := q.pop().ID; got != expect {
+			t.Fatalf("drain pop = t%d, want t%d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d threads, pushed %d", expect, next)
+	}
+	for i, p := range q.buf {
+		if p != nil {
+			t.Errorf("buf[%d] still pins a thread after drain", i)
+		}
+	}
+}
+
+// spawnArityProg builds a program whose main spawns worker with the wrong
+// number of arguments, bypassing the builder (the IR verifier catches
+// this statically; the VM must catch hand-assembled code at runtime too).
+func spawnArityProg() *ir.Program {
+	w := ir.NewFunc("worker", 2)
+	{
+		c := w.At(w.EntryBlock())
+		c.Return(c.Bin(ir.OpAdd, 0, 1))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		one := c.Const(1)
+		dst := mb.FreshReg()
+		c.Blk().Append(ir.Instr{Op: ir.OpSpawn, Dst: dst, Method: w.M, Args: []ir.Reg{one}})
+		c.Return(c.Join(dst))
+	}
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{w.M, mb.M}, Main: mb.M}
+	p.Seal()
+	return p
+}
+
+// TestSpawnArityTraps verifies the spawn arity check: a spawn whose
+// argument count disagrees with the target's NumParams traps instead of
+// silently zero-filling (or truncating) the new thread's parameters.
+// Both dispatchers must produce the identical trap.
+func TestSpawnArityTraps(t *testing.T) {
+	var errs [2]error
+	for i, ref := range []bool{false, true} {
+		_, err := New(spawnArityProg(), Config{Reference: ref}).Run()
+		if err == nil {
+			t.Fatalf("reference=%v: wrong-arity spawn did not trap", ref)
+		}
+		if !strings.Contains(err.Error(), "spawn worker with 1 args, wants 2") {
+			t.Fatalf("reference=%v: unexpected trap %q", ref, err)
+		}
+		errs[i] = err
+	}
+	if errs[0].Error() != errs[1].Error() {
+		t.Fatalf("dispatchers disagree:\n  fast: %v\n  ref:  %v", errs[0], errs[1])
+	}
+}
+
+// callHeavyProg builds a deliberately call-dense program: fib(18) by
+// naive double recursion.
+func callHeavyProg() *ir.Program {
+	fb := ir.NewFunc("fib", 1)
+	{
+		c := fb.At(fb.EntryBlock())
+		two := c.Const(2)
+		cond := c.Bin(ir.OpCmpLT, 0, two)
+		thenB := fb.Block("")
+		elseB := fb.Block("")
+		c.Branch(cond, thenB, elseB)
+		tc := fb.At(thenB)
+		tc.Return(0)
+		ec := fb.At(elseB)
+		one := ec.Const(1)
+		n1 := ec.Bin(ir.OpSub, 0, one)
+		n2 := ec.Bin(ir.OpSub, n1, one)
+		a := ec.Call(fb.M, n1)
+		b := ec.Call(fb.M, n2)
+		ec.Return(ec.Bin(ir.OpAdd, a, b))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		n := c.Const(18)
+		c.Return(c.Call(fb.M, n))
+	}
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{fb.M, mb.M}, Main: mb.M}
+	p.Seal()
+	return p
+}
+
+// TestFramePoolRecycles verifies the tentpole's allocation win: on a
+// call-dense program the pooled fast path allocates a small constant
+// number of frames (bounded by peak stack depth), while the reference
+// dispatch allocates per call.
+func TestFramePoolRecycles(t *testing.T) {
+	p := callHeavyProg()
+	out, err := New(p, Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != 2584 { // fib(18)
+		t.Fatalf("fib(18) = %d, want 2584", out.Return)
+	}
+	calls := out.Stats.MethodEntries
+
+	v := New(p, Config{})
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After the run every frame has been popped back into the pool; the
+	// pool must hold far fewer frames than the program made calls (it is
+	// bounded by the peak call depth, ~20 here).
+	if got := uint64(len(v.freeFrames)); got*100 > calls {
+		t.Errorf("pool holds %d frames after %d calls; recycling broken", got, calls)
+	}
+	if len(v.freeFrames) == 0 {
+		t.Error("pool empty after run; frames were never released")
+	}
+}
+
+// TestPooledRegistersZeroed guards the zero-at-acquire rule: a reused
+// frame must not leak the previous occupant's register or scratch values,
+// because IR semantics give every unwritten register the value 0/null.
+func TestPooledRegistersZeroed(t *testing.T) {
+	// dirty() fills its registers with junk; probe() then reads an
+	// unwritten register, which must still be 0.
+	dirty := ir.NewFunc("dirty", 0)
+	{
+		c := dirty.At(dirty.EntryBlock())
+		acc := c.Const(0x7eadbeef)
+		for i := 0; i < 8; i++ {
+			acc = c.Bin(ir.OpAdd, acc, acc)
+		}
+		c.Return(acc)
+	}
+	clean := ir.NewFunc("clean", 0)
+	{
+		c := clean.At(clean.EntryBlock())
+		unwritten := clean.FreshReg()
+		c.Return(unwritten)
+	}
+	// dirty's frame must be at least as wide as clean's, so the pool
+	// serves clean out of dirty's recycled (junk-filled) registers.
+	if dirty.M.NumRegs < clean.M.NumRegs {
+		t.Fatalf("test setup: dirty %d regs < clean %d regs; reuse path not exercised",
+			dirty.M.NumRegs, clean.M.NumRegs)
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		c.Call(dirty.M)
+		c.Return(c.Call(clean.M))
+	}
+	p := &ir.Program{Name: "t", Funcs: []*ir.Method{dirty.M, clean.M, mb.M}, Main: mb.M}
+	p.Seal()
+	out, err := New(p, Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Return != 0 {
+		t.Fatalf("unwritten register in pooled frame reads %#x, want 0", out.Return)
+	}
+}
+
+// TestBudgetTrapBothDispatchers checks that cycle-budget exhaustion traps
+// under both dispatchers with the same reason. The fast path may trap a
+// few instructions later (the check is hoisted to block boundaries), so
+// only the reason text is compared, not the location.
+func TestBudgetTrapBothDispatchers(t *testing.T) {
+	build := func() *ir.Program {
+		b := ir.NewFunc("main", 0)
+		c := b.At(b.EntryBlock())
+		n := c.Const(1 << 40)
+		lp := c.CountedLoop(n, "l")
+		lp.Body.Jump(lp.Latch)
+		lp.After.Return(lp.I)
+		p := &ir.Program{Name: "t", Funcs: []*ir.Method{b.M}, Main: b.M}
+		p.Seal()
+		return p
+	}
+	for _, ref := range []bool{false, true} {
+		_, err := New(build(), Config{Reference: ref, MaxCycles: 10000}).Run()
+		if err == nil || !strings.Contains(err.Error(), "cycle budget exhausted (10000)") {
+			t.Fatalf("reference=%v: expected budget trap, got %v", ref, err)
+		}
+	}
+}

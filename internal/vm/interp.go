@@ -9,257 +9,447 @@ import (
 // runThread executes t until a scheduling event: quantum-expired
 // yieldpoint, join block, or thread completion. It returns whether the
 // scheduler should rotate.
+//
+// This is the fast path. It differs from the retained reference dispatch
+// (ref.go) in several ways, none observable in the Result:
+//
+//   - Cycle costs come from the precomputed opcode-indexed table
+//     (v.costTab) instead of re-running the CostModel.opCost switch per
+//     instruction.
+//   - The cycle-budget check is hoisted out of the per-instruction path
+//     to thread entry, block transfers and frame pushes. A runaway
+//     program still traps with the same error, a block-bounded number of
+//     instructions later than the reference would; it never traps
+//     earlier.
+//   - The cycle and instruction counters accumulate in locals and are
+//     written back to the VM only where something else can read them:
+//     probe execution, i-cache touches, and every exit. The sample
+//     triggers always poll the up-to-date count because Poll takes the
+//     cycle counter as an argument.
+//   - The frame position (f.PC) is tracked in a local and written back
+//     only where something else can observe it: traps, probes, calls,
+//     and scheduler returns.
 func (v *VM) runThread(t *Thread) (bool, error) {
 	f := t.Top()
 	if f.PC == 0 {
 		v.touchCode(f.Block)
 	}
-	for {
-		if v.cycles > v.cfg.MaxCycles {
-			return false, v.trap(t, fmt.Sprintf("cycle budget exhausted (%d)", v.cfg.MaxCycles))
+	limit := v.cfg.MaxCycles
+	cycles := v.cycles
+	icount := v.stats.Instrs
+	if cycles > limit {
+		return false, v.trapBudgetAt(t, cycles, icount)
+	}
+	regs := f.Regs
+	instrs := f.Block.Instrs
+	pc := f.PC
+	scale := f.costScale
+	if pc == 0 && scale == 1 && v.blockInfo[f.Block.GID].pure {
+		var sched bool
+		var err error
+		cycles, icount, sched, err = v.runPureBlocks(t, f, cycles, icount)
+		if err != nil {
+			return false, err
 		}
-		in := &f.Block.Instrs[f.PC]
-		v.cycles += uint64(v.cost.opCost(in) * f.costScale)
-		v.stats.Instrs++
+		if sched {
+			return true, nil
+		}
+		instrs, pc = f.Block.Instrs, 0
+	}
+	for {
+		in := &instrs[pc]
+		// The uint32 multiply intentionally wraps before widening,
+		// matching the reference path's overflow behaviour.
+		cycles += uint64(v.costTab[in.Op] * scale)
+		icount++
 
 		switch in.Op {
 		case ir.OpNop:
 
 		case ir.OpConst:
-			f.Regs[in.Dst] = Value{I: in.Imm}
+			regs[in.Dst] = Value{I: in.Imm}
 		case ir.OpMove:
-			f.Regs[in.Dst] = f.Regs[in.A]
+			regs[in.Dst] = regs[in.A]
 
 		case ir.OpAdd:
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I + f.Regs[in.B].I}
+			regs[in.Dst] = Value{I: regs[in.A].I + regs[in.B].I}
 		case ir.OpSub:
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I - f.Regs[in.B].I}
+			regs[in.Dst] = Value{I: regs[in.A].I - regs[in.B].I}
 		case ir.OpMul:
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I * f.Regs[in.B].I}
+			regs[in.Dst] = Value{I: regs[in.A].I * regs[in.B].I}
 		case ir.OpDiv:
-			d := f.Regs[in.B].I
+			d := regs[in.B].I
 			if d == 0 {
-				return false, v.trap(t, "division by zero")
+				return false, v.trapAt(t, f, pc, cycles, icount, "division by zero")
 			}
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I / d}
+			regs[in.Dst] = Value{I: regs[in.A].I / d}
 		case ir.OpRem:
-			d := f.Regs[in.B].I
+			d := regs[in.B].I
 			if d == 0 {
-				return false, v.trap(t, "remainder by zero")
+				return false, v.trapAt(t, f, pc, cycles, icount, "remainder by zero")
 			}
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I % d}
+			regs[in.Dst] = Value{I: regs[in.A].I % d}
 		case ir.OpAnd:
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I & f.Regs[in.B].I}
+			regs[in.Dst] = Value{I: regs[in.A].I & regs[in.B].I}
 		case ir.OpOr:
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I | f.Regs[in.B].I}
+			regs[in.Dst] = Value{I: regs[in.A].I | regs[in.B].I}
 		case ir.OpXor:
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I ^ f.Regs[in.B].I}
+			regs[in.Dst] = Value{I: regs[in.A].I ^ regs[in.B].I}
 		case ir.OpShl:
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I << (uint64(f.Regs[in.B].I) & 63)}
+			regs[in.Dst] = Value{I: regs[in.A].I << (uint64(regs[in.B].I) & 63)}
 		case ir.OpShr:
-			f.Regs[in.Dst] = Value{I: f.Regs[in.A].I >> (uint64(f.Regs[in.B].I) & 63)}
+			regs[in.Dst] = Value{I: regs[in.A].I >> (uint64(regs[in.B].I) & 63)}
 		case ir.OpNeg:
-			f.Regs[in.Dst] = Value{I: -f.Regs[in.A].I}
+			regs[in.Dst] = Value{I: -regs[in.A].I}
 		case ir.OpNot:
-			f.Regs[in.Dst] = Value{I: ^f.Regs[in.A].I}
+			regs[in.Dst] = Value{I: ^regs[in.A].I}
 
 		case ir.OpCmpEQ:
-			f.Regs[in.Dst] = boolVal(cmpValues(f.Regs[in.A], f.Regs[in.B]) == 0)
+			regs[in.Dst] = boolVal(cmpValues(regs[in.A], regs[in.B]) == 0)
 		case ir.OpCmpNE:
-			f.Regs[in.Dst] = boolVal(cmpValues(f.Regs[in.A], f.Regs[in.B]) != 0)
+			regs[in.Dst] = boolVal(cmpValues(regs[in.A], regs[in.B]) != 0)
 		case ir.OpCmpLT:
-			f.Regs[in.Dst] = boolVal(f.Regs[in.A].I < f.Regs[in.B].I)
+			regs[in.Dst] = boolVal(regs[in.A].I < regs[in.B].I)
 		case ir.OpCmpLE:
-			f.Regs[in.Dst] = boolVal(f.Regs[in.A].I <= f.Regs[in.B].I)
+			regs[in.Dst] = boolVal(regs[in.A].I <= regs[in.B].I)
 		case ir.OpCmpGT:
-			f.Regs[in.Dst] = boolVal(f.Regs[in.A].I > f.Regs[in.B].I)
+			regs[in.Dst] = boolVal(regs[in.A].I > regs[in.B].I)
 		case ir.OpCmpGE:
-			f.Regs[in.Dst] = boolVal(f.Regs[in.A].I >= f.Regs[in.B].I)
+			regs[in.Dst] = boolVal(regs[in.A].I >= regs[in.B].I)
 
 		case ir.OpClassOf:
-			o := f.Regs[in.A].R
+			o := regs[in.A].R
 			if o == nil {
-				return false, v.trap(t, "classof on null")
+				return false, v.trapAt(t, f, pc, cycles, icount, "classof on null")
 			}
 			if o.Class != nil {
-				f.Regs[in.Dst] = Value{I: int64(o.Class.ID)}
+				regs[in.Dst] = Value{I: int64(o.Class.ID)}
 			} else {
-				f.Regs[in.Dst] = Value{I: -1}
+				regs[in.Dst] = Value{I: -1}
 			}
 		case ir.OpNew:
-			f.Regs[in.Dst] = RefVal(NewInstance(in.Class))
+			regs[in.Dst] = RefVal(NewInstance(in.Class))
 		case ir.OpGetField:
-			o := f.Regs[in.A].R
+			o := regs[in.A].R
 			if o == nil || o.Fields == nil {
-				return false, v.trap(t, "getfield on null or non-object")
+				return false, v.trapAt(t, f, pc, cycles, icount, "getfield on null or non-object")
 			}
-			f.Regs[in.Dst] = o.Fields[in.Field]
+			regs[in.Dst] = o.Fields[in.Field]
 		case ir.OpPutField:
-			o := f.Regs[in.B].R
+			o := regs[in.B].R
 			if o == nil || o.Fields == nil {
-				return false, v.trap(t, "putfield on null or non-object")
+				return false, v.trapAt(t, f, pc, cycles, icount, "putfield on null or non-object")
 			}
-			o.Fields[in.Field] = f.Regs[in.A]
+			o.Fields[in.Field] = regs[in.A]
 		case ir.OpNewArray:
-			n := f.Regs[in.A].I
+			n := regs[in.A].I
 			if n < 0 || n > 1<<28 {
-				return false, v.trap(t, fmt.Sprintf("newarray with length %d", n))
+				return false, v.trapAt(t, f, pc, cycles, icount, fmt.Sprintf("newarray with length %d", n))
 			}
-			f.Regs[in.Dst] = RefVal(NewArray(int(n)))
+			regs[in.Dst] = RefVal(NewArray(int(n)))
 			// Charge a small per-element cost for zeroing.
-			v.cycles += uint64(n) / 8
+			cycles += uint64(n) / 8
 		case ir.OpArrayLoad:
-			a := f.Regs[in.A].R
+			a := regs[in.A].R
 			if a == nil || a.Elems == nil {
-				return false, v.trap(t, "aload on null or non-array")
+				return false, v.trapAt(t, f, pc, cycles, icount, "aload on null or non-array")
 			}
-			i := f.Regs[in.B].I
+			i := regs[in.B].I
 			if i < 0 || i >= int64(len(a.Elems)) {
-				return false, v.trap(t, fmt.Sprintf("aload index %d out of range [0,%d)", i, len(a.Elems)))
+				return false, v.trapAt(t, f, pc, cycles, icount, fmt.Sprintf("aload index %d out of range [0,%d)", i, len(a.Elems)))
 			}
-			f.Regs[in.Dst] = a.Elems[i]
+			regs[in.Dst] = a.Elems[i]
 		case ir.OpArrayStore:
-			a := f.Regs[in.Dst].R
+			a := regs[in.Dst].R
 			if a == nil || a.Elems == nil {
-				return false, v.trap(t, "astore on null or non-array")
+				return false, v.trapAt(t, f, pc, cycles, icount, "astore on null or non-array")
 			}
-			i := f.Regs[in.B].I
+			i := regs[in.B].I
 			if i < 0 || i >= int64(len(a.Elems)) {
-				return false, v.trap(t, fmt.Sprintf("astore index %d out of range [0,%d)", i, len(a.Elems)))
+				return false, v.trapAt(t, f, pc, cycles, icount, fmt.Sprintf("astore index %d out of range [0,%d)", i, len(a.Elems)))
 			}
-			a.Elems[i] = f.Regs[in.A]
+			a.Elems[i] = regs[in.A]
 		case ir.OpArrayLen:
-			a := f.Regs[in.A].R
+			a := regs[in.A].R
 			if a == nil || a.Elems == nil {
-				return false, v.trap(t, "alen on null or non-array")
+				return false, v.trapAt(t, f, pc, cycles, icount, "alen on null or non-array")
 			}
-			f.Regs[in.Dst] = Value{I: int64(len(a.Elems))}
+			regs[in.Dst] = Value{I: int64(len(a.Elems))}
 
 		case ir.OpCall:
+			f.PC = pc
+			v.cycles, v.stats.Instrs = cycles, icount
 			nf, err := v.pushCall(t, f, in, in.Method)
 			if err != nil {
 				return false, err
 			}
+			cycles = v.cycles // i-cache touch may have charged misses
 			f = nf
+			regs = nf.Regs
+			instrs = nf.Block.Instrs
+			pc = 0
+			scale = nf.costScale
+			if cycles > limit {
+				return false, v.trapBudgetAt(t, cycles, icount)
+			}
+			if scale == 1 && v.blockInfo[nf.Block.GID].pure {
+				var sched bool
+				var perr error
+				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				if perr != nil {
+					return false, perr
+				}
+				if sched {
+					return true, nil
+				}
+				instrs, pc = f.Block.Instrs, 0
+			}
 			continue
 		case ir.OpCallVirt:
-			recv := f.Regs[in.Args[0]].R
+			recv := regs[in.Args[0]].R
 			if recv == nil || recv.Class == nil {
-				return false, v.trap(t, "callvirt on null or classless receiver")
+				return false, v.trapAt(t, f, pc, cycles, icount, "callvirt on null or classless receiver")
 			}
 			m, ok := recv.Class.Lookup(in.Name)
 			if !ok {
-				return false, v.trap(t, fmt.Sprintf("no method %s on class %s", in.Name, recv.Class.Name))
+				return false, v.trapAt(t, f, pc, cycles, icount, fmt.Sprintf("no method %s on class %s", in.Name, recv.Class.Name))
 			}
+			f.PC = pc
+			v.cycles, v.stats.Instrs = cycles, icount
 			nf, err := v.pushCall(t, f, in, m)
 			if err != nil {
 				return false, err
 			}
+			cycles = v.cycles
 			f = nf
+			regs = nf.Regs
+			instrs = nf.Block.Instrs
+			pc = 0
+			scale = nf.costScale
+			if cycles > limit {
+				return false, v.trapBudgetAt(t, cycles, icount)
+			}
+			if scale == 1 && v.blockInfo[nf.Block.GID].pure {
+				var sched bool
+				var perr error
+				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				if perr != nil {
+					return false, perr
+				}
+				if sched {
+					return true, nil
+				}
+				instrs, pc = f.Block.Instrs, 0
+			}
 			continue
 
 		case ir.OpSpawn:
-			args := make([]Value, len(in.Args))
-			for i, r := range in.Args {
-				args[i] = f.Regs[r]
+			m := in.Method
+			if len(in.Args) != m.NumParams {
+				return false, v.trapAt(t, f, pc, cycles, icount, fmt.Sprintf("spawn %s with %d args, wants %d", m.FullName(), len(in.Args), m.NumParams))
 			}
-			nt := v.newThread(in.Method, args)
+			nt := v.newThread(m)
+			nr := nt.Frames[0].Regs
+			for i, r := range in.Args {
+				nr[i] = regs[r]
+			}
 			v.stats.ThreadsSpawned++
-			v.runq = append(v.runq, nt)
-			f.Regs[in.Dst] = RefVal(nt.handle)
+			v.runq.push(nt)
+			regs[in.Dst] = RefVal(nt.handle)
 		case ir.OpJoin:
-			h := f.Regs[in.A].R
+			h := regs[in.A].R
 			if h == nil || h.Thread == nil {
-				return false, v.trap(t, "join on non-thread")
+				return false, v.trapAt(t, f, pc, cycles, icount, "join on non-thread")
 			}
 			if h.Thread.State != StateDone {
 				// Block without advancing PC; the join re-executes when
 				// the target finishes and wakes us.
+				f.PC = pc
+				v.cycles, v.stats.Instrs = cycles, icount
 				t.State = StateBlocked
 				h.Thread.waiters = append(h.Thread.waiters, t)
 				return true, nil
 			}
-			f.Regs[in.Dst] = h.Thread.Result
+			regs[in.Dst] = h.Thread.Result
 
 		case ir.OpIO:
-			v.cycles += uint64(in.Imm)
+			cycles += uint64(in.Imm)
 		case ir.OpPrint:
-			v.output = append(v.output, f.Regs[in.A].I)
+			v.output = append(v.output, regs[in.A].I)
 
 		case ir.OpYield:
 			v.stats.Yields++
 			v.quantum--
-			if v.quantum <= 0 && len(v.runq) > 1 {
-				f.PC++
+			if v.quantum <= 0 && v.runq.len() > 1 {
+				f.PC = pc + 1
+				v.cycles, v.stats.Instrs = cycles, icount
 				return true, nil
 			}
 
 		case ir.OpProbe:
+			f.PC = pc
+			v.cycles = cycles
 			v.execProbe(t, f, in.Probe)
+			cycles = v.cycles
 		case ir.OpCheckedProbe:
 			// No-Duplication guard (Figure 6): a check wrapping a single
 			// instrumentation operation.
-			v.cycles += uint64(v.cost.Check)
+			cycles += uint64(v.cost.Check)
 			v.stats.Checks++
-			if v.trig.Poll(t.ID, v.cycles) {
+			if v.trig.Poll(t.ID, cycles) {
 				v.stats.CheckFires++
+				f.PC = pc
+				v.cycles = cycles
 				v.execProbe(t, f, in.Probe)
+				cycles = v.cycles
 			}
 
 		case ir.OpJump:
 			v.countBackedge(in, 0)
-			v.enterBlock(f, in.Targets[0])
+			b := in.Targets[0]
+			f.Block, f.PC = b, 0
+			instrs, pc = b.Instrs, 0
+			if v.ic != nil {
+				v.cycles = cycles
+				v.touchCode(b)
+				cycles = v.cycles
+			}
+			if cycles > limit {
+				return false, v.trapBudgetAt(t, cycles, icount)
+			}
+			if scale == 1 && v.blockInfo[b.GID].pure {
+				var sched bool
+				var perr error
+				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				if perr != nil {
+					return false, perr
+				}
+				if sched {
+					return true, nil
+				}
+				instrs, pc = f.Block.Instrs, 0
+			}
 			continue
 		case ir.OpBranch:
 			i := 1
-			if f.Regs[in.A].I != 0 {
+			if regs[in.A].I != 0 {
 				i = 0
 			}
 			v.countBackedge(in, i)
-			v.enterBlock(f, in.Targets[i])
+			b := in.Targets[i]
+			f.Block, f.PC = b, 0
+			instrs, pc = b.Instrs, 0
+			if v.ic != nil {
+				v.cycles = cycles
+				v.touchCode(b)
+				cycles = v.cycles
+			}
+			if cycles > limit {
+				return false, v.trapBudgetAt(t, cycles, icount)
+			}
+			if scale == 1 && v.blockInfo[b.GID].pure {
+				var sched bool
+				var perr error
+				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				if perr != nil {
+					return false, perr
+				}
+				if sched {
+					return true, nil
+				}
+				instrs, pc = f.Block.Instrs, 0
+			}
 			continue
 
 		case ir.OpCheck:
 			v.stats.Checks++
-			if v.trig.Poll(t.ID, v.cycles) {
+			var b *ir.Block
+			if v.trig.Poll(t.ID, cycles) {
 				v.stats.CheckFires++
 				v.stats.DupEntries++
 				if v.cfg.IterBudget > 0 {
 					f.IterBudget = v.cfg.IterBudget
 				}
 				v.countBackedge(in, 0)
-				v.enterBlock(f, in.Targets[0])
+				b = in.Targets[0]
 			} else {
 				v.countBackedge(in, 1)
-				v.enterBlock(f, in.Targets[1])
+				b = in.Targets[1]
+			}
+			f.Block, f.PC = b, 0
+			instrs, pc = b.Instrs, 0
+			if v.ic != nil {
+				v.cycles = cycles
+				v.touchCode(b)
+				cycles = v.cycles
+			}
+			if cycles > limit {
+				return false, v.trapBudgetAt(t, cycles, icount)
+			}
+			if scale == 1 && v.blockInfo[b.GID].pure {
+				var sched bool
+				var perr error
+				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				if perr != nil {
+					return false, perr
+				}
+				if sched {
+					return true, nil
+				}
+				instrs, pc = f.Block.Instrs, 0
 			}
 			continue
 		case ir.OpLoopCheck:
 			v.stats.LoopChecks++
 			f.IterBudget--
+			var b *ir.Block
 			if f.IterBudget > 0 {
 				v.countBackedge(in, 0)
-				v.enterBlock(f, in.Targets[0])
+				b = in.Targets[0]
 			} else {
 				v.countBackedge(in, 1)
-				v.enterBlock(f, in.Targets[1])
+				b = in.Targets[1]
+			}
+			f.Block, f.PC = b, 0
+			instrs, pc = b.Instrs, 0
+			if v.ic != nil {
+				v.cycles = cycles
+				v.touchCode(b)
+				cycles = v.cycles
+			}
+			if cycles > limit {
+				return false, v.trapBudgetAt(t, cycles, icount)
+			}
+			if scale == 1 && v.blockInfo[b.GID].pure {
+				var sched bool
+				var perr error
+				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				if perr != nil {
+					return false, perr
+				}
+				if sched {
+					return true, nil
+				}
+				instrs, pc = f.Block.Instrs, 0
 			}
 			continue
 
 		case ir.OpReturn:
 			var ret Value
 			if in.A != ir.NoReg {
-				ret = f.Regs[in.A]
+				ret = regs[in.A]
 			}
 			retDst := f.RetDst
 			t.Frames = t.Frames[:len(t.Frames)-1]
+			v.releaseFrame(f)
 			if len(t.Frames) == 0 {
 				t.State = StateDone
 				t.Result = ret
+				v.cycles, v.stats.Instrs = cycles, icount
 				for _, w := range t.waiters {
 					if w.State == StateBlocked {
 						w.State = StateRunnable
-						v.runq = append(v.runq, w)
+						v.runq.push(w)
 					}
 				}
 				t.waiters = nil
@@ -269,17 +459,44 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if retDst != ir.NoReg {
 				f.Regs[retDst] = ret
 			}
-			f.PC++ // step past the call
-			v.touchCode(f.Block)
+			regs = f.Regs
+			scale = f.costScale
+			instrs = f.Block.Instrs
+			pc = f.PC + 1 // step past the call
+			if v.ic != nil {
+				v.cycles = cycles
+				v.touchCode(f.Block)
+				cycles = v.cycles
+			}
 			continue
 
 		default:
-			return false, v.trap(t, fmt.Sprintf("unimplemented opcode %s", in.Op))
+			return false, v.trapAt(t, f, pc, cycles, icount, fmt.Sprintf("unimplemented opcode %s", in.Op))
 		}
-		f.PC++
+		pc++
 	}
 }
 
+// trapAt writes the lazily tracked pc and counters back before building
+// the trap, so the error reports the faulting instruction and a
+// subsequent Stats call sees the final counts.
+func (v *VM) trapAt(t *Thread, f *Frame, pc int, cycles, icount uint64, reason string) error {
+	f.PC = pc
+	v.cycles, v.stats.Instrs = cycles, icount
+	return v.trap(t, reason)
+}
+
+// trapBudgetAt reports cycle-budget exhaustion at the current frame
+// position, flushing the tracked counters first.
+func (v *VM) trapBudgetAt(t *Thread, cycles, icount uint64) error {
+	v.cycles, v.stats.Instrs = cycles, icount
+	return v.trap(t, fmt.Sprintf("cycle budget exhausted (%d)", v.cfg.MaxCycles))
+}
+
+// pushCall pushes a frame for m onto t, copying argument registers
+// directly from the caller's frame into the (pooled) callee registers.
+// The caller must have synced f.PC and the cycle counter, so traps,
+// call-stack walks and the i-cache touch see current state.
 func (v *VM) pushCall(t *Thread, f *Frame, in *ir.Instr, m *ir.Method) (*Frame, error) {
 	if len(t.Frames) >= v.cfg.MaxStack {
 		return nil, v.trap(t, fmt.Sprintf("stack overflow (depth %d)", len(t.Frames)))
@@ -287,11 +504,10 @@ func (v *VM) pushCall(t *Thread, f *Frame, in *ir.Instr, m *ir.Method) (*Frame, 
 	if len(in.Args) != m.NumParams {
 		return nil, v.trap(t, fmt.Sprintf("call %s with %d args, wants %d", m.FullName(), len(in.Args), m.NumParams))
 	}
-	args := make([]Value, len(in.Args))
+	nf := v.acquireFrame(m, in.Dst, f.Method, int(in.Imm))
 	for i, r := range in.Args {
-		args[i] = f.Regs[r]
+		nf.Regs[i] = f.Regs[r]
 	}
-	nf := v.newFrame(m, args, in.Dst, f.Method, int(in.Imm))
 	t.Frames = append(t.Frames, nf)
 	v.stats.MethodEntries++
 	v.touchCode(nf.Block)

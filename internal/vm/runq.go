@@ -1,0 +1,53 @@
+package vm
+
+// threadQueue is the scheduler's FIFO run queue, a growable ring buffer.
+// The original scheduler re-sliced a []*Thread on every rotation
+// (v.runq = v.runq[1:]), which leaks the queue's front slots for the
+// lifetime of the run and forces a fresh allocation every time append
+// outgrows the walked-forward slice. The ring reuses one power-of-two
+// buffer with head/length indices; popped slots are nilled so finished
+// threads are not pinned by the queue.
+//
+// The retained reference scheduler (Config.Reference, see ref.go) still
+// uses the re-slicing queue, so the differential tests cross-check the
+// ring's FIFO behaviour end to end.
+type threadQueue struct {
+	buf  []*Thread // len(buf) is a power of two, or 0 before first push
+	head int
+	n    int
+}
+
+// len returns the number of queued threads.
+func (q *threadQueue) len() int { return q.n }
+
+// front returns the oldest queued thread without removing it. It must not
+// be called on an empty queue.
+func (q *threadQueue) front() *Thread { return q.buf[q.head] }
+
+// push enqueues t at the back.
+func (q *threadQueue) push(t *Thread) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
+	q.n++
+}
+
+// pop dequeues and returns the front thread. It must not be called on an
+// empty queue.
+func (q *threadQueue) pop() *Thread {
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return t
+}
+
+func (q *threadQueue) grow() {
+	nb := make([]*Thread, max(2*len(q.buf), 8))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}

@@ -66,6 +66,14 @@ type Config struct {
 	// optimized ones, which is what profile-driven recompilation
 	// (package adaptive) then fixes.
 	CostScale func(*ir.Method) uint32
+	// Reference selects the retained simple dispatch loop instead of the
+	// fast path: per-instruction opCost switch and cycle-budget check, a
+	// freshly allocated frame per call, and the re-slicing scheduler
+	// queue. It is slower and allocates per call but is deliberately
+	// boring; the differential tests run every program under both
+	// dispatchers and require identical results (see ref.go and
+	// DESIGN.md §7).
+	Reference bool
 }
 
 // Stats aggregates execution counters for one run.
@@ -142,12 +150,28 @@ type VM struct {
 	trig trigger.Trigger
 	ic   *icache
 
+	// costTab is the opcode-indexed cycle-cost side table flattened from
+	// the cost model at New time, so the hot loop never re-runs the
+	// opCost switch (see CostModel.table).
+	costTab [ir.NumOpcodes]uint32
+	// blockInfo is the GID-indexed per-block side table for block-granular
+	// cost accounting (see pure.go). Built lazily on the first Run.
+	blockInfo []blockInfo
+
 	threads []*Thread
-	runq    []*Thread
+	runq    threadQueue // fast-path scheduler queue
+	refq    []*Thread   // reference-mode scheduler queue (ref.go)
 	cycles  uint64
 	stats   Stats
 	output  []int64
 	quantum int
+
+	// freeFrames is the frame free list: frames (and their register and
+	// scratch slices) are recycled when popped, so steady-state call
+	// traffic allocates nothing. Pools are per-VM and a VM runs on a
+	// single goroutine, so no locking is needed; see DESIGN.md §7 for the
+	// lifetime rules probe handlers must respect.
+	freeFrames []*Frame
 }
 
 // New prepares a VM for the program. The program must be sealed and
@@ -169,6 +193,7 @@ func New(prog *ir.Program, cfg Config) *VM {
 		cfg.Quantum = 64
 	}
 	v := &VM{prog: prog, cfg: cfg, cost: cfg.Cost, trig: cfg.Trigger}
+	v.costTab = cfg.Cost.table()
 	if cfg.ICache != nil {
 		v.ic = newICache(cfg.ICache)
 	}
@@ -182,14 +207,20 @@ func (v *VM) Run() (*Result, error) {
 		return nil, fmt.Errorf("vm: program %q is not sealed", v.prog.Name)
 	}
 	v.trig.Reset()
-	main := v.newThread(v.prog.Main, nil)
-	v.runq = append(v.runq, main)
 	v.quantum = v.cfg.Quantum
+	if v.cfg.Reference {
+		return v.runReference()
+	}
+	if v.blockInfo == nil {
+		v.buildBlockInfo()
+	}
+	main := v.newThread(v.prog.Main)
+	v.runq.push(main)
 
-	for len(v.runq) > 0 {
-		t := v.runq[0]
+	for v.runq.len() > 0 {
+		t := v.runq.front()
 		if t.State != StateRunnable {
-			v.runq = v.runq[1:]
+			v.runq.pop()
 			continue
 		}
 		reschedule, err := v.runThread(t)
@@ -198,66 +229,107 @@ func (v *VM) Run() (*Result, error) {
 		}
 		if reschedule || t.State != StateRunnable {
 			// Rotate: move to the back if still runnable.
-			v.runq = v.runq[1:]
+			v.runq.pop()
 			if t.State == StateRunnable {
-				v.runq = append(v.runq, t)
+				v.runq.push(t)
 			}
 			v.quantum = v.cfg.Quantum
 		}
 	}
+	return v.finish(main)
+}
+
+// finish checks that every thread completed and assembles the Result. It
+// is shared by the fast and reference schedulers.
+func (v *VM) finish(main *Thread) (*Result, error) {
 	for _, t := range v.threads {
 		if t.State != StateDone {
 			return nil, &RuntimeError{Reason: fmt.Sprintf("deadlock: thread %d %s", t.ID, t.State)}
 		}
 	}
-	v.stats.Cycles = v.cycles
-	v.stats.ICacheMisses = 0
-	if v.ic != nil {
-		v.stats.ICacheMisses = v.ic.misses
-	}
-	return &Result{Return: main.Result.I, Output: v.output, Stats: v.stats}, nil
+	return &Result{Return: main.Result.I, Output: v.output, Stats: v.finalStats()}, nil
 }
 
-// Stats returns the counters accumulated so far.
-func (v *VM) Stats() Stats {
+// finalStats folds the live cycle counter and i-cache miss count into the
+// accumulated counters. It is the single finalization point behind both
+// Run's Result and the Stats accessor.
+func (v *VM) finalStats() Stats {
 	s := v.stats
 	s.Cycles = v.cycles
+	s.ICacheMisses = 0
 	if v.ic != nil {
 		s.ICacheMisses = v.ic.misses
 	}
 	return s
 }
 
-func (v *VM) newThread(m *ir.Method, args []Value) *Thread {
+// Stats returns the counters accumulated so far.
+func (v *VM) Stats() Stats { return v.finalStats() }
+
+// newThread creates a runnable thread rooted at m with zeroed argument
+// registers; callers copy arguments directly into Frames[0].Regs.
+func (v *VM) newThread(m *ir.Method) *Thread {
 	t := &Thread{ID: len(v.threads), State: StateRunnable}
 	t.handle = &Object{Thread: t}
-	f := v.newFrame(m, args, ir.NoReg, nil, -1)
+	f := v.acquireFrame(m, ir.NoReg, nil, -1)
 	t.Frames = append(t.Frames, f)
 	v.threads = append(v.threads, t)
 	v.stats.MethodEntries++
 	return t
 }
 
-func (v *VM) newFrame(m *ir.Method, args []Value, retDst ir.Reg, caller *ir.Method, site int) *Frame {
-	f := &Frame{
-		Method:       m,
-		Regs:         make([]Value, m.NumRegs),
-		Block:        m.Entry(),
-		RetDst:       retDst,
-		CallerMethod: caller,
-		CallSite:     site,
-		costScale:    1,
+// acquireFrame returns a frame for m, reusing the free list when
+// possible. Registers and scratch slots are zeroed (the zero register
+// state is part of the IR semantics: an unwritten register reads as 0 /
+// null); callers copy arguments into Regs directly, with no intermediate
+// slice. The frame returns to the pool when popped (releaseFrame).
+func (v *VM) acquireFrame(m *ir.Method, retDst ir.Reg, caller *ir.Method, site int) *Frame {
+	var f *Frame
+	if n := len(v.freeFrames); n > 0 {
+		f = v.freeFrames[n-1]
+		v.freeFrames[n-1] = nil
+		v.freeFrames = v.freeFrames[:n-1]
+	} else {
+		f = &Frame{}
 	}
+	if cap(f.Regs) >= m.NumRegs {
+		f.Regs = f.Regs[:m.NumRegs]
+		clear(f.Regs)
+	} else {
+		f.Regs = make([]Value, m.NumRegs)
+	}
+	if m.ProbeRegs > 0 {
+		if cap(f.Scratch) >= m.ProbeRegs {
+			f.Scratch = f.Scratch[:m.ProbeRegs]
+			clear(f.Scratch)
+		} else {
+			f.Scratch = make([]int64, m.ProbeRegs)
+		}
+	} else {
+		f.Scratch = nil
+	}
+	f.Method = m
+	f.Block = m.Entry()
+	f.PC = 0
+	f.RetDst = retDst
+	f.CallerMethod = caller
+	f.CallSite = site
+	f.IterBudget = 0
+	f.costScale = 1
 	if v.cfg.CostScale != nil {
 		if s := v.cfg.CostScale(m); s > 0 {
 			f.costScale = s
 		}
 	}
-	if m.ProbeRegs > 0 {
-		f.Scratch = make([]int64, m.ProbeRegs)
-	}
-	copy(f.Regs, args)
 	return f
+}
+
+// releaseFrame recycles a popped frame. The registers are cleared lazily
+// on the next acquire; until then the pooled slices may pin heap objects
+// the program no longer references, which is an accepted trade for a
+// simulator whose heap dies with the run.
+func (v *VM) releaseFrame(f *Frame) {
+	v.freeFrames = append(v.freeFrames, f)
 }
 
 func (v *VM) trap(t *Thread, reason string) error {
