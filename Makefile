@@ -3,9 +3,10 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-short experiments clean-cache
+.PHONY: ci fmt vet build test race bench bench-short experiments clean-cache \
+	fuzz fuzz-smoke mutation-check
 
-ci: fmt vet build test race bench-short
+ci: fmt vet build test race fuzz-smoke mutation-check bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,10 +22,35 @@ test:
 	$(GO) test ./...
 
 # The experiment engine runs measurement cells on concurrent goroutines,
-# and the VM's differential tests run parallel subtests over the frame
-# pools and scheduler; keep both race-clean.
+# the VM's differential tests run parallel subtests over the frame pools
+# and scheduler, the oracle tests exercise the observer hooks from
+# parallel seeds, and the trigger tests drive fault-injected timers under
+# threaded programs; keep all four race-clean.
 race:
-	$(GO) test -race ./internal/experiment/ ./internal/vm/
+	$(GO) test -race ./internal/experiment/ ./internal/vm/ \
+		./internal/oracle/ ./internal/trigger/
+
+# Native fuzzing (go test -fuzz), 30s per target. Each target keeps its
+# regression corpus in testdata/fuzz/; crashers found here land there
+# automatically. One -fuzz pattern per invocation is a go tool limit.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzAsmRoundTrip$$' -fuzztime 30s ./internal/asm/
+	$(GO) test -run '^$$' -fuzz '^FuzzTransform$$' -fuzztime 30s ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzVariations$$' -fuzztime 30s ./internal/oracle/
+
+# Short fuzz runs for ci: enough to replay the checked-in corpus plus a
+# few seconds of fresh inputs per target.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzAsmRoundTrip$$' -fuzztime 5s ./internal/asm/
+	$(GO) test -run '^$$' -fuzz '^FuzzTransform$$' -fuzztime 5s ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzVariations$$' -fuzztime 5s ./internal/oracle/
+
+# Mutation test for the oracle itself: compile Partial-Duplication with a
+# deliberately forgotten backedge mask (core.FaultSkipBackedgeMask) and
+# require the oracle to flag the resulting Property-1 violation. Guards
+# the guard: an oracle that stops observing fails this target.
+mutation-check:
+	$(GO) test -run '^TestMutationKill$$' -v ./internal/oracle/ | grep -q 'PASS: TestMutationKill'
 
 # Full benchmark sweep (slow). BENCH_*.json snapshots in the repo root
 # record curated before/after numbers from these benchmarks.

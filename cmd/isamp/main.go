@@ -24,6 +24,7 @@ import (
 	"instrsample/internal/core"
 	"instrsample/internal/instr"
 	"instrsample/internal/ir"
+	"instrsample/internal/oracle"
 	"instrsample/internal/profile"
 	"instrsample/internal/trigger"
 	"instrsample/internal/vm"
@@ -69,10 +70,13 @@ flags (run/disasm/bench):
   -variation NAME    full | partial | nodup | hybrid (requires -instrument)
   -yieldopt          apply the yieldpoint optimization
   -interval N        counter trigger sample interval (default 1000)
-  -trigger NAME      counter | perthread | timer | random | never | always
+  -trigger NAME      counter | perthread | timer | random | never | always |
+                     faulty-timer (period/jitter fault injection)
   -period N          timer trigger period in cycles (default 3330000 = 10ms @333MHz)
   -jitter N          randomized trigger jitter (default interval/10)
   -icache            enable the i-cache model
+  -verify            attach the runtime invariant oracle (DESIGN.md §8) and
+                     fail the run on any sampling-invariant violation
   -top N             profile entries to print (default 10)
   -json              emit profiles as JSON (all entries)
   -scale F           benchmark scale (bench only, default 0.1)
@@ -90,6 +94,7 @@ type options struct {
 	period     uint64
 	jitter     int64
 	icache     bool
+	verify     bool
 	top        int
 	scale      float64
 	list       bool
@@ -106,6 +111,7 @@ func parseFlags(name string, args []string) (*options, []string, error) {
 	fs.Uint64Var(&o.period, "period", 3330000, "timer period (cycles)")
 	fs.Int64Var(&o.jitter, "jitter", 0, "randomized trigger jitter")
 	fs.BoolVar(&o.icache, "icache", false, "enable i-cache model")
+	fs.BoolVar(&o.verify, "verify", false, "attach the runtime invariant oracle")
 	fs.IntVar(&o.top, "top", 10, "profile entries to print")
 	fs.Float64Var(&o.scale, "scale", 0.1, "benchmark scale")
 	fs.BoolVar(&o.list, "list", false, "list benchmarks")
@@ -178,6 +184,12 @@ func (o *options) trigger() (trigger.Trigger, error) {
 		return trigger.NewPerThread(o.interval), nil
 	case "timer":
 		return trigger.NewTimer(o.period), nil
+	case "faulty-timer":
+		j := uint64(o.jitter)
+		if j == 0 {
+			j = o.period / 2
+		}
+		return trigger.NewFaultyTimer(o.period, j, 0, 1), nil
 	case "random":
 		j := o.jitter
 		if j == 0 {
@@ -223,9 +235,21 @@ func (o *options) execute(prog *ir.Program, disasmOnly bool) error {
 	if o.icache {
 		cfg.ICache = vm.DefaultICache()
 	}
+	var orc *oracle.Oracle
+	if o.verify {
+		orc = oracle.New()
+		cfg.Observer = orc
+	}
 	out, err := vm.New(res.Prog, cfg).Run()
 	if err != nil {
 		return err
+	}
+	if orc != nil {
+		if err := orc.Finish(out.Stats); err != nil {
+			return fmt.Errorf("invariant oracle: %w", err)
+		}
+		fmt.Printf("oracle: ok (%d events observed, %d expected property-1 excesses)\n",
+			orc.Events(), orc.ExpectedPropertyViolations())
 	}
 	fmt.Printf("result: %d\n", out.Return)
 	if len(out.Output) > 0 {

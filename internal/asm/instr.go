@@ -407,7 +407,11 @@ func (p *parser) resolve() error {
 			ref.target().Method = m
 		}
 	}
-	// Field-index fixup requires sealed layouts.
+	// Field-index fixup requires sealed layouts. Seal panics on a program
+	// with no main, so reject that as a parse error first.
+	if p.prog.Main == nil {
+		return fmt.Errorf("program has no main function")
+	}
 	p.prog.Seal()
 	for _, ref := range p.refs {
 		if ref.what != "field" {

@@ -60,8 +60,23 @@ type parser struct {
 	supers  map[string]string
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// peek and peekAt clamp to the final token (always tokEOF), so a
+// consumed EOF — e.g. an instruction line ending at end-of-input — cannot
+// run the parser off the token slice.
+func (p *parser) peek() token { return p.peekAt(0) }
+func (p *parser) peekAt(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) next() token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 func (p *parser) errf(t token, format string, args ...any) error {
 	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
 }
@@ -208,6 +223,11 @@ func (p *parser) parseMethod(class *ir.Class) (*ir.Method, error) {
 // parseBody parses labelled blocks until the closing brace.
 func (p *parser) parseBody(ctx *methodCtx) error {
 	var cur *ir.Block
+	// defined lists blocks in label-definition order. Forward references
+	// create blocks in first-mention order, so Blocks is reordered to
+	// definition order afterwards — otherwise formatting and re-parsing
+	// a method with forward branches would permute its block list.
+	var defined []*ir.Block
 	blockOf := func(name string, line int) *ir.Block {
 		if b, ok := ctx.labels[name]; ok {
 			return b
@@ -227,13 +247,14 @@ func (p *parser) parseBody(ctx *methodCtx) error {
 			return p.errf(t, "expected label or instruction, got %s", t)
 		}
 		// Label?
-		if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ":" {
+		if la := p.peekAt(1); la.kind == tokPunct && la.text == ":" {
 			p.next()
 			p.next()
 			nb := blockOf(t.text, t.line)
-			if len(nb.Instrs) > 0 {
+			if len(nb.Instrs) > 0 || containsBlock(defined, nb) {
 				return p.errf(t, "label %s defined twice", t.text)
 			}
+			defined = append(defined, nb)
 			// Implicit fallthrough from an unterminated previous block.
 			if cur != nil && cur.Terminator() == nil {
 				cur.Append(ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{nb}})
@@ -244,6 +265,7 @@ func (p *parser) parseBody(ctx *methodCtx) error {
 		if cur == nil {
 			// Instructions before any label go into an implicit entry.
 			cur = blockOf("entry", t.line)
+			defined = append(defined, cur)
 		}
 		refsBefore := len(p.refs)
 		in, err := p.parseInstr(ctx)
@@ -261,9 +283,6 @@ func (p *parser) parseBody(ctx *methodCtx) error {
 			p.refs[i].idx = len(cur.Instrs) - 1
 		}
 	}
-	// The entry block must be Blocks[0]: parseBody creates blocks in
-	// first-mention order and the first label is the entry, so nothing to
-	// reorder; but an empty method is an error.
 	if len(ctx.m.Blocks) == 0 {
 		return fmt.Errorf("method %s has no code", ctx.m.Name)
 	}
@@ -272,5 +291,21 @@ func (p *parser) parseBody(ctx *methodCtx) error {
 			return fmt.Errorf("method %s: label %s is referenced but never defined", ctx.m.Name, b.Label)
 		}
 	}
+	// Reorder Blocks to definition order (the entry is the first defined
+	// label, so it stays Blocks[0]) and renumber the IDs to match. Every
+	// block has instructions here, so every block is in defined.
+	ctx.m.Blocks = defined
+	ctx.m.Renumber()
 	return nil
+}
+
+// containsBlock reports whether bs contains b (labels are few per
+// method; linear scan is fine).
+func containsBlock(bs []*ir.Block, b *ir.Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+)
+
+// FuzzTransform drives random structured programs through every framework
+// variation and requires the transformed IR to pass the static verifier
+// (compile runs ir.Verify with VerifyTransformed when a framework is
+// applied, so a clean compile IS the property). sel packs the
+// configuration: bits 0-1 variation, bit 2 counted iterations, bit 3
+// yieldpoint optimization, bit 4 threaded program, bit 5 inlining.
+// threshold parameterizes Hybrid's dense/sparse split.
+func FuzzTransform(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint16(0))
+	f.Add(uint64(2), uint16(1), uint16(0))
+	f.Add(uint64(3), uint16(2|4|16), uint16(0))
+	f.Add(uint64(4), uint16(3|8), uint16(2))
+	f.Add(uint64(99), uint16(3|4|8|16|32), uint16(5))
+	f.Fuzz(func(t *testing.T, seed uint64, sel, threshold uint16) {
+		variation := core.Variation(sel & 3)
+		prog := ir.RandomProgram(seed, ir.RandomProgramConfig{WithThreads: sel&16 != 0})
+		if err := prog.Verify(ir.VerifyBase); err != nil {
+			t.Fatalf("generator emitted invalid program: %v", err)
+		}
+		ypOpt := sel&8 != 0
+		if variation == core.NoDuplication {
+			// Rejected by option validation: the yieldpoint optimization
+			// needs duplicated code to move yieldpoints into.
+			ypOpt = false
+		}
+		opts := compile.Options{
+			Instrumenters: []instr.Instrumenter{
+				&instr.CallEdge{},
+				&instr.FieldAccess{},
+				&instr.EdgeProfile{},
+				&instr.PathProfile{},
+			},
+			Framework: &core.Options{
+				Variation:         variation,
+				CountedIterations: sel&4 != 0,
+				YieldpointOpt:     ypOpt,
+				HybridThreshold:   int(threshold % 8),
+			},
+			Inline: sel&32 != 0,
+		}
+		if _, err := compile.Compile(prog, opts); err != nil {
+			t.Fatalf("seed %d variation %s: %v", seed, variation, err)
+		}
+	})
+}

@@ -138,7 +138,15 @@ func partialDuplication(m *ir.Method, opts Options, stats *MethodStats, isInstru
 	checks := make(map[ir.Edge]*ir.Block, len(backedges))
 	for _, e := range backedges {
 		if dupHeader, ok := twins[e.To]; ok {
-			checks[e] = insertBackedgeCheck(m, e, dupHeader, stats)
+			c := insertBackedgeCheck(m, e, dupHeader, stats)
+			if FaultSkipBackedgeMask {
+				// Deliberately forget that this check sits on a backedge.
+				// The static verifier cannot tell (masks are advisory to
+				// it), but the runtime oracle's Property-1 accounting
+				// loses the backedge executions and must flag the method.
+				c.Instrs[0].BackedgeMask = 0
+			}
+			checks[e] = c
 		}
 	}
 	redirectDupBackedges(m, backedges, twins, checks, opts, stats)

@@ -29,6 +29,7 @@ func All() []struct {
 		{"ablation-cct", AblationCCT},
 		{"ablation-adaptive", AblationAdaptive},
 		{"ablation-icache", AblationICache},
+		{"ablation-oracle", AblationOracle},
 	}
 }
 
@@ -39,5 +40,5 @@ func ByID(id string) (Generator, error) {
 			return e.Gen, nil
 		}
 	}
-	return nil, fmt.Errorf("experiment: unknown artifact %q (want table1..table5, figure7, figure8a, figure8b, or ablation-{variations,resonance,counted,inlining,cct,icache,adaptive})", id)
+	return nil, fmt.Errorf("experiment: unknown artifact %q (want table1..table5, figure7, figure8a, figure8b, or ablation-{variations,resonance,counted,inlining,cct,icache,adaptive,oracle})", id)
 }

@@ -9,6 +9,7 @@ import (
 	"instrsample/internal/core"
 	"instrsample/internal/instr"
 	"instrsample/internal/ir"
+	"instrsample/internal/oracle"
 	"instrsample/internal/profile"
 	"instrsample/internal/trigger"
 	"instrsample/internal/vm"
@@ -69,6 +70,12 @@ type OptsSpec struct {
 	// IterBudget is the VM's duplicated-code iteration budget (the
 	// counted-backedge extension).
 	IterBudget int64
+	// Verify attaches the runtime invariant oracle (internal/oracle) to
+	// the run: any invariant violation fails the cell, and the cell's
+	// Aux carries the oracle's counters. The oracle disables the VM's
+	// pure-block batching, so verified cells measure slightly different
+	// cycle counts — Verify is part of the cell key.
+	Verify bool
 }
 
 // newInstrumenter constructs a fresh instrumenter from its Name(). Fresh
@@ -146,8 +153,13 @@ func (o OptsSpec) key() string {
 			checks += "me"
 		}
 	}
-	return fmt.Sprintf("instr=%s fw=%s checks=%s inline=%v iter=%d",
+	k := fmt.Sprintf("instr=%s fw=%s checks=%s inline=%v iter=%d",
 		instrs, fw, checks, o.Inline, o.IterBudget)
+	if o.Verify {
+		// Appended only when set so pre-oracle cache entries stay valid.
+		k += " verify"
+	}
+	return k
 }
 
 // TriggerSpec is a pure-data description of a trigger.Trigger. Triggers
@@ -165,6 +177,14 @@ type TriggerSpec struct {
 	Seed uint64
 	// Period is the timer trigger's interrupt period in cycles.
 	Period uint64
+	// Skew is the faulty timer's per-interrupt systematic drift.
+	Skew int64
+	// Step is the overflow counter's per-poll decrement.
+	Step int64
+	// Intervals is the retuner's cycle of sample intervals.
+	Intervals []int64
+	// PollsPerPhase is the retuner's phase length in polls.
+	PollsPerPhase int64
 }
 
 // NeverTrigger returns the trigger spec that never fires (the
@@ -190,6 +210,25 @@ func TimerTrigger(period uint64) TriggerSpec {
 	return TriggerSpec{Kind: "timer", Period: period}
 }
 
+// FaultyTimerTrigger returns the fault-injected timer spec: period with
+// bounded per-interrupt jitter and systematic skew (trigger.FaultyTimer).
+func FaultyTimerTrigger(period, jitter uint64, skew int64, seed uint64) TriggerSpec {
+	return TriggerSpec{Kind: "faulty-timer", Period: period, Jitter: int64(jitter), Skew: skew, Seed: seed}
+}
+
+// OverflowCounterTrigger returns the counter spec whose internal state
+// starts adjacent to integer overflow (trigger.OverflowCounter).
+func OverflowCounterTrigger(interval, step int64) TriggerSpec {
+	return TriggerSpec{Kind: "overflow-counter", Interval: interval, Step: step}
+}
+
+// RetunerTrigger returns the spec that re-tunes a counter trigger's
+// interval mid-run, cycling through intervals every pollsPerPhase polls
+// (trigger.Retuner).
+func RetunerTrigger(intervals []int64, pollsPerPhase int64) TriggerSpec {
+	return TriggerSpec{Kind: "retuner", Intervals: intervals, PollsPerPhase: pollsPerPhase}
+}
+
 // New constructs a fresh trigger instance from the spec.
 func (s TriggerSpec) New() trigger.Trigger {
 	switch s.Kind {
@@ -205,6 +244,12 @@ func (s TriggerSpec) New() trigger.Trigger {
 		return trigger.NewPerThread(s.Interval)
 	case "timer":
 		return trigger.NewTimer(s.Period)
+	case "faulty-timer":
+		return trigger.NewFaultyTimer(s.Period, uint64(s.Jitter), s.Skew, s.Seed)
+	case "overflow-counter":
+		return trigger.NewOverflowCounter(s.Interval, s.Step)
+	case "retuner":
+		return trigger.NewRetuner(s.Intervals, s.PollsPerPhase)
 	}
 	panic(fmt.Sprintf("experiment: unknown trigger kind %q", s.Kind))
 }
@@ -227,6 +272,16 @@ func (s TriggerSpec) key() string {
 		return fmt.Sprintf("trig=perthread/%d", s.Interval)
 	case "timer":
 		return fmt.Sprintf("trig=timer/%d", s.Period)
+	case "faulty-timer":
+		return fmt.Sprintf("trig=faulty-timer/%d±%d%+d/%d", s.Period, s.Jitter, s.Skew, s.Seed)
+	case "overflow-counter":
+		return fmt.Sprintf("trig=overflow-counter/%d/%d", s.Interval, s.Step)
+	case "retuner":
+		parts := make([]string, len(s.Intervals))
+		for i, iv := range s.Intervals {
+			parts[i] = fmt.Sprintf("%d", iv)
+		}
+		return fmt.Sprintf("trig=retuner/%s/%d", strings.Join(parts, ","), s.PollsPerPhase)
 	}
 	return "trig=" + s.Kind
 }
@@ -258,12 +313,18 @@ func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec) (*CellResul
 	if err != nil {
 		return nil, fmt.Errorf("%s: compile: %w", benchName, err)
 	}
-	out, err := vm.New(cr.Prog, vm.Config{
+	vcfg := vm.Config{
 		Trigger:    t.New(),
 		Handlers:   cr.Handlers,
 		ICache:     c.icache(),
 		IterBudget: o.IterBudget,
-	}).Run()
+	}
+	var orc *oracle.Oracle
+	if o.Verify {
+		orc = oracle.New()
+		vcfg.Observer = orc
+	}
+	out, err := vm.New(cr.Prog, vcfg).Run()
 	if err != nil {
 		return nil, fmt.Errorf("%s: run: %w", benchName, err)
 	}
@@ -273,6 +334,15 @@ func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec) (*CellResul
 		CheckingCodeSize:   cr.CheckingCodeSize,
 		DuplicatedCodeSize: cr.DuplicatedCodeSize,
 		Work:               cr.Work,
+	}
+	if orc != nil {
+		if err := orc.Finish(out.Stats); err != nil {
+			return nil, fmt.Errorf("%s: oracle: %w", benchName, err)
+		}
+		res.Aux = map[string]int64{
+			"oracle-events":      int64(orc.Events()),
+			"oracle-expected-p1": int64(orc.ExpectedPropertyViolations()),
+		}
 	}
 	for _, rt := range cr.Runtimes {
 		res.Profiles = append(res.Profiles, rt.Profile())

@@ -193,3 +193,37 @@ func TestFigure7Overlap(t *testing.T) {
 		t.Error("no distribution bars rendered")
 	}
 }
+
+func TestAblationOracleShape(t *testing.T) {
+	tab, err := AblationOracle(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 variations x 5 triggers.
+	if len(tab.Rows) != 20 {
+		t.Fatalf("%d rows, want 20", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if ev := cell(t, tab, i, 3); ev <= 0 {
+			t.Errorf("row %d (%s/%s): no oracle events", i, row[0], row[1])
+		}
+		if row[5] != "pass" {
+			t.Errorf("row %d verdict %q", i, row[5])
+		}
+		// §3.2: a guard-based variation sampled at every check must show
+		// expected (tolerated) Property-1 excess; check-based ones never do.
+		if row[1] == "always" {
+			excess := cell(t, tab, i, 4)
+			switch row[0] {
+			case "No-Duplication":
+				if excess <= 0 {
+					t.Errorf("No-Duplication/always: want expected P1 excess > 0")
+				}
+			case "Full-Duplication", "Partial-Duplication":
+				if excess != 0 {
+					t.Errorf("%s/always: expected P1 excess %v, want 0", row[0], excess)
+				}
+			}
+		}
+	}
+}

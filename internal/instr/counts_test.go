@@ -1,0 +1,353 @@
+package instr
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+)
+
+// countsProgram builds a program whose dynamic event counts are easy to
+// enumerate by hand:
+//
+//	class A { field f; method id(self) { return 1 } }
+//	class B { field f; method id(self) { return 2 } }
+//	main:
+//	  a = new A; b = new B; acc = 0
+//	  for i = 0..5 {            // head executes 7x, body 6x
+//	    a.f = i; t = a.f        // 6 writes + 6 reads of A.f
+//	    if i&1 { acc += id(b) } // odd arm: 3x, receiver B
+//	    else   { acc += id(a) } // even arm: 3x, receiver A
+//	  }
+//	  return acc
+func countsProgram() *ir.Program {
+	clA := &ir.Class{Name: "A", FieldNames: []string{"f"}}
+	clB := &ir.Class{Name: "B", FieldNames: []string{"f"}}
+	idA := ir.NewMethod(clA, "id", 1)
+	{
+		c := idA.At(idA.EntryBlock())
+		c.Return(c.Const(1))
+	}
+	idB := ir.NewMethod(clB, "id", 1)
+	{
+		c := idB.At(idB.EntryBlock())
+		c.Return(c.Const(2))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		ec := mb.At(mb.EntryBlock())
+		a := ec.New(clA)
+		b := ec.New(clB)
+		acc := ec.Fresh()
+		ec.ConstTo(acc, 0)
+		i := ec.Fresh()
+		ec.ConstTo(i, 0)
+		n := ec.Const(6)
+		head := mb.Block("head")
+		body := mb.Block("body")
+		oddb := mb.Block("oddb")
+		evenb := mb.Block("evenb")
+		latch := mb.Block("latch")
+		after := mb.Block("after")
+		ec.Jump(head)
+		hc := mb.At(head)
+		cond := hc.Bin(ir.OpCmpLT, i, n)
+		hc.Branch(cond, body, after)
+		bc := mb.At(body)
+		bc.PutField(a, clA, "f", i)
+		bc.GetField(a, clA, "f")
+		one := bc.Const(1)
+		odd := bc.Bin(ir.OpAnd, i, one)
+		bc.Branch(odd, oddb, evenb)
+		oc := mb.At(oddb)
+		r := oc.CallVirt("id", b)
+		oc.BinTo(ir.OpAdd, acc, acc, r)
+		oc.Jump(latch)
+		vc := mb.At(evenb)
+		r2 := vc.CallVirt("id", a)
+		vc.BinTo(ir.OpAdd, acc, acc, r2)
+		vc.Jump(latch)
+		lc := mb.At(latch)
+		lone := lc.Const(1)
+		lc.BinTo(ir.OpAdd, i, i, lone)
+		lc.Jump(head)
+		mb.At(after).Return(acc)
+	}
+	p := &ir.Program{
+		Name:    "counts",
+		Classes: []*ir.Class{clA, clB},
+		Funcs:   []*ir.Method{mb.M},
+		Main:    mb.M,
+	}
+	p.Seal()
+	return p
+}
+
+// labelCounts renders a profile as label -> count, using the runtime's
+// own Labeler.
+func labelCounts(t *testing.T, rt Runtime) map[string]uint64 {
+	t.Helper()
+	prof := rt.Profile()
+	out := make(map[string]uint64)
+	for _, e := range prof.Entries() {
+		label := prof.Labeler(e.Key)
+		if _, dup := out[label]; dup {
+			t.Fatalf("two events share label %q", label)
+		}
+		out[label] = e.Count
+	}
+	return out
+}
+
+// sumMatching totals the counts of labels containing substr.
+func sumMatching(m map[string]uint64, substr string) uint64 {
+	var n uint64
+	for label, c := range m {
+		if strings.Contains(label, substr) {
+			n += c
+		}
+	}
+	return n
+}
+
+// TestEventCountsByPass pins the exhaustive (never-sampled) event counts
+// of each instrumentation pass on countsProgram against hand-computed
+// expectations.
+func TestEventCountsByPass(t *testing.T) {
+	cases := []struct {
+		name      string
+		ins       Instrumenter
+		total     uint64 // expected Profile.Total()
+		numEvents int    // expected distinct events
+		// bySubstr maps a label substring to the summed count of all
+		// matching events.
+		bySubstr map[string]uint64
+	}{
+		{
+			name: "call-edge",
+			ins:  &CallEdge{},
+			// Edges: root->main 1, main->A.id 3 (even i), main->B.id 3.
+			total:     7,
+			numEvents: 3,
+			bySubstr: map[string]uint64{
+				"--> main": 1,
+				"--> A.id": 3,
+				"--> B.id": 3,
+			},
+		},
+		{
+			name: "field-access",
+			ins:  &FieldAccess{},
+			// 6 putfields + 6 getfields, all on A.f; B.f never touched.
+			total:     12,
+			numEvents: 1,
+			bySubstr:  map[string]uint64{"A.f": 12, "B.f": 0},
+		},
+		{
+			name: "edge",
+			ins:  &EdgeProfile{},
+			// Hand-traced CFG edge executions (returns count as the
+			// block's self-edge): entry->head 1, head->body 6,
+			// head->after 1, body->oddb 3, body->evenb 3, oddb->latch 3,
+			// evenb->latch 3, latch->head 6, after return 1, plus each
+			// id() return edge 3x: 1+6+1+3+3+3+3+6+1+3+3 = 33.
+			total:     33,
+			numEvents: 11,
+			bySubstr: map[string]uint64{
+				"entry(b0)->head(b1)":  1,
+				"head(b1)->body(b2)":   6,
+				"head(b1)->after(b6)":  1,
+				"body(b2)->oddb(b3)":   3,
+				"body(b2)->evenb(b4)":  3,
+				"oddb(b3)->latch(b5)":  3,
+				"evenb(b4)->latch(b5)": 3,
+				"latch(b5)->head(b1)":  6,
+				"after(b6)->after(b6)": 1,
+				"A.id:":                3,
+				"B.id:":                3,
+			},
+		},
+		{
+			name: "receiver",
+			ins:  &ReceiverProfile{},
+			// One virtual site per arm; 3 dispatches each.
+			total:     6,
+			numEvents: 2,
+			bySubstr:  map[string]uint64{"recv=A": 3, "recv=B": 3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, _ := instrumentAndRun(t, countsProgram(), tc.ins)
+			prof := rt.Profile()
+			if prof.Total() != tc.total {
+				t.Errorf("total %d, want %d\n%s", prof.Total(), tc.total, prof)
+			}
+			if prof.NumEvents() != tc.numEvents {
+				t.Errorf("%d distinct events, want %d\n%s", prof.NumEvents(), tc.numEvents, prof)
+			}
+			labels := labelCounts(t, rt)
+			for substr, want := range tc.bySubstr {
+				if got := sumMatching(labels, substr); got != want {
+					t.Errorf("events matching %q: %d, want %d\n%s", substr, got, want, prof)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeReceiverRoundTrip checks the key packing, including the
+// non-class and null sentinels.
+func TestDecodeReceiverRoundTrip(t *testing.T) {
+	for _, site := range []int{0, 1, 7, 1 << 18} {
+		for _, cid := range []int{-2, -1, 0, 1, 500} {
+			s, c := DecodeReceiver(receiverKey(site, int64(cid)))
+			if s != site || c != cid {
+				t.Errorf("round trip (%d,%d) -> (%d,%d)", site, cid, s, c)
+			}
+		}
+	}
+}
+
+// TestPredictReceivers covers the devirtualization decision procedure on
+// synthetic profiles.
+func TestPredictReceivers(t *testing.T) {
+	mk := func(samples map[uint64]uint64) *profile.Profile {
+		p := profile.New("receiver")
+		for k, n := range samples {
+			for i := uint64(0); i < n; i++ {
+				p.Inc(k)
+			}
+		}
+		return p
+	}
+	cases := []struct {
+		name       string
+		samples    map[uint64]uint64
+		minShare   float64
+		minSamples uint64
+		want       map[int]int
+	}{
+		{
+			name:    "monomorphic site",
+			samples: map[uint64]uint64{receiverKey(3, 1): 10},
+			want:    map[int]int{3: 1},
+		},
+		{
+			name: "dominant class above share",
+			samples: map[uint64]uint64{
+				receiverKey(1, 0): 9,
+				receiverKey(1, 2): 1,
+			},
+			minShare: 0.9,
+			want:     map[int]int{1: 0},
+		},
+		{
+			name: "polymorphic site rejected",
+			samples: map[uint64]uint64{
+				receiverKey(1, 0): 5,
+				receiverKey(1, 2): 5,
+			},
+			minShare: 0.9,
+			want:     map[int]int{},
+		},
+		{
+			name:       "below minSamples",
+			samples:    map[uint64]uint64{receiverKey(4, 1): 2},
+			minSamples: 3,
+			want:       map[int]int{},
+		},
+		{
+			name: "sentinel receivers never predicted",
+			samples: map[uint64]uint64{
+				receiverKey(2, -1): 8, // non-class dominates
+				receiverKey(2, 0):  1,
+			},
+			want: map[int]int{},
+		},
+		{
+			name: "tie prefers smaller class ID",
+			samples: map[uint64]uint64{
+				receiverKey(5, 3): 4,
+				receiverKey(5, 1): 4,
+			},
+			minShare: 0.5,
+			want:     map[int]int{5: 1},
+		},
+		{
+			name: "independent sites",
+			samples: map[uint64]uint64{
+				receiverKey(0, 0): 6,
+				receiverKey(1, 1): 3,
+				receiverKey(2, 0): 2,
+				receiverKey(2, 1): 2,
+			},
+			minShare: 0.8,
+			want:     map[int]int{0: 0, 1: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PredictReceivers(mk(tc.samples), tc.minShare, tc.minSamples)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for site, cls := range tc.want {
+				if got[site] != cls {
+					t.Fatalf("site %d -> %d, want %d (full: %v)", site, got[site], cls, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictReceiversEndToEnd runs the receiver pass on countsProgram
+// and feeds the resulting profile through PredictReceivers: both virtual
+// sites are monomorphic, so both devirtualize.
+func TestPredictReceiversEndToEnd(t *testing.T) {
+	rt, _ := instrumentAndRun(t, countsProgram(), &ReceiverProfile{})
+	pred := PredictReceivers(rt.Profile(), 0.9, 1)
+	if len(pred) != 2 {
+		t.Fatalf("predicted %v, want two monomorphic sites", pred)
+	}
+	// One site always sees A (dense ID 0), the other always B (ID 1).
+	seen := map[int]int{}
+	for _, cls := range pred {
+		seen[cls]++
+	}
+	if seen[0] != 1 || seen[1] != 1 {
+		t.Fatalf("predicted classes %v, want one site each for A(0) and B(1)", pred)
+	}
+}
+
+// TestPathProfileCountsByHand pins the Ball–Larus path multiset on
+// countsProgram. Paths truncate at backedges, so main records one path
+// per backedge traversal plus the exit path; the entry->head jump adds
+// no path increment, so the first iteration shares the even-arm path.
+func TestPathProfileCountsByHand(t *testing.T) {
+	rt, _ := instrumentAndRun(t, countsProgram(), &PathProfile{})
+	prof := rt.Profile()
+	// main: 6 backedge traversals + 1 exit = 7; each id() body is a
+	// single straight-line path taken 3x: 7 + 3 + 3 = 13.
+	if prof.Total() != 13 {
+		t.Fatalf("total %d, want 13\n%s", prof.Total(), prof)
+	}
+	var counts []int
+	for _, e := range prof.Entries() {
+		counts = append(counts, int(e.Count))
+	}
+	sort.Ints(counts)
+	// Multiplicities: main exit path 1, main even-arm 3, main odd-arm 3,
+	// A.id 3, B.id 3.
+	want := []int{1, 3, 3, 3, 3}
+	if len(counts) != len(want) {
+		t.Fatalf("%d distinct paths (%v), want %v\n%s", len(counts), counts, want, prof)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("path multiset %v, want %v\n%s", counts, want, prof)
+		}
+	}
+}

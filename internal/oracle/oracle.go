@@ -1,0 +1,468 @@
+// Package oracle implements a runtime invariant checker for the sampling
+// framework: an implementation of vm.Observer that watches a program
+// execute and verifies, per method and per framework variation, the
+// dynamic counterparts of the paper's correctness claims (Arnold & Ryder,
+// PLDI 2001 §2–§3):
+//
+//  1. Property 1 as an executed-count inequality: the number of checks a
+//     method executes is at most its executed method entries plus
+//     backedges. This must hold for Full- and Partial-Duplication (and
+//     for the OpCheck population of Hybrid). For No-Duplication — and for
+//     Hybrid's per-probe guards — the paper *predicts* violations when
+//     instrumentation is denser than entries+backedges; the oracle
+//     verifies the inequality still holds after excluding the guard
+//     checks and counts the excess as an expected violation rather than
+//     an error.
+//  2. Observation completeness: every sample lands in duplicated or
+//     guarded code and is attributed to the method whose check fired. A
+//     fired OpCheck must transfer, immediately and on the same thread,
+//     into a duplicated-code block of the same method; a fired
+//     OpCheckedProbe guard must immediately execute exactly the probe it
+//     guards.
+//  3. Duplicated-code exit discipline: control leaves duplicated code
+//     only at backedge targets — a backedge-check block, a backedge into
+//     the checking-code loop header — or, under Partial-Duplication and
+//     Hybrid, into the checking-code original of a node the transform
+//     removed from the duplicated code (§3.1's bottom-node redirection).
+//     Symmetrically, control enters duplicated code only through a fired
+//     check.
+//
+// The oracle additionally reconciles its own event counts against the
+// VM's Stats counters at Finish, which pins the observer hook placement
+// in both dispatchers: a hook that goes missing (or fires twice) in one
+// dispatcher shows up as a reconciliation failure long before it shows up
+// as a wrong experimental number.
+//
+// An Oracle observes exactly one VM run (like a trigger, it is stateful);
+// construct a fresh one per run and call Finish when the run completes.
+// It is not goroutine-safe — the VM invokes hooks from its own goroutine
+// only. See DESIGN.md §8 for the invariants and the hook cost contract.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"instrsample/internal/core"
+	"instrsample/internal/ir"
+	"instrsample/internal/vm"
+)
+
+// Violation describes one observed invariant breach.
+type Violation struct {
+	// Invariant names the broken rule: "property-1", "check-shape",
+	// "sample-placement", "sample-attribution", "entry-discipline",
+	// "exit-discipline", "frame-balance" or "reconcile".
+	Invariant string
+	// Method is the full name of the method involved ("" for run-global
+	// violations such as reconciliation failures).
+	Method string
+	// Detail is a human-readable account of what was observed.
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.Method == "" {
+		return fmt.Sprintf("[%s] %s", v.Invariant, v.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: %s", v.Invariant, v.Method, v.Detail)
+}
+
+// methodAcct accumulates the per-method executed counts behind the
+// Property-1 inequality.
+type methodAcct struct {
+	m          *ir.Method
+	entries    uint64 // frame pushes (calls, spawns, thread roots)
+	backedges  uint64 // backedge-marked edge executions
+	checks     uint64 // OpCheck executions
+	guards     uint64 // OpCheckedProbe guard executions
+	checkFires uint64 // fired OpChecks (== duplicated-code entries)
+	guardFires uint64 // fired guards
+	probes     uint64 // probe executions
+}
+
+// pendingKind is the per-thread between-events state machine for
+// completeness invariant 2: a fired check obligates the very next event
+// on its thread.
+type pendingKind int
+
+const (
+	pendingNone pendingKind = iota
+	// pendingDupEntry: an OpCheck fired; the next event must be its
+	// transfer into duplicated code.
+	pendingDupEntry
+	// pendingGuardProbe: an OpCheckedProbe guard fired; the next event
+	// must be the execution of exactly the guarded probe.
+	pendingGuardProbe
+)
+
+type threadState struct {
+	kind   pendingKind
+	in     *ir.Instr  // the fired check instruction
+	method *ir.Method // the method whose check fired
+	depth  int        // live frame count (entries minus exits)
+}
+
+// Oracle is the runtime invariant checker. The zero value is not usable;
+// call New.
+type Oracle struct {
+	methods map[*ir.Method]*methodAcct
+	order   []*ir.Method // insertion order, for deterministic reports
+	threads []*threadState
+
+	violations []Violation
+	dropped    int // violations beyond the storage cap
+	limit      int
+
+	expectedP1 int    // methods whose guard checks exceeded the Property-1 bound, as §3.2 predicts
+	events     uint64 // total observer events received
+}
+
+// New returns an oracle ready to be installed as a vm.Config.Observer for
+// one run.
+func New() *Oracle {
+	return &Oracle{
+		methods: make(map[*ir.Method]*methodAcct),
+		limit:   100,
+	}
+}
+
+func (o *Oracle) acct(m *ir.Method) *methodAcct {
+	a := o.methods[m]
+	if a == nil {
+		a = &methodAcct{m: m}
+		o.methods[m] = a
+		o.order = append(o.order, m)
+	}
+	return a
+}
+
+func (o *Oracle) ts(id int) *threadState {
+	for id >= len(o.threads) {
+		o.threads = append(o.threads, &threadState{})
+	}
+	return o.threads[id]
+}
+
+func (o *Oracle) violate(invariant string, m *ir.Method, format string, args ...any) {
+	if len(o.violations) >= o.limit {
+		o.dropped++
+		return
+	}
+	name := ""
+	if m != nil {
+		name = m.FullName()
+	}
+	o.violations = append(o.violations, Violation{
+		Invariant: invariant,
+		Method:    name,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// interrupt reports a pending obligation that was not honored by the next
+// event, and clears it.
+func (o *Oracle) interrupt(st *threadState, event string) {
+	switch st.kind {
+	case pendingDupEntry:
+		o.violate("sample-placement", st.method,
+			"fired check was followed by %s, not by the transfer into duplicated code", event)
+	case pendingGuardProbe:
+		o.violate("sample-placement", st.method,
+			"fired guard was followed by %s, not by its probe", event)
+	}
+	st.kind = pendingNone
+}
+
+// OnEnter implements vm.Observer.
+func (o *Oracle) OnEnter(t *vm.Thread, f *vm.Frame) {
+	o.events++
+	st := o.ts(t.ID)
+	o.interrupt(st, "a method entry")
+	st.depth++
+	o.acct(f.Method).entries++
+}
+
+// OnExit implements vm.Observer.
+func (o *Oracle) OnExit(t *vm.Thread, f *vm.Frame) {
+	o.events++
+	st := o.ts(t.ID)
+	o.interrupt(st, "a method exit")
+	st.depth--
+	if st.depth < 0 {
+		o.violate("frame-balance", f.Method, "thread %d popped more frames than it pushed", t.ID)
+		st.depth = 0
+	}
+}
+
+// OnCheck implements vm.Observer.
+func (o *Oracle) OnCheck(t *vm.Thread, f *vm.Frame, in *ir.Instr, fired bool) {
+	o.events++
+	st := o.ts(t.ID)
+	o.interrupt(st, "another check")
+	a := o.acct(f.Method)
+	transformed := f.Method.Transformed != ""
+	switch in.Op {
+	case ir.OpCheck:
+		a.checks++
+		if transformed {
+			// Static shape of a framework check: it lives in a check
+			// block, fires into duplicated code, and falls through into
+			// non-duplicated code. (Checks-only methods are untransformed
+			// and exempt: their checks deliberately fall through on both
+			// outcomes.)
+			if f.Method.Transformed == core.NoDuplication.String() {
+				o.violate("check-shape", f.Method, "no-duplication method executed an OpCheck")
+			}
+			if f.Block.Kind != ir.KindCheckBlock {
+				o.violate("check-shape", f.Method, "OpCheck executed outside a check block (block %s, kind %d)", f.Block.Name(), f.Block.Kind)
+			}
+			if in.Targets[0].Kind != ir.KindDuplicated {
+				o.violate("check-shape", f.Method, "OpCheck fire target %s is not duplicated code", in.Targets[0].Name())
+			}
+			if in.Targets[1].Kind == ir.KindDuplicated {
+				o.violate("check-shape", f.Method, "OpCheck fall-through target %s is duplicated code", in.Targets[1].Name())
+			}
+		}
+		if fired {
+			a.checkFires++
+			if transformed {
+				st.kind = pendingDupEntry
+				st.in = in
+				st.method = f.Method
+			}
+		}
+	case ir.OpCheckedProbe:
+		a.guards++
+		if fired {
+			a.guardFires++
+			st.kind = pendingGuardProbe
+			st.in = in
+			st.method = f.Method
+		}
+	default:
+		o.violate("check-shape", f.Method, "OnCheck for non-check opcode %s", in.Op)
+	}
+}
+
+// OnTransfer implements vm.Observer.
+func (o *Oracle) OnTransfer(t *vm.Thread, f *vm.Frame, in *ir.Instr, target int) {
+	o.events++
+	st := o.ts(t.ID)
+	from := f.Block
+	to := in.Targets[target]
+
+	if st.kind == pendingGuardProbe {
+		o.interrupt(st, "a block transfer")
+	} else if st.kind == pendingDupEntry {
+		// The obligation from the fired check: this very transfer, on
+		// this thread, into duplicated code of the same method.
+		switch {
+		case in != st.in:
+			o.interrupt(st, "a transfer of a different instruction")
+		case target != 0:
+			o.violate("sample-placement", st.method, "fired check took its fall-through edge")
+		case f.Method != st.method:
+			o.violate("sample-attribution", st.method, "fired check's sample transferred inside %s", f.Method.FullName())
+		case to.Kind != ir.KindDuplicated:
+			o.violate("sample-placement", st.method, "fired check entered %s, which is not duplicated code", to.Name())
+		}
+		st.kind = pendingNone
+	}
+
+	if in.BackedgeMask&(1<<uint(target)) != 0 {
+		o.acct(f.Method).backedges++
+	}
+
+	// Invariant 3, entry side: duplicated code is entered only through a
+	// fired check.
+	if to.Kind == ir.KindDuplicated && from.Kind != ir.KindDuplicated {
+		if in.Op != ir.OpCheck || target != 0 {
+			o.violate("entry-discipline", f.Method,
+				"control entered duplicated block %s from %s via %s, not via a fired check",
+				to.Name(), from.Name(), in.Op)
+		}
+	}
+
+	// Invariant 3, exit side: duplicated code re-enters checking code
+	// only at backedge targets (a check block that re-polls the trigger,
+	// or a backedge into the checking loop header), or — under the
+	// partially-duplicating variations — at the checking original of a
+	// node the transform removed (Twin == nil marks removed nodes).
+	if from.Kind == ir.KindDuplicated && to.Kind == ir.KindChecking {
+		allowed := in.BackedgeMask&(1<<uint(target)) != 0
+		if !allowed && to.Twin == nil && partialLike(f.Method.Transformed) {
+			allowed = true // §3.1 bottom-node redirection
+		}
+		if !allowed {
+			o.violate("exit-discipline", f.Method,
+				"control left duplicated block %s into checking block %s via %s on a non-backedge edge",
+				from.Name(), to.Name(), in.Op)
+		}
+	}
+}
+
+// OnProbe implements vm.Observer.
+func (o *Oracle) OnProbe(t *vm.Thread, f *vm.Frame, p *ir.Probe) {
+	o.events++
+	st := o.ts(t.ID)
+	a := o.acct(f.Method)
+	a.probes++
+
+	guarded := false
+	if st.kind == pendingGuardProbe {
+		guarded = true
+		if st.in.Probe != p {
+			o.violate("sample-attribution", st.method,
+				"fired guard executed a different probe (owner %d kind %d id %d)", p.Owner, p.Kind, p.ID)
+		}
+		if st.method != f.Method {
+			o.violate("sample-attribution", st.method,
+				"fired guard's probe executed inside %s", f.Method.FullName())
+		}
+		st.kind = pendingNone
+	} else if st.kind == pendingDupEntry {
+		o.interrupt(st, "a probe")
+	}
+
+	// Invariant 2: in a transformed method, probes execute only inside
+	// duplicated code or under a fired guard. Untransformed methods run
+	// exhaustive instrumentation and are exempt.
+	if f.Method.Transformed != "" && !guarded && f.Block.Kind != ir.KindDuplicated {
+		o.violate("sample-placement", f.Method,
+			"probe (owner %d kind %d) executed in non-duplicated block %s without a guard",
+			p.Owner, p.Kind, f.Block.Name())
+	}
+}
+
+// partialLike reports whether the variation removes nodes from the
+// duplicated code, making Twin==nil exits legitimate.
+func partialLike(transformed string) bool {
+	return transformed == core.PartialDuplication.String() ||
+		transformed == core.Hybrid.String()
+}
+
+// Finish runs the end-of-run checks — the per-method Property-1
+// inequality and the reconciliation against the VM's own counters — and
+// returns the accumulated verdict (nil when every invariant held). stats
+// should be the Stats of the observed run (Result.Stats, or VM.Stats()
+// after a trap).
+func (o *Oracle) Finish(stats vm.Stats) error {
+	var entries, backedges, checks, guards, checkFires, guardFires, probes uint64
+	for _, m := range o.order {
+		a := o.methods[m]
+		entries += a.entries
+		backedges += a.backedges
+		checks += a.checks
+		guards += a.guards
+		checkFires += a.checkFires
+		guardFires += a.guardFires
+		probes += a.probes
+
+		bound := a.entries + a.backedges
+		switch m.Transformed {
+		case core.FullDuplication.String(), core.PartialDuplication.String():
+			if a.guards > 0 {
+				o.violate("check-shape", m, "%s method executed %d per-probe guards", m.Transformed, a.guards)
+			}
+			if a.checks > bound {
+				o.violate("property-1", m,
+					"%d checks > %d entries + %d backedges (%s)", a.checks, a.entries, a.backedges, m.Transformed)
+			}
+		case core.Hybrid.String():
+			// The duplication-side checks obey Property 1; the sparse
+			// probes' guards are the §3.2 channel that may exceed it.
+			if a.checks > bound {
+				o.violate("property-1", m,
+					"%d checks > %d entries + %d backedges (hybrid, guards excluded)", a.checks, a.entries, a.backedges)
+			}
+			if a.checks+a.guards > bound {
+				o.expectedP1++
+			}
+		case core.NoDuplication.String():
+			// All checks are per-probe guards; exceeding the bound is the
+			// expected Property-1 violation the variation trades for
+			// space (§3.2).
+			if a.guards > bound {
+				o.expectedP1++
+			}
+		default:
+			// Untransformed: baseline code has no checks at all, and the
+			// checks-only configuration places its checks exactly on
+			// entries and backedges, so the bound still applies.
+			if a.guards > 0 {
+				o.violate("check-shape", m, "untransformed method executed %d per-probe guards", a.guards)
+			}
+			if a.checks > bound {
+				o.violate("property-1", m,
+					"%d checks > %d entries + %d backedges (untransformed)", a.checks, a.entries, a.backedges)
+			}
+		}
+	}
+
+	for id, st := range o.threads {
+		if st.kind != pendingNone {
+			o.violate("sample-placement", st.method, "thread %d ended with an unresolved fired check", id)
+		}
+	}
+
+	// Reconcile against the VM's counters: every counted event must have
+	// produced exactly one hook, in whichever dispatcher ran.
+	reconcile := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"method entries", entries, stats.MethodEntries},
+		{"backedges", backedges, stats.Backedges},
+		{"checks", checks + guards, stats.Checks},
+		{"check fires", checkFires + guardFires, stats.CheckFires},
+		{"duplicated-code entries", checkFires, stats.DupEntries},
+		{"probes", probes, stats.Probes},
+	}
+	for _, r := range reconcile {
+		if r.got != r.want {
+			o.violate("reconcile", nil, "oracle observed %d %s, VM counted %d", r.got, r.name, r.want)
+		}
+	}
+	return o.Err()
+}
+
+// Err returns an error summarizing the violations recorded so far, or nil
+// if none.
+func (o *Oracle) Err() error {
+	if len(o.violations) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "oracle: %d invariant violation(s)", len(o.violations)+o.dropped)
+	max := len(o.violations)
+	if max > 5 {
+		max = 5
+	}
+	for _, v := range o.violations[:max] {
+		sb.WriteString("\n  ")
+		sb.WriteString(v.String())
+	}
+	if len(o.violations)+o.dropped > max {
+		fmt.Fprintf(&sb, "\n  ... and %d more", len(o.violations)+o.dropped-max)
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// Violations returns the recorded violations (capped; see Dropped).
+func (o *Oracle) Violations() []Violation { return o.violations }
+
+// Dropped returns how many violations were discarded after the storage
+// cap was reached.
+func (o *Oracle) Dropped() int { return o.dropped }
+
+// Events returns the total number of observer events received — a
+// measure of how much execution the oracle actually checked.
+func (o *Oracle) Events() uint64 { return o.events }
+
+// ExpectedPropertyViolations returns the number of methods whose guard
+// checks exceeded the Property-1 bound — the violation §3.2 predicts for
+// No-Duplication (and Hybrid's sparse probes). These are reported, not
+// errors.
+func (o *Oracle) ExpectedPropertyViolations() int { return o.expectedP1 }

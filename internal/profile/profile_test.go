@@ -182,3 +182,64 @@ func TestQuickOverlapScaleInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOverlapHandComputed pins Overlap on asymmetric-support profiles
+// against by-hand min-share sums (the §4.4 metric).
+func TestOverlapHandComputed(t *testing.T) {
+	mk := func(counts map[uint64]uint64) *Profile {
+		p := New("t")
+		for k, n := range counts {
+			p.Add(k, n)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		a, b map[uint64]uint64
+		want float64
+	}{
+		{
+			// b splits its mass over a superset of a's support:
+			// min(1, .5) = .5.
+			name: "subset support",
+			a:    map[uint64]uint64{1: 3},
+			b:    map[uint64]uint64{1: 1, 2: 1},
+			want: 50,
+		},
+		{
+			// a: .25/.25/.50 over {1,2,3}; b: .6/.2/.2 over {2,3,4}.
+			// Shared keys 2 and 3: min(.25,.6) + min(.5,.2) = .45.
+			name: "mixed support",
+			a:    map[uint64]uint64{1: 2, 2: 2, 3: 4},
+			b:    map[uint64]uint64{2: 6, 3: 2, 4: 2},
+			want: 45,
+		},
+		{
+			// Distribution-identical despite a 2^61-fold count gap —
+			// the metric must normalize before comparing.
+			name: "extreme count magnitudes",
+			a:    map[uint64]uint64{1: 1 << 62, 2: 1 << 62},
+			b:    map[uint64]uint64{1: 2, 2: 2},
+			want: 100,
+		},
+		{
+			// Inverted skew: both shares on each key are tiny on one
+			// side, so almost nothing overlaps.
+			name: "inverted skew",
+			a:    map[uint64]uint64{1: 1, 2: 9999},
+			b:    map[uint64]uint64{1: 9999, 2: 1},
+			want: 100 * 2.0 / 10000.0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pa, pb := mk(tc.a), mk(tc.b)
+			if ov := Overlap(pa, pb); math.Abs(ov-tc.want) > 1e-9 {
+				t.Errorf("Overlap(a,b) = %f, want %f", ov, tc.want)
+			}
+			if ov := Overlap(pb, pa); math.Abs(ov-tc.want) > 1e-9 {
+				t.Errorf("Overlap(b,a) = %f, want %f", ov, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,217 @@
+package trigger
+
+import "fmt"
+
+// Fault-injection triggers.
+//
+// The framework's correctness argument (§2) deliberately does not depend
+// on *when* samples fire: any Poll outcome sequence must leave the
+// invariants the runtime oracle checks — sample placement, duplicated-code
+// entry/exit discipline, Property 1 — intact. These triggers make that
+// claim testable by exercising fire schedules real deployments produce
+// only rarely: jittery and skewing timer interrupts, counters that
+// overflow near the integer limit, and sample intervals retuned while the
+// program runs. They are adversarial test fixtures, not measurement
+// configurations; the experiment engine only uses them in the oracle
+// ablation.
+//
+// Like every trigger they are stateful: construct a fresh instance per VM
+// run.
+
+// FaultyTimer is a Timer whose interrupts arrive off-schedule: each
+// interrupt is displaced by a seeded uniform jitter in [-Jitter, +Jitter]
+// cycles, and the whole schedule drifts by Skew cycles per interrupt
+// (cumulative, like a slow or fast clock). With Jitter and Skew zero it
+// behaves exactly like Timer.
+type FaultyTimer struct {
+	// Period is the nominal interrupt period in simulated cycles.
+	Period uint64
+	// Jitter bounds the per-interrupt displacement in cycles.
+	Jitter uint64
+	// Skew is the per-interrupt cumulative drift in cycles (positive =
+	// clock running slow: interrupts arrive ever later).
+	Skew int64
+	// Seed initializes the jitter PRNG; Reset returns to it.
+	Seed uint64
+
+	state uint64 // xorshift64 PRNG state
+	next  uint64 // cycle at which the next interrupt is due
+	drift int64  // accumulated skew
+	fires uint64 // interrupts delivered so far
+}
+
+// NewFaultyTimer returns a timer trigger with the given nominal period,
+// per-interrupt jitter bound and cumulative skew.
+func NewFaultyTimer(period, jitter uint64, skew int64, seed uint64) *FaultyTimer {
+	if period == 0 {
+		period = 1
+	}
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	t := &FaultyTimer{Period: period, Jitter: jitter, Skew: skew, Seed: seed}
+	t.Reset()
+	return t
+}
+
+func (t *FaultyTimer) rng() uint64 {
+	x := t.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	t.state = x
+	return x
+}
+
+// schedule computes the cycle of the next interrupt from the nominal
+// schedule, the accumulated drift and a fresh jitter draw. The result is
+// clamped so interrupts never run backwards in time.
+func (t *FaultyTimer) schedule(after uint64) {
+	nominal := int64(t.fires+1) * int64(t.Period)
+	displaced := nominal + t.drift
+	if t.Jitter > 0 {
+		displaced += int64(t.rng()%(2*t.Jitter+1)) - int64(t.Jitter)
+	}
+	if displaced <= int64(after) {
+		displaced = int64(after) + 1
+	}
+	t.next = uint64(displaced)
+}
+
+// Poll fires when the (displaced) next interrupt time has passed. As with
+// Timer, several elapsed interrupts collapse into one fire — the bit is
+// just a bit.
+func (t *FaultyTimer) Poll(_ int, cycles uint64) bool {
+	if cycles < t.next {
+		return false
+	}
+	for t.next <= cycles {
+		t.fires++
+		t.drift += t.Skew
+		t.schedule(cycles)
+	}
+	return true
+}
+
+// Reset restores the initial schedule and reseeds the PRNG.
+func (t *FaultyTimer) Reset() {
+	t.state = t.Seed
+	t.fires = 0
+	t.drift = 0
+	t.schedule(0)
+}
+
+// Name returns "faulty-timer/<period>±<jitter>+<skew>".
+func (t *FaultyTimer) Name() string {
+	return fmt.Sprintf("faulty-timer/%d±%d%+d", t.Period, t.Jitter, t.Skew)
+}
+
+// OverflowCounter is a counter trigger that decrements by Step instead of
+// 1 and reloads by *adding* Interval to the (possibly deeply negative)
+// remainder, with the whole state deliberately started near the int64
+// limits. The arithmetic wraps around; the fire schedule that results is
+// erratic but deterministic. It models a deployment bug the paper's
+// design must tolerate — a sample counter that overflows — and verifies
+// the invariants do not depend on counter sanity.
+type OverflowCounter struct {
+	// Interval is the nominal reload added at each fire.
+	Interval int64
+	// Step is the per-check decrement (default 1 if < 1).
+	Step int64
+
+	remaining int64
+}
+
+// NewOverflowCounter returns an overflow-prone counter trigger. The
+// countdown starts at math.MinInt64 + Interval, so the very first
+// decrements wrap past the negative limit to huge positive values and
+// back, shaking out any fire-schedule assumption.
+func NewOverflowCounter(interval, step int64) *OverflowCounter {
+	if interval < 1 {
+		interval = 1
+	}
+	if step < 1 {
+		step = 1
+	}
+	c := &OverflowCounter{Interval: interval, Step: step}
+	c.Reset()
+	return c
+}
+
+// Poll decrements by Step with wrapping arithmetic and fires on
+// non-positive remainders, reloading additively.
+func (c *OverflowCounter) Poll(int, uint64) bool {
+	c.remaining -= c.Step // may wrap
+	if c.remaining <= 0 {
+		c.remaining += c.Interval // may stay negative: rapid refires
+		return true
+	}
+	return false
+}
+
+// Reset restores the near-limit initial state.
+func (c *OverflowCounter) Reset() {
+	c.remaining = -1<<63 + c.Interval
+}
+
+// Name returns "overflow-counter/<interval>/<step>".
+func (c *OverflowCounter) Name() string {
+	return fmt.Sprintf("overflow-counter/%d/%d", c.Interval, c.Step)
+}
+
+// Retuner wraps a Counter and retunes its sample interval while the
+// program runs, cycling through Intervals every PollsPerPhase polls. It
+// exercises the paper's "adjust the overhead/accuracy tradeoff at
+// runtime" knob (§1) under the oracle: mid-run SetInterval calls must not
+// break sample placement or Property 1.
+type Retuner struct {
+	// Counter is the retuned trigger.
+	Counter *Counter
+	// Intervals is the cycle of intervals applied in order.
+	Intervals []int64
+	// PollsPerPhase is how many polls each interval stays in force.
+	PollsPerPhase int64
+
+	polls int64
+	phase int
+}
+
+// NewRetuner returns a retuning wrapper around a fresh counter starting
+// at the first interval. intervals must be non-empty; pollsPerPhase
+// values below 1 are treated as 1.
+func NewRetuner(intervals []int64, pollsPerPhase int64) *Retuner {
+	if len(intervals) == 0 {
+		intervals = []int64{1}
+	}
+	if pollsPerPhase < 1 {
+		pollsPerPhase = 1
+	}
+	return &Retuner{
+		Counter:       NewCounter(intervals[0]),
+		Intervals:     intervals,
+		PollsPerPhase: pollsPerPhase,
+	}
+}
+
+// Poll delegates to the wrapped counter, retuning it between phases.
+func (r *Retuner) Poll(threadID int, cycles uint64) bool {
+	if r.polls != 0 && r.polls%r.PollsPerPhase == 0 {
+		r.phase = (r.phase + 1) % len(r.Intervals)
+		r.Counter.SetInterval(r.Intervals[r.phase])
+	}
+	r.polls++
+	return r.Counter.Poll(threadID, cycles)
+}
+
+// Reset restores the first phase and the wrapped counter.
+func (r *Retuner) Reset() {
+	r.polls = 0
+	r.phase = 0
+	r.Counter.Interval = r.Intervals[0]
+	r.Counter.Reset()
+}
+
+// Name returns "retuner/<n-phases>x<polls>".
+func (r *Retuner) Name() string {
+	return fmt.Sprintf("retuner/%dx%d", len(r.Intervals), r.PollsPerPhase)
+}

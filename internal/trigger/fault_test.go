@@ -1,0 +1,157 @@
+package trigger
+
+import (
+	"testing"
+)
+
+// pollSchedule records the poll indices (1-based) at which the trigger
+// fired over a synthetic cycle ramp.
+func pollSchedule(tr Trigger, polls int, cyclesPerPoll uint64) []int {
+	var fires []int
+	for i := 1; i <= polls; i++ {
+		if tr.Poll(0, uint64(i)*cyclesPerPoll) {
+			fires = append(fires, i)
+		}
+	}
+	return fires
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFaultyTimerZeroFaultMatchesTimer: with jitter and skew disabled the
+// faulty timer must reproduce the healthy timer's schedule exactly.
+func TestFaultyTimerZeroFaultMatchesTimer(t *testing.T) {
+	healthy := pollSchedule(NewTimer(100), 300, 7)
+	faulty := pollSchedule(NewFaultyTimer(100, 0, 0, 1), 300, 7)
+	if !equalInts(healthy, faulty) {
+		t.Fatalf("schedules diverge:\n  timer:  %v\n  faulty: %v", healthy, faulty)
+	}
+}
+
+// TestFaultyTimerDeterministic: a fixed seed reproduces the jittered
+// schedule, and Reset restores it.
+func TestFaultyTimerDeterministic(t *testing.T) {
+	a := NewFaultyTimer(100, 80, 3, 42)
+	b := NewFaultyTimer(100, 80, 3, 42)
+	sa := pollSchedule(a, 500, 7)
+	sb := pollSchedule(b, 500, 7)
+	if !equalInts(sa, sb) {
+		t.Fatalf("same seed, different schedules:\n  %v\n  %v", sa, sb)
+	}
+	if len(sa) == 0 {
+		t.Fatal("jittered timer never fired")
+	}
+	a.Reset()
+	if sr := pollSchedule(a, 500, 7); !equalInts(sa, sr) {
+		t.Fatalf("Reset did not restore the schedule:\n  %v\n  %v", sa, sr)
+	}
+}
+
+// TestFaultyTimerSeedsDiffer: different seeds should (for a jitter this
+// large) produce different schedules — otherwise the jitter is inert.
+func TestFaultyTimerSeedsDiffer(t *testing.T) {
+	sa := pollSchedule(NewFaultyTimer(100, 90, 0, 1), 500, 7)
+	sb := pollSchedule(NewFaultyTimer(100, 90, 0, 2), 500, 7)
+	if equalInts(sa, sb) {
+		t.Fatalf("seeds 1 and 2 produced the identical schedule %v", sa)
+	}
+}
+
+// TestFaultyTimerSkewDrifts: positive skew (slow clock) must deliver
+// fewer interrupts than the nominal schedule over the same cycles.
+func TestFaultyTimerSkewDrifts(t *testing.T) {
+	nominal := len(pollSchedule(NewTimer(100), 2000, 7))
+	slow := len(pollSchedule(NewFaultyTimer(100, 0, 50, 1), 2000, 7))
+	if slow >= nominal {
+		t.Fatalf("slow clock fired %d times, nominal %d — skew had no effect", slow, nominal)
+	}
+}
+
+// TestOverflowCounterWraps: the near-limit initial state must not panic,
+// must fire, and must be deterministic.
+func TestOverflowCounterWraps(t *testing.T) {
+	a := NewOverflowCounter(5, 3)
+	b := NewOverflowCounter(5, 3)
+	sa := pollSchedule(a, 1000, 1)
+	sb := pollSchedule(b, 1000, 1)
+	if !equalInts(sa, sb) {
+		t.Fatal("overflow counter is nondeterministic")
+	}
+	if len(sa) == 0 {
+		t.Fatal("overflow counter never fired")
+	}
+	a.Reset()
+	if sr := pollSchedule(a, 1000, 1); !equalInts(sa, sr) {
+		t.Fatal("Reset did not restore the overflow schedule")
+	}
+}
+
+// TestOverflowCounterStepLargerThanInterval drives the remainder across
+// the wraparound boundary (net decrement per fire), exercising the
+// wrapping arithmetic path.
+func TestOverflowCounterStepLargerThanInterval(t *testing.T) {
+	c := NewOverflowCounter(2, 1<<61)
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if c.Poll(0, 0) {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("wrapping counter never fired in 100 polls")
+	}
+}
+
+// TestRetunerCyclesIntervals: the retuner must actually change the
+// wrapped counter's interval between phases.
+func TestRetunerCyclesIntervals(t *testing.T) {
+	r := NewRetuner([]int64{1, 5}, 4)
+	// Phase 1 (4 polls at interval 1): fires every poll.
+	for i := 0; i < 4; i++ {
+		if !r.Poll(0, 0) {
+			t.Fatalf("poll %d of interval-1 phase did not fire", i)
+		}
+	}
+	if r.Counter.Interval != 1 {
+		t.Fatalf("interval retuned too early: %d", r.Counter.Interval)
+	}
+	// Phase 2 begins: interval 5.
+	r.Poll(0, 0)
+	if r.Counter.Interval != 5 {
+		t.Fatalf("interval after phase switch = %d, want 5", r.Counter.Interval)
+	}
+	r.Reset()
+	if r.Counter.Interval != 1 {
+		t.Fatalf("Reset interval = %d, want 1", r.Counter.Interval)
+	}
+	if !r.Poll(0, 0) {
+		t.Fatal("first poll after Reset did not fire at interval 1")
+	}
+}
+
+// TestFaultTriggerNames pins the report labels.
+func TestFaultTriggerNames(t *testing.T) {
+	cases := []struct {
+		tr   Trigger
+		want string
+	}{
+		{NewFaultyTimer(100, 7, -3, 1), "faulty-timer/100±7-3"},
+		{NewOverflowCounter(5, 3), "overflow-counter/5/3"},
+		{NewRetuner([]int64{1, 2, 3}, 10), "retuner/3x10"},
+	}
+	for _, c := range cases {
+		if got := c.tr.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}

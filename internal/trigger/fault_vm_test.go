@@ -1,0 +1,57 @@
+package trigger_test
+
+// VM-level fault-trigger test, in an external package because the vm
+// package imports trigger. Parallel subtests give `go test -race` real
+// concurrency: many VMs polling independent jittered timers at once, so
+// any accidental shared state between trigger instances (or between the
+// VM's timer polling and the frame pool) is caught by the race detector.
+
+import (
+	"fmt"
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+func TestFaultyTimerUnderVM(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		seed := uint64(i)*1099511628211 + 14695981039346656037
+		t.Run(fmt.Sprintf("seed%d", i), func(t *testing.T) {
+			t.Parallel()
+			prog := ir.RandomProgram(seed, ir.RandomProgramConfig{WithThreads: i%2 == 0})
+			opts := compile.Options{
+				Instrumenters: []instr.Instrumenter{&instr.EdgeProfile{}, &instr.FieldAccess{}},
+				Framework:     &core.Options{Variation: core.FullDuplication},
+			}
+			res, err := compile.Compile(prog, opts)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// Same program, three clocks: healthy, jittered, skewed. All
+			// must complete; the jittered runs must stay deterministic
+			// (same seed → same stats).
+			run := func(tr trigger.Trigger) vm.Stats {
+				out, err := vm.New(res.Prog, vm.Config{
+					Trigger:   tr,
+					Handlers:  res.Handlers,
+					MaxCycles: 1 << 33,
+				}).Run()
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return out.Stats
+			}
+			run(trigger.NewTimer(977))
+			a := run(trigger.NewFaultyTimer(977, 700, 31, seed))
+			b := run(trigger.NewFaultyTimer(977, 700, 31, seed))
+			if a != b {
+				t.Fatalf("jittered timer nondeterministic:\n  %+v\n  %+v", a, b)
+			}
+		})
+	}
+}

@@ -296,7 +296,11 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			// instrumentation operation.
 			cycles += uint64(v.cost.Check)
 			v.stats.Checks++
-			if v.trig.Poll(t.ID, cycles) {
+			fired := v.trig.Poll(t.ID, cycles)
+			if v.obs != nil {
+				v.obs.OnCheck(t, f, in, fired)
+			}
+			if fired {
 				v.stats.CheckFires++
 				f.PC = pc
 				v.cycles = cycles
@@ -305,6 +309,9 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			}
 
 		case ir.OpJump:
+			if v.obs != nil {
+				v.obs.OnTransfer(t, f, in, 0)
+			}
 			v.countBackedge(in, 0)
 			b := in.Targets[0]
 			f.Block, f.PC = b, 0
@@ -335,6 +342,9 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if regs[in.A].I != 0 {
 				i = 0
 			}
+			if v.obs != nil {
+				v.obs.OnTransfer(t, f, in, i)
+			}
 			v.countBackedge(in, i)
 			b := in.Targets[i]
 			f.Block, f.PC = b, 0
@@ -363,19 +373,21 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 
 		case ir.OpCheck:
 			v.stats.Checks++
-			var b *ir.Block
+			target := 1
 			if v.trig.Poll(t.ID, cycles) {
 				v.stats.CheckFires++
 				v.stats.DupEntries++
 				if v.cfg.IterBudget > 0 {
 					f.IterBudget = v.cfg.IterBudget
 				}
-				v.countBackedge(in, 0)
-				b = in.Targets[0]
-			} else {
-				v.countBackedge(in, 1)
-				b = in.Targets[1]
+				target = 0
 			}
+			if v.obs != nil {
+				v.obs.OnCheck(t, f, in, target == 0)
+				v.obs.OnTransfer(t, f, in, target)
+			}
+			v.countBackedge(in, target)
+			b := in.Targets[target]
 			f.Block, f.PC = b, 0
 			instrs, pc = b.Instrs, 0
 			if v.ic != nil {
@@ -402,14 +414,15 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 		case ir.OpLoopCheck:
 			v.stats.LoopChecks++
 			f.IterBudget--
-			var b *ir.Block
+			target := 1
 			if f.IterBudget > 0 {
-				v.countBackedge(in, 0)
-				b = in.Targets[0]
-			} else {
-				v.countBackedge(in, 1)
-				b = in.Targets[1]
+				target = 0
 			}
+			if v.obs != nil {
+				v.obs.OnTransfer(t, f, in, target)
+			}
+			v.countBackedge(in, target)
+			b := in.Targets[target]
 			f.Block, f.PC = b, 0
 			instrs, pc = b.Instrs, 0
 			if v.ic != nil {
@@ -440,6 +453,9 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 				ret = regs[in.A]
 			}
 			retDst := f.RetDst
+			if v.obs != nil {
+				v.obs.OnExit(t, f)
+			}
 			t.Frames = t.Frames[:len(t.Frames)-1]
 			v.releaseFrame(f)
 			if len(t.Frames) == 0 {
@@ -510,6 +526,9 @@ func (v *VM) pushCall(t *Thread, f *Frame, in *ir.Instr, m *ir.Method) (*Frame, 
 	}
 	t.Frames = append(t.Frames, nf)
 	v.stats.MethodEntries++
+	if v.obs != nil {
+		v.obs.OnEnter(t, nf)
+	}
 	v.touchCode(nf.Block)
 	return nf, nil
 }
@@ -521,6 +540,9 @@ func (v *VM) countBackedge(in *ir.Instr, target int) {
 }
 
 func (v *VM) execProbe(t *Thread, f *Frame, p *ir.Probe) {
+	if v.obs != nil {
+		v.obs.OnProbe(t, f, p)
+	}
 	v.cycles += uint64(p.Cost)
 	v.stats.Probes++
 	switch p.Kind {

@@ -1,0 +1,56 @@
+package vm
+
+import "instrsample/internal/ir"
+
+// Observer receives execution events from the interpreter. It exists for
+// runtime verification — package oracle implements it to check the
+// sampling framework's dynamic invariants while a program runs — and is
+// deliberately not a tracing interface: events fire at control-flow
+// granularity, never per straight-line instruction.
+//
+// Cost contract (see DESIGN.md §8):
+//
+//   - A nil Config.Observer must be free. Both dispatchers test the
+//     observer exactly once per block transfer, check, probe, or frame
+//     push/pop — all of which are block-terminator or cold-path events —
+//     and never inside the per-instruction dispatch. Adding a hook site
+//     that tests the observer per instruction is a contract violation.
+//   - With an observer installed, the fast path disables pure-block
+//     batching (pure.go) so that every intra-frame transfer is visible;
+//     observed runs are therefore slower, but their Results are
+//     bit-identical to unobserved runs under both dispatchers.
+//
+// Hooks run synchronously on the VM's goroutine. They must not mutate
+// VM state and must not retain *Frame or Frame.Regs/Scratch past the
+// call: the fast path pools frames (DESIGN.md §7), so a retained pointer
+// is recycled by a later call. On the fast path Frame.PC may be stale at
+// hook time (the dispatcher tracks it lazily); observers must not read
+// it.
+//
+// Both dispatchers (interp.go, ref.go) emit the same event sequence for
+// the same program and trigger; the oracle's differential tests rely on
+// this when comparing fast against reference runs.
+type Observer interface {
+	// OnEnter fires after a frame is pushed: thread roots (including
+	// main), calls, and spawns — exactly the events Stats.MethodEntries
+	// counts. f is the new frame, positioned at its method's entry block.
+	OnEnter(t *Thread, f *Frame)
+	// OnExit fires when OpReturn pops a frame, before the frame is
+	// recycled. f is the popped frame.
+	OnExit(t *Thread, f *Frame)
+	// OnTransfer fires at every intra-frame control transfer: the
+	// terminator in (OpJump, OpBranch, OpCheck or OpLoopCheck) in the
+	// block f.Block is about to transfer to in.Targets[target]. f.Block
+	// is still the source block when the hook runs.
+	OnTransfer(t *Thread, f *Frame, in *ir.Instr, target int)
+	// OnCheck fires at every executed sample check — an OpCheck
+	// terminator or the guard of an OpCheckedProbe — with the poll
+	// outcome. For OpCheck, OnTransfer follows immediately with the
+	// chosen target; for a fired OpCheckedProbe, OnProbe follows
+	// immediately with the guarded probe.
+	OnCheck(t *Thread, f *Frame, in *ir.Instr, fired bool)
+	// OnProbe fires for every executed probe (unguarded or fired), before
+	// the probe's cost is charged and its handler dispatched. f.Block is
+	// the block containing the probe.
+	OnProbe(t *Thread, f *Frame, p *ir.Probe)
+}

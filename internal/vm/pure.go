@@ -63,6 +63,13 @@ func (v *VM) buildBlockInfo() {
 	if !valid {
 		return
 	}
+	// An installed observer must see every block transfer; pure-block
+	// batching would hide the intra-chain ones, so it is disabled by
+	// leaving every block non-pure. The generic dispatch then emits a
+	// hook at each transfer (the Observer cost contract).
+	if v.obs != nil {
+		return
+	}
 	for _, m := range v.prog.Methods() {
 		for _, b := range m.Blocks {
 			bi := &v.blockInfo[b.GID]

@@ -242,12 +242,19 @@ func (v *VM) runThreadRef(t *Thread) (bool, error) {
 			// instrumentation operation.
 			v.cycles += uint64(v.cost.Check)
 			v.stats.Checks++
-			if v.trig.Poll(t.ID, v.cycles) {
+			fired := v.trig.Poll(t.ID, v.cycles)
+			if v.obs != nil {
+				v.obs.OnCheck(t, f, in, fired)
+			}
+			if fired {
 				v.stats.CheckFires++
 				v.execProbe(t, f, in.Probe)
 			}
 
 		case ir.OpJump:
+			if v.obs != nil {
+				v.obs.OnTransfer(t, f, in, 0)
+			}
 			v.countBackedge(in, 0)
 			v.enterBlock(f, in.Targets[0])
 			continue
@@ -256,35 +263,43 @@ func (v *VM) runThreadRef(t *Thread) (bool, error) {
 			if f.Regs[in.A].I != 0 {
 				i = 0
 			}
+			if v.obs != nil {
+				v.obs.OnTransfer(t, f, in, i)
+			}
 			v.countBackedge(in, i)
 			v.enterBlock(f, in.Targets[i])
 			continue
 
 		case ir.OpCheck:
 			v.stats.Checks++
+			target := 1
 			if v.trig.Poll(t.ID, v.cycles) {
 				v.stats.CheckFires++
 				v.stats.DupEntries++
 				if v.cfg.IterBudget > 0 {
 					f.IterBudget = v.cfg.IterBudget
 				}
-				v.countBackedge(in, 0)
-				v.enterBlock(f, in.Targets[0])
-			} else {
-				v.countBackedge(in, 1)
-				v.enterBlock(f, in.Targets[1])
+				target = 0
 			}
+			if v.obs != nil {
+				v.obs.OnCheck(t, f, in, target == 0)
+				v.obs.OnTransfer(t, f, in, target)
+			}
+			v.countBackedge(in, target)
+			v.enterBlock(f, in.Targets[target])
 			continue
 		case ir.OpLoopCheck:
 			v.stats.LoopChecks++
 			f.IterBudget--
+			target := 1
 			if f.IterBudget > 0 {
-				v.countBackedge(in, 0)
-				v.enterBlock(f, in.Targets[0])
-			} else {
-				v.countBackedge(in, 1)
-				v.enterBlock(f, in.Targets[1])
+				target = 0
 			}
+			if v.obs != nil {
+				v.obs.OnTransfer(t, f, in, target)
+			}
+			v.countBackedge(in, target)
+			v.enterBlock(f, in.Targets[target])
 			continue
 
 		case ir.OpReturn:
@@ -293,6 +308,9 @@ func (v *VM) runThreadRef(t *Thread) (bool, error) {
 				ret = f.Regs[in.A]
 			}
 			retDst := f.RetDst
+			if v.obs != nil {
+				v.obs.OnExit(t, f)
+			}
 			t.Frames = t.Frames[:len(t.Frames)-1]
 			if len(t.Frames) == 0 {
 				t.State = StateDone
@@ -335,6 +353,9 @@ func (v *VM) pushCallRef(t *Thread, f *Frame, in *ir.Instr, m *ir.Method) (*Fram
 	nf := v.newFrameRef(m, args, in.Dst, f.Method, int(in.Imm))
 	t.Frames = append(t.Frames, nf)
 	v.stats.MethodEntries++
+	if v.obs != nil {
+		v.obs.OnEnter(t, nf)
+	}
 	v.touchCode(nf.Block)
 	return nf, nil
 }
@@ -346,6 +367,9 @@ func (v *VM) newThreadRef(m *ir.Method, args []Value) *Thread {
 	t.Frames = append(t.Frames, f)
 	v.threads = append(v.threads, t)
 	v.stats.MethodEntries++
+	if v.obs != nil {
+		v.obs.OnEnter(t, f)
+	}
 	return t
 }
 

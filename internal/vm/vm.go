@@ -60,6 +60,13 @@ type Config struct {
 	// sample fires, consumed by OpLoopCheck (0 when the counted-backedge
 	// extension is unused).
 	IterBudget int64
+	// Observer, when non-nil, receives execution events (frame pushes and
+	// pops, block transfers, checks, probes) for runtime verification;
+	// package oracle is the standard implementation. A nil Observer costs
+	// nothing (see Observer's cost contract). Installing one disables the
+	// fast path's pure-block batching so every transfer is observable;
+	// Results remain bit-identical to unobserved runs.
+	Observer Observer
 	// CostScale, when non-nil, returns a per-method cycle-cost multiplier
 	// (nil or a return of 0 means 1). It models compilation levels in an
 	// adaptive system: baseline-compiled methods run slower than
@@ -149,6 +156,7 @@ type VM struct {
 	cost *CostModel
 	trig trigger.Trigger
 	ic   *icache
+	obs  Observer
 
 	// costTab is the opcode-indexed cycle-cost side table flattened from
 	// the cost model at New time, so the hot loop never re-runs the
@@ -192,7 +200,7 @@ func New(prog *ir.Program, cfg Config) *VM {
 	if cfg.Quantum == 0 {
 		cfg.Quantum = 64
 	}
-	v := &VM{prog: prog, cfg: cfg, cost: cfg.Cost, trig: cfg.Trigger}
+	v := &VM{prog: prog, cfg: cfg, cost: cfg.Cost, trig: cfg.Trigger, obs: cfg.Observer}
 	v.costTab = cfg.Cost.table()
 	if cfg.ICache != nil {
 		v.ic = newICache(cfg.ICache)
@@ -275,6 +283,9 @@ func (v *VM) newThread(m *ir.Method) *Thread {
 	t.Frames = append(t.Frames, f)
 	v.threads = append(v.threads, t)
 	v.stats.MethodEntries++
+	if v.obs != nil {
+		v.obs.OnEnter(t, f)
+	}
 	return t
 }
 
