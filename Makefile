@@ -4,9 +4,9 @@
 GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-short experiments clean-cache \
-	fuzz fuzz-smoke mutation-check
+	fuzz fuzz-smoke mutation-check telemetry-smoke
 
-ci: fmt vet build test race fuzz-smoke mutation-check bench-short
+ci: fmt vet build test race fuzz-smoke mutation-check telemetry-smoke bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -51,6 +51,13 @@ fuzz-smoke:
 # the guard: an oracle that stops observing fails this target.
 mutation-check:
 	$(GO) test -run '^TestMutationKill$$' -v ./internal/oracle/ | grep -q 'PASS: TestMutationKill'
+
+# Telemetry smoke: drive a small instrumented benchmark through the real
+# isamp CLI path with -verify, -trace and -metrics attached, validating
+# the Chrome trace-event JSON schema and the metrics CSV header. Runs
+# under -race to exercise the trace ring's atomic head publication.
+telemetry-smoke:
+	$(GO) test -race -run '^TestTelemetrySmoke$$' -v ./cmd/isamp/ | grep -q 'PASS: TestTelemetrySmoke'
 
 # Full benchmark sweep (slow). BENCH_*.json snapshots in the repo root
 # record curated before/after numbers from these benchmarks.

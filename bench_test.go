@@ -22,6 +22,8 @@ import (
 	"instrsample/internal/experiment"
 	"instrsample/internal/instr"
 	"instrsample/internal/ir"
+	"instrsample/internal/oracle"
+	"instrsample/internal/telemetry"
 	"instrsample/internal/trigger"
 	"instrsample/internal/vm"
 )
@@ -122,6 +124,10 @@ func BenchmarkTable5(b *testing.B) {
 	}
 	b.ReportMetric(gap, "counter-vs-timer-gap-pts")
 }
+
+// BenchmarkConvergence regenerates the accuracy-convergence curves and
+// reports Full-Duplication's end-of-run overlap.
+func BenchmarkConvergence(b *testing.B) { runArtifact(b, "convergence", 1, "full-final-overlap-%") }
 
 // --- substrate micro-benchmarks ---
 
@@ -226,17 +232,26 @@ func BenchmarkInterpreterICache(b *testing.B) {
 	}
 }
 
-// BenchmarkSampledRun measures a fully sampled run (both paper
-// instrumentations, Full-Duplication, interval 1000).
-func BenchmarkSampledRun(b *testing.B) {
-	prog := bench.Compress(benchScale)
-	res, err := compile.Compile(prog, compile.Options{
+// sampledCompress compiles the fully sampled compress workload (both
+// paper instrumentations, Full-Duplication) shared by the sampled-run
+// benchmarks below.
+func sampledCompress(b *testing.B) *compile.Result {
+	b.Helper()
+	res, err := compile.Compile(bench.Compress(benchScale), compile.Options{
 		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}, &instr.FieldAccess{}},
 		Framework:     &core.Options{Variation: core.FullDuplication},
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	return res
+}
+
+// BenchmarkSampledRun measures a fully sampled run (both paper
+// instrumentations, Full-Duplication, interval 1000), nil observer —
+// the baseline the telemetry variants below are compared against.
+func BenchmarkSampledRun(b *testing.B) {
+	res := sampledCompress(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := vm.New(res.Prog, vm.Config{
@@ -245,6 +260,61 @@ func BenchmarkSampledRun(b *testing.B) {
 		}).Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSampledRunTelemetry measures the same sampled run with the
+// full telemetry chain attached (trace recorder + metrics meter). The
+// gap to BenchmarkSampledRun is the price of observation: the observer
+// disables pure-block batching and every hook records an event.
+func BenchmarkSampledRunTelemetry(b *testing.B) {
+	res := sampledCompress(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := telemetry.NewTrace(1 << 14)
+		meter := telemetry.NewMeter(telemetry.NewRegistry(), "counter/1000", 1<<16, nil)
+		cfg := vm.Config{
+			Trigger:  trigger.NewCounter(1000),
+			Handlers: res.Handlers,
+			Observer: vm.CombineObservers(tr, meter),
+		}
+		v := vm.New(res.Prog, cfg)
+		tr.SetClock(v)
+		meter.SetClock(v)
+		if _, err := v.Run(); err != nil {
+			b.Fatal(err)
+		}
+		meter.Finish()
+	}
+}
+
+// BenchmarkSampledRunOracleTelemetry stacks the invariant oracle on top
+// of the telemetry chain — the worst-case observer fan-out (three
+// consumers per event through vm.MultiObserver), and the configuration
+// `isamp -verify -trace -metrics` runs.
+func BenchmarkSampledRunOracleTelemetry(b *testing.B) {
+	res := sampledCompress(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orc := oracle.New()
+		tr := telemetry.NewTrace(1 << 14)
+		meter := telemetry.NewMeter(telemetry.NewRegistry(), "counter/1000", 1<<16, nil)
+		cfg := vm.Config{
+			Trigger:  trigger.NewCounter(1000),
+			Handlers: res.Handlers,
+			Observer: vm.CombineObservers(orc, tr, meter),
+		}
+		v := vm.New(res.Prog, cfg)
+		tr.SetClock(v)
+		meter.SetClock(v)
+		out, err := v.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := orc.Finish(out.Stats); err != nil {
+			b.Fatal(err)
+		}
+		meter.Finish()
 	}
 }
 

@@ -8,7 +8,8 @@
 //	experiments -bench javac,db    # restrict the suite
 //	experiments -j 8               # run cells on 8 workers
 //	experiments -no-cache          # ignore the on-disk result cache
-//	experiments -timings           # report the slowest cells
+//	experiments -timings           # slowest cells + per-artifact cache hit/miss
+//	experiments -telemetry-dir d   # dump engine metrics as CSV + JSON
 //
 // Artifacts decompose into independent measurement cells executed on a
 // bounded worker pool (-j, default GOMAXPROCS); cells shared between
@@ -22,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"instrsample/internal/experiment"
+	"instrsample/internal/telemetry"
 )
 
 func main() {
@@ -47,7 +50,8 @@ func main() {
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "number of parallel cell workers")
 		cacheDir = flag.String("cache-dir", defaultCacheDir(), "on-disk result cache directory (empty disables)")
 		noCache  = flag.Bool("no-cache", false, "disable the on-disk result cache")
-		timings  = flag.Bool("timings", false, "report the slowest cells after generation")
+		timings  = flag.Bool("timings", false, "report the slowest cells and per-artifact cache hit/miss counts")
+		telDir   = flag.String("telemetry-dir", "", "write engine metrics (CSV + JSON) into this directory")
 	)
 	flag.Parse()
 
@@ -61,6 +65,10 @@ func main() {
 		}
 	}
 	eng := experiment.NewEngine(*workers, cache)
+	// The registry feeds both the -timings hit/miss report and the
+	// -telemetry-dir dump; attaching it is cheap, so it is always on.
+	metrics := telemetry.NewRegistry()
+	eng.AttachMetrics(metrics)
 
 	cfg := experiment.Config{Scale: *scale, ICache: !*noICache, Engine: eng}
 	if *benches != "" {
@@ -122,7 +130,9 @@ func main() {
 		go func(i int, j job) {
 			defer wg.Done()
 			s := time.Now()
-			tab, err := j.gen(cfg)
+			jcfg := cfg
+			jcfg.Artifact = j.id
+			tab, err := j.gen(jcfg)
 			results[i] = result{tab, err, time.Since(s)}
 		}(i, j)
 	}
@@ -158,7 +168,63 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "  %8v%s  %s\n", ct.Duration.Round(time.Millisecond), tag, ct.Key)
 		}
+		var ids []string
+		for _, j := range jobs {
+			ids = append(ids, j.id)
+		}
+		fmt.Fprintln(os.Stderr, "cells per artifact (run / cache hit / cache miss / shared):")
+		for _, line := range artifactReport(metrics, ids) {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
 	}
+	if *telDir != "" {
+		if err := writeEngineMetrics(*telDir, metrics); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "engine metrics -> %s\n",
+				filepath.Join(*telDir, "engine_metrics.{csv,json}"))
+		}
+	}
+}
+
+// artifactReport renders one per-artifact accounting line from the
+// engine's metrics registry.
+func artifactReport(reg *telemetry.Registry, ids []string) []string {
+	var out []string
+	for _, id := range ids {
+		run := reg.Counter(experiment.MetricCellsRun + "." + id).Value()
+		hit := reg.Counter(experiment.MetricCellCacheHit + "." + id).Value()
+		miss := reg.Counter(experiment.MetricCellCacheMiss + "." + id).Value()
+		memo := reg.Counter(experiment.MetricCellMemoHit + "." + id).Value()
+		out = append(out, fmt.Sprintf("%-20s %4d / %4d / %4d / %4d", id, run, hit, miss, memo))
+	}
+	return out
+}
+
+// writeEngineMetrics dumps the registry snapshot as CSV and JSON.
+func writeEngineMetrics(dir string, reg *telemetry.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+	var csvBuf, jsonBuf strings.Builder
+	csvBuf.WriteString("metric,value\n")
+	vals := make(map[string]int64, len(snap))
+	for _, s := range snap {
+		fmt.Fprintf(&csvBuf, "%s,%d\n", s.Name, s.Value)
+		vals[s.Name] = s.Value
+	}
+	data, err := json.MarshalIndent(vals, "", "  ")
+	if err != nil {
+		return err
+	}
+	jsonBuf.Write(data)
+	jsonBuf.WriteByte('\n')
+	if err := os.WriteFile(filepath.Join(dir, "engine_metrics.csv"), []byte(csvBuf.String()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "engine_metrics.json"), []byte(jsonBuf.String()), 0o644)
 }
 
 // defaultCacheDir places the cache under the user cache directory.

@@ -26,6 +26,7 @@ import (
 	"instrsample/internal/ir"
 	"instrsample/internal/oracle"
 	"instrsample/internal/profile"
+	"instrsample/internal/telemetry"
 	"instrsample/internal/trigger"
 	"instrsample/internal/vm"
 )
@@ -77,6 +78,14 @@ flags (run/disasm/bench):
   -icache            enable the i-cache model
   -verify            attach the runtime invariant oracle (DESIGN.md §8) and
                      fail the run on any sampling-invariant violation
+  -trace FILE        record a ring-buffered execution trace and write it as
+                     Chrome trace-event JSON (open in chrome://tracing or
+                     https://ui.perfetto.dev); composes with -verify
+  -trace-cap N       per-thread trace ring capacity in events (default 65536;
+                     oldest events are overwritten and counted as drops)
+  -metrics FILE      record a metrics time series; written as CSV, or JSON
+                     when FILE ends in .json
+  -metrics-interval N  metrics capture cadence in VM cycles (default 65536)
   -top N             profile entries to print (default 10)
   -json              emit profiles as JSON (all entries)
   -scale F           benchmark scale (bench only, default 0.1)
@@ -95,6 +104,10 @@ type options struct {
 	jitter     int64
 	icache     bool
 	verify     bool
+	tracePath  string
+	traceCap   int
+	metricsOut string
+	metricsInt uint64
 	top        int
 	scale      float64
 	list       bool
@@ -112,6 +125,10 @@ func parseFlags(name string, args []string) (*options, []string, error) {
 	fs.Int64Var(&o.jitter, "jitter", 0, "randomized trigger jitter")
 	fs.BoolVar(&o.icache, "icache", false, "enable i-cache model")
 	fs.BoolVar(&o.verify, "verify", false, "attach the runtime invariant oracle")
+	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON execution trace")
+	fs.IntVar(&o.traceCap, "trace-cap", 1<<16, "per-thread trace ring capacity (events)")
+	fs.StringVar(&o.metricsOut, "metrics", "", "write a metrics time series (CSV, or JSON if the path ends in .json)")
+	fs.Uint64Var(&o.metricsInt, "metrics-interval", 1<<16, "metrics capture cadence in cycles")
 	fs.IntVar(&o.top, "top", 10, "profile entries to print")
 	fs.Float64Var(&o.scale, "scale", 0.1, "benchmark scale")
 	fs.BoolVar(&o.list, "list", false, "list benchmarks")
@@ -235,12 +252,33 @@ func (o *options) execute(prog *ir.Program, disasmOnly bool) error {
 	if o.icache {
 		cfg.ICache = vm.DefaultICache()
 	}
+	// Observers compose: the oracle, the trace recorder and the meter can
+	// all watch one run (vm.CombineObservers elides the absent ones).
+	var observers []vm.Observer
 	var orc *oracle.Oracle
 	if o.verify {
 		orc = oracle.New()
-		cfg.Observer = orc
+		observers = append(observers, orc)
 	}
-	out, err := vm.New(res.Prog, cfg).Run()
+	var tr *telemetry.Trace
+	if o.tracePath != "" {
+		tr = telemetry.NewTrace(o.traceCap)
+		observers = append(observers, tr)
+	}
+	var meter *telemetry.Meter
+	if o.metricsOut != "" {
+		meter = telemetry.NewMeter(telemetry.NewRegistry(), trig.Name(), o.metricsInt, nil)
+		observers = append(observers, meter)
+	}
+	cfg.Observer = vm.CombineObservers(observers...)
+	v := vm.New(res.Prog, cfg)
+	if tr != nil {
+		tr.SetClock(v)
+	}
+	if meter != nil {
+		meter.SetClock(v)
+	}
+	out, err := v.Run()
 	if err != nil {
 		return err
 	}
@@ -250,6 +288,25 @@ func (o *options) execute(prog *ir.Program, disasmOnly bool) error {
 		}
 		fmt.Printf("oracle: ok (%d events observed, %d expected property-1 excesses)\n",
 			orc.Events(), orc.ExpectedPropertyViolations())
+	}
+	if tr != nil {
+		if err := writeTrace(o.tracePath, tr); err != nil {
+			return err
+		}
+		var total uint64
+		for tid := 0; tid < tr.Threads(); tid++ {
+			total += tr.Total(tid)
+		}
+		fmt.Printf("trace: %d events (%d dropped) on %d threads -> %s\n",
+			total, tr.TotalDrops(), tr.Threads(), o.tracePath)
+	}
+	if meter != nil {
+		meter.Finish()
+		if err := writeMetrics(o.metricsOut, meter.Series()); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %d captures every %d cycles -> %s\n",
+			len(meter.Series().Rows), o.metricsInt, o.metricsOut)
 	}
 	fmt.Printf("result: %d\n", out.Return)
 	if len(out.Output) > 0 {
@@ -276,6 +333,37 @@ func (o *options) execute(prog *ir.Program, disasmOnly bool) error {
 		rt.Profile().Fprint(os.Stdout, o.top)
 	}
 	return nil
+}
+
+// writeTrace exports the trace recorder as Chrome trace-event JSON.
+func writeTrace(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics exports the meter's time series, choosing the format from
+// the file extension (.json = JSON, anything else = CSV).
+func writeMetrics(path string, s *telemetry.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := s.WriteCSV
+	if strings.HasSuffix(path, ".json") {
+		werr = s.WriteJSON
+	}
+	if err := werr(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdRun(args []string, disasmOnly bool) error {

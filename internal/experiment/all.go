@@ -30,6 +30,7 @@ func All() []struct {
 		{"ablation-adaptive", AblationAdaptive},
 		{"ablation-icache", AblationICache},
 		{"ablation-oracle", AblationOracle},
+		{"convergence", Convergence},
 	}
 }
 
@@ -40,5 +41,5 @@ func ByID(id string) (Generator, error) {
 			return e.Gen, nil
 		}
 	}
-	return nil, fmt.Errorf("experiment: unknown artifact %q (want table1..table5, figure7, figure8a, figure8b, or ablation-{variations,resonance,counted,inlining,cct,icache,adaptive,oracle})", id)
+	return nil, fmt.Errorf("experiment: unknown artifact %q (want table1..table5, figure7, figure8a, figure8b, convergence, or ablation-{variations,resonance,counted,inlining,cct,icache,adaptive,oracle})", id)
 }

@@ -75,7 +75,15 @@ type cachedProfile struct {
 	Entries []cachedEntry `json:"entries"`
 }
 
-// cachedCell is the on-disk form of a CellResult.
+// cachedSnapshot is the serialized form of one mid-run profile snapshot.
+type cachedSnapshot struct {
+	Cycle    uint64          `json:"cycle"`
+	Profiles []cachedProfile `json:"profiles,omitempty"`
+}
+
+// cachedCell is the on-disk form of a CellResult. Snapshots is omitempty,
+// so entries written before the telemetry subsystem existed decode
+// unchanged.
 type cachedCell struct {
 	CellKey            string           `json:"cell"`
 	Stats              vm.Stats         `json:"stats"`
@@ -85,6 +93,43 @@ type cachedCell struct {
 	DuplicatedCodeSize int              `json:"duplicated_code_size"`
 	Work               int64            `json:"work"`
 	Aux                map[string]int64 `json:"aux,omitempty"`
+	Snapshots          []cachedSnapshot `json:"snapshots,omitempty"`
+}
+
+// encodeProfile flattens a profile for storage, keeping labels so reports
+// that render them stay byte-identical on a cache hit.
+func encodeProfile(p *profile.Profile) cachedProfile {
+	cp := cachedProfile{Name: p.Name}
+	for _, e := range p.Entries() {
+		ce := cachedEntry{Key: e.Key, Count: e.Count}
+		if p.Labeler != nil {
+			ce.Label = p.Labeler(e.Key)
+		}
+		cp.Entries = append(cp.Entries, ce)
+	}
+	return cp
+}
+
+// decodeProfile rebuilds a profile, reattaching a labeler when labels
+// were stored.
+func decodeProfile(cp cachedProfile) *profile.Profile {
+	p := profile.New(cp.Name)
+	labels := make(map[uint64]string)
+	for _, e := range cp.Entries {
+		p.Add(e.Key, e.Count)
+		if e.Label != "" {
+			labels[e.Key] = e.Label
+		}
+	}
+	if len(labels) > 0 {
+		p.Labeler = func(k uint64) string {
+			if l, ok := labels[k]; ok {
+				return l
+			}
+			return fmt.Sprintf("%#x", k)
+		}
+	}
+	return p
 }
 
 // Load returns the cached result for key, if present and decodable.
@@ -106,23 +151,14 @@ func (c *Cache) Load(key string) (*CellResult, bool) {
 		Aux:                in.Aux,
 	}
 	for _, cp := range in.Profiles {
-		p := profile.New(cp.Name)
-		labels := make(map[uint64]string)
-		for _, e := range cp.Entries {
-			p.Add(e.Key, e.Count)
-			if e.Label != "" {
-				labels[e.Key] = e.Label
-			}
+		res.Profiles = append(res.Profiles, decodeProfile(cp))
+	}
+	for _, cs := range in.Snapshots {
+		snap := ProfileSnapshot{Cycle: cs.Cycle}
+		for _, cp := range cs.Profiles {
+			snap.Profiles = append(snap.Profiles, decodeProfile(cp))
 		}
-		if len(labels) > 0 {
-			p.Labeler = func(k uint64) string {
-				if l, ok := labels[k]; ok {
-					return l
-				}
-				return fmt.Sprintf("%#x", k)
-			}
-		}
-		res.Profiles = append(res.Profiles, p)
+		res.Snapshots = append(res.Snapshots, snap)
 	}
 	return res, true
 }
@@ -140,15 +176,14 @@ func (c *Cache) Store(key string, res *CellResult) {
 		Aux:                res.Aux,
 	}
 	for _, p := range res.Profiles {
-		cp := cachedProfile{Name: p.Name}
-		for _, e := range p.Entries() {
-			ce := cachedEntry{Key: e.Key, Count: e.Count}
-			if p.Labeler != nil {
-				ce.Label = p.Labeler(e.Key)
-			}
-			cp.Entries = append(cp.Entries, ce)
+		out.Profiles = append(out.Profiles, encodeProfile(p))
+	}
+	for _, snap := range res.Snapshots {
+		cs := cachedSnapshot{Cycle: snap.Cycle}
+		for _, p := range snap.Profiles {
+			cs.Profiles = append(cs.Profiles, encodeProfile(p))
 		}
-		out.Profiles = append(out.Profiles, cp)
+		out.Snapshots = append(out.Snapshots, cs)
 	}
 	data, err := json.Marshal(out)
 	if err != nil {

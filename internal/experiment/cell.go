@@ -11,6 +11,7 @@ import (
 	"instrsample/internal/ir"
 	"instrsample/internal/oracle"
 	"instrsample/internal/profile"
+	"instrsample/internal/telemetry"
 	"instrsample/internal/trigger"
 	"instrsample/internal/vm"
 )
@@ -51,6 +52,18 @@ type CellResult struct {
 	// Aux carries artifact-specific scalars produced by custom cells
 	// (e.g. the adaptive ablation's promotion count).
 	Aux map[string]int64
+	// Snapshots are periodic mid-run clones of the live profiles, taken
+	// by the telemetry convergence recorder at the cycle cadence the
+	// cell requested. Nil for ordinary cells (see Config.ConvergenceCell).
+	Snapshots []ProfileSnapshot
+}
+
+// ProfileSnapshot is one mid-run clone of a cell's profiles.
+type ProfileSnapshot struct {
+	// Cycle is the VM cycle count the snapshot was taken at.
+	Cycle uint64
+	// Profiles are the cloned instrumentation profiles, in owner order.
+	Profiles []*profile.Profile
 }
 
 // OptsSpec is a pure-data description of a compile.Options value, so a
@@ -295,12 +308,26 @@ func (c Config) Cell(benchName string, o OptsSpec, t TriggerSpec) Cell {
 	key := fmt.Sprintf("bench=%s scale=%g icache=%v %s %s",
 		benchName, c.Scale, c.ICache, o.key(), t.key())
 	return Cell{Key: key, Run: func() (*CellResult, error) {
-		return c.runCell(benchName, o, t)
+		return c.runCell(benchName, o, t, 0)
 	}}
 }
 
-// runCell performs the standard cell measurement.
-func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec) (*CellResult, error) {
+// ConvergenceCell builds a measurement cell that additionally clones the
+// live profiles every convInterval cycles (telemetry.Convergence), so
+// artifacts can plot accuracy against executed cycles. The interval is
+// part of the cell key — convergence cells never collide with standard
+// cells, and pre-telemetry cache entries stay valid.
+func (c Config) ConvergenceCell(benchName string, o OptsSpec, t TriggerSpec, convInterval uint64) Cell {
+	key := fmt.Sprintf("bench=%s scale=%g icache=%v %s %s conv=%d",
+		benchName, c.Scale, c.ICache, o.key(), t.key(), convInterval)
+	return Cell{Key: key, Run: func() (*CellResult, error) {
+		return c.runCell(benchName, o, t, convInterval)
+	}}
+}
+
+// runCell performs the standard cell measurement; convInterval > 0 also
+// records periodic profile snapshots.
+func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec, convInterval uint64) (*CellResult, error) {
 	prog, err := benchProgram(benchName, c.Scale)
 	if err != nil {
 		return nil, err
@@ -319,12 +346,29 @@ func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec) (*CellResul
 		ICache:     c.icache(),
 		IterBudget: o.IterBudget,
 	}
+	var observers []vm.Observer
 	var orc *oracle.Oracle
 	if o.Verify {
 		orc = oracle.New()
-		vcfg.Observer = orc
+		observers = append(observers, orc)
 	}
-	out, err := vm.New(cr.Prog, vcfg).Run()
+	var conv *telemetry.Convergence
+	if convInterval > 0 {
+		conv = telemetry.NewConvergence(convInterval, 0, func() []*profile.Profile {
+			live := make([]*profile.Profile, len(cr.Runtimes))
+			for i, rt := range cr.Runtimes {
+				live[i] = rt.Profile()
+			}
+			return live
+		})
+		observers = append(observers, conv)
+	}
+	vcfg.Observer = vm.CombineObservers(observers...)
+	v := vm.New(cr.Prog, vcfg)
+	if conv != nil {
+		conv.SetClock(v)
+	}
+	out, err := v.Run()
 	if err != nil {
 		return nil, fmt.Errorf("%s: run: %w", benchName, err)
 	}
@@ -346,6 +390,14 @@ func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec) (*CellResul
 	}
 	for _, rt := range cr.Runtimes {
 		res.Profiles = append(res.Profiles, rt.Profile())
+	}
+	if conv != nil {
+		for _, pt := range conv.Points() {
+			res.Snapshots = append(res.Snapshots, ProfileSnapshot{
+				Cycle:    pt.Cycle,
+				Profiles: pt.Profiles,
+			})
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,228 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"instrsample/internal/profile"
+	"instrsample/internal/telemetry"
+	"instrsample/internal/vm"
+)
+
+// convergenceConfig keeps convergence tests fast; the artifact only uses
+// javac, so the suite restriction is irrelevant but harmless.
+func convergenceConfig() Config {
+	return Config{Scale: 0.03, ICache: true, Artifact: "convergence"}
+}
+
+// TestConvergenceShape checks the artifact's structure: a row per
+// snapshot boundary plus the end-of-run row, overlap percentages within
+// [0, 100], and a generally non-degrading full-duplication curve (the
+// sampled profile only accumulates samples).
+func TestConvergenceShape(t *testing.T) {
+	tab, err := Convergence(convergenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("only %d rows; want several snapshot boundaries", len(tab.Rows))
+	}
+	if got := tab.Rows[len(tab.Rows)-1][0]; got != "end of run" {
+		t.Fatalf("last row label %q, want \"end of run\"", got)
+	}
+	for r, row := range tab.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row %d has %d cells", r, len(row))
+		}
+		for c := 1; c < len(row); c++ {
+			if row[c] == "-" {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil || v < 0 || v > 100 {
+				t.Errorf("row %d col %d = %q, want overlap in [0,100]", r, c, row[c])
+			}
+		}
+	}
+	// Samples only accumulate, so the final snapshot cannot beat the
+	// end-of-run profile by much; sanity-check the end row parses.
+	end := tab.Rows[len(tab.Rows)-1]
+	for c := 1; c < len(end); c++ {
+		if _, err := strconv.ParseFloat(end[c], 64); err != nil {
+			t.Errorf("end-of-run col %d = %q not numeric", c, end[c])
+		}
+	}
+}
+
+// TestConvergenceDeterministicAcrossWorkers pins the acceptance
+// criterion: the artifact renders byte-identically at any -j.
+func TestConvergenceDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		cfg := convergenceConfig()
+		cfg.Engine = NewEngine(workers, nil)
+		tab, err := Convergence(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	serial := render(1)
+	for _, w := range []int{4, 8} {
+		if got := render(w); got != serial {
+			t.Fatalf("output at -j %d differs from serial output", w)
+		}
+	}
+}
+
+// TestConvergenceWarmCache proves the snapshots survive the on-disk
+// cache: a warm engine serves every cell from disk and renders identical
+// bytes.
+func TestConvergenceWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	gen := func() (string, EngineStats) {
+		cache, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := convergenceConfig()
+		cfg.Engine = NewEngine(4, cache)
+		tab, err := Convergence(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String(), cfg.Engine.Stats()
+	}
+	cold, coldStats := gen()
+	if coldStats.CacheHits != 0 {
+		t.Fatalf("cold run had %d cache hits", coldStats.CacheHits)
+	}
+	warm, warmStats := gen()
+	if warm != cold {
+		t.Error("convergence output differs between cold and warm runs (snapshots lost in cache?)")
+	}
+	if warmStats.CacheHits != warmStats.CellsRun || warmStats.CellsRun == 0 {
+		t.Errorf("warm stats %+v, want every cell cache-hit", warmStats)
+	}
+}
+
+// TestCacheRoundTripSnapshots: the Snapshots field survives Store/Load
+// with cycle stamps, per-snapshot profiles and labels intact.
+func TestCacheRoundTripSnapshots(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(n uint64) *profile.Profile {
+		p := profile.New("edges")
+		p.Add(1, n)
+		p.Labeler = func(k uint64) string { return "edge-1" }
+		return p
+	}
+	in := &CellResult{
+		Stats: vm.Stats{Cycles: 500},
+		Snapshots: []ProfileSnapshot{
+			{Cycle: 100, Profiles: []*profile.Profile{mk(3)}},
+			{Cycle: 200, Profiles: []*profile.Profile{mk(9)}},
+		},
+	}
+	cache.Store("conv-cell", in)
+	out, ok := cache.Load("conv-cell")
+	if !ok {
+		t.Fatal("stored cell not loadable")
+	}
+	if len(out.Snapshots) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(out.Snapshots))
+	}
+	for i, want := range []struct {
+		cycle, count uint64
+	}{{100, 3}, {200, 9}} {
+		s := out.Snapshots[i]
+		if s.Cycle != want.cycle {
+			t.Errorf("snapshot %d cycle = %d, want %d", i, s.Cycle, want.cycle)
+		}
+		if len(s.Profiles) != 1 || s.Profiles[0].Count(1) != want.count {
+			t.Errorf("snapshot %d profile corrupted: %+v", i, s.Profiles)
+		}
+		if s.Profiles[0].Labeler == nil || s.Profiles[0].Labeler(1) != "edge-1" {
+			t.Errorf("snapshot %d labels lost", i)
+		}
+	}
+	// Entries without snapshots keep decoding (omitempty compatibility).
+	cache.Store("plain-cell", &CellResult{Stats: vm.Stats{Cycles: 1}})
+	if plain, ok := cache.Load("plain-cell"); !ok || plain.Snapshots != nil {
+		t.Error("snapshot-free cell did not round-trip cleanly")
+	}
+}
+
+// TestEngineMetrics: with a registry attached, the engine attributes
+// runs, cache hits/misses and memo hits to the requesting artifact.
+func TestEngineMetrics(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	eng := NewEngine(2, cache)
+	eng.AttachMetrics(reg)
+
+	cfg := smokeConfig()
+	cfg.Engine = eng
+	cfg.Artifact = "table1"
+	if _, err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if got := reg.Counter(MetricCellsRun + ".table1").Value(); got != uint64(st.CellsRun) {
+		t.Errorf("cells.run.table1 = %d, engine ran %d", got, st.CellsRun)
+	}
+	if got := reg.Counter(MetricCellCacheMiss + ".table1").Value(); got != uint64(st.CellsRun) {
+		t.Errorf("cells.cache_miss.table1 = %d, want %d (cold cache)", got, st.CellsRun)
+	}
+	if got := reg.Counter(MetricCellCacheHit + ".table1").Value(); got != 0 {
+		t.Errorf("cells.cache_hit.table1 = %d on a cold cache", got)
+	}
+	if reg.Histogram(MetricCellMillis, nil).Count() != uint64(st.CellsRun) {
+		t.Error("duration histogram missed cells")
+	}
+
+	// Same cells again under a different label: all memo hits, charged
+	// to the new artifact.
+	cfg.Artifact = "table1-rerun"
+	if _, err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricCellMemoHit + ".table1-rerun").Value(); got == 0 {
+		t.Error("rerun produced no memo hits under its own label")
+	}
+	if got := reg.Counter(MetricCellsRun + ".table1-rerun").Value(); got != 0 {
+		t.Errorf("rerun executed %d cells, want 0 (memo)", got)
+	}
+
+	// A warm engine over the same cache charges hits per artifact.
+	eng2 := NewEngine(2, cache)
+	reg2 := telemetry.NewRegistry()
+	eng2.AttachMetrics(reg2)
+	cfg2 := smokeConfig()
+	cfg2.Engine = eng2
+	cfg2.Artifact = "table1"
+	if _, err := Table1(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	st2 := eng2.Stats()
+	if got := reg2.Counter(MetricCellCacheHit + ".table1").Value(); got != uint64(st2.CacheHits) || got == 0 {
+		t.Errorf("warm cache_hit.table1 = %d, engine reports %d", got, st2.CacheHits)
+	}
+
+	// The snapshot flattens everything under sorted names; spot-check a
+	// prefix scan finds the per-artifact counters.
+	var found int
+	for _, s := range reg.Snapshot() {
+		if strings.HasPrefix(s.Name, "cells.") {
+			found++
+		}
+	}
+	if found < 4 {
+		t.Errorf("snapshot exposes %d cells.* samples, want several", found)
+	}
+}

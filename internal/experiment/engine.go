@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"instrsample/internal/telemetry"
 )
 
 // Engine executes cells across a bounded worker pool, deduplicating
@@ -19,6 +21,7 @@ import (
 type Engine struct {
 	workers int
 	cache   *Cache
+	metrics *telemetry.Registry
 	sem     chan struct{}
 
 	mu        sync.Mutex
@@ -77,6 +80,37 @@ func NewEngine(workers int, cache *Cache) *Engine {
 // Workers returns the engine's concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// Engine metric names. Counters are suffixed ".<artifact>" using the
+// requesting Config's Artifact label, so hit/miss behaviour is
+// attributable per artifact in the -timings report and the
+// -telemetry-dir dump.
+const (
+	MetricCellsRun      = "cells.run"         // counter: unique cells resolved
+	MetricCellCacheHit  = "cells.cache_hit"   // counter: served from the on-disk cache
+	MetricCellCacheMiss = "cells.cache_miss"  // counter: executed (not in cache)
+	MetricCellMemoHit   = "cells.memo_hit"    // counter: served from the in-memory memo
+	MetricCellMillis    = "cells.duration_ms" // histogram: per-cell resolution time
+)
+
+// AttachMetrics directs the engine's per-cell accounting into reg; nil
+// detaches. Attach before running any cells.
+func (e *Engine) AttachMetrics(reg *telemetry.Registry) {
+	e.mu.Lock()
+	e.metrics = reg
+	e.mu.Unlock()
+}
+
+// count bumps a per-artifact engine counter.
+func (e *Engine) count(cfg Config, name string) {
+	e.mu.Lock()
+	reg := e.metrics
+	e.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	reg.Counter(name + "." + cfg.artifact()).Inc()
+}
+
 // Do executes the cells and returns their results in input order, which
 // is what keeps artifact assembly — and therefore output bytes —
 // independent of scheduling. Keyed duplicates are computed once. On
@@ -121,6 +155,7 @@ func (e *Engine) one(cfg Config, c Cell) (*CellResult, error) {
 	if f, ok := e.memo[c.Key]; ok {
 		e.memoHits++
 		e.mu.Unlock()
+		e.count(cfg, MetricCellMemoHit)
 		<-f.done
 		return f.res, f.err
 	}
@@ -158,7 +193,17 @@ func (e *Engine) execute(cfg Config, c Cell) (*CellResult, error) {
 
 // record accounts one executed cell and emits a progress line.
 func (e *Engine) record(cfg Config, key string, d time.Duration, cached bool) {
+	e.count(cfg, MetricCellsRun)
+	if cached {
+		e.count(cfg, MetricCellCacheHit)
+	} else {
+		e.count(cfg, MetricCellCacheMiss)
+	}
 	e.mu.Lock()
+	if reg := e.metrics; reg != nil {
+		reg.Histogram(MetricCellMillis, telemetry.ExpBuckets(1, 20)).
+			Observe(uint64(d.Milliseconds()))
+	}
 	e.runs++
 	if cached {
 		e.cacheHits++

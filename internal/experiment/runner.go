@@ -25,6 +25,10 @@ type Config struct {
 	// engine per batch — correct, but without cross-artifact cell
 	// sharing, parallelism or caching; cmd/experiments always sets one.
 	Engine *Engine
+	// Artifact labels this Config's cell requests in the engine's
+	// metrics registry (cells.run.<artifact> etc.); cmd/experiments sets
+	// it to the artifact ID before invoking each generator.
+	Artifact string
 }
 
 // DefaultConfig is full experiment scale with the i-cache model on.
@@ -52,6 +56,14 @@ func (c Config) suite() ([]bench.Benchmark, error) {
 		out = append(out, b)
 	}
 	return out, nil
+}
+
+// artifact returns the metrics label for this Config's cell requests.
+func (c Config) artifact() string {
+	if c.Artifact == "" {
+		return "unlabeled"
+	}
+	return c.Artifact
 }
 
 func (c Config) progress(format string, args ...any) {

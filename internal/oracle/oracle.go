@@ -335,6 +335,14 @@ func (o *Oracle) OnProbe(t *vm.Thread, f *vm.Frame, p *ir.Probe) {
 	}
 }
 
+// OnYield implements vm.Observer. Yieldpoints carry no sampling
+// invariants of their own — Property 1 reconciles against the VM's
+// Stats.Yields counter in Finish — so the hook is a no-op. It is also
+// deliberately excluded from Events(): the recorded ablation-oracle
+// artifact predates the hook, and counting yields would shift its
+// event totals.
+func (o *Oracle) OnYield(t *vm.Thread, f *vm.Frame) {}
+
 // partialLike reports whether the variation removes nodes from the
 // duplicated code, making Twin==nil exits legitimate.
 func partialLike(transformed string) bool {

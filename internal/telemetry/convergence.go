@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"instrsample/internal/ir"
+	"instrsample/internal/profile"
+	"instrsample/internal/vm"
+)
+
+// ConvergencePoint is one snapshot of the live sampled profiles.
+type ConvergencePoint struct {
+	// Cycle is when the snapshot was taken.
+	Cycle uint64
+	// Profiles are deep copies of the instrumentation profiles at that
+	// moment, in runtime order.
+	Profiles []*profile.Profile
+}
+
+// Convergence periodically clones the live sampled profiles while the
+// program runs, producing the raw material for accuracy-convergence
+// curves: overlap of the sampled profile against the perfect profile as
+// a function of executed cycles (§4.4's accuracy metric, extended along
+// the time axis).
+//
+// Snapshots are taken from observer hooks at cycle-interval boundaries,
+// so the series is deterministic for a given program and trigger — the
+// same run produces the same curve regardless of host load. The hook
+// cost is one comparison until a boundary passes; cloning costs
+// O(profile size), which is why the interval should be a meaningful
+// fraction of the run (the experiment layer derives it from a baseline
+// run's cycle total).
+type Convergence struct {
+	clock Clock
+
+	// interval is the snapshot cadence in cycles.
+	interval uint64
+	// max caps the number of snapshots (guards pathological intervals);
+	// once reached, no further snapshots are taken.
+	max int
+	// source returns the live profiles to clone.
+	source func() []*profile.Profile
+
+	next   uint64
+	points []ConvergencePoint
+}
+
+// NewConvergence returns a recorder cloning source() every interval
+// cycles, keeping at most max snapshots (0 means 4096).
+func NewConvergence(interval uint64, max int, source func() []*profile.Profile) *Convergence {
+	if interval == 0 {
+		interval = 1 << 16
+	}
+	if max <= 0 {
+		max = 4096
+	}
+	return &Convergence{interval: interval, max: max, source: source, next: interval}
+}
+
+// SetClock installs the timestamp source; call it right after vm.New,
+// with the VM itself.
+func (c *Convergence) SetClock(cl Clock) { c.clock = cl }
+
+// Points returns the snapshots taken so far, in cycle order.
+func (c *Convergence) Points() []ConvergencePoint { return c.points }
+
+func (c *Convergence) tick() {
+	if c.clock == nil || len(c.points) >= c.max {
+		return
+	}
+	now := c.clock.Now()
+	if now < c.next {
+		return
+	}
+	live := c.source()
+	pt := ConvergencePoint{Cycle: now, Profiles: make([]*profile.Profile, len(live))}
+	for i, p := range live {
+		pt.Profiles[i] = p.Clone()
+	}
+	c.points = append(c.points, pt)
+	c.next = (now/c.interval + 1) * c.interval
+}
+
+// OnEnter implements vm.Observer.
+func (c *Convergence) OnEnter(*vm.Thread, *vm.Frame) { c.tick() }
+
+// OnExit implements vm.Observer.
+func (c *Convergence) OnExit(*vm.Thread, *vm.Frame) { c.tick() }
+
+// OnTransfer implements vm.Observer.
+func (c *Convergence) OnTransfer(*vm.Thread, *vm.Frame, *ir.Instr, int) { c.tick() }
+
+// OnCheck implements vm.Observer.
+func (c *Convergence) OnCheck(*vm.Thread, *vm.Frame, *ir.Instr, bool) { c.tick() }
+
+// OnProbe implements vm.Observer.
+func (c *Convergence) OnProbe(*vm.Thread, *vm.Frame, *ir.Probe) { c.tick() }
+
+// OnYield implements vm.Observer.
+func (c *Convergence) OnYield(*vm.Thread, *vm.Frame) { c.tick() }

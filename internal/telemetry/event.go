@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+)
+
+// EventKind enumerates the trace event vocabulary. The kinds mirror the
+// vm.Observer hooks, with two refinements: checks are split by whether
+// the sample condition fired, and block transfers are reduced to the
+// interesting subset — crossings of the checking/duplicated code
+// boundary (every other transfer is framework-invisible control flow).
+type EventKind uint8
+
+const (
+	// EvEnter is a frame push (call, spawn or thread root).
+	EvEnter EventKind = iota
+	// EvExit is a frame pop (return).
+	EvExit
+	// EvCheckPolled is a sample check whose condition was false:
+	// execution stayed in checking code.
+	EvCheckPolled
+	// EvCheckFired is a sample check whose condition was true: a sample
+	// is being taken and execution transfers to duplicated code.
+	EvCheckFired
+	// EvDupEnter is a transfer from checking code into duplicated code.
+	// Arg is the GID of the duplicated block entered.
+	EvDupEnter
+	// EvDupExit is a transfer from duplicated code back into checking
+	// code, or a return executed inside duplicated code. Arg is the GID
+	// of the duplicated block left.
+	EvDupExit
+	// EvProbe is an executed instrumentation probe. Arg packs the
+	// probe's owner and kind (see ProbeArg).
+	EvProbe
+	// EvYield is an executed yieldpoint.
+	EvYield
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvEnter:       "enter",
+	EvExit:        "exit",
+	EvCheckPolled: "check",
+	EvCheckFired:  "sample",
+	EvDupEnter:    "dup-enter",
+	EvDupExit:     "dup-exit",
+	EvProbe:       "probe",
+	EvYield:       "yield",
+}
+
+// String returns the kind's short name, which is also the event name
+// used in the Chrome trace export.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one recorded trace event. Events are small fixed-size values
+// so the ring buffer is a flat allocation-free array.
+type Event struct {
+	// Cycle is the VM cycle count at the moment the event fired.
+	Cycle uint64
+	// Kind classifies the event.
+	Kind EventKind
+	// Thread is the ID of the VM thread the event occurred on.
+	Thread int32
+	// Method is the method executing when the event fired.
+	Method *ir.Method
+	// Arg carries per-kind detail: the block GID for EvDupEnter and
+	// EvDupExit, the packed owner/kind for EvProbe (see ProbeArg), and
+	// zero otherwise.
+	Arg int64
+}
+
+// ProbeArg packs a probe's owner index and kind into an Event.Arg.
+func ProbeArg(p *ir.Probe) int64 {
+	return int64(p.Owner)<<16 | int64(p.Kind)&0xffff
+}
+
+// ProbeOwner unpacks the owner index from an EvProbe event's Arg.
+func ProbeOwner(arg int64) int { return int(arg >> 16) }
+
+// ProbeKind unpacks the probe kind from an EvProbe event's Arg.
+func ProbeKind(arg int64) ir.ProbeKind { return ir.ProbeKind(arg & 0xffff) }

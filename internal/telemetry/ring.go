@@ -1,0 +1,66 @@
+package telemetry
+
+import "sync/atomic"
+
+// ring is a fixed-capacity overwrite-oldest event buffer — flight
+// recorder semantics. The capacity is a power of two so positions reduce
+// to a mask. head is the monotone count of events ever pushed; the
+// retained window is the last min(head, cap) events, and everything
+// before it has been dropped (overwritten).
+//
+// Writes are single-producer (the VM interpreter loop runs hooks on one
+// goroutine); the atomic head publishes each write so concurrent readers
+// (a snapshot taken from another goroutine) see a consistent count. The
+// hot path is a store and an atomic add — no locks, no allocation.
+type ring struct {
+	buf  []Event
+	mask uint64
+	head atomic.Uint64
+}
+
+func newRing(capacity int) *ring {
+	c := nextPow2(capacity)
+	return &ring{buf: make([]Event, c), mask: uint64(c) - 1}
+}
+
+// nextPow2 rounds n up to a power of two, minimum 1.
+func nextPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// push appends an event, overwriting the oldest retained event when the
+// ring is full.
+func (r *ring) push(e Event) {
+	h := r.head.Load()
+	r.buf[h&r.mask] = e
+	r.head.Store(h + 1)
+}
+
+// total returns the number of events ever pushed.
+func (r *ring) total() uint64 { return r.head.Load() }
+
+// drops returns the number of events that have been overwritten.
+func (r *ring) drops() uint64 {
+	if h, c := r.head.Load(), uint64(len(r.buf)); h > c {
+		return h - c
+	}
+	return 0
+}
+
+// events returns the retained window, oldest first.
+func (r *ring) events() []Event {
+	h := r.head.Load()
+	c := uint64(len(r.buf))
+	if h <= c {
+		return append([]Event(nil), r.buf[:h]...)
+	}
+	out := make([]Event, 0, c)
+	for i := h - c; i < h; i++ {
+		out = append(out, r.buf[i&r.mask])
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package telemetry is the observability layer: it turns the vm.Observer
+// event stream into artifacts a human (or a later analysis pass) can
+// consume without re-running the program.
+//
+// Three consumers are provided, all implementing vm.Observer so they can
+// be installed alone or fanned out together through vm.MultiObserver:
+//
+//   - Trace: a lock-free, fixed-size ring-buffered flight recorder with
+//     one ring per VM thread. It keeps the most recent events (oldest
+//     entries are overwritten; overwrites are counted as drops) and
+//     exports Chrome trace-event JSON loadable in chrome://tracing or
+//     https://ui.perfetto.dev.
+//   - Meter: updates a metrics Registry (counters, gauges, histograms)
+//     from the event stream and snapshots it into a Series at a
+//     configurable cycle cadence, for CSV/JSON time-series export.
+//   - Convergence: periodically clones the live sampled profiles so the
+//     experiment layer can compute profile.Overlap against the perfect
+//     profile as a function of executed cycles (the accuracy-convergence
+//     curves).
+//
+// All timestamps are in the VM's simulated-cycle domain, read through
+// the Clock interface (vm.VM implements it via VM.Now). Cycle timestamps
+// are deterministic: the same program and trigger produce the same
+// telemetry byte-for-byte, regardless of wall-clock load or -j
+// parallelism. See DESIGN.md §9.
+package telemetry
+
+// Clock supplies the current timestamp in simulated VM cycles. *vm.VM
+// implements Clock: VM.Now is exact at every observer hook. The VM is
+// constructed with the observer already installed, so consumers accept
+// the clock after construction (SetClock) and read it lazily; a nil
+// clock yields timestamp 0.
+type Clock interface {
+	Now() uint64
+}

@@ -1,0 +1,67 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/telemetry"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// clocked is anything that takes the VM as its timestamp source.
+type clocked interface{ SetClock(telemetry.Clock) }
+
+// buildProgram compiles a small sampled program whose run produces every
+// event kind: calls, checks (hit and miss), duplicated-code entries and
+// exits, probes and yieldpoints.
+func buildProgram(t testing.TB, iters int64) *compile.Result {
+	t.Helper()
+	fb := ir.NewFunc("leaf", 1)
+	{
+		c := fb.At(fb.EntryBlock())
+		two := c.Const(2)
+		c.Return(c.Bin(ir.OpMul, 0, two))
+	}
+	mb := ir.NewFunc("main", 0)
+	{
+		c := mb.At(mb.EntryBlock())
+		n := c.Const(iters)
+		lp := c.CountedLoop(n, "l")
+		lp.Body.Call(fb.M, lp.I)
+		lp.Body.Jump(lp.Latch)
+		lp.After.Return(lp.I)
+	}
+	p := &ir.Program{Name: "telemetry", Funcs: []*ir.Method{fb.M, mb.M}, Main: mb.M}
+	p.Seal()
+	res, err := compile.Compile(p, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// run executes res with the observer installed, wiring the VM in as the
+// clock of every telemetry consumer passed in clocks.
+func run(t testing.TB, res *compile.Result, obs vm.Observer, clocks ...clocked) *vm.Result {
+	t.Helper()
+	v := vm.New(res.Prog, vm.Config{
+		Trigger:  trigger.NewCounter(50),
+		Handlers: res.Handlers,
+		Observer: obs,
+	})
+	for _, c := range clocks {
+		c.SetClock(v)
+	}
+	out, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -248,6 +248,9 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if len(in.Args) != m.NumParams {
 				return false, v.trapAt(t, f, pc, cycles, icount, fmt.Sprintf("spawn %s with %d args, wants %d", m.FullName(), len(in.Args), m.NumParams))
 			}
+			if v.obs != nil {
+				v.cycles = cycles // newThread fires OnEnter; keep Now exact
+			}
 			nt := v.newThread(m)
 			nr := nt.Frames[0].Regs
 			for i, r := range in.Args {
@@ -279,6 +282,10 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 
 		case ir.OpYield:
 			v.stats.Yields++
+			if v.obs != nil {
+				v.cycles = cycles
+				v.obs.OnYield(t, f)
+			}
 			v.quantum--
 			if v.quantum <= 0 && v.runq.len() > 1 {
 				f.PC = pc + 1
@@ -298,6 +305,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			v.stats.Checks++
 			fired := v.trig.Poll(t.ID, cycles)
 			if v.obs != nil {
+				v.cycles = cycles
 				v.obs.OnCheck(t, f, in, fired)
 			}
 			if fired {
@@ -310,6 +318,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 
 		case ir.OpJump:
 			if v.obs != nil {
+				v.cycles = cycles
 				v.obs.OnTransfer(t, f, in, 0)
 			}
 			v.countBackedge(in, 0)
@@ -343,6 +352,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 				i = 0
 			}
 			if v.obs != nil {
+				v.cycles = cycles
 				v.obs.OnTransfer(t, f, in, i)
 			}
 			v.countBackedge(in, i)
@@ -383,6 +393,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 				target = 0
 			}
 			if v.obs != nil {
+				v.cycles = cycles
 				v.obs.OnCheck(t, f, in, target == 0)
 				v.obs.OnTransfer(t, f, in, target)
 			}
@@ -419,6 +430,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 				target = 0
 			}
 			if v.obs != nil {
+				v.cycles = cycles
 				v.obs.OnTransfer(t, f, in, target)
 			}
 			v.countBackedge(in, target)
@@ -454,6 +466,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			}
 			retDst := f.RetDst
 			if v.obs != nil {
+				v.cycles = cycles
 				v.obs.OnExit(t, f)
 			}
 			t.Frames = t.Frames[:len(t.Frames)-1]

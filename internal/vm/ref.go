@@ -229,6 +229,9 @@ func (v *VM) runThreadRef(t *Thread) (bool, error) {
 
 		case ir.OpYield:
 			v.stats.Yields++
+			if v.obs != nil {
+				v.obs.OnYield(t, f)
+			}
 			v.quantum--
 			if v.quantum <= 0 && len(v.refq) > 1 {
 				f.PC++

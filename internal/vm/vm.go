@@ -274,6 +274,14 @@ func (v *VM) finalStats() Stats {
 // Stats returns the counters accumulated so far.
 func (v *VM) Stats() Stats { return v.finalStats() }
 
+// Now returns the current simulated cycle count. At every observer hook
+// the value is exact — both dispatchers flush their lazily tracked
+// counter before invoking a hook (see Observer) — which makes the VM
+// usable as a telemetry clock: package telemetry timestamps its events
+// and metric snapshots with Now, keeping everything in the cycle domain
+// rather than host wall time.
+func (v *VM) Now() uint64 { return v.cycles }
+
 // newThread creates a runnable thread rooted at m with zeroed argument
 // registers; callers copy arguments directly into Frames[0].Regs.
 func (v *VM) newThread(m *ir.Method) *Thread {
