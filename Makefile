@@ -4,9 +4,10 @@
 GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-short experiments clean-cache \
-	fuzz fuzz-smoke mutation-check telemetry-smoke
+	fuzz fuzz-smoke mutation-check telemetry-smoke service-smoke
 
-ci: fmt vet build test race fuzz-smoke mutation-check telemetry-smoke bench-short
+ci: fmt vet build test race fuzz-smoke mutation-check telemetry-smoke \
+	service-smoke bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -24,11 +25,12 @@ test:
 # The experiment engine runs measurement cells on concurrent goroutines,
 # the VM's differential tests run parallel subtests over the frame pools
 # and scheduler, the oracle tests exercise the observer hooks from
-# parallel seeds, and the trigger tests drive fault-injected timers under
-# threaded programs; keep all four race-clean.
+# parallel seeds, the trigger tests drive fault-injected timers under
+# threaded programs, and the service daemon runs its queue/worker/SSE
+# machinery against live HTTP clients; keep all five race-clean.
 race:
 	$(GO) test -race ./internal/experiment/ ./internal/vm/ \
-		./internal/oracle/ ./internal/trigger/
+		./internal/oracle/ ./internal/trigger/ ./internal/service/
 
 # Native fuzzing (go test -fuzz), 30s per target. Each target keeps its
 # regression corpus in testdata/fuzz/; crashers found here land there
@@ -58,6 +60,13 @@ mutation-check:
 # under -race to exercise the trace ring's atomic head publication.
 telemetry-smoke:
 	$(GO) test -race -run '^TestTelemetrySmoke$$' -v ./cmd/isamp/ | grep -q 'PASS: TestTelemetrySmoke'
+
+# Daemon smoke: boot isampd on an ephemeral port under -race, submit a
+# job over HTTP, stream its SSE events to completion, cancel a
+# long-running job (must stop at the next observation point), validate
+# the /metrics exposition format, and drain via the SIGTERM path.
+service-smoke:
+	$(GO) test -race -run '^TestServiceSmoke$$' -v ./cmd/isampd/ | grep -q 'PASS: TestServiceSmoke'
 
 # Full benchmark sweep (slow). BENCH_*.json snapshots in the repo root
 # record curated before/after numbers from these benchmarks.

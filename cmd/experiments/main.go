@@ -10,6 +10,7 @@
 //	experiments -no-cache          # ignore the on-disk result cache
 //	experiments -timings           # slowest cells + per-artifact cache hit/miss
 //	experiments -telemetry-dir d   # dump engine metrics as CSV + JSON
+//	experiments -version           # print the cache-keying build ID
 //
 // Artifacts decompose into independent measurement cells executed on a
 // bounded worker pool (-j, default GOMAXPROCS); cells shared between
@@ -39,27 +40,47 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the process concerns: flags come from args, output
+// goes to the given writers, and failures return instead of exiting —
+// which is what lets the smoke test drive the real flag parsing and
+// artifact pipeline in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		artifact = flag.String("artifact", "", "one of table1..table5, figure7, figure8a, figure8b, ablation-* (default: all)")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		markdown = flag.Bool("markdown", false, "emit markdown instead of ASCII tables")
-		outPath  = flag.String("o", "", "write to file instead of stdout")
-		benches  = flag.String("bench", "", "comma-separated benchmark subset")
-		noICache = flag.Bool("no-icache", false, "disable the i-cache model")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "number of parallel cell workers")
-		cacheDir = flag.String("cache-dir", defaultCacheDir(), "on-disk result cache directory (empty disables)")
-		noCache  = flag.Bool("no-cache", false, "disable the on-disk result cache")
-		timings  = flag.Bool("timings", false, "report the slowest cells and per-artifact cache hit/miss counts")
-		telDir   = flag.String("telemetry-dir", "", "write engine metrics (CSV + JSON) into this directory")
+		artifact = fs.String("artifact", "", "one of table1..table5, figure7, figure8a, figure8b, ablation-* (default: all)")
+		scale    = fs.Float64("scale", 1.0, "workload scale factor")
+		markdown = fs.Bool("markdown", false, "emit markdown instead of ASCII tables")
+		outPath  = fs.String("o", "", "write to file instead of stdout")
+		benches  = fs.String("bench", "", "comma-separated benchmark subset")
+		noICache = fs.Bool("no-icache", false, "disable the i-cache model")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+		workers  = fs.Int("j", runtime.GOMAXPROCS(0), "number of parallel cell workers")
+		cacheDir = fs.String("cache-dir", defaultCacheDir(), "on-disk result cache directory (empty disables)")
+		noCache  = fs.Bool("no-cache", false, "disable the on-disk result cache")
+		timings  = fs.Bool("timings", false, "report the slowest cells and per-artifact cache hit/miss counts")
+		telDir   = fs.String("telemetry-dir", "", "write engine metrics (CSV + JSON) into this directory")
+		version  = fs.Bool("version", false, "print the cache-keying build ID and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, experiment.BuildID())
+		return nil
+	}
 
 	var cache *experiment.Cache
 	if !*noCache && *cacheDir != "" {
 		c, err := experiment.OpenCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: cache disabled:", err)
+			fmt.Fprintln(stderr, "experiments: cache disabled:", err)
 		} else {
 			cache = c
 		}
@@ -81,16 +102,16 @@ func main() {
 		var mu sync.Mutex
 		cfg.Progress = func(line string) {
 			mu.Lock()
-			fmt.Fprintln(os.Stderr, "  "+line)
+			fmt.Fprintln(stderr, "  "+line)
 			mu.Unlock()
 		}
 	}
 
-	var out io.Writer = os.Stdout
+	var out io.Writer = stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		out = f
@@ -104,7 +125,7 @@ func main() {
 	if *artifact != "" {
 		gen, err := experiment.ByID(*artifact)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		jobs = append(jobs, job{*artifact, gen})
 	} else {
@@ -141,10 +162,10 @@ func main() {
 	for i, j := range jobs {
 		r := results[i]
 		if r.err != nil {
-			fatal(fmt.Errorf("%s: %w", j.id, r.err))
+			return fmt.Errorf("%s: %w", j.id, r.err)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "%s done in %v\n", j.id, r.dur.Round(time.Millisecond))
+			fmt.Fprintf(stderr, "%s done in %v\n", j.id, r.dur.Round(time.Millisecond))
 		}
 		if *markdown {
 			r.tab.Markdown(out)
@@ -155,37 +176,38 @@ func main() {
 
 	if !*quiet {
 		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "%d cells (%d cache hits, %d shared) on %d workers in %v\n",
+		fmt.Fprintf(stderr, "%d cells (%d cache hits, %d shared) on %d workers in %v\n",
 			st.CellsRun, st.CacheHits, st.MemoHits, eng.Workers(),
 			time.Since(start).Round(time.Millisecond))
 	}
 	if *timings {
-		fmt.Fprintln(os.Stderr, "slowest cells:")
+		fmt.Fprintln(stderr, "slowest cells:")
 		for _, ct := range eng.Slowest(10) {
 			tag := ""
 			if ct.Cached {
 				tag = " (cache)"
 			}
-			fmt.Fprintf(os.Stderr, "  %8v%s  %s\n", ct.Duration.Round(time.Millisecond), tag, ct.Key)
+			fmt.Fprintf(stderr, "  %8v%s  %s\n", ct.Duration.Round(time.Millisecond), tag, ct.Key)
 		}
 		var ids []string
 		for _, j := range jobs {
 			ids = append(ids, j.id)
 		}
-		fmt.Fprintln(os.Stderr, "cells per artifact (run / cache hit / cache miss / shared):")
+		fmt.Fprintln(stderr, "cells per artifact (run / cache hit / cache miss / shared):")
 		for _, line := range artifactReport(metrics, ids) {
-			fmt.Fprintln(os.Stderr, "  "+line)
+			fmt.Fprintln(stderr, "  "+line)
 		}
 	}
 	if *telDir != "" {
 		if err := writeEngineMetrics(*telDir, metrics); err != nil {
-			fatal(err)
+			return err
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "engine metrics -> %s\n",
+			fmt.Fprintf(stderr, "engine metrics -> %s\n",
 				filepath.Join(*telDir, "engine_metrics.{csv,json}"))
 		}
 	}
+	return nil
 }
 
 // artifactReport renders one per-artifact accounting line from the
@@ -234,9 +256,4 @@ func defaultCacheDir() string {
 		return ""
 	}
 	return filepath.Join(dir, "instrsample", "experiments")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"instrsample/internal/experiment"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, io.Discard); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if got := strings.TrimSpace(out.String()); got != experiment.BuildID() {
+		t.Errorf("-version printed %q, want build ID %q", got, experiment.BuildID())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown flag accepted, want parse error")
+	}
+	if err := run([]string{"-artifact", "table99"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown artifact accepted, want error")
+	}
+}
+
+// TestSmokeTinyArtifact drives the real main pipeline — flag parsing,
+// cache setup, engine, one artifact — at a tiny scale through a temp
+// cache dir, and then again to confirm the second run is served from
+// that cache with byte-identical output.
+func TestSmokeTinyArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny artifact still runs real cells")
+	}
+	cacheDir := t.TempDir()
+	outPath := filepath.Join(t.TempDir(), "out.txt")
+	args := []string{
+		"-artifact", "table1",
+		"-scale", "0.02",
+		"-bench", "db",
+		"-cache-dir", cacheDir,
+		"-telemetry-dir", t.TempDir(),
+		"-q",
+		"-o", outPath,
+	}
+	if err := run(args, io.Discard, io.Discard); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	first, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	if !strings.Contains(string(first), "db") {
+		t.Errorf("table output missing benchmark row:\n%s", first)
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("cache dir empty after run (err %v)", err)
+	}
+
+	if err := run(args, io.Discard, io.Discard); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	second, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("cached rerun output differs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"instrsample/internal/bench"
 	"instrsample/internal/compile"
 	"instrsample/internal/core"
+	"instrsample/internal/experiment"
 	"instrsample/internal/instr"
 	"instrsample/internal/ir"
 	"instrsample/internal/oracle"
@@ -46,6 +47,10 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "overlap":
 		err = cmdOverlap(os.Args[2:])
+	case "version", "-version", "--version":
+		// The build ID keys the experiment engine's on-disk result cache;
+		// isamp, experiments and isampd all print the same one.
+		fmt.Println(experiment.BuildID())
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -64,6 +69,7 @@ func usage() {
   isamp disasm [flags] prog.vasm   print the compiled (and transformed) IR
   isamp bench  [flags] <name>      run a suite benchmark (see -list)
   isamp overlap a.json b.json      overlap %% of two saved profiles (-json output)
+  isamp version                    print the cache-keying build ID
 
 flags (run/disasm/bench):
   -instrument LIST   comma-separated: call-edge,field-access,edge,block-count,

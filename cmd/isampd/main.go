@@ -1,0 +1,126 @@
+// Command isampd is the profiling-as-a-service daemon: a long-running
+// HTTP server that accepts instrumentation jobs (assembly sources or
+// suite benchmarks with the isamp flag vocabulary), runs them on a
+// bounded worker pool over the experiment engine's memo table and
+// on-disk cache, and exposes results, live metrics streams and a
+// Prometheus endpoint.
+//
+//	isampd                             # listen on 127.0.0.1:8347
+//	isampd -addr 127.0.0.1:0 -j 8      # ephemeral port, 8 workers
+//	isampd -cache-dir ~/.cache/isamp   # share isamp/experiments results
+//	isampd -version                    # print the cache-keying build ID
+//
+//	POST   /v1/jobs             submit a job (429 + Retry-After when full)
+//	GET    /v1/jobs/{id}        job status and result
+//	GET    /v1/jobs/{id}/events live metrics stream (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel (stops within one observation interval)
+//	GET    /healthz             liveness and drain state
+//	GET    /metrics             Prometheus text exposition
+//
+// SIGTERM/SIGINT starts the graceful drain (DESIGN.md §10): submissions
+// get 503, in-flight jobs get the -drain budget to finish, stragglers
+// are cancelled at their next observation point, then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"instrsample/internal/experiment"
+	"instrsample/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "isampd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the process concerns: flags in args, output on the
+// given writers, lifetime bounded by ctx (cancellation plays the role of
+// SIGTERM). onReady, when non-nil, receives the bound address once the
+// listener is up — tests use it instead of parsing the log line.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("isampd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8347", "listen address (port 0 picks an ephemeral port)")
+		workers  = fs.Int("j", runtime.GOMAXPROCS(0), "worker-pool size: jobs running concurrently")
+		queue    = fs.Int("queue", 64, "accepted-job queue depth; a full queue answers 429")
+		cacheDir = fs.String("cache-dir", "", "on-disk result cache directory (empty disables)")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
+		quiet    = fs.Bool("q", false, "suppress per-job log lines")
+		version  = fs.Bool("version", false, "print the cache-keying build ID and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, experiment.BuildID())
+		return nil
+	}
+	var cache *experiment.Cache
+	if *cacheDir != "" {
+		c, err := experiment.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "isampd: cache disabled:", err)
+		} else {
+			cache = c
+		}
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "isampd: "+format+"\n", a...) }
+	scfg := service.Config{Workers: *workers, QueueDepth: *queue, Cache: cache}
+	if !*quiet {
+		scfg.Logf = logf
+	}
+	s := service.New(scfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logf("listening on http://%s (build %s, %d workers, queue %d)",
+		ln.Addr(), experiment.BuildID(), *workers, *queue)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain (DESIGN.md §10): refuse new jobs, give in-flight ones the
+	// budget, hard-cancel past it, then close the HTTP side. The daemon
+	// keeps answering status/metrics reads until every job is resolved.
+	logf("draining (budget %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if derr := s.Shutdown(dctx); derr != nil {
+		logf("drain budget exceeded; in-flight jobs cancelled")
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := srv.Shutdown(hctx); err != nil {
+		srv.Close()
+	}
+	logf("shutdown complete")
+	return nil
+}

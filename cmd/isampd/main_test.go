@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"instrsample/internal/experiment"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out, &errb, nil); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if got := strings.TrimSpace(out.String()); got != experiment.BuildID() {
+		t.Errorf("-version printed %q, want build ID %q", got, experiment.BuildID())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard, io.Discard, nil); err == nil {
+		t.Error("run with unknown flag succeeded, want error")
+	}
+}
+
+// TestDaemonLifecycle drives the full daemon loop in-process: bind an
+// ephemeral port, submit a job over real HTTP, read the result and the
+// metrics endpoint, then cancel the context (the SIGTERM path) and
+// require a clean drain.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-j", "2", "-drain", "10s", "-cache-dir", t.TempDir()},
+			io.Discard, io.Discard, func(a string) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon not ready after 10s")
+	}
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"db","scale":0.01,"instrument":["call-edge"]}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d id %q", resp.StatusCode, sub.ID)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var v struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatalf("decode poll: %v", err)
+		}
+		r.Body.Close()
+		if v.Status == "done" {
+			break
+		}
+		if v.Status == "failed" || v.Status == "cancelled" {
+			t.Fatalf("job %s: %s (%s)", sub.ID, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", sub.ID, v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if !strings.Contains(string(body), "jobs_completed 1") {
+		t.Errorf("metrics missing jobs_completed 1:\n%s", body)
+	}
+
+	cancel() // the SIGTERM path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not drain within 20s")
+	}
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServiceSmoke is the `make service-smoke` CI gate: the whole daemon
+// loop on an ephemeral port (under -race via the Makefile) — submit a
+// job, stream its events to completion, cancel a long-running job, and
+// validate the /metrics exposition format line by line.
+func TestServiceSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-j", "2", "-q", "-drain", "10s"},
+			io.Discard, io.Discard, func(a string) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon not ready after 10s")
+	}
+
+	// 1. Submit a real instrumented job and stream its events end to end.
+	id := smokeSubmit(t, base, `{"bench":"db","scale":0.02,"instrument":["call-edge"],"variation":"full","interval":500,"events_interval":1024}`)
+	metrics, sawDone := smokeStream(t, base, id)
+	if metrics == 0 {
+		t.Error("event stream carried no metrics rows")
+	}
+	if sawDone != "done" {
+		t.Errorf("event stream ended with status %q, want done", sawDone)
+	}
+
+	// 2. Submit an effectively endless job and cancel it over HTTP; it
+	// must resolve as cancelled promptly (the VM stops at the next
+	// observation point).
+	slow := smokeSubmit(t, base, `{"source":"func main() {\nentry:\n  const i, 0\n  const n, 2305843009213693952\n  const one, 1\nloop:\n  cmplt c, i, n\n  br c, body, done\nbody:\n  add i, i, one\n  jmp loop\ndone:\n  ret i\n}\n"}`)
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+slow, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := smokeStatus(t, base, slow)
+		if st == "cancelled" {
+			break
+		}
+		if st == "done" || st == "failed" {
+			t.Fatalf("long job resolved %s, want cancelled", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("long job still %s 15s after cancel", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// 3. Validate the metrics endpoint: exposition content type, every
+	// line well-formed, and the daemon counters present with the values
+	// this exact scenario produced.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content-type %q, want text exposition 0.0.4", ct)
+	}
+	typeLine := regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleLine := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9]+$`)
+	for _, line := range strings.Split(strings.TrimSuffix(string(body), "\n"), "\n") {
+		if !typeLine.MatchString(line) && !sampleLine.MatchString(line) {
+			t.Errorf("metrics line violates exposition format: %q", line)
+		}
+	}
+	for _, want := range []string{"jobs_accepted 2", "jobs_completed 1", "jobs_cancelled 1", "queue_depth 0"} {
+		if !strings.Contains(string(body), want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// 4. SIGTERM-equivalent drain.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not drain within 20s")
+	}
+}
+
+func smokeSubmit(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", resp.StatusCode, m.Error)
+	}
+	return m.ID
+}
+
+func smokeStatus(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	return v.Status
+}
+
+// smokeStream consumes the SSE stream until the done event, returning
+// the metrics-event count and the done status.
+func smokeStream(t *testing.T, base, id string) (int, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%s/events", base, id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	metrics, event := 0, ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			if event == "metrics" {
+				metrics++
+			}
+		case strings.HasPrefix(line, "data: ") && event == "done":
+			var d struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &d); err != nil {
+				t.Fatalf("bad done payload %q: %v", line, err)
+			}
+			return metrics, d.Status
+		}
+	}
+	t.Fatalf("stream ended without done (err %v)", sc.Err())
+	return 0, ""
+}

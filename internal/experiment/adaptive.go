@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"instrsample/internal/adaptive"
@@ -28,12 +29,12 @@ func adaptiveOpts() OptsSpec {
 func adaptivePinnedCell(cfg Config, benchName string) Cell {
 	key := fmt.Sprintf("bench=%s scale=%g icache=%v kind=adaptive-pinned",
 		benchName, cfg.Scale, cfg.ICache)
-	return Cell{Key: key, Run: func() (*CellResult, error) {
+	return Cell{Key: key, Run: func(ctx context.Context) (*CellResult, error) {
 		prog, err := benchProgram(benchName, cfg.Scale)
 		if err != nil {
 			return nil, err
 		}
-		copts, err := adaptiveOpts().compileOptions()
+		copts, err := adaptiveOpts().Options()
 		if err != nil {
 			return nil, err
 		}
@@ -42,12 +43,19 @@ func adaptivePinnedCell(cfg Config, benchName string) Cell {
 			return nil, err
 		}
 		baseFactor := adaptive.DefaultLevels()[0].CostFactor
-		out, err := vm.New(res.Prog, vm.Config{
+		vcfg := vm.Config{
 			Trigger:   trigger.NewCounter(211),
 			Handlers:  res.Handlers,
 			ICache:    cfg.icache(),
 			CostScale: func(*ir.Method) uint32 { return baseFactor },
-		}).Run()
+		}
+		if ctx != nil && ctx.Done() != nil {
+			tok := vm.NewCancel()
+			vcfg.Cancel = tok
+			stop := context.AfterFunc(ctx, tok.Fire)
+			defer stop()
+		}
+		out, err := vm.New(res.Prog, vcfg).Run()
 		if err != nil {
 			return nil, err
 		}
@@ -61,12 +69,12 @@ func adaptivePinnedCell(cfg Config, benchName string) Cell {
 func adaptiveOnlineCell(cfg Config, benchName string) Cell {
 	key := fmt.Sprintf("bench=%s scale=%g icache=%v kind=adaptive-online",
 		benchName, cfg.Scale, cfg.ICache)
-	return Cell{Key: key, Run: func() (*CellResult, error) {
+	return Cell{Key: key, Run: func(ctx context.Context) (*CellResult, error) {
 		prog, err := benchProgram(benchName, cfg.Scale)
 		if err != nil {
 			return nil, err
 		}
-		copts, err := adaptiveOpts().compileOptions()
+		copts, err := adaptiveOpts().Options()
 		if err != nil {
 			return nil, err
 		}
@@ -75,12 +83,19 @@ func adaptiveOnlineCell(cfg Config, benchName string) Cell {
 			return nil, err
 		}
 		ctl := adaptive.NewController(res.Prog, res.Runtimes[0], adaptive.ControllerConfig{})
-		out, err := vm.New(res.Prog, vm.Config{
+		vcfg := vm.Config{
 			Trigger:   trigger.NewCounter(211),
 			Handlers:  []vm.ProbeHandler{ctl},
 			ICache:    cfg.icache(),
 			CostScale: ctl.CostScale(),
-		}).Run()
+		}
+		if ctx != nil && ctx.Done() != nil {
+			tok := vm.NewCancel()
+			vcfg.Cancel = tok
+			stop := context.AfterFunc(ctx, tok.Fire)
+			defer stop()
+		}
+		out, err := vm.New(res.Prog, vcfg).Run()
 		if err != nil {
 			return nil, err
 		}

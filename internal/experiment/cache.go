@@ -54,6 +54,13 @@ var buildIDOnce = sync.OnceValue(func() string {
 // buildID identifies the running binary's code content.
 func buildID() string { return buildIDOnce() }
 
+// BuildID returns the running binary's build ID — the sha256 of the
+// executable's bytes, "unknown-build" if it cannot be read. It keys the
+// on-disk result cache (stale builds never reuse entries) and is what the
+// -version flag on isamp, experiments and isampd prints, so cache
+// provenance is checkable from the command line.
+func BuildID() string { return buildIDOnce() }
+
 // path maps a cell key to its entry file.
 func (c *Cache) path(key string) string {
 	sum := sha256.Sum256([]byte(c.id + "\x00" + key))
@@ -92,6 +99,8 @@ type cachedCell struct {
 	CheckingCodeSize   int              `json:"checking_code_size"`
 	DuplicatedCodeSize int              `json:"duplicated_code_size"`
 	Work               int64            `json:"work"`
+	Return             int64            `json:"return,omitempty"`
+	Output             []int64          `json:"output,omitempty"`
 	Aux                map[string]int64 `json:"aux,omitempty"`
 	Snapshots          []cachedSnapshot `json:"snapshots,omitempty"`
 }
@@ -148,6 +157,8 @@ func (c *Cache) Load(key string) (*CellResult, bool) {
 		CheckingCodeSize:   in.CheckingCodeSize,
 		DuplicatedCodeSize: in.DuplicatedCodeSize,
 		Work:               in.Work,
+		Return:             in.Return,
+		Output:             in.Output,
 		Aux:                in.Aux,
 	}
 	for _, cp := range in.Profiles {
@@ -173,6 +184,8 @@ func (c *Cache) Store(key string, res *CellResult) {
 		CheckingCodeSize:   res.CheckingCodeSize,
 		DuplicatedCodeSize: res.DuplicatedCodeSize,
 		Work:               res.Work,
+		Return:             res.Return,
+		Output:             res.Output,
 		Aux:                res.Aux,
 	}
 	for _, p := range res.Profiles {

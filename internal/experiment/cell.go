@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,8 +31,11 @@ import (
 type Cell struct {
 	// Key canonically identifies the measurement ("" = uncacheable).
 	Key string
-	// Run performs the measurement.
-	Run func() (*CellResult, error)
+	// Run performs the measurement. The context carries cancellation:
+	// standard cells arm a vm.Cancel from it, so a cancelled context
+	// stops the VM within one observation interval (DESIGN.md §10).
+	// Run must return promptly with an error once ctx is done.
+	Run func(ctx context.Context) (*CellResult, error)
 }
 
 // CellResult is the serializable outcome of one cell: everything the
@@ -49,6 +53,12 @@ type CellResult struct {
 	CodeSize, CheckingCodeSize, DuplicatedCodeSize int
 	// Work is the deterministic compile-cost measure (compile.Result.Work).
 	Work int64
+	// Return is the program's main return value and Output its OpPrint
+	// sequence. The profiling service reports them so an HTTP job is
+	// byte-comparable with a direct isamp run of the same configuration.
+	Return int64
+	// Output is the program's print output, in execution order.
+	Output []int64
 	// Aux carries artifact-specific scalars produced by custom cells
 	// (e.g. the adaptive ablation's promotion count).
 	Aux map[string]int64
@@ -118,9 +128,10 @@ func newInstrumenter(name string) (instr.Instrumenter, error) {
 	return nil, fmt.Errorf("experiment: unknown instrumenter %q", name)
 }
 
-// compileOptions materializes the spec into compile.Options with fresh
-// instrumenter instances.
-func (o OptsSpec) compileOptions() (compile.Options, error) {
+// Options materializes the spec into compile.Options with fresh
+// instrumenter instances. Exported so the profiling service can compile
+// the exact configuration a cell key names.
+func (o OptsSpec) Options() (compile.Options, error) {
 	opts := compile.Options{
 		Framework:  o.Framework,
 		ChecksOnly: o.ChecksOnly,
@@ -136,8 +147,10 @@ func (o OptsSpec) compileOptions() (compile.Options, error) {
 	return opts, nil
 }
 
-// key renders the spec canonically for cell identity.
-func (o OptsSpec) key() string {
+// Key renders the spec canonically for cell identity. Exported so other
+// packages (the profiling service's job keys) can compose cell keys from
+// the same canonical vocabulary.
+func (o OptsSpec) Key() string {
 	instrs := "-"
 	if len(o.Instr) > 0 {
 		instrs = strings.Join(o.Instr, "+")
@@ -270,8 +283,8 @@ func (s TriggerSpec) New() trigger.Trigger {
 // Name returns the report label of the trigger this spec constructs.
 func (s TriggerSpec) Name() string { return s.New().Name() }
 
-// key renders the spec canonically for cell identity.
-func (s TriggerSpec) key() string {
+// Key renders the spec canonically for cell identity.
+func (s TriggerSpec) Key() string {
 	switch s.Kind {
 	case "", "never":
 		return "trig=never"
@@ -306,9 +319,9 @@ func (s TriggerSpec) key() string {
 // lets the engine share cells across artifacts.
 func (c Config) Cell(benchName string, o OptsSpec, t TriggerSpec) Cell {
 	key := fmt.Sprintf("bench=%s scale=%g icache=%v %s %s",
-		benchName, c.Scale, c.ICache, o.key(), t.key())
-	return Cell{Key: key, Run: func() (*CellResult, error) {
-		return c.runCell(benchName, o, t, 0)
+		benchName, c.Scale, c.ICache, o.Key(), t.Key())
+	return Cell{Key: key, Run: func(ctx context.Context) (*CellResult, error) {
+		return c.runCell(ctx, benchName, o, t, 0)
 	}}
 }
 
@@ -319,20 +332,30 @@ func (c Config) Cell(benchName string, o OptsSpec, t TriggerSpec) Cell {
 // cells, and pre-telemetry cache entries stay valid.
 func (c Config) ConvergenceCell(benchName string, o OptsSpec, t TriggerSpec, convInterval uint64) Cell {
 	key := fmt.Sprintf("bench=%s scale=%g icache=%v %s %s conv=%d",
-		benchName, c.Scale, c.ICache, o.key(), t.key(), convInterval)
-	return Cell{Key: key, Run: func() (*CellResult, error) {
-		return c.runCell(benchName, o, t, convInterval)
+		benchName, c.Scale, c.ICache, o.Key(), t.Key(), convInterval)
+	return Cell{Key: key, Run: func(ctx context.Context) (*CellResult, error) {
+		return c.runCell(ctx, benchName, o, t, convInterval)
 	}}
 }
 
 // runCell performs the standard cell measurement; convInterval > 0 also
-// records periodic profile snapshots.
-func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec, convInterval uint64) (*CellResult, error) {
+// records periodic profile snapshots. A cancellable ctx arms a vm.Cancel
+// token so the measurement stops within one observation interval of the
+// context being cancelled; the returned error then wraps both ctx.Err()
+// and the vm.CancelError (so errors.Is(err, context.Canceled) and
+// vm.IsCancelled(err) both hold).
+func (c Config) runCell(ctx context.Context, benchName string, o OptsSpec, t TriggerSpec, convInterval uint64) (*CellResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	prog, err := benchProgram(benchName, c.Scale)
 	if err != nil {
 		return nil, err
 	}
-	copts, err := o.compileOptions()
+	copts, err := o.Options()
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +368,12 @@ func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec, convInterva
 		Handlers:   cr.Handlers,
 		ICache:     c.icache(),
 		IterBudget: o.IterBudget,
+	}
+	if ctx.Done() != nil {
+		tok := vm.NewCancel()
+		vcfg.Cancel = tok
+		stop := context.AfterFunc(ctx, tok.Fire)
+		defer stop()
 	}
 	var observers []vm.Observer
 	var orc *oracle.Oracle
@@ -370,6 +399,9 @@ func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec, convInterva
 	}
 	out, err := v.Run()
 	if err != nil {
+		if vm.IsCancelled(err) && ctx.Err() != nil {
+			return nil, fmt.Errorf("%s: %w (%w)", benchName, ctx.Err(), err)
+		}
 		return nil, fmt.Errorf("%s: run: %w", benchName, err)
 	}
 	res := &CellResult{
@@ -378,6 +410,8 @@ func (c Config) runCell(benchName string, o OptsSpec, t TriggerSpec, convInterva
 		CheckingCodeSize:   cr.CheckingCodeSize,
 		DuplicatedCodeSize: cr.DuplicatedCodeSize,
 		Work:               cr.Work,
+		Return:             out.Return,
+		Output:             out.Output,
 	}
 	if orc != nil {
 		if err := orc.Finish(out.Stats); err != nil {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -120,6 +121,16 @@ func (e *Engine) count(cfg Config, name string) {
 // engine runs cells concurrently the hook must be safe for concurrent
 // use.
 func (e *Engine) Do(cfg Config, cells []Cell) ([]*CellResult, error) {
+	return e.DoContext(context.Background(), cfg, cells)
+}
+
+// DoContext is Do with cancellation: a done ctx stops cells that have not
+// started, unblocks requesters waiting on memoized flights, and — because
+// standard cells arm a vm.Cancel from the context — stops running VMs at
+// their next observation point. The flight that owns a cell keeps running
+// under its own requester's context only; a waiter abandoning a flight
+// does not cancel it for others.
+func (e *Engine) DoContext(ctx context.Context, cfg Config, cells []Cell) ([]*CellResult, error) {
 	e.mu.Lock()
 	e.scheduled += len(cells)
 	e.mu.Unlock()
@@ -131,7 +142,7 @@ func (e *Engine) Do(cfg Config, cells []Cell) ([]*CellResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = e.one(cfg, cells[i])
+			results[i], errs[i] = e.one(ctx, cfg, cells[i])
 			e.mu.Lock()
 			e.completed++
 			e.mu.Unlock()
@@ -147,30 +158,47 @@ func (e *Engine) Do(cfg Config, cells []Cell) ([]*CellResult, error) {
 }
 
 // one resolves a single cell request through the memo table.
-func (e *Engine) one(cfg Config, c Cell) (*CellResult, error) {
+func (e *Engine) one(ctx context.Context, cfg Config, c Cell) (*CellResult, error) {
 	if c.Key == "" {
-		return e.execute(cfg, c)
+		return e.execute(ctx, cfg, c)
 	}
 	e.mu.Lock()
 	if f, ok := e.memo[c.Key]; ok {
 		e.memoHits++
 		e.mu.Unlock()
 		e.count(cfg, MetricCellMemoHit)
-		<-f.done
-		return f.res, f.err
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	e.memo[c.Key] = f
 	e.mu.Unlock()
-	f.res, f.err = e.execute(cfg, c)
+	f.res, f.err = e.execute(ctx, cfg, c)
+	if f.err != nil {
+		// Failures are not memoized: a cancellation belongs to the
+		// requester that owned the flight, and a later identical request
+		// must be free to run the cell for itself. Waiters already parked
+		// on this flight still observe the error.
+		e.mu.Lock()
+		delete(e.memo, c.Key)
+		e.mu.Unlock()
+	}
 	close(f.done)
 	return f.res, f.err
 }
 
 // execute runs (or cache-loads) one unique cell under the worker
 // semaphore and records its timing.
-func (e *Engine) execute(cfg Config, c Cell) (*CellResult, error) {
-	e.sem <- struct{}{}
+func (e *Engine) execute(ctx context.Context, cfg Config, c Cell) (*CellResult, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	defer func() { <-e.sem }()
 
 	start := time.Now()
@@ -180,7 +208,7 @@ func (e *Engine) execute(cfg Config, c Cell) (*CellResult, error) {
 			return res, nil
 		}
 	}
-	res, err := c.Run()
+	res, err := c.Run(ctx)
 	if err != nil {
 		return nil, err
 	}

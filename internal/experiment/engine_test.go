@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"instrsample/internal/vm"
 )
@@ -80,7 +82,7 @@ func TestParallelDeterminism(t *testing.T) {
 func TestEngineMemoDedup(t *testing.T) {
 	var mu sync.Mutex
 	runs := 0
-	c := Cell{Key: "k1", Run: func() (*CellResult, error) {
+	c := Cell{Key: "k1", Run: func(context.Context) (*CellResult, error) {
 		mu.Lock()
 		runs++
 		mu.Unlock()
@@ -113,7 +115,7 @@ func TestEngineMemoDedup(t *testing.T) {
 func TestEngineUnkeyedNotMemoized(t *testing.T) {
 	var mu sync.Mutex
 	runs := 0
-	c := Cell{Run: func() (*CellResult, error) {
+	c := Cell{Run: func(context.Context) (*CellResult, error) {
 		mu.Lock()
 		runs++
 		mu.Unlock()
@@ -131,9 +133,9 @@ func TestEngineUnkeyedNotMemoized(t *testing.T) {
 // TestEngineErrorOrder: Do reports the first failing cell in input
 // order, regardless of completion order.
 func TestEngineErrorOrder(t *testing.T) {
-	ok := Cell{Run: func() (*CellResult, error) { return &CellResult{}, nil }}
+	ok := Cell{Run: func(context.Context) (*CellResult, error) { return &CellResult{}, nil }}
 	fail := func(i int) Cell {
-		return Cell{Run: func() (*CellResult, error) {
+		return Cell{Run: func(context.Context) (*CellResult, error) {
 			return nil, fmt.Errorf("cell %d failed", i)
 		}}
 	}
@@ -144,23 +146,38 @@ func TestEngineErrorOrder(t *testing.T) {
 	}
 }
 
-// TestEngineErrorMemoShared: a keyed failure is memoized like a success.
-func TestEngineErrorMemoShared(t *testing.T) {
+// TestEngineErrorNotMemoized: a keyed failure propagates to its
+// requesters but is not memoized — a later request for the same key runs
+// the cell fresh. This is what keeps one job's cancellation from
+// poisoning every later identical job in the profiling service.
+func TestEngineErrorNotMemoized(t *testing.T) {
 	var mu sync.Mutex
 	runs := 0
 	boom := errors.New("boom")
-	c := Cell{Key: "bad", Run: func() (*CellResult, error) {
+	fail := true
+	c := Cell{Key: "bad", Run: func(context.Context) (*CellResult, error) {
 		mu.Lock()
 		runs++
+		shouldFail := fail
 		mu.Unlock()
-		return nil, boom
+		if shouldFail {
+			return nil, boom
+		}
+		return &CellResult{}, nil
 	}}
 	eng := NewEngine(4, nil)
 	if _, err := eng.Do(Config{}, []Cell{c, c, c, c}); !errors.Is(err, boom) {
 		t.Errorf("got %v, want boom", err)
 	}
-	if runs != 1 {
-		t.Errorf("failing cell ran %d times, want 1", runs)
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	res, err := eng.Do(Config{}, []Cell{c})
+	if err != nil {
+		t.Fatalf("retry after failure: %v (stale failure memoized?)", err)
+	}
+	if res[0] == nil {
+		t.Fatal("retry returned nil result")
 	}
 }
 
@@ -179,7 +196,7 @@ func TestEngineSlowest(t *testing.T) {
 	eng := NewEngine(1, nil)
 	for i := 0; i < 5; i++ {
 		i := i
-		c := Cell{Key: fmt.Sprintf("k%d", i), Run: func() (*CellResult, error) {
+		c := Cell{Key: fmt.Sprintf("k%d", i), Run: func(context.Context) (*CellResult, error) {
 			return &CellResult{}, nil
 		}}
 		if _, err := eng.Do(Config{}, []Cell{c}); err != nil {
@@ -194,5 +211,99 @@ func TestEngineSlowest(t *testing.T) {
 		if slow[i].Duration > slow[i-1].Duration {
 			t.Errorf("timings not descending at %d", i)
 		}
+	}
+}
+
+// TestEngineDoContextCancel: cancelling the context unblocks a running
+// DoContext — the in-flight cell sees ctx.Done and the call returns the
+// cancellation error instead of hanging.
+func TestEngineDoContextCancel(t *testing.T) {
+	eng := NewEngine(1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	slow := Cell{Key: "slow", Run: func(ctx context.Context) (*CellResult, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.DoContext(ctx, Config{}, []Cell{slow})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DoContext did not return after cancel")
+	}
+}
+
+// TestEngineMemoWaiterCancel: a requester waiting on another requester's
+// memoized flight unblocks when its own context is cancelled, without
+// cancelling the flight for the owner.
+func TestEngineMemoWaiterCancel(t *testing.T) {
+	eng := NewEngine(2, nil)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	c := Cell{Key: "shared", Run: func(ctx context.Context) (*CellResult, error) {
+		close(started)
+		<-release
+		return &CellResult{}, nil
+	}}
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, err := eng.Do(Config{}, []Cell{c})
+		ownerDone <- err
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.DoContext(ctx, Config{}, []Cell{c}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter got %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner failed: %v", err)
+	}
+}
+
+// TestCellRunHonoursContext: a standard cell refuses to start under an
+// already-cancelled context, and a cancellable context armed mid-run
+// stops the VM with an error that is both a context cancellation and a
+// vm cancellation (so callers can classify it either way).
+func TestCellRunHonoursContext(t *testing.T) {
+	cfg := Config{Scale: 0.05}
+	c := cfg.Cell("compress", OptsSpec{}, NeverTrigger())
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := c.Run(pre); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run: got %v, want context.Canceled", err)
+	}
+
+	// Mid-run: cancel shortly after the VM starts. If the benchmark
+	// finishes first the run legitimately succeeds; both outcomes are
+	// checked, neither may hang.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	big := Config{Scale: 1}.Cell("compress", OptsSpec{}, NeverTrigger())
+	res, err := big.Run(ctx)
+	if err == nil {
+		t.Logf("benchmark finished before cancellation (result %v)", res.Stats.Cycles)
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: got %v, want wrapped context.Canceled", err)
+	}
+	if !vm.IsCancelled(err) {
+		t.Fatalf("mid-run cancel: %v does not wrap vm.CancelError", err)
 	}
 }

@@ -1,0 +1,282 @@
+package ir
+
+import "testing"
+
+// sealProg builds a small multi-method program: two free functions plus a
+// class with two methods, each containing a branch or a loop so there are
+// several blocks per method.
+func sealProg() *Program {
+	cls := &Class{Name: "C", FieldNames: []string{"x"}}
+
+	mainB := NewFunc("main", 0)
+	entry := mainB.EntryBlock()
+	exit := mainB.Block("exit")
+	c := mainB.At(entry)
+	zero := c.Const(0)
+	c.Jump(exit)
+	mainB.At(exit).Return(zero)
+
+	helperB := NewFunc("helper", 1)
+	he := helperB.EntryBlock()
+	ht := helperB.Block("then")
+	hf := helperB.Block("else")
+	hc := helperB.At(he)
+	hc.Branch(hc.Bin(OpCmpGT, 0, hc.Const(1)), ht, hf)
+	helperB.At(ht).Return(0)
+	helperB.At(hf).Return(0)
+
+	m1 := NewMethod(cls, "get", 1)
+	g := m1.At(m1.EntryBlock())
+	g.Return(g.GetField(0, cls, "x"))
+
+	m2 := NewMethod(cls, "spin", 1)
+	s := m2.At(m2.EntryBlock())
+	lp := s.CountedLoop(s.Const(4), "l")
+	lp.Body.Jump(lp.Latch)
+	lp.After.Return(lp.I)
+
+	p := &Program{
+		Name:    "sealtest",
+		Classes: []*Class{cls},
+		Funcs:   []*Method{mainB.M, helperB.M},
+		Main:    mainB.M,
+	}
+	p.Seal()
+	return p
+}
+
+// checkDenseGIDs asserts the program-wide GID invariants Seal guarantees:
+// dense from 0 with no gaps or reuse, contiguous and ascending within
+// each method in Blocks order, and per-method block IDs dense from 0.
+func checkDenseGIDs(t *testing.T, p *Program) {
+	t.Helper()
+	seen := make(map[int]bool)
+	next := 0
+	for _, m := range p.Methods() {
+		for i, b := range m.Blocks {
+			if b.ID != i {
+				t.Errorf("%s block %d has ID %d", m.FullName(), i, b.ID)
+			}
+			if seen[b.GID] {
+				t.Errorf("%s %s: GID %d reused", m.FullName(), b.Name(), b.GID)
+			}
+			seen[b.GID] = true
+			if b.GID != next {
+				t.Errorf("%s %s: GID %d, want %d (methods-order density)", m.FullName(), b.Name(), b.GID, next)
+			}
+			next++
+		}
+	}
+	if p.NumBlocks() != next {
+		t.Errorf("NumBlocks() = %d, want %d", p.NumBlocks(), next)
+	}
+}
+
+// TestSealGIDsAfterTransforms re-seals after representative block-adding
+// transforms and requires the GID space to stay dense — the VM's
+// per-block side tables (block cost prefix sums, i-cache lines) index by
+// GID and would silently alias if Seal ever left gaps or duplicates.
+func TestSealGIDsAfterTransforms(t *testing.T) {
+	cases := []struct {
+		name string
+		// mutate grows the program somehow, returning how many blocks it
+		// added (to sanity-check NumBlocks afterwards).
+		mutate func(t *testing.T, p *Program) int
+	}{
+		{"reseal unchanged", func(t *testing.T, p *Program) int { return 0 }},
+		{"split edge with trampoline", func(t *testing.T, p *Program) int {
+			m, ok := p.MethodByName("helper")
+			if !ok {
+				t.Fatal("no helper")
+			}
+			entry := m.Entry()
+			then := entry.Succs()[0]
+			tramp := m.NewBlock("tramp")
+			tramp.Append(Instr{Op: OpJump, Targets: []*Block{then}})
+			if n := entry.ReplaceTarget(then, tramp); n != 1 {
+				t.Fatalf("ReplaceTarget rewrote %d targets, want 1", n)
+			}
+			return 1
+		}},
+		{"synthesized check diamond", func(t *testing.T, p *Program) int {
+			// The shape the framework builds: a check block that either
+			// falls back to the original or jumps to a duplicated copy.
+			m, ok := p.MethodByName("C.get")
+			if !ok {
+				t.Fatal("no C.get")
+			}
+			orig := m.Entry()
+			dup := m.NewBlock("dup")
+			dup.Kind = KindDuplicated
+			dup.Instrs = append([]Instr(nil), orig.Instrs...)
+			dup.Twin, orig.Twin = orig, dup
+			chk := m.NewBlock("chk")
+			chk.Kind = KindCheckBlock
+			chk.Append(Instr{Op: OpCheck, Targets: []*Block{orig, dup}})
+			return 2
+		}},
+		{"new free function", func(t *testing.T, p *Program) int {
+			b := NewFunc("extra", 0)
+			e := b.EntryBlock()
+			u := b.Block("u")
+			b.At(e).Jump(u)
+			b.At(u).ReturnVoid()
+			p.Funcs = append(p.Funcs, b.M)
+			return 2
+		}},
+		{"new class method", func(t *testing.T, p *Program) int {
+			cls, ok := p.ClassByName("C")
+			if !ok {
+				t.Fatal("no class C")
+			}
+			b := NewMethod(cls, "set", 2)
+			c := b.At(b.EntryBlock())
+			c.PutField(0, cls, "x", 1)
+			c.ReturnVoid()
+			return 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := sealProg()
+			checkDenseGIDs(t, p)
+			before := p.NumBlocks()
+			added := tc.mutate(t, p)
+			p.Seal()
+			checkDenseGIDs(t, p)
+			if got := p.NumBlocks(); got != before+added {
+				t.Errorf("NumBlocks after transform = %d, want %d", got, before+added)
+			}
+			if err := p.Verify(VerifyBase); err != nil {
+				t.Errorf("program invalid after transform: %v", err)
+			}
+		})
+	}
+}
+
+// checkEdgeInvariants asserts the Preds/Succs bidirectional consistency
+// RecomputePreds promises: b appears in s.Preds exactly as often as s
+// appears in b.Succs, every edge endpoint belongs to the method, and the
+// terminator is the last instruction of every block.
+func checkEdgeInvariants(t *testing.T, m *Method) {
+	t.Helper()
+	inMethod := make(map[*Block]bool, len(m.Blocks))
+	for _, b := range m.Blocks {
+		inMethod[b] = true
+	}
+	countSucc := make(map[[2]*Block]int)
+	countPred := make(map[[2]*Block]int)
+	for _, b := range m.Blocks {
+		term := b.Terminator()
+		if term == nil {
+			t.Errorf("%s: no terminator", b.Name())
+			continue
+		}
+		if term != &b.Instrs[len(b.Instrs)-1] {
+			t.Errorf("%s: terminator not last", b.Name())
+		}
+		for _, s := range b.Succs() {
+			if !inMethod[s] {
+				t.Errorf("%s: successor %s outside method", b.Name(), s.Name())
+			}
+			countSucc[[2]*Block{b, s}]++
+		}
+		for _, pr := range b.Preds {
+			if !inMethod[pr] {
+				t.Errorf("%s: predecessor %s outside method", b.Name(), pr.Name())
+			}
+			countPred[[2]*Block{pr, b}]++
+		}
+	}
+	for e, n := range countSucc {
+		if countPred[e] != n {
+			t.Errorf("edge %s->%s: %d successor entries, %d predecessor entries",
+				e[0].Name(), e[1].Name(), n, countPred[e])
+		}
+	}
+	for e, n := range countPred {
+		if countSucc[e] != n {
+			t.Errorf("edge %s->%s in Preds %d times but Succs %d times",
+				e[0].Name(), e[1].Name(), n, countSucc[e])
+		}
+	}
+	if got, want := len(m.Edges()), len(countSucc); got < want {
+		t.Errorf("Edges() lists %d edges, want at least %d distinct", got, want)
+	}
+}
+
+// TestBlockEdgeInvariants exercises the CFG-editing helpers on the two
+// canonical shapes and checks the derived structure after each edit.
+func TestBlockEdgeInvariants(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Method
+		edit  func(t *testing.T, m *Method)
+	}{
+		{"diamond untouched", func() *Method { m, _, _, _, _ := diamond(); return m }, nil},
+		{"loop untouched", func() *Method { m, _, _, _ := loopMethod(); return m }, nil},
+		{"diamond insert before terminator", func() *Method { m, _, _, _, _ := diamond(); return m },
+			func(t *testing.T, m *Method) {
+				b := m.Entry()
+				n := len(b.Instrs)
+				b.InsertBeforeTerminator(Instr{Op: OpYield}, Instr{Op: OpNop})
+				if len(b.Instrs) != n+2 {
+					t.Fatalf("InsertBeforeTerminator grew %d, want 2", len(b.Instrs)-n)
+				}
+			}},
+		{"diamond insert front", func() *Method { m, _, _, _, _ := diamond(); return m },
+			func(t *testing.T, m *Method) {
+				b := m.Entry()
+				b.InsertFront(Instr{Op: OpYield})
+				if b.Instrs[0].Op != OpYield {
+					t.Fatal("InsertFront did not prepend")
+				}
+			}},
+		{"loop retarget backedge", func() *Method { m, _, _, _ := loopMethod(); return m },
+			func(t *testing.T, m *Method) {
+				bes := m.Backedges()
+				if len(bes) != 1 {
+					t.Fatalf("backedges = %d, want 1", len(bes))
+				}
+				be := bes[0]
+				tramp := m.NewBlock("tramp")
+				tramp.Append(Instr{Op: OpJump, Targets: []*Block{be.To}})
+				if n := be.From.ReplaceTarget(be.To, tramp); n != 1 {
+					t.Fatalf("ReplaceTarget = %d, want 1", n)
+				}
+				m.Renumber()
+				m.RecomputePreds()
+				// The loop structure is preserved: still exactly one
+				// backedge, now entering the header from the trampoline.
+				bes = m.Backedges()
+				if len(bes) != 1 || bes[0].From != tramp {
+					t.Fatalf("backedge after retarget = %+v, want from tramp", bes)
+				}
+			}},
+		{"diamond remove unreachable", func() *Method { m, _, _, _, _ := diamond(); return m },
+			func(t *testing.T, m *Method) {
+				dead := m.NewBlock("dead")
+				dead.Append(Instr{Op: OpReturn})
+				if n := m.RemoveUnreachable(); n != 1 {
+					t.Fatalf("RemoveUnreachable = %d, want 1", n)
+				}
+				for _, b := range m.Blocks {
+					if b == dead {
+						t.Fatal("dead block survived")
+					}
+				}
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.build()
+			checkEdgeInvariants(t, m)
+			if tc.edit != nil {
+				tc.edit(t, m)
+				m.Renumber()
+				m.RecomputePreds()
+				checkEdgeInvariants(t, m)
+			}
+		})
+	}
+}

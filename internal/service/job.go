@@ -1,0 +1,307 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"instrsample/internal/profile"
+	"instrsample/internal/telemetry"
+	"instrsample/internal/vm"
+)
+
+// JobStatus is the job state machine: queued → running → one of the
+// three terminal states. DELETE moves a queued or running job to
+// cancelled; a wall-clock timeout moves it to failed (a deadline is a
+// job outcome, not an operator request — see DESIGN.md §10).
+type JobStatus string
+
+const (
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// OracleVerdict is the invariant oracle's summary for a Verify job.
+type OracleVerdict struct {
+	// OK is true when every sampling invariant held.
+	OK bool `json:"ok"`
+	// Events is the number of observer events the oracle checked.
+	Events int64 `json:"events"`
+	// ExpectedP1 counts the bounded, expected Property-1 excesses.
+	ExpectedP1 int64 `json:"expected_p1"`
+	// Error is the first violation, when OK is false.
+	Error string `json:"error,omitempty"`
+}
+
+// ProfileOverlap is one profile's accuracy against the exhaustive
+// reference run (the paper's overlap percentage).
+type ProfileOverlap struct {
+	// Name is the profile name (shared by sampled and reference).
+	Name string `json:"name"`
+	// Percent is the overlap percentage in [0, 100].
+	Percent float64 `json:"percent"`
+}
+
+// ProfileDump is the JSON rendering of one instrumentation profile: the
+// entry multiset in the deterministic descending-count order that
+// profile.Entries defines.
+type ProfileDump struct {
+	Name    string          `json:"name"`
+	Total   uint64          `json:"total"`
+	Events  int             `json:"events"`
+	Entries []profile.Entry `json:"entries,omitempty"`
+}
+
+// dumpProfile converts a live profile to its JSON form.
+func dumpProfile(p *profile.Profile) ProfileDump {
+	return ProfileDump{
+		Name:    p.Name,
+		Total:   p.Total(),
+		Events:  p.NumEvents(),
+		Entries: p.Entries(),
+	}
+}
+
+// JobResult is the terminal payload of a successful job.
+type JobResult struct {
+	// Return and Output are the program's observable behaviour — equal,
+	// byte for byte, to what isamp prints for the same configuration.
+	Return int64   `json:"return"`
+	Output []int64 `json:"output,omitempty"`
+	// Stats are the VM's execution counters.
+	Stats vm.Stats `json:"stats"`
+	// Profiles are the instrumentation profiles, in owner order.
+	Profiles []ProfileDump `json:"profiles,omitempty"`
+	// CodeSize, CheckingCodeSize and DuplicatedCodeSize are the compiled
+	// code sizes in bytes.
+	CodeSize           int `json:"code_size"`
+	CheckingCodeSize   int `json:"checking_code_size,omitempty"`
+	DuplicatedCodeSize int `json:"duplicated_code_size,omitempty"`
+	// Oracle is the invariant verdict (Verify jobs only).
+	Oracle *OracleVerdict `json:"oracle,omitempty"`
+	// Overlap holds per-profile accuracy vs the exhaustive reference
+	// (Overlap jobs only).
+	Overlap []ProfileOverlap `json:"overlap,omitempty"`
+}
+
+// jobView is the GET /v1/jobs/{id} response body.
+type jobView struct {
+	ID       string     `json:"id"`
+	Status   JobStatus  `json:"status"`
+	Spec     string     `json:"spec"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+}
+
+// job is one queued/running/finished unit of work. Mutable state is
+// guarded by mu; ctx/cancel and the immutables are set at creation.
+type job struct {
+	id      string
+	spec    JobSpec
+	created time.Time
+	ctx     context.Context
+	cancel  context.CancelFunc
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	mu        sync.Mutex
+	status    JobStatus
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	result    *JobResult
+	requested bool // DELETE arrived (distinguishes cancel from timeout)
+	// Event-stream state: columns freeze at the first batch; rows only
+	// append; subs get a non-blocking wakeup on every append and on
+	// completion.
+	eventCols []string
+	events    []telemetry.SeriesRow
+	subs      map[chan struct{}]struct{}
+}
+
+func newJob(id string, spec JobSpec, parent context.Context) *job {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if spec.TimeoutMs > 0 {
+		ctx, cancel = context.WithTimeout(parent, time.Duration(spec.TimeoutMs)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
+	}
+	return &job{
+		id:      id,
+		spec:    spec,
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  StatusQueued,
+		subs:    make(map[chan struct{}]struct{}),
+	}
+}
+
+// view snapshots the job for JSON rendering.
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:      j.id,
+		Status:  j.status,
+		Spec:    j.spec.describe(),
+		Created: j.created,
+		Error:   j.errMsg,
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Status returns the current state.
+func (j *job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// start transitions queued → running. It returns false when the job is
+// already terminal (cancelled while still queued).
+func (j *job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state and wakes every subscriber.
+// Later calls are no-ops, so a cancel racing a natural completion
+// resolves to whichever lands first.
+func (j *job) finish(st JobStatus, errMsg string, res *JobResult) {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.status = st
+	j.finished = time.Now()
+	j.errMsg = errMsg
+	j.result = res
+	subs := j.subs
+	j.subs = make(map[chan struct{}]struct{})
+	j.mu.Unlock()
+	close(j.done)
+	for ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// requestCancel marks the job operator-cancelled and fires its context.
+// Terminal jobs are left untouched; the returned status is the state the
+// job was in when the request landed.
+func (j *job) requestCancel() JobStatus {
+	j.mu.Lock()
+	st := j.status
+	if !st.Terminal() {
+		j.requested = true
+	}
+	j.mu.Unlock()
+	if !st.Terminal() {
+		j.cancel()
+		// A queued job never reaches a worker's classification path, so
+		// resolve it here; the worker's start() will then skip it.
+		j.finishIfQueuedCancelled()
+	}
+	return st
+}
+
+// finishIfQueuedCancelled resolves a still-queued cancelled job.
+func (j *job) finishIfQueuedCancelled() {
+	j.mu.Lock()
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(StatusCancelled, "cancelled before start", nil)
+	}
+}
+
+// cancelRequested reports whether DELETE arrived (vs a timeout firing
+// the same context).
+func (j *job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.requested
+}
+
+// appendEvents publishes newly captured metrics rows to the event log
+// and wakes subscribers. Called from the VM goroutine via the meter
+// publisher observer.
+func (j *job) appendEvents(cols []string, rows []telemetry.SeriesRow) {
+	if len(rows) == 0 {
+		return
+	}
+	j.mu.Lock()
+	if j.eventCols == nil {
+		j.eventCols = append([]string(nil), cols...)
+	}
+	j.events = append(j.events, rows...)
+	subs := make([]chan struct{}, 0, len(j.subs))
+	for ch := range j.subs {
+		subs = append(subs, ch)
+	}
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// eventsSince returns the frozen columns and any rows past n.
+func (j *job) eventsSince(n int) ([]string, []telemetry.SeriesRow) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n >= len(j.events) {
+		return j.eventCols, nil
+	}
+	rows := make([]telemetry.SeriesRow, len(j.events)-n)
+	copy(rows, j.events[n:])
+	return j.eventCols, rows
+}
+
+// subscribe registers a wakeup channel; the returned func unregisters
+// it. The channel has capacity 1 — wakeups coalesce.
+func (j *job) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}

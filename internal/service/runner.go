@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"instrsample/internal/asm"
+	"instrsample/internal/bench"
+	"instrsample/internal/compile"
+	"instrsample/internal/experiment"
+	"instrsample/internal/ir"
+	"instrsample/internal/oracle"
+	"instrsample/internal/telemetry"
+	"instrsample/internal/vm"
+)
+
+// jobProgram builds the job's program: assembled source or a fresh suite
+// benchmark at the requested scale.
+func jobProgram(spec JobSpec) (*ir.Program, error) {
+	if spec.Source != "" {
+		return asm.Assemble("job.vasm", spec.Source)
+	}
+	if spec.Bench == "resonant" {
+		return bench.Resonant(spec.Scale), nil
+	}
+	b, err := bench.ByName(spec.Bench)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(spec.Scale), nil
+}
+
+// meterPublisher forwards every observer event to the telemetry meter and
+// then publishes any freshly captured Series rows to the job's event log.
+// It runs on the VM goroutine, so reading the meter's series here is
+// race-free; subscribers only ever see rows through job.appendEvents.
+type meterPublisher struct {
+	m    *telemetry.Meter
+	j    *job
+	sent int
+}
+
+func (p *meterPublisher) publish() {
+	s := p.m.Series()
+	if len(s.Rows) > p.sent {
+		p.j.appendEvents(s.Columns, s.Rows[p.sent:])
+		p.sent = len(s.Rows)
+	}
+}
+
+func (p *meterPublisher) OnEnter(t *vm.Thread, f *vm.Frame) { p.m.OnEnter(t, f); p.publish() }
+func (p *meterPublisher) OnExit(t *vm.Thread, f *vm.Frame)  { p.m.OnExit(t, f); p.publish() }
+func (p *meterPublisher) OnTransfer(t *vm.Thread, f *vm.Frame, in *ir.Instr, target int) {
+	p.m.OnTransfer(t, f, in, target)
+	p.publish()
+}
+func (p *meterPublisher) OnCheck(t *vm.Thread, f *vm.Frame, in *ir.Instr, fired bool) {
+	p.m.OnCheck(t, f, in, fired)
+	p.publish()
+}
+func (p *meterPublisher) OnProbe(t *vm.Thread, f *vm.Frame, pr *ir.Probe) {
+	p.m.OnProbe(t, f, pr)
+	p.publish()
+}
+func (p *meterPublisher) OnYield(t *vm.Thread, f *vm.Frame) { p.m.OnYield(t, f); p.publish() }
+
+// jobCell builds the engine cell for a spec. events, when non-nil, is
+// the job whose SSE stream receives the run's metrics series; it is
+// deliberately NOT part of the cell key — events change what a client
+// observes mid-run, never the result, so memo/cache sharing stays legal.
+// (A job served from the memo or cache therefore streams no metrics
+// rows, only the completion event; see DESIGN.md §10.)
+func jobCell(spec JobSpec, events *job) experiment.Cell {
+	return experiment.Cell{Key: spec.cellKey(), Run: func(ctx context.Context) (*experiment.CellResult, error) {
+		return runSpec(ctx, spec, events)
+	}}
+}
+
+// runSpec executes one job configuration. The pipeline mirrors isamp's
+// execute() step for step — same compile options, same trigger
+// defaulting, same oracle handling — which is what makes an HTTP job's
+// result byte-identical to the equivalent command line.
+func runSpec(ctx context.Context, spec JobSpec, events *job) (*experiment.CellResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prog, err := jobProgram(spec)
+	if err != nil {
+		return nil, err
+	}
+	copts, err := spec.optsSpec().Options()
+	if err != nil {
+		return nil, err
+	}
+	cr, err := compile.Compile(prog, copts)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	trig := spec.triggerSpec().New()
+	vcfg := vm.Config{
+		Trigger:   trig,
+		Handlers:  cr.Handlers,
+		MaxCycles: spec.MaxCycles,
+	}
+	if spec.ICache {
+		vcfg.ICache = vm.DefaultICache()
+	}
+	var observers []vm.Observer
+	var orc *oracle.Oracle
+	if spec.Verify {
+		orc = oracle.New()
+		observers = append(observers, orc)
+	}
+	var pub *meterPublisher
+	if events != nil {
+		meter := telemetry.NewMeter(telemetry.NewRegistry(), trig.Name(), spec.EventsInterval, nil)
+		pub = &meterPublisher{m: meter, j: events}
+		observers = append(observers, pub)
+	}
+	vcfg.Observer = vm.CombineObservers(observers...)
+	if ctx.Done() != nil {
+		tok := vm.NewCancel()
+		vcfg.Cancel = tok
+		stop := context.AfterFunc(ctx, tok.Fire)
+		defer stop()
+	}
+	v := vm.New(cr.Prog, vcfg)
+	if pub != nil {
+		pub.m.SetClock(v)
+	}
+	out, err := v.Run()
+	if err != nil {
+		if vm.IsCancelled(err) && ctx.Err() != nil {
+			return nil, fmt.Errorf("%w (%w)", ctx.Err(), err)
+		}
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	if pub != nil {
+		pub.m.Finish()
+		pub.publish()
+	}
+	res := &experiment.CellResult{
+		Stats:              out.Stats,
+		CodeSize:           cr.CodeSize,
+		CheckingCodeSize:   cr.CheckingCodeSize,
+		DuplicatedCodeSize: cr.DuplicatedCodeSize,
+		Work:               cr.Work,
+		Return:             out.Return,
+		Output:             out.Output,
+	}
+	if orc != nil {
+		if oerr := orc.Finish(out.Stats); oerr != nil {
+			return nil, fmt.Errorf("invariant oracle: %w", oerr)
+		}
+		res.Aux = map[string]int64{
+			"oracle-events":      int64(orc.Events()),
+			"oracle-expected-p1": int64(orc.ExpectedPropertyViolations()),
+		}
+	}
+	for _, rt := range cr.Runtimes {
+		res.Profiles = append(res.Profiles, rt.Profile())
+	}
+	return res, nil
+}

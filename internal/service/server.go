@@ -1,0 +1,472 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"instrsample/internal/experiment"
+	"instrsample/internal/profile"
+	"instrsample/internal/telemetry"
+	"instrsample/internal/vm"
+)
+
+// Daemon metric names, exposed at GET /metrics in Prometheus text
+// format (dots become underscores there).
+const (
+	MetricJobsAccepted  = "jobs.accepted"   // counter: jobs admitted to the queue
+	MetricJobsRejected  = "jobs.rejected"   // counter: jobs refused with 429 (queue full)
+	MetricJobsCompleted = "jobs.completed"  // counter: jobs finished successfully
+	MetricJobsFailed    = "jobs.failed"     // counter: jobs finished in error (timeouts included)
+	MetricJobsCancelled = "jobs.cancelled"  // counter: jobs cancelled (DELETE or drain)
+	MetricQueueDepth    = "queue.depth"     // gauge: jobs waiting for a worker
+	MetricJobDuration   = "job.duration_ms" // histogram: accepted-to-terminal latency
+)
+
+// Config configures a Server. The zero value is usable: 1 worker, a
+// 64-deep queue, no cache, a private registry.
+type Config struct {
+	// Workers is the worker-pool size — the number of jobs running
+	// concurrently (minimum 1).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-started jobs.
+	// A full queue rejects submissions with 429 + Retry-After; the
+	// daemon never buffers without bound (default 64).
+	QueueDepth int
+	// RetainJobs bounds how many terminal jobs stay queryable; the
+	// oldest are evicted first (default 1024).
+	RetainJobs int
+	// Cache, when non-nil, is the experiment engine's build-ID-keyed
+	// on-disk result cache; identical jobs then complete near-instantly.
+	Cache *experiment.Cache
+	// Registry receives the daemon's metrics (nil = private registry).
+	Registry *telemetry.Registry
+	// MaxBodyBytes bounds a POST body (default 2 MiB).
+	MaxBodyBytes int64
+	// Logf, when non-nil, receives one line per job state change.
+	Logf func(format string, args ...any)
+}
+
+// Server is the profiling-as-a-service daemon core: a bounded job queue
+// in front of a worker pool layered on the experiment engine, plus the
+// HTTP surface (Handler). It is independent of any particular
+// http.Server so tests can drive it with httptest.
+type Server struct {
+	cfg Config
+	eng *experiment.Engine
+	reg *telemetry.Registry
+	mux *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *job
+	workers    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	seq      uint64
+	jobs     map[string]*job
+	order    []string // insertion order, for retention eviction
+	inflight sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetainJobs < 1 {
+		cfg.RetainJobs = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 2 << 20
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		eng:        experiment.NewEngine(cfg.Workers, cfg.Cache),
+		reg:        reg,
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+	}
+	s.eng.AttachMetrics(reg)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the daemon's metrics registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Shutdown drains the daemon (DESIGN.md §10): new submissions are
+// refused immediately; queued and running jobs get until ctx's deadline
+// to finish on their own; past the deadline every remaining job context
+// is cancelled, which stops running VMs at their next observation point
+// and resolves those jobs as cancelled. Shutdown returns once every job
+// is terminal and every worker has exited. ctx.Err() is returned when
+// the hard-cancel path was taken, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.baseCancel() // stop running VMs at the next observation point
+		s.resolveQueued()
+		<-done
+	}
+	s.baseCancel()
+	s.workers.Wait()
+	return forced
+}
+
+// resolveQueued marks every job still sitting in the queue cancelled, so
+// a forced shutdown cannot strand accepted jobs in a non-terminal state.
+func (s *Server) resolveQueued() {
+	for {
+		select {
+		case j := <-s.queue:
+			s.reg.Gauge(MetricQueueDepth).Add(-1)
+			j.finish(StatusCancelled, "server shutting down", nil)
+			s.reg.Counter(MetricJobsCancelled).Inc()
+		default:
+			return
+		}
+	}
+}
+
+// worker pulls jobs from the queue until shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.reg.Gauge(MetricQueueDepth).Add(-1)
+			s.runJob(j)
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// runJob executes one job through the experiment engine and resolves its
+// terminal state.
+func (s *Server) runJob(j *job) {
+	if !j.start() {
+		return // cancelled while queued; already terminal
+	}
+	s.logf("job %s running (%s)", j.id, j.spec.describe())
+	cells := []experiment.Cell{jobCell(j.spec, j)}
+	if j.spec.Overlap {
+		cells = append(cells, jobCell(j.spec.overlapSpec(), nil))
+	}
+	res, err := s.eng.DoContext(j.ctx, experiment.Config{Artifact: "service", Engine: s.eng}, cells)
+	if err != nil {
+		st, msg := s.classify(j, err)
+		j.finish(st, msg, nil)
+		s.account(j, st)
+		return
+	}
+	var ref *experiment.CellResult
+	if len(res) > 1 {
+		ref = res[1]
+	}
+	j.finish(StatusDone, "", buildResult(j.spec, res[0], ref))
+	s.account(j, StatusDone)
+}
+
+// classify maps a cell error to the job's terminal state: an operator
+// DELETE (or daemon drain) is cancelled; a deadline is failed — the job
+// ran out of its own budget; anything else is failed with the cause.
+func (s *Server) classify(j *job, err error) (JobStatus, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusFailed, fmt.Sprintf("timeout after %dms", j.spec.TimeoutMs)
+	case j.cancelRequested():
+		return StatusCancelled, "cancelled"
+	case errors.Is(err, context.Canceled) || vm.IsCancelled(err):
+		return StatusCancelled, "cancelled: " + err.Error()
+	default:
+		return StatusFailed, err.Error()
+	}
+}
+
+// account bumps the terminal-state counters and the duration histogram.
+func (s *Server) account(j *job, st JobStatus) {
+	switch st {
+	case StatusDone:
+		s.reg.Counter(MetricJobsCompleted).Inc()
+	case StatusCancelled:
+		s.reg.Counter(MetricJobsCancelled).Inc()
+	default:
+		s.reg.Counter(MetricJobsFailed).Inc()
+	}
+	s.reg.Histogram(MetricJobDuration, telemetry.ExpBuckets(1, 16)).
+		Observe(uint64(time.Since(j.created).Milliseconds()))
+	s.logf("job %s %s", j.id, st)
+}
+
+// buildResult assembles the job's terminal payload from the engine
+// cell(s).
+func buildResult(spec JobSpec, main, ref *experiment.CellResult) *JobResult {
+	res := &JobResult{
+		Return:             main.Return,
+		Output:             main.Output,
+		Stats:              main.Stats,
+		CodeSize:           main.CodeSize,
+		CheckingCodeSize:   main.CheckingCodeSize,
+		DuplicatedCodeSize: main.DuplicatedCodeSize,
+	}
+	for _, p := range main.Profiles {
+		res.Profiles = append(res.Profiles, dumpProfile(p))
+	}
+	if spec.Verify {
+		res.Oracle = &OracleVerdict{
+			OK:         true, // a violation fails the cell before it gets here
+			Events:     main.Aux["oracle-events"],
+			ExpectedP1: main.Aux["oracle-expected-p1"],
+		}
+	}
+	if ref != nil {
+		n := len(main.Profiles)
+		if len(ref.Profiles) < n {
+			n = len(ref.Profiles)
+		}
+		for i := 0; i < n; i++ {
+			res.Overlap = append(res.Overlap, ProfileOverlap{
+				Name:    main.Profiles[i].Name,
+				Percent: profile.Overlap(main.Profiles[i], ref.Profiles[i]),
+			})
+		}
+	}
+	return res
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits a job: validate, register, enqueue — or push back.
+// Backpressure is non-negotiable: the queue send never blocks; a full
+// queue answers 429 with Retry-After so clients back off instead of the
+// daemon buffering without bound.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%06d", s.seq)
+	j := newJob(id, spec, s.baseCtx)
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.evictLocked()
+		s.inflight.Add(1)
+		go func() { <-j.done; s.inflight.Done() }()
+		s.mu.Unlock()
+		s.reg.Counter(MetricJobsAccepted).Inc()
+		s.reg.Gauge(MetricQueueDepth).Add(1)
+		s.logf("job %s accepted (%s)", id, spec.describe())
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(StatusQueued)})
+	default:
+		s.seq-- // id not used
+		j.cancel()
+		s.mu.Unlock()
+		s.reg.Counter(MetricJobsRejected).Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep); retry later", s.cfg.QueueDepth)
+	}
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap.
+// Non-terminal jobs are never evicted. Caller holds s.mu.
+func (s *Server) evictLocked() {
+	for len(s.jobs) > s.cfg.RetainJobs && len(s.order) > 0 {
+		id := s.order[0]
+		j, ok := s.jobs[id]
+		if ok && !j.Status().Terminal() {
+			return // oldest still live; nothing older to drop
+		}
+		s.order = s.order[1:]
+		delete(s.jobs, id)
+	}
+}
+
+// lookup finds a job by the request's {id} path value.
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	was := j.requestCancel()
+	code := http.StatusAccepted
+	if was.Terminal() {
+		code = http.StatusConflict // nothing left to cancel
+	}
+	writeJSON(w, code, map[string]string{"id": j.id, "status": string(j.Status())})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, jobs := s.draining, len(s.jobs)
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"jobs":     jobs,
+		"build_id": experiment.BuildID(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, s.reg) //nolint:errcheck // client went away
+}
+
+// handleEvents streams the job's telemetry metrics series as Server-Sent
+// Events: one "columns" event when the column set freezes, one "metrics"
+// event per captured row (at the job's events_interval cycle cadence),
+// and a final "done" event carrying the terminal status. Jobs resolved
+// from the memo table or the on-disk cache stream only "done" — their
+// VM never ran here, so there are no rows (DESIGN.md §10).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	wake, unsub := j.subscribe()
+	defer unsub()
+	sent := 0
+	sentCols := false
+	flush := func() bool {
+		cols, rows := j.eventsSince(sent)
+		if !sentCols && cols != nil {
+			data, _ := json.Marshal(cols)
+			fmt.Fprintf(w, "event: columns\ndata: %s\n\n", data)
+			sentCols = true
+		}
+		for _, row := range rows {
+			data, err := json.Marshal(row)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: metrics\ndata: %s\n\n", data)
+		}
+		sent += len(rows)
+		fl.Flush()
+		return true
+	}
+	for {
+		flush()
+		select {
+		case <-wake:
+		case <-j.done:
+			flush() // rows published between the last flush and finish
+			fmt.Fprintf(w, "event: done\ndata: {\"status\":%q}\n\n", j.Status())
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

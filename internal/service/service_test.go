@@ -1,0 +1,569 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer builds a Server plus an httptest front end and tears
+// both down (force-draining any stuck jobs) when the test ends.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	h := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Logf("shutdown took the forced path: %v", err)
+		}
+		h.Close()
+	})
+	return s, h
+}
+
+// postJob submits a spec and returns the response (body closed) plus its
+// decoded JSON body.
+func postJob(t *testing.T, base string, spec JobSpec) (*http.Response, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m) //nolint:errcheck // some errors have empty bodies
+	return resp, m
+}
+
+// mustAccept submits a spec that must be accepted and returns the job ID.
+func mustAccept(t *testing.T, base string, spec JobSpec) string {
+	t.Helper()
+	resp, m := postJob(t, base, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: got %d (%v), want 202", resp.StatusCode, m)
+	}
+	id, _ := m["id"].(string)
+	if id == "" {
+		t.Fatalf("submit: no id in %v", m)
+	}
+	return id
+}
+
+// getJob fetches a job's view.
+func getJob(t *testing.T, base, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode job view: %v", err)
+	}
+	return v
+}
+
+// waitTerminal polls a job until it reaches a terminal state.
+func waitTerminal(t *testing.T, base, id string, timeout time.Duration) jobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := getJob(t, base, id)
+		if v.Status.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, v.Status, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitRunning polls a job until it leaves the queue.
+func waitRunning(t *testing.T, base, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := getJob(t, base, id)
+		if v.Status == StatusRunning {
+			return
+		}
+		if v.Status.Terminal() {
+			t.Fatalf("job %s terminal (%s) before running", id, v.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, v.Status, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// slowSrc builds an effectively unbounded counted loop; n varies the
+// cell key so slow jobs in different tests never share a memo flight.
+func slowSrc(n int64) string {
+	return fmt.Sprintf(`
+func main() {
+entry:
+  const i, 0
+  const n, %d
+  const one, 1
+loop:
+  cmplt c, i, n
+  br c, body, done
+body:
+  add i, i, one
+  jmp loop
+done:
+  ret i
+}
+`, n)
+}
+
+func TestSubmitValidation(t *testing.T) {
+	t.Parallel()
+	_, h := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", "not json at all", http.StatusBadRequest},
+		{"empty spec", "{}", http.StatusBadRequest},
+		{"both source and bench", `{"source":"x","bench":"compress"}`, http.StatusBadRequest},
+		{"unknown field", `{"bench":"compress","shoesize":9}`, http.StatusBadRequest},
+		{"unknown bench", `{"bench":"nope"}`, http.StatusBadRequest},
+		{"bad trigger", `{"bench":"compress","trigger":"sometimes"}`, http.StatusBadRequest},
+		{"bad variation", `{"bench":"compress","variation":"total"}`, http.StatusBadRequest},
+		{"yieldopt without variation", `{"bench":"compress","yieldopt":true}`, http.StatusBadRequest},
+		{"bad instrumentation", `{"bench":"compress","instrument":["heap"]}`, http.StatusBadRequest},
+		{"overlap without instrument", `{"bench":"compress","overlap":true}`, http.StatusBadRequest},
+		{"scale out of range", `{"bench":"compress","scale":999}`, http.StatusBadRequest},
+		{"oversized body", `{"source":"` + strings.Repeat("x", 3<<20) + `"}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(h.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(h.URL + "/v1/jobs/job-000042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobMatchesDirectRun is the parity gate: a job submitted over HTTP
+// must produce, byte for byte, the same result JSON as running the same
+// configuration directly through the isamp-mirroring pipeline.
+func TestJobMatchesDirectRun(t *testing.T) {
+	t.Parallel()
+	spec := JobSpec{
+		Bench:      "compress",
+		Scale:      0.03,
+		Instrument: []string{"call-edge", "field-access"},
+		Variation:  "full",
+		Trigger:    "counter",
+		Interval:   500,
+		Verify:     true,
+	}
+	_, h := newTestServer(t, Config{Workers: 2})
+	id := mustAccept(t, h.URL, spec)
+	v := waitTerminal(t, h.URL, id, 60*time.Second)
+	if v.Status != StatusDone {
+		t.Fatalf("job %s: status %s (error %q), want done", id, v.Status, v.Error)
+	}
+	if v.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	if v.Started == nil || v.Finished == nil {
+		t.Error("done job missing started/finished timestamps")
+	}
+	if v.Result.Oracle == nil || !v.Result.Oracle.OK {
+		t.Errorf("verify job missing ok oracle verdict: %+v", v.Result.Oracle)
+	}
+	if v.Result.Stats.Cycles == 0 || len(v.Result.Profiles) != 2 {
+		t.Errorf("implausible result: cycles=%d profiles=%d", v.Result.Stats.Cycles, len(v.Result.Profiles))
+	}
+
+	cr, err := runSpec(context.Background(), spec.withDefaults(), nil)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	want, err := json.Marshal(buildResult(spec.withDefaults(), cr, nil))
+	if err != nil {
+		t.Fatalf("marshal direct result: %v", err)
+	}
+	got, err := json.Marshal(v.Result)
+	if err != nil {
+		t.Fatalf("marshal http result: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("HTTP result differs from direct run:\n http: %s\ndirect: %s", got, want)
+	}
+}
+
+// TestIdenticalJobsShareResult: the second identical job is served from
+// the engine memo — same result, and its event stream carries no metrics
+// rows (only the done event), which is the documented cache-hit quirk.
+func TestIdenticalJobsShareResult(t *testing.T) {
+	t.Parallel()
+	spec := JobSpec{
+		Bench:      "db",
+		Scale:      0.03,
+		Instrument: []string{"call-edge"},
+		Trigger:    "counter",
+		Interval:   1000,
+	}
+	_, h := newTestServer(t, Config{})
+	first := waitTerminal(t, h.URL, mustAccept(t, h.URL, spec), 60*time.Second)
+	second := waitTerminal(t, h.URL, mustAccept(t, h.URL, spec), 60*time.Second)
+	if first.Status != StatusDone || second.Status != StatusDone {
+		t.Fatalf("statuses %s/%s, want done/done", first.Status, second.Status)
+	}
+	a, _ := json.Marshal(first.Result)
+	b, _ := json.Marshal(second.Result)
+	if !bytes.Equal(a, b) {
+		t.Errorf("memo-served result differs:\n%s\n%s", a, b)
+	}
+	metrics, _, done := readSSE(t, h.URL, second.ID, 10*time.Second)
+	if metrics != 0 {
+		t.Errorf("memo-served job streamed %d metrics rows, want 0", metrics)
+	}
+	if done != string(StatusDone) {
+		t.Errorf("done event status %q, want done", done)
+	}
+}
+
+// readSSE consumes a job's event stream until the done event and returns
+// the number of metrics events, whether a columns event arrived, and the
+// status carried by the done event.
+func readSSE(t *testing.T, base, id string, timeout time.Duration) (metrics int, columns bool, done string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("events content-type %q, want text/event-stream", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			switch event {
+			case "metrics":
+				metrics++
+			case "columns":
+				columns = true
+			}
+		case strings.HasPrefix(line, "data: ") && event == "done":
+			var d struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &d); err != nil {
+				t.Fatalf("bad done payload %q: %v", line, err)
+			}
+			return metrics, columns, d.Status
+		}
+	}
+	t.Fatalf("event stream ended without done event (scan err %v)", sc.Err())
+	return
+}
+
+// TestSSEStreamsMetrics: a live (non-memo-served) job streams the
+// telemetry series — a columns event, metrics rows, then done.
+func TestSSEStreamsMetrics(t *testing.T) {
+	t.Parallel()
+	spec := JobSpec{
+		Bench:          "compress",
+		Scale:          0.03,
+		Instrument:     []string{"call-edge"},
+		Trigger:        "counter",
+		Interval:       137, // unique key: keep this run off any memo flight
+		EventsInterval: 1 << 10,
+	}
+	_, h := newTestServer(t, Config{})
+	id := mustAccept(t, h.URL, spec)
+	metrics, columns, done := readSSE(t, h.URL, id, 60*time.Second)
+	if metrics == 0 {
+		t.Error("live job streamed no metrics events")
+	}
+	if !columns {
+		t.Error("live job streamed no columns event")
+	}
+	if done != string(StatusDone) {
+		t.Errorf("done event status %q, want done", done)
+	}
+	// The backlog replays in full for a late subscriber too.
+	again, _, _ := readSSE(t, h.URL, id, 10*time.Second)
+	if again != metrics {
+		t.Errorf("late subscriber got %d metrics rows, live one got %d", again, metrics)
+	}
+}
+
+// TestBackpressure: a full queue answers 429 + Retry-After; a queued job
+// can be cancelled before it ever runs; a running one stops on DELETE.
+func TestBackpressure(t *testing.T) {
+	t.Parallel()
+	s, h := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	running := mustAccept(t, h.URL, JobSpec{Source: slowSrc(1 << 61)})
+	waitRunning(t, h.URL, running, 10*time.Second)
+	queued := mustAccept(t, h.URL, JobSpec{Source: slowSrc(1<<61 + 1)})
+
+	resp, m := postJob(t, h.URL, JobSpec{Source: slowSrc(1<<61 + 2)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d (%v), want 429", resp.StatusCode, m)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After %q, want 1", ra)
+	}
+	if got := s.Registry().Counter(MetricJobsRejected).Value(); got != 1 {
+		t.Errorf("jobs.rejected = %d, want 1", got)
+	}
+
+	// Cancel the queued job: it must resolve without ever running.
+	cancelJob(t, h.URL, queued, http.StatusAccepted)
+	v := waitTerminal(t, h.URL, queued, 5*time.Second)
+	if v.Status != StatusCancelled || v.Started != nil {
+		t.Errorf("queued job after cancel: status %s started %v, want cancelled/never", v.Status, v.Started)
+	}
+
+	// Cancel the running job: the VM must stop at an observation point
+	// well within the polling budget, and report cancelled.
+	start := time.Now()
+	cancelJob(t, h.URL, running, http.StatusAccepted)
+	v = waitTerminal(t, h.URL, running, 10*time.Second)
+	if v.Status != StatusCancelled {
+		t.Errorf("running job after cancel: status %s (error %q), want cancelled", v.Status, v.Error)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancel took %v, want prompt termination", d)
+	}
+	// Cancelling a terminal job is a conflict, not a state change.
+	cancelJob(t, h.URL, running, http.StatusConflict)
+}
+
+func cancelJob(t *testing.T, base, id string, want int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE job: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Errorf("DELETE %s: status %d, want %d", id, resp.StatusCode, want)
+	}
+}
+
+// TestTimeoutFails: a job exceeding its own deadline is failed (a budget
+// outcome), not cancelled (an operator request).
+func TestTimeoutFails(t *testing.T) {
+	t.Parallel()
+	_, h := newTestServer(t, Config{})
+	id := mustAccept(t, h.URL, JobSpec{Source: slowSrc(1<<61 + 3), TimeoutMs: 150})
+	v := waitTerminal(t, h.URL, id, 10*time.Second)
+	if v.Status != StatusFailed || !strings.Contains(v.Error, "timeout") {
+		t.Errorf("timed-out job: status %s error %q, want failed/timeout", v.Status, v.Error)
+	}
+}
+
+// TestOverlapJob: an Overlap job additionally runs the exhaustive
+// reference and reports a per-profile overlap percentage.
+func TestOverlapJob(t *testing.T) {
+	t.Parallel()
+	spec := JobSpec{
+		Bench:      "db",
+		Scale:      0.03,
+		Instrument: []string{"call-edge", "field-access"},
+		Variation:  "partial",
+		Trigger:    "counter",
+		Interval:   800,
+		Overlap:    true,
+	}
+	_, h := newTestServer(t, Config{Workers: 2})
+	v := waitTerminal(t, h.URL, mustAccept(t, h.URL, spec), 120*time.Second)
+	if v.Status != StatusDone {
+		t.Fatalf("overlap job: status %s (error %q)", v.Status, v.Error)
+	}
+	if len(v.Result.Overlap) != 2 {
+		t.Fatalf("overlap entries %d, want 2", len(v.Result.Overlap))
+	}
+	for _, ov := range v.Result.Overlap {
+		if ov.Percent < 0 || ov.Percent > 100 {
+			t.Errorf("overlap %s = %g, want [0,100]", ov.Name, ov.Percent)
+		}
+	}
+}
+
+// TestMetricsEndpoint validates the Prometheus surface end to end.
+func TestMetricsEndpoint(t *testing.T) {
+	t.Parallel()
+	_, h := newTestServer(t, Config{})
+	v := waitTerminal(t, h.URL, mustAccept(t, h.URL, JobSpec{Bench: "db", Scale: 0.01, Interval: 211}), 60*time.Second)
+	if v.Status != StatusDone {
+		t.Fatalf("job: status %s (error %q)", v.Status, v.Error)
+	}
+	resp, err := http.Get(h.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content-type %q, want 0.0.4 text exposition", ct)
+	}
+	out := readAll(t, resp)
+	for _, want := range []string{
+		"# TYPE jobs_accepted counter\njobs_accepted 1\n",
+		"# TYPE jobs_completed counter\njobs_completed 1\n",
+		"# TYPE queue_depth gauge\nqueue_depth 0\n",
+		"# TYPE job_duration_ms histogram\n",
+		`job_duration_ms_bucket{le="+Inf"} 1`,
+		"job_duration_ms_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return string(b)
+}
+
+// TestHealthzAndDrain: healthz reports ok, then draining; a draining
+// server refuses new jobs with 503 and Shutdown returns nil on a clean
+// drain.
+func TestHealthzAndDrain(t *testing.T) {
+	t.Parallel()
+	s, h := newTestServer(t, Config{})
+	resp, err := http.Get(h.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("healthz body %q, want status ok", body)
+	}
+
+	v := waitTerminal(t, h.URL, mustAccept(t, h.URL, JobSpec{Bench: "db", Scale: 0.01, Interval: 223}), 60*time.Second)
+	if v.Status != StatusDone {
+		t.Fatalf("job: status %s (error %q)", v.Status, v.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	r2, m := postJob(t, h.URL, JobSpec{Bench: "db"})
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post after drain: status %d (%v), want 503", r2.StatusCode, m)
+	}
+	resp, err = http.Get(h.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	resp.Body.Close()
+	if !strings.Contains(body, `"status": "draining"`) {
+		t.Errorf("healthz after drain %q, want draining", body)
+	}
+	// The drained job stays queryable.
+	if got := getJob(t, h.URL, v.ID); got.Status != StatusDone {
+		t.Errorf("job after drain: status %s, want done", got.Status)
+	}
+}
+
+// TestForcedShutdownCancelsRunning: past the drain deadline, running jobs
+// are hard-cancelled (stopping at the next observation point) and
+// resolved cancelled; Shutdown reports the forced path.
+func TestForcedShutdownCancelsRunning(t *testing.T) {
+	t.Parallel()
+	s, h := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	running := mustAccept(t, h.URL, JobSpec{Source: slowSrc(1<<61 + 4)})
+	waitRunning(t, h.URL, running, 10*time.Second)
+	queued := mustAccept(t, h.URL, JobSpec{Source: slowSrc(1<<61 + 5)})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Errorf("forced shutdown returned %v, want DeadlineExceeded", err)
+	}
+	for _, id := range []string{running, queued} {
+		if v := getJob(t, h.URL, id); v.Status != StatusCancelled {
+			t.Errorf("job %s after forced shutdown: status %s, want cancelled", id, v.Status)
+		}
+	}
+}
+
+// TestCellKeyIgnoresEventsCadence: the SSE cadence must not fragment the
+// memo/cache keyspace, and the overlap reference key must be the
+// exhaustive configuration's own key.
+func TestCellKeyIgnoresEventsCadence(t *testing.T) {
+	t.Parallel()
+	a := JobSpec{Bench: "compress", Instrument: []string{"call-edge"}, Variation: "full"}.withDefaults()
+	b := a
+	b.EventsInterval = 1 << 20
+	if a.cellKey() != b.cellKey() {
+		t.Errorf("events cadence leaked into the cell key:\n%s\n%s", a.cellKey(), b.cellKey())
+	}
+	if a.cellKey() == a.overlapKey() {
+		t.Error("overlap reference key equals the sampled key")
+	}
+	ref := a.overlapSpec()
+	if ref.Trigger != "never" || ref.Variation != "" || ref.Verify {
+		t.Errorf("overlap reference spec not exhaustive: %+v", ref)
+	}
+	if err := ref.validate(); err != nil {
+		t.Errorf("overlap reference spec invalid: %v", err)
+	}
+}

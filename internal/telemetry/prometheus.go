@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName maps a registry name to the Prometheus exposition charset:
+// the first character must match [a-zA-Z_:], the rest [a-zA-Z0-9_:], so
+// every other byte (the registry's dots, slashes, ± and friends) becomes
+// an underscore. The mapping is not injective; WritePrometheus suffixes
+// collisions deterministically.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative `_bucket{le="..."}` series ending in
+// le="+Inf", plus `_sum` and `_count`. Metrics are emitted in sorted
+// registry-name order, so the output is deterministic for a quiescent
+// registry. Registry names that sanitize to the same exposition name get
+// a deterministic `_2`, `_3`, ... suffix in that sorted order.
+//
+// The snapshot is best-effort under concurrent updates (each value is an
+// independent atomic load), but each histogram's `_count` is taken from
+// its own cumulative bucket total, so every exposed histogram is
+// internally consistent.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.m[n]
+	}
+	r.mu.Unlock()
+
+	seen := make(map[string]int, len(names))
+	var b strings.Builder
+	for i := range names {
+		pn := promName(names[i])
+		seen[pn]++
+		if n := seen[pn]; n > 1 {
+			pn = fmt.Sprintf("%s_%d", pn, n)
+		}
+		switch v := metrics[i].(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, v.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, v.Value())
+		case *Histogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+			var cum uint64
+			for _, bk := range v.Buckets() {
+				cum += bk.N
+				le := "+Inf"
+				if !bk.Inf {
+					le = fmt.Sprint(bk.Le)
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, le, cum)
+			}
+			fmt.Fprintf(&b, "%s_sum %d\n", pn, v.Sum())
+			fmt.Fprintf(&b, "%s_count %d\n", pn, cum)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promTypeLine / promSampleLine are the two legal line shapes of the text
+// exposition format as this package emits it.
+var (
+	promTypeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	promSampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9]+$`)
+)
+
+func promDump(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+// TestPrometheusFormat validates every emitted line against the
+// exposition grammar and spot-checks the three metric kinds.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs.completed.total").Add(7)
+	r.Gauge("queue.depth").Set(-3)
+	h := r.Histogram("job.duration_ms", []uint64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(5000)
+
+	out := promDump(t, r)
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !promTypeLine.MatchString(line) && !promSampleLine.MatchString(line) {
+			t.Errorf("line violates exposition format: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE jobs_completed_total counter\njobs_completed_total 7\n",
+		"# TYPE queue_depth gauge\nqueue_depth -3\n",
+		"# TYPE job_duration_ms histogram\n",
+		`job_duration_ms_bucket{le="1"} 0` + "\n",
+		`job_duration_ms_bucket{le="10"} 2` + "\n",
+		`job_duration_ms_bucket{le="100"} 2` + "\n",
+		`job_duration_ms_bucket{le="+Inf"} 3` + "\n",
+		"job_duration_ms_sum 5010\n",
+		"job_duration_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusHistogramCumulative: buckets must be monotonically
+// non-decreasing and _count must equal the +Inf bucket.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", ExpBuckets(1, 8))
+	for v := uint64(1); v < 600; v += 7 {
+		h.Observe(v)
+	}
+	out := promDump(t, r)
+	bucketRe := regexp.MustCompile(`^d_bucket\{le="([^"]+)"\} ([0-9]+)$`)
+	prev := int64(-1)
+	var inf int64
+	for _, line := range strings.Split(out, "\n") {
+		m := bucketRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.ParseInt(m[2], 10, 64)
+		if n < prev {
+			t.Errorf("bucket le=%s count %d < previous %d (not cumulative)", m[1], n, prev)
+		}
+		prev = n
+		if m[1] == "+Inf" {
+			inf = n
+		}
+	}
+	if !strings.Contains(out, "d_count "+strconv.FormatInt(inf, 10)+"\n") {
+		t.Errorf("_count does not match +Inf bucket %d:\n%s", inf, out)
+	}
+}
+
+// TestPrometheusNameSanitization: registry names with exposition-illegal
+// characters are mapped to legal ones, and collisions get deterministic
+// suffixes.
+func TestPrometheusNameSanitization(t *testing.T) {
+	if got := promName("vm.samples.counter/100"); got != "vm_samples_counter_100" {
+		t.Errorf("promName = %q", got)
+	}
+	if got := promName("9lives"); got != "_lives" {
+		t.Errorf("promName leading digit = %q", got)
+	}
+	if got := promName(""); got != "_" {
+		t.Errorf("promName empty = %q", got)
+	}
+
+	r := NewRegistry()
+	r.Counter("a.b").Inc()
+	r.Counter("a/b").Add(2)
+	out := promDump(t, r)
+	if !strings.Contains(out, "a_b 1\n") || !strings.Contains(out, "a_b_2 2\n") {
+		t.Errorf("collision not suffixed deterministically:\n%s", out)
+	}
+}
+
+// TestPrometheusDeterministic: two renders of a quiescent registry are
+// byte-identical.
+func TestPrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z", "a", "m.q", "m.p"} {
+		r.Counter(n).Inc()
+	}
+	r.Histogram("h", ExpBuckets(1, 4)).Observe(3)
+	if a, b := promDump(t, r), promDump(t, r); a != b {
+		t.Errorf("renders differ:\n%s\n---\n%s", a, b)
+	}
+}

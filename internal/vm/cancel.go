@@ -1,0 +1,74 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Cancel is an externally armed stop request for a running VM. Any
+// goroutine may call Fire at any time; the VM polls the token at
+// observation points — yieldpoints and sample checks, the exact program
+// points the sampling framework already instruments — and stops with a
+// *CancelError at the first one that sees the request. Because baseline
+// code carries a yieldpoint on every method entry and loop backedge (and
+// the yieldpoint optimization replaces those with checks), a hot loop
+// stops within one observation interval of Fire; a program with neither
+// (hand-written IR that skipped the yieldpoint pass) is only bounded by
+// Config.MaxCycles.
+//
+// Cost contract, mirroring Observer's: a nil Config.Cancel is a single
+// pointer test per observation point and nothing else, and an armed but
+// never-fired token adds only a relaxed atomic load there — neither
+// changes a single Stats counter, output value or profile entry, under
+// either dispatcher. The differential tests pin this down.
+//
+// A Cancel is single-use: once fired it stays fired (Reset does not
+// exist by design — a token is cheap, make a new one per run).
+type Cancel struct{ fired atomic.Bool }
+
+// NewCancel returns an unfired token.
+func NewCancel() *Cancel { return &Cancel{} }
+
+// Fire requests the stop. It is safe to call from any goroutine,
+// repeatedly, before or during Run.
+func (c *Cancel) Fire() { c.fired.Store(true) }
+
+// Fired reports whether Fire has been called.
+func (c *Cancel) Fired() bool { return c.fired.Load() }
+
+// CancelError is the error Run returns when Config.Cancel fired and an
+// observation point saw it. It is not a trap: the program did nothing
+// wrong, something outside the VM asked it to stop. The VM's counters
+// are flushed before the error is built, so Stats() reports the exact
+// partial execution up to the stop point.
+type CancelError struct {
+	// Cycles is the simulated cycle count at the observation point that
+	// honoured the request.
+	Cycles uint64
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("vm: run cancelled at cycle %d", e.Cycles)
+}
+
+// IsCancelled reports whether err is (or wraps) a cancellation stop, as
+// opposed to a genuine runtime trap.
+func IsCancelled(err error) bool {
+	var ce *CancelError
+	return errors.As(err, &ce)
+}
+
+// cancelled is the per-observation-point poll. The nil test is the whole
+// cost when no token is armed.
+func (v *VM) cancelled() bool {
+	return v.cancel != nil && v.cancel.fired.Load()
+}
+
+// stopCancelled flushes the lazily tracked counters and builds the
+// cancellation error; the fast path calls it with its local counters,
+// the reference path with the already-current VM fields.
+func (v *VM) stopCancelled(cycles, icount uint64) error {
+	v.cycles, v.stats.Instrs = cycles, icount
+	return &CancelError{Cycles: cycles}
+}

@@ -286,6 +286,10 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 				v.cycles = cycles
 				v.obs.OnYield(t, f)
 			}
+			if v.cancelled() {
+				f.PC = pc
+				return false, v.stopCancelled(cycles, icount)
+			}
 			v.quantum--
 			if v.quantum <= 0 && v.runq.len() > 1 {
 				f.PC = pc + 1
@@ -301,6 +305,10 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 		case ir.OpCheckedProbe:
 			// No-Duplication guard (Figure 6): a check wrapping a single
 			// instrumentation operation.
+			if v.cancelled() {
+				f.PC = pc
+				return false, v.stopCancelled(cycles, icount)
+			}
 			cycles += uint64(v.cost.Check)
 			v.stats.Checks++
 			fired := v.trig.Poll(t.ID, cycles)
@@ -382,6 +390,10 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			continue
 
 		case ir.OpCheck:
+			if v.cancelled() {
+				f.PC = pc
+				return false, v.stopCancelled(cycles, icount)
+			}
 			v.stats.Checks++
 			target := 1
 			if v.trig.Poll(t.ID, cycles) {

@@ -264,6 +264,16 @@ func (v *VM) runPureBlocks(t *Thread, f *Frame, cycles, icount uint64) (uint64, 
 
 		case ir.OpYield:
 			v.stats.Yields++
+			if v.cancelled() {
+				// Reconstruct the exact per-instruction counters for the
+				// partial block (charge-before-execute, like pureTrap),
+				// so the stop point is identical to the generic paths'.
+				f.PC = pc
+				cycles += bi.prefix[pc+1]
+				icount += uint64(pc) + 1
+				v.quantum = quantum
+				return cycles, icount, false, v.stopCancelled(cycles, icount)
+			}
 			quantum--
 			if quantum <= 0 && v.runq.len() > 1 {
 				f.PC = pc + 1

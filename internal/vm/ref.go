@@ -232,6 +232,9 @@ func (v *VM) runThreadRef(t *Thread) (bool, error) {
 			if v.obs != nil {
 				v.obs.OnYield(t, f)
 			}
+			if v.cancelled() {
+				return false, v.stopCancelled(v.cycles, v.stats.Instrs)
+			}
 			v.quantum--
 			if v.quantum <= 0 && len(v.refq) > 1 {
 				f.PC++
@@ -243,6 +246,9 @@ func (v *VM) runThreadRef(t *Thread) (bool, error) {
 		case ir.OpCheckedProbe:
 			// No-Duplication guard (Figure 6): a check wrapping a single
 			// instrumentation operation.
+			if v.cancelled() {
+				return false, v.stopCancelled(v.cycles, v.stats.Instrs)
+			}
 			v.cycles += uint64(v.cost.Check)
 			v.stats.Checks++
 			fired := v.trig.Poll(t.ID, v.cycles)
@@ -274,6 +280,9 @@ func (v *VM) runThreadRef(t *Thread) (bool, error) {
 			continue
 
 		case ir.OpCheck:
+			if v.cancelled() {
+				return false, v.stopCancelled(v.cycles, v.stats.Instrs)
+			}
 			v.stats.Checks++
 			target := 1
 			if v.trig.Poll(t.ID, v.cycles) {

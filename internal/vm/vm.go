@@ -67,6 +67,13 @@ type Config struct {
 	// fast path's pure-block batching so every transfer is observable;
 	// Results remain bit-identical to unobserved runs.
 	Observer Observer
+	// Cancel, when non-nil, is an externally armed stop request polled at
+	// observation points (yieldpoints and sample checks) by both
+	// dispatchers; the run returns a *CancelError at the first
+	// observation point after Fire. A nil Cancel costs one pointer test
+	// per observation point; an armed, never-fired token perturbs no
+	// Result (see Cancel's cost contract and DESIGN.md §10).
+	Cancel *Cancel
 	// CostScale, when non-nil, returns a per-method cycle-cost multiplier
 	// (nil or a return of 0 means 1). It models compilation levels in an
 	// adaptive system: baseline-compiled methods run slower than
@@ -151,12 +158,13 @@ func (e *RuntimeError) Error() string {
 
 // VM executes a sealed program under a Config.
 type VM struct {
-	prog *ir.Program
-	cfg  Config
-	cost *CostModel
-	trig trigger.Trigger
-	ic   *icache
-	obs  Observer
+	prog   *ir.Program
+	cfg    Config
+	cost   *CostModel
+	trig   trigger.Trigger
+	ic     *icache
+	obs    Observer
+	cancel *Cancel
 
 	// costTab is the opcode-indexed cycle-cost side table flattened from
 	// the cost model at New time, so the hot loop never re-runs the
@@ -200,7 +208,7 @@ func New(prog *ir.Program, cfg Config) *VM {
 	if cfg.Quantum == 0 {
 		cfg.Quantum = 64
 	}
-	v := &VM{prog: prog, cfg: cfg, cost: cfg.Cost, trig: cfg.Trigger, obs: cfg.Observer}
+	v := &VM{prog: prog, cfg: cfg, cost: cfg.Cost, trig: cfg.Trigger, obs: cfg.Observer, cancel: cfg.Cancel}
 	v.costTab = cfg.Cost.table()
 	if cfg.ICache != nil {
 		v.ic = newICache(cfg.ICache)
