@@ -4,10 +4,11 @@
 GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-short experiments clean-cache \
-	fuzz fuzz-smoke mutation-check telemetry-smoke service-smoke
+	fuzz fuzz-smoke mutation-check telemetry-smoke service-smoke \
+	soak soak-smoke doc-lint
 
-ci: fmt vet build test race fuzz-smoke mutation-check telemetry-smoke \
-	service-smoke bench-short
+ci: fmt vet doc-lint build test race fuzz-smoke mutation-check telemetry-smoke \
+	service-smoke soak-smoke bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -67,6 +68,34 @@ telemetry-smoke:
 # the /metrics exposition format, and drain via the SIGTERM path.
 service-smoke:
 	$(GO) test -race -run '^TestServiceSmoke$$' -v ./cmd/isampd/ | grep -q 'PASS: TestServiceSmoke'
+
+# Sustained soak: a 30-second seeded mixed-traffic run against a
+# self-hosted daemon, gates asserted in code, BENCH_PR6.json emitted by
+# the harness itself (see BENCHMARKING.md). Deterministic plan: the same
+# seed+mix replays the same job sequence, and the report records its
+# SHA-256.
+soak:
+	$(GO) run ./cmd/isampload -duration 30s -o BENCH_PR6.json
+
+# Soak smoke for ci: a few-second seeded soak on an ephemeral port under
+# -race with the regression gates enforced — exact gates (zero failed
+# jobs, zero leaked goroutines, zero transport errors) at full strength,
+# timing ceilings relaxed for shared hosts. A deliberately small queue
+# forces the 429-retry path to run.
+soak-smoke:
+	$(GO) test -race -run '^TestSoakSmoke$$' -v ./cmd/isampload/ | grep -q 'PASS: TestSoakSmoke'
+
+# Doc lint: every internal package must open with a package comment that
+# cross-links its DESIGN.md section, so the design doc and the code
+# cannot drift apart silently.
+doc-lint:
+	@bad=""; for d in internal/*/; do \
+		grep -l -r --include='*.go' -m1 '^// Package' $$d >/dev/null 2>&1 \
+			|| bad="$$bad $$d(no package comment)"; \
+		grep -r --include='*.go' -q 'DESIGN.md' $$d \
+			|| bad="$$bad $$d(no DESIGN.md link)"; \
+	done; if [ -n "$$bad" ]; then \
+		echo "doc-lint: missing package docs:$$bad"; exit 1; fi
 
 # Full benchmark sweep (slow). BENCH_*.json snapshots in the repo root
 # record curated before/after numbers from these benchmarks.

@@ -1,0 +1,209 @@
+// Command isampload is the sustained-load / soak harness for isampd:
+// it expands a deterministic, seeded traffic mix into a job sequence
+// (internal/load.Plan), drives a live daemon with concurrent HTTP
+// clients for the configured duration — cache-hit reuse, mid-flight
+// cancellations, SSE subscribers with slow readers, 429-retry backoff —
+// and asserts the machine-checked regression gates, writing the
+// BENCH_*.json report itself.
+//
+//	isampload -duration 30s -o BENCH_PR6.json   # self-host a daemon, 30s soak
+//	isampload -addr http://127.0.0.1:8347       # soak an external daemon
+//	isampload -mix mix.json                     # replay a recorded traffic mix
+//	isampload -print-plan -ops 50               # show the expanded op sequence
+//
+// With no -addr, isampload boots an in-process service.Server on an
+// ephemeral port, so `make soak` needs no coordination with a running
+// daemon — and the goroutine-leak gate then covers the daemon and the
+// harness in one process. Exit status is non-zero when any gate is
+// violated, so CI can run a short soak as a hard check. See
+// BENCHMARKING.md for the gate definitions and DESIGN.md §11 for the
+// architecture.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"instrsample/internal/load"
+	"instrsample/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "isampload:", err)
+		os.Exit(1)
+	}
+}
+
+// errGates marks a run whose measurements violated the gate budget; the
+// soak itself completed, so the report is still written before main
+// turns this into a non-zero exit.
+var errGates = errors.New("gates violated")
+
+// run is main minus the process concerns: flags in args, output on the
+// given writers, lifetime bounded by ctx. Tests call it directly.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("isampload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	defGates := load.DefaultGates()
+	var (
+		addr      = fs.String("addr", "", "daemon base URL (e.g. http://127.0.0.1:8347); empty self-hosts one in-process")
+		selfJ     = fs.Int("self-j", runtime.GOMAXPROCS(0), "self-hosted daemon worker-pool size")
+		selfQueue = fs.Int("self-queue", 64, "self-hosted daemon queue depth")
+		seed      = fs.Int64("seed", 1, "plan seed (ignored with -mix)")
+		ops       = fs.Int("ops", 2000, "plan length in job operations (ignored with -mix)")
+		mixPath   = fs.String("mix", "", "traffic-mix JSON file (default: the built-in DefaultMix)")
+		duration  = fs.Duration("duration", 30*time.Second, "submission window; in-flight ops still drain after it")
+		clients   = fs.Int("clients", 8, "concurrent HTTP client workers")
+		out       = fs.String("o", "", "write the BENCH_*.json report here (empty: report only to stdout summary)")
+		pr        = fs.Int("pr", 6, "PR number stamped into the report")
+		title     = fs.String("title", "Seeded mixed-traffic soak via internal/load", "report title")
+		notes     = fs.String("notes", "", "free-form notes stamped into the report")
+		printPlan = fs.Bool("print-plan", false, "print the expanded op sequence as JSON and exit")
+
+		minTput      = fs.Float64("min-throughput", defGates.MinThroughputJobsPerSec, "gate: terminal jobs/sec floor (0 disables)")
+		maxP99       = fs.Uint64("max-p99-ms", defGates.MaxP99Ms, "gate: accepted→terminal p99 ceiling in ms (0 disables)")
+		maxCancelP99 = fs.Uint64("max-cancel-p99-ms", defGates.MaxCancelP99Ms, "gate: DELETE→terminal p99 ceiling in ms (0 disables)")
+		maxLeaked    = fs.Int("max-leaked", defGates.MaxLeakedGoroutines, "gate: post-drain goroutine growth ceiling (0 = zero-leak, enforced)")
+		minSubmitted = fs.Int64("min-submitted", defGates.MinSubmitted, "gate: accepted-op floor so other gates cannot pass vacuously (0 disables)")
+		quiet        = fs.Bool("q", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix := load.DefaultMix(*seed, *ops)
+	if *mixPath != "" {
+		f, err := os.Open(*mixPath)
+		if err != nil {
+			return err
+		}
+		m, err := load.ReadMix(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *mixPath, err)
+		}
+		mix = m
+	} else if err := mix.Validate(); err != nil {
+		return err
+	}
+	plan, err := load.Plan(mix)
+	if err != nil {
+		return err
+	}
+	if *printPlan {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "// plan_hash %s\n", load.PlanHash(plan))
+		return nil
+	}
+
+	logf := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Fprintf(stderr, "isampload: "+format+"\n", a...)
+		}
+	}
+
+	baseURL := *addr
+	var shutdown func()
+	if baseURL == "" {
+		baseURL, shutdown, err = selfHost(*selfJ, *selfQueue)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		logf("self-hosted daemon on %s (%d workers, queue %d)", baseURL, *selfJ, *selfQueue)
+	}
+
+	logf("soak: %d planned ops (hash %s), %d clients, %s window",
+		len(plan), load.PlanHash(plan)[:12], *clients, *duration)
+	res, err := load.Run(ctx, plan, load.Options{
+		BaseURL:  baseURL,
+		Clients:  *clients,
+		Duration: *duration,
+		Logf:     logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	gates := load.Gates{
+		MinThroughputJobsPerSec: *minTput,
+		MaxP99Ms:                *maxP99,
+		MaxCancelP99Ms:          *maxCancelP99,
+		MaxLeakedGoroutines:     *maxLeaked,
+		MinSubmitted:            *minSubmitted,
+	}
+	verdicts := gates.Check(res)
+	rep := load.NewReport(*pr, *title, mix, plan, res, verdicts, *notes)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logf("report written to %s", *out)
+	}
+
+	fmt.Fprintf(stdout, "soak: %d submitted, %d done, %d cancelled (+%d races), %d failed, %d×429, %.1f jobs/s, p50/p99 %d/%dms, cancel p99 %dms, queue max %d, leaked goroutines %d\n",
+		res.Counts.Submitted, res.Counts.Done,
+		res.Counts.CancelRequested+res.Counts.Cancelled, res.Counts.CancelRaces,
+		res.Counts.Failed, res.Counts.Rejected429, res.ThroughputJobsPerSec,
+		res.JobLatencyMs.P50, res.JobLatencyMs.P99, res.CancelLatencyMs.P99,
+		res.QueueDepthMax, res.LeakedGoroutines)
+	for _, g := range verdicts {
+		mark := "ok"
+		if !g.OK {
+			mark = "VIOLATED"
+		}
+		fmt.Fprintf(stdout, "gate %-24s %s %g\t(got %g)\t%s\n", g.Name, g.Op, g.Bound, g.Value, mark)
+	}
+	if !load.AllOK(verdicts) {
+		return errGates
+	}
+	fmt.Fprintln(stdout, "all gates passed")
+	return nil
+}
+
+// selfHost boots an in-process service.Server on an ephemeral port and
+// returns its base URL plus a shutdown that drains the daemon and
+// closes the listener.
+func selfHost(workers, queue int) (string, func(), error) {
+	s := service.New(service.Config{Workers: workers, QueueDepth: queue})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	shutdown := func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(dctx)
+		srv.Shutdown(dctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -1,0 +1,176 @@
+package load
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"instrsample/internal/service"
+)
+
+// Op is one planned operation against the daemon: a job spec plus the
+// client-side behaviours attached to it. Ops marshal to JSON so a plan
+// can be diffed, hashed and replayed.
+type Op struct {
+	// Index is the op's position in the plan.
+	Index int `json:"index"`
+	// Spec is the POST /v1/jobs body.
+	Spec service.JobSpec `json:"spec"`
+	// ReuseOf is the index of the earlier op whose spec this op repeats
+	// verbatim (the cache-hit share), or -1 for a fresh spec.
+	ReuseOf int `json:"reuse_of"`
+	// Cancel marks a mid-flight cancellation op: the spec is a
+	// long-running program, DELETEd CancelAfterMs after acceptance.
+	Cancel        bool `json:"cancel,omitempty"`
+	CancelAfterMs int  `json:"cancel_after_ms,omitempty"`
+	// Subscribe attaches an SSE /events reader to the job; SlowReader
+	// makes that reader throttle itself to exercise backpressure.
+	Subscribe  bool `json:"subscribe,omitempty"`
+	SlowReader bool `json:"slow_reader,omitempty"`
+}
+
+// Plan expands the mix into its deterministic op sequence. It is a pure
+// function of the Mix: the PRNG is seeded from Mix.Seed and consulted in
+// a fixed per-op order, so identical seed+mix yields an identical
+// sequence (PlanHash exposes the digest two runs can compare).
+func Plan(m Mix) ([]Op, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	ops := make([]Op, 0, m.Ops)
+	var reusable []int // indices of fresh, non-cancel ops eligible for reuse
+	for i := 0; i < m.Ops; i++ {
+		op := Op{Index: i, ReuseOf: -1}
+		// Decision order is fixed; every branch consumes the same RNG
+		// stream positions regardless of outcome where it matters for
+		// cross-field independence (each field draws lazily, which is
+		// fine — determinism needs a fixed order, not a fixed count).
+		switch {
+		case m.CancelPct > 0 && rng.Float64() < m.CancelPct:
+			op.Cancel = true
+			op.CancelAfterMs = m.CancelAfterMsMin
+			if span := m.CancelAfterMsMax - m.CancelAfterMsMin; span > 0 {
+				op.CancelAfterMs += rng.Intn(span + 1)
+			}
+			// A long-running program so the DELETE lands mid-run. The op
+			// index is baked into the (unreachable) iteration bound so
+			// every cancel op is a distinct cell — cancel ops must never
+			// share a memo flight, or one DELETE would resolve several.
+			op.Spec = service.JobSpec{Source: longRunningSource(i)}
+		case m.ReusePct > 0 && len(reusable) > 0 && rng.Float64() < m.ReusePct:
+			src := reusable[rng.Intn(len(reusable))]
+			op.Spec = ops[src].Spec
+			op.ReuseOf = src
+		default:
+			op.Spec = freshSpec(m, rng)
+			reusable = append(reusable, i)
+		}
+		if m.SubscribePct > 0 && rng.Float64() < m.SubscribePct {
+			op.Subscribe = true
+			op.SlowReader = m.SlowReaderPct > 0 && rng.Float64() < m.SlowReaderPct
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// freshSpec draws one new job spec from the mix.
+func freshSpec(m Mix, rng *rand.Rand) service.JobSpec {
+	spec := service.JobSpec{
+		Bench:    pick(m.Benches, rng),
+		Scale:    quantize(m.ScaleMin + rng.Float64()*(m.ScaleMax-m.ScaleMin)),
+		Interval: m.Intervals[rng.Intn(len(m.Intervals))],
+	}
+	spec.Variation = pick(m.Variations, rng)
+	spec.Trigger = pick(m.Triggers, rng)
+
+	wantOverlap := m.OverlapPct > 0 && rng.Float64() < m.OverlapPct
+	n := rng.Intn(3) // 0–2 instrumentations
+	if wantOverlap && n == 0 {
+		n = 1 // overlap requires at least one profile to compare
+	}
+	spec.Instrument = pickDistinct(m.Instruments, n, rng)
+	if len(spec.Instrument) > 0 {
+		spec.Overlap = wantOverlap
+	}
+	if spec.Variation != "" && m.VerifyPct > 0 && rng.Float64() < m.VerifyPct {
+		spec.Verify = true
+	}
+	return spec
+}
+
+// quantize rounds a drawn scale to 4 decimals so plans render compactly
+// and reuse keys stay stable across JSON round trips.
+func quantize(v float64) float64 { return float64(int(v*1e4)) / 1e4 }
+
+// pick draws one weighted alternative.
+func pick(cs []Choice, rng *rand.Rand) string {
+	total := totalWeight(cs)
+	n := rng.Intn(total)
+	for _, c := range cs {
+		if c.Weight <= 0 {
+			continue
+		}
+		if n < c.Weight {
+			return c.Name
+		}
+		n -= c.Weight
+	}
+	return cs[len(cs)-1].Name // unreachable given Validate
+}
+
+// pickDistinct draws up to n distinct weighted alternatives, in draw
+// order.
+func pickDistinct(cs []Choice, n int, rng *rand.Rand) []string {
+	if n == 0 || totalWeight(cs) <= 0 {
+		return nil
+	}
+	var out []string
+	seen := make(map[string]bool, n)
+	for attempts := 0; len(out) < n && attempts < 8*n; attempts++ {
+		name := pick(cs, rng)
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// longRunningSource is a program that runs effectively forever (2^61
+// iterations plus the op index, so each cancel op is its own cell) and
+// reaches an observation point every iteration — the yieldpoint on the
+// loop backedge — which is what makes its cancel latency a measurement
+// of the daemon's cancellation path, not of the program.
+func longRunningSource(index int) string {
+	return fmt.Sprintf(`func main() {
+entry:
+  const i, 0
+  const n, %d
+  const one, 1
+loop:
+  cmplt c, i, n
+  br c, body, done
+body:
+  add i, i, one
+  jmp loop
+done:
+  ret i
+}
+`, int64(1)<<61+int64(index))
+}
+
+// PlanHash is the SHA-256 of the plan's JSON rendering — the determinism
+// receipt recorded in every report: two soaks with the same seed+mix
+// must record the same hash.
+func PlanHash(ops []Op) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for i := range ops {
+		enc.Encode(&ops[i]) //nolint:errcheck // sha256.Write cannot fail
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

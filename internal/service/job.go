@@ -110,6 +110,7 @@ type job struct {
 	id      string
 	spec    JobSpec
 	created time.Time
+	now     func() time.Time
 	ctx     context.Context
 	cancel  context.CancelFunc
 	// done closes when the job reaches a terminal state.
@@ -130,7 +131,7 @@ type job struct {
 	subs      map[chan struct{}]struct{}
 }
 
-func newJob(id string, spec JobSpec, parent context.Context) *job {
+func newJob(id string, spec JobSpec, parent context.Context, now func() time.Time) *job {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if spec.TimeoutMs > 0 {
@@ -138,10 +139,14 @@ func newJob(id string, spec JobSpec, parent context.Context) *job {
 	} else {
 		ctx, cancel = context.WithCancel(parent)
 	}
+	if now == nil {
+		now = time.Now
+	}
 	return &job{
 		id:      id,
 		spec:    spec,
-		created: time.Now(),
+		created: now(),
+		now:     now,
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
@@ -189,7 +194,7 @@ func (j *job) start() bool {
 		return false
 	}
 	j.status = StatusRunning
-	j.started = time.Now()
+	j.started = j.now()
 	return true
 }
 
@@ -203,7 +208,7 @@ func (j *job) finish(st JobStatus, errMsg string, res *JobResult) {
 		return
 	}
 	j.status = st
-	j.finished = time.Now()
+	j.finished = j.now()
 	j.errMsg = errMsg
 	j.result = res
 	subs := j.subs

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -49,6 +50,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
+	// Now, when non-nil, replaces time.Now for every job timestamp and
+	// the job-duration histogram — the deterministic-clock test hook the
+	// load harness and the service tests use (DESIGN.md §11). It does NOT
+	// affect job timeouts (timeout_ms still arms a real wall-clock
+	// context deadline).
+	Now func() time.Time
 }
 
 // Server is the profiling-as-a-service daemon core: a bounded job queue
@@ -60,6 +67,7 @@ type Server struct {
 	eng *experiment.Engine
 	reg *telemetry.Registry
 	mux *http.ServeMux
+	now func() time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -92,12 +100,17 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		eng:        experiment.NewEngine(cfg.Workers, cfg.Cache),
 		reg:        reg,
 		mux:        http.NewServeMux(),
+		now:        now,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -239,7 +252,7 @@ func (s *Server) account(j *job, st JobStatus) {
 		s.reg.Counter(MetricJobsFailed).Inc()
 	}
 	s.reg.Histogram(MetricJobDuration, telemetry.ExpBuckets(1, 16)).
-		Observe(uint64(time.Since(j.created).Milliseconds()))
+		Observe(uint64(s.now().Sub(j.created).Milliseconds()))
 	s.logf("job %s %s", j.id, st)
 }
 
@@ -325,7 +338,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
-	j := newJob(id, spec, s.baseCtx)
+	j := newJob(id, spec, s.baseCtx, s.now)
 	select {
 	case s.queue <- j:
 		s.jobs[id] = j
@@ -393,18 +406,75 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, map[string]string{"id": j.id, "status": string(j.Status())})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// Introspection is a point-in-time snapshot of the daemon's internal
+// state: the job population by phase, the drain flag, and the process's
+// goroutine/heap footprint. It is the drain-introspection test hook the
+// load harness's leak gates consume (DESIGN.md §11): after a soak's jobs
+// all reach a terminal state and its SSE clients disconnect, Queued and
+// Running must be 0 and Goroutines must return to the pre-load baseline.
+type Introspection struct {
+	// Draining reports whether Shutdown has begun.
+	Draining bool `json:"draining"`
+	// Queued, Running and Terminal partition the retained job set.
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Terminal int `json:"terminal"`
+	// Subscribers counts open SSE event streams across retained jobs.
+	Subscribers int `json:"subscribers"`
+	// Goroutines is runtime.NumGoroutine() at snapshot time.
+	Goroutines int `json:"goroutines"`
+	// HeapBytes is runtime.MemStats.HeapAlloc at snapshot time.
+	HeapBytes uint64 `json:"heap_bytes"`
+}
+
+// Introspect snapshots the daemon's internal state. Also served (merged
+// into the health document) at GET /healthz, so out-of-process harnesses
+// can run the same leak checks as in-process tests.
+func (s *Server) Introspect() Introspection {
 	s.mu.Lock()
-	draining, jobs := s.draining, len(s.jobs)
+	in := Introspection{Draining: s.draining}
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
 	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		st := j.status
+		in.Subscribers += len(j.subs)
+		j.mu.Unlock()
+		switch st {
+		case StatusQueued:
+			in.Queued++
+		case StatusRunning:
+			in.Running++
+		default:
+			in.Terminal++
+		}
+	}
+	in.Goroutines = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	in.HeapBytes = ms.HeapAlloc
+	return in
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	in := s.Introspect()
 	status := "ok"
-	if draining {
+	if in.Draining {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   status,
-		"jobs":     jobs,
-		"build_id": experiment.BuildID(),
+		"status":      status,
+		"jobs":        in.Queued + in.Running + in.Terminal,
+		"queued":      in.Queued,
+		"running":     in.Running,
+		"terminal":    in.Terminal,
+		"subscribers": in.Subscribers,
+		"goroutines":  in.Goroutines,
+		"heap_bytes":  in.HeapBytes,
+		"build_id":    experiment.BuildID(),
 	})
 }
 

@@ -9,9 +9,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"instrsample/internal/telemetry"
 )
 
 // newTestServer builds a Server plus an httptest front end and tears
@@ -565,5 +569,155 @@ func TestCellKeyIgnoresEventsCadence(t *testing.T) {
 	}
 	if err := ref.validate(); err != nil {
 		t.Errorf("overlap reference spec invalid: %v", err)
+	}
+}
+
+// TestEventLogConcurrentPublishers drives the job event log — the store
+// behind SSE backlog replay — from many concurrent publishers while
+// readers consume incrementally via eventsSince, and checks the replay
+// guarantees the handler relies on: the column set freezes at the first
+// batch, rows only ever append (successive reads are prefix-consistent),
+// no row is lost or duplicated, and each publisher's rows appear in its
+// own publish order.
+func TestEventLogConcurrentPublishers(t *testing.T) {
+	const (
+		publishers   = 8
+		rowsPerPub   = 200
+		totalRows    = publishers * rowsPerPub
+		batchMaxRows = 7
+	)
+	j := newJob("job-test", JobSpec{}, context.Background(), nil)
+	cols := []string{"pub", "seq"}
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			seq := 0
+			for seq < rowsPerPub {
+				n := 1 + (seq+p)%batchMaxRows
+				if seq+n > rowsPerPub {
+					n = rowsPerPub - seq
+				}
+				batch := make([]telemetry.SeriesRow, n)
+				for i := range batch {
+					batch[i] = telemetry.SeriesRow{
+						At:     uint64(seq + i),
+						Values: []int64{int64(p), int64(seq + i)},
+					}
+				}
+				j.appendEvents(cols, batch)
+				seq += n
+			}
+		}(p)
+	}
+
+	// A concurrent reader consuming incrementally, exactly as the SSE
+	// handler does: every eventsSince(sent) call must return rows it has
+	// not seen, in log order, with earlier rows unchanged.
+	readerDone := make(chan []telemetry.SeriesRow, 1)
+	go func() {
+		var got []telemetry.SeriesRow
+		for len(got) < totalRows {
+			_, rows := j.eventsSince(len(got))
+			got = append(got, rows...)
+		}
+		readerDone <- got
+	}()
+	wg.Wait()
+	var incremental []telemetry.SeriesRow
+	select {
+	case incremental = <-readerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("incremental reader starved")
+	}
+
+	// A late subscriber replaying the whole backlog at once (the SSE
+	// handler's first flush) must see the identical sequence.
+	gotCols, replay := j.eventsSince(0)
+	if !reflect.DeepEqual(gotCols, cols) {
+		t.Errorf("columns = %v, want %v (frozen at first batch)", gotCols, cols)
+	}
+	if len(replay) != totalRows {
+		t.Fatalf("backlog replay has %d rows, want %d", len(replay), totalRows)
+	}
+	if !reflect.DeepEqual(incremental, replay) {
+		t.Error("incremental reads and full backlog replay diverge")
+	}
+
+	// Per-publisher order is preserved and nothing is lost or duplicated.
+	next := make([]int64, publishers)
+	for i, row := range replay {
+		p, seq := row.Values[0], row.Values[1]
+		if p < 0 || int(p) >= publishers {
+			t.Fatalf("row %d: bad publisher %d", i, p)
+		}
+		if seq != next[p] {
+			t.Fatalf("row %d: publisher %d out of order: seq %d, want %d", i, p, seq, next[p])
+		}
+		next[p]++
+	}
+	for p, n := range next {
+		if n != rowsPerPub {
+			t.Errorf("publisher %d: %d rows survived, want %d", p, n, rowsPerPub)
+		}
+	}
+
+	// Offsets past the end return no rows but still report the columns.
+	if c, rows := j.eventsSince(totalRows + 5); rows != nil || !reflect.DeepEqual(c, cols) {
+		t.Errorf("eventsSince past end = (%v, %d rows), want (columns, none)", c, len(rows))
+	}
+}
+
+// TestIntrospectAndDeterministicClock covers the two load-harness test
+// hooks: Introspect's job-population/drain snapshot and Config.Now's
+// deterministic clock (job timestamps and the duration histogram must
+// come from the injected clock, not the wall).
+func TestIntrospectAndDeterministicClock(t *testing.T) {
+	var mu sync.Mutex
+	fake := time.Unix(1000, 0)
+	advance := func(d time.Duration) {
+		mu.Lock()
+		fake = fake.Add(d)
+		mu.Unlock()
+	}
+	cfg := Config{Workers: 1, QueueDepth: 4, Now: func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return fake
+	}}
+	s, ts := newTestServer(t, cfg)
+
+	in := s.Introspect()
+	if in.Draining || in.Queued != 0 || in.Running != 0 || in.Terminal != 0 {
+		t.Errorf("fresh introspection = %+v", in)
+	}
+	if in.Goroutines <= 0 || in.HeapBytes == 0 {
+		t.Errorf("introspection lacks process stats: %+v", in)
+	}
+
+	// A job that only terminates when cancelled, so the clock advance
+	// deterministically lands between its created and finished stamps.
+	id := mustAccept(t, ts.URL, JobSpec{Source: slowSrc(777001)})
+	advance(250 * time.Millisecond)
+	cancelJob(t, ts.URL, id, http.StatusAccepted)
+	v := waitTerminal(t, ts.URL, id, 30*time.Second)
+	if v.Status != StatusCancelled {
+		t.Fatalf("job resolved %s (%s)", v.Status, v.Error)
+	}
+	if !v.Created.Equal(time.Unix(1000, 0)) {
+		t.Errorf("created = %v, want the injected clock's epoch", v.Created)
+	}
+	if v.Finished == nil || v.Finished.Sub(v.Created) != 250*time.Millisecond {
+		t.Errorf("finished-created = %v, want exactly 250ms of injected time", v.Finished.Sub(v.Created))
+	}
+	if d := s.Registry().Histogram(MetricJobDuration, nil).Summarize(); d.Count != 1 || d.Max != 250 {
+		t.Errorf("duration histogram = %+v, want one 250ms observation", d)
+	}
+
+	in = s.Introspect()
+	if in.Terminal != 1 || in.Queued != 0 || in.Running != 0 {
+		t.Errorf("post-job introspection = %+v, want exactly one terminal job", in)
 	}
 }

@@ -109,6 +109,12 @@ func (s JobSpec) withDefaults() JobSpec {
 	return s
 }
 
+// Valid reports whether the daemon would accept this spec: it applies
+// the same defaulting and validation as POST /v1/jobs. The load harness
+// uses it to guarantee generated traffic never manufactures 400s
+// (DESIGN.md §11).
+func (s JobSpec) Valid() error { return s.withDefaults().validate() }
+
 // validInstr matches experiment.OptsSpec's instrumenter vocabulary.
 var validInstr = map[string]bool{
 	"call-edge": true, "field-access": true, "edge": true,

@@ -123,3 +123,69 @@ func TestPrometheusDeterministic(t *testing.T) {
 		t.Errorf("renders differ:\n%s\n---\n%s", a, b)
 	}
 }
+
+// TestPrometheusEmptyRegistry: a registry with no metrics renders as an
+// empty (but valid) exposition body — no stray newlines, no panic.
+func TestPrometheusEmptyRegistry(t *testing.T) {
+	if out := promDump(t, NewRegistry()); out != "" {
+		t.Errorf("empty registry rendered %q, want empty body", out)
+	}
+}
+
+// TestPrometheusZeroObservationHistogram: a registered histogram that was
+// never observed must still emit its full, internally consistent series —
+// every bucket 0, _sum 0, _count 0 — because scrapers treat a missing
+// series as a target change, not a zero.
+func TestPrometheusZeroObservationHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle.duration_ms", []uint64{1, 10})
+	out := promDump(t, r)
+	for _, want := range []string{
+		"# TYPE idle_duration_ms histogram\n",
+		`idle_duration_ms_bucket{le="1"} 0` + "\n",
+		`idle_duration_ms_bucket{le="10"} 0` + "\n",
+		`idle_duration_ms_bucket{le="+Inf"} 0` + "\n",
+		"idle_duration_ms_sum 0\n",
+		"idle_duration_ms_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !promTypeLine.MatchString(line) && !promSampleLine.MatchString(line) {
+			t.Errorf("line violates exposition format: %q", line)
+		}
+	}
+}
+
+// TestPrometheusHostileNames: registry names containing quotes, newlines,
+// braces and spaces — bytes that would corrupt the line-oriented
+// exposition or its label syntax — must sanitize to legal metric names,
+// and every emitted line must still match the exposition grammar.
+func TestPrometheusHostileNames(t *testing.T) {
+	r := NewRegistry()
+	hostile := []string{
+		`jobs"quoted"`,
+		"line\nbreak",
+		`label{le="1"}`,
+		"with space",
+		"tab\tname",
+		`back\slash`,
+	}
+	for i, n := range hostile {
+		r.Counter(n).Add(uint64(i + 1))
+	}
+	out := promDump(t, r)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	for _, line := range lines {
+		if !promTypeLine.MatchString(line) && !promSampleLine.MatchString(line) {
+			t.Errorf("hostile name leaked into exposition: %q", line)
+		}
+	}
+	// 2 lines (TYPE + sample) per metric; a raw newline in a name would
+	// change the line count.
+	if len(lines) != 2*len(hostile) {
+		t.Errorf("got %d lines, want %d:\n%s", len(lines), 2*len(hostile), out)
+	}
+}
