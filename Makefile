@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-short experiments clean-cache \
-	fuzz fuzz-smoke mutation-check telemetry-smoke service-smoke \
-	soak soak-smoke doc-lint
+.PHONY: ci fmt vet build test race bench bench-short bench-ab experiments \
+	clean-cache fuzz fuzz-smoke mutation-check telemetry-smoke \
+	service-smoke soak soak-smoke doc-lint fusion-smoke
 
 ci: fmt vet doc-lint build test race fuzz-smoke mutation-check telemetry-smoke \
-	service-smoke soak-smoke bench-short
+	service-smoke soak-smoke fusion-smoke bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -97,10 +97,29 @@ doc-lint:
 	done; if [ -n "$$bad" ]; then \
 		echo "doc-lint: missing package docs:$$bad"; exit 1; fi
 
+# Fusion smoke for ci, two halves. (1) Correctness: the seeded
+# differential sweep plus every fused-block edge-case test (trap inside
+# a superinstruction, cancellation/quantum mid-pair, observer
+# degradation, coverage floors) under -race. (2) Performance floor: a
+# quick interleaved A/B run that fails if the median same-window
+# fused/unfused ratio drops below 1.0 — fusion must never make the fast
+# dispatcher slower than just turning it off.
+fusion-smoke:
+	$(GO) test -race -run '^(TestFusionDifferentialSweep|TestFused|TestObserverDisablesFusion)' \
+		./internal/vm/
+	$(GO) run ./cmd/benchab -quick -floor 1.0
+
 # Full benchmark sweep (slow). BENCH_*.json snapshots in the repo root
 # record curated before/after numbers from these benchmarks.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# The interleaved fused/unfused/reference A/B comparison behind
+# BENCH_PR7.json: same-window per-round ratios, median reported (see
+# BENCHMARKING.md for why separate-run numbers are not comparable on
+# this host).
+bench-ab:
+	$(GO) run ./cmd/benchab -o BENCH_PR7.json
 
 # One iteration of every benchmark: a smoke test that the bench harness
 # itself stays green, cheap enough for ci.

@@ -141,10 +141,10 @@ func formatInstr(in *ir.Instr, labels map[*ir.Block]string) (string, error) {
 		return fmt.Sprintf("new %s, %s", r(in.Dst), in.Class.Name), nil
 	case ir.OpGetField:
 		return fmt.Sprintf("getfield %s, %s, %s.%s",
-			r(in.Dst), r(in.A), in.Class.Name, in.Class.FieldName(in.Field)), nil
+			r(in.Dst), r(in.A), in.Class.Name, in.Class.FieldName(in.FieldSlot())), nil
 	case ir.OpPutField:
 		return fmt.Sprintf("putfield %s, %s.%s, %s",
-			r(in.B), in.Class.Name, in.Class.FieldName(in.Field), r(in.A)), nil
+			r(in.B), in.Class.Name, in.Class.FieldName(in.FieldSlot()), r(in.A)), nil
 	case ir.OpCall, ir.OpSpawn:
 		kw := "call"
 		if in.Op == ir.OpSpawn {

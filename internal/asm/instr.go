@@ -422,7 +422,7 @@ func (p *parser) resolve() error {
 		if !ok {
 			return fmt.Errorf("line %d: class %s has no field %s", ref.line, in.Class.Name, ref.field)
 		}
-		in.Field = idx
+		in.Imm = int64(idx)
 	}
 	return nil
 }

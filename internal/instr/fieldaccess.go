@@ -40,7 +40,7 @@ func (f *FieldAccess) Instrument(p *ir.Program, m *ir.Method, owner int) {
 					Probe: &ir.Probe{
 						Owner: owner,
 						Kind:  ir.ProbeEvent,
-						ID:    p.FieldID(in.Class, in.Field),
+						ID:    p.FieldID(in.Class, in.FieldSlot()),
 						Cost:  cost,
 					},
 				})

@@ -112,7 +112,7 @@ func (c *Cursor) GetField(obj Reg, cl *Class, field string) Reg {
 		panic(fmt.Sprintf("ir: class %s has no field %s", cl.Name, field))
 	}
 	r := c.bd.FreshReg()
-	c.b.Append(Instr{Op: OpGetField, Dst: r, A: obj, Class: cl, Field: idx})
+	c.b.Append(Instr{Op: OpGetField, Dst: r, A: obj, Class: cl, Imm: int64(idx)})
 	return r
 }
 
@@ -122,7 +122,7 @@ func (c *Cursor) PutField(obj Reg, cl *Class, field string, val Reg) {
 	if !ok {
 		panic(fmt.Sprintf("ir: class %s has no field %s", cl.Name, field))
 	}
-	c.b.Append(Instr{Op: OpPutField, A: val, B: obj, Class: cl, Field: idx})
+	c.b.Append(Instr{Op: OpPutField, A: val, B: obj, Class: cl, Imm: int64(idx)})
 }
 
 // NewArray emits allocation of an array of length in reg ln.

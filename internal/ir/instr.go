@@ -96,9 +96,11 @@ func (p *Probe) String() string {
 // opcode documentation). Instructions are values inside Block.Instrs;
 // transforms copy them freely.
 // Field order is interpreter-conscious: everything the VM touches while
-// executing straight-line code and block transfers (Op through Field)
-// packs into the struct's first cache line; the call/probe-only operands
-// follow.
+// executing straight-line code (Op through Imm, 24 bytes) leads the
+// struct, and the whole struct is 112 bytes — both pinned by
+// TestInstrSize. The field slot of OpGetField/OpPutField is packed into
+// Imm (those ops have no other immediate; see FieldSlot) rather than
+// spending a dedicated 8-byte operand on two opcodes.
 type Instr struct {
 	Op Op
 	// BackedgeMask marks which terminator targets are backedges (bit i set
@@ -112,11 +114,8 @@ type Instr struct {
 	Imm          int64
 	// Targets are the successor blocks of a terminator.
 	Targets []*Block
-	// Field is the flattened field slot index for OpGetField/OpPutField.
-	Field int
-
 	// Class is the class operand of OpNew, and the declaring class used to
-	// resolve Field for OpGetField/OpPutField.
+	// resolve the field slot for OpGetField/OpPutField.
 	Class *Class
 	// Method is the callee of OpCall and OpSpawn.
 	Method *Method
@@ -131,6 +130,11 @@ type Instr struct {
 
 // IsTerminator reports whether the instruction terminates a block.
 func (in *Instr) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// FieldSlot returns the flattened field slot index of an OpGetField or
+// OpPutField, which rides in Imm. Builders that construct field ops by
+// hand must store the slot in Imm.
+func (in *Instr) FieldSlot() int { return int(in.Imm) }
 
 // Clone returns a deep copy of the instruction. Targets are copied
 // shallowly (the caller remaps them); Args and Probe are duplicated.
@@ -198,9 +202,9 @@ func (in *Instr) String() string {
 
 func (in *Instr) fieldName() string {
 	if in.Class == nil {
-		return fmt.Sprintf("#%d", in.Field)
+		return fmt.Sprintf("#%d", in.FieldSlot())
 	}
-	return in.Class.Name + "." + in.Class.FieldName(in.Field)
+	return in.Class.Name + "." + in.Class.FieldName(in.FieldSlot())
 }
 
 func regList(args []Reg) string {

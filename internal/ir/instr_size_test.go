@@ -1,0 +1,27 @@
+package ir
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestInstrSize pins the Instr layout at 112 bytes on 64-bit targets —
+// the PR 2 packing that keeps the dispatch-critical fields (Op,
+// BackedgeMask, Dst, A, B, Imm) in the first 24 bytes. The fast
+// dispatcher's throughput is sensitive to this: a field added in the
+// wrong place pushes hot operands onto a second cache line for every
+// instruction fetch. If growth is deliberate, re-measure
+// BenchmarkInterpreter, update this constant, and note the change in
+// DESIGN.md; the fused-tier analogue (fInstr, 32 bytes) has the same
+// guard in package vm.
+func TestInstrSize(t *testing.T) {
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("layout pinned for 64-bit targets only")
+	}
+	if s := unsafe.Sizeof(Instr{}); s != 112 {
+		t.Fatalf("ir.Instr is %d bytes, want 112; see the layout comment on Instr before accepting growth", s)
+	}
+	if off := unsafe.Offsetof(Instr{}.Imm); off > 24 {
+		t.Fatalf("Instr.Imm at offset %d; hot fields (Op..Imm) must stay in the first 24 bytes", off)
+	}
+}

@@ -123,8 +123,8 @@ func verifyOperands(m *Method, in *Instr) error {
 		if in.Class == nil {
 			return errors.New("field access without class")
 		}
-		if in.Field < 0 || in.Field >= in.Class.NumFields() {
-			return fmt.Errorf("field slot %d out of range for %s", in.Field, in.Class.Name)
+		if in.FieldSlot() < 0 || in.FieldSlot() >= in.Class.NumFields() {
+			return fmt.Errorf("field slot %d out of range for %s", in.FieldSlot(), in.Class.Name)
 		}
 	case OpCall, OpSpawn:
 		if in.Method == nil {

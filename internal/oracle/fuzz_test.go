@@ -25,6 +25,13 @@ func FuzzVariations(f *testing.F) {
 	f.Add(uint64(11), uint16(5), uint16(4), uint16(8))
 	f.Add(uint64(13), uint16(64), uint16(5), uint16(2))
 	f.Add(uint64(42), uint16(9), uint16(2), uint16(0))
+	// Fusion-leaning seeds: loop-heavy single-thread programs (even seeds)
+	// where the pure-block tier — and with it the superinstruction pass —
+	// covers most of the execution, under the trigger families whose
+	// checks interleave with fused blocks most often.
+	f.Add(uint64(6), uint16(2), uint16(0), uint16(0))
+	f.Add(uint64(20), uint16(33), uint16(3), uint16(0))
+	f.Add(uint64(58), uint16(4), uint16(5), uint16(3))
 	f.Fuzz(func(t *testing.T, seed uint64, interval, trigSel, iterBudget uint16) {
 		if interval == 0 {
 			interval = 1
@@ -93,6 +100,45 @@ func FuzzVariations(f *testing.F) {
 			}
 			if outs[0].Return != outs[1].Return {
 				t.Fatalf("%s: returns diverge: %d vs %d", variation, outs[0].Return, outs[1].Return)
+			}
+
+			// Fused leg: observers disable superinstruction fusion, so the
+			// runs above never exercise it. Re-run observer-free under
+			// fusion-on / fusion-off / reference and require the three to
+			// agree; when the observed runs completed, the fused run must
+			// also reproduce their Stats bit-for-bit (observer hooks and
+			// fusion must both be invisible to the architected state).
+			var fouts [3]*vm.Result
+			var ferrs [3]error
+			for i, fcfg := range []vm.Config{
+				{},
+				{Fusion: vm.FusionOff},
+				{Reference: true},
+			} {
+				fcfg.Trigger = newTrig()
+				fcfg.Handlers = res.Handlers
+				fcfg.MaxCycles = 1 << 32
+				fcfg.IterBudget = int64(iterBudget)
+				fouts[i], ferrs[i] = vm.New(res.Prog, fcfg).Run()
+			}
+			for i := 1; i < 3; i++ {
+				if (ferrs[0] == nil) != (ferrs[i] == nil) {
+					t.Fatalf("%s: fused err %v, leg %d err %v", variation, ferrs[0], i, ferrs[i])
+				}
+				if ferrs[0] != nil {
+					if ferrs[0].Error() != ferrs[i].Error() {
+						t.Fatalf("%s: fused traps differ:\n  fused: %v\n  leg %d: %v", variation, ferrs[0], i, ferrs[i])
+					}
+					continue
+				}
+				if fouts[0].Stats != fouts[i].Stats || fouts[0].Return != fouts[i].Return {
+					t.Fatalf("%s: fused run diverges from leg %d:\n  fused: %+v\n  other: %+v",
+						variation, i, fouts[0].Stats, fouts[i].Stats)
+				}
+			}
+			if errs[0] == nil && ferrs[0] == nil && fouts[0].Stats != outs[0].Stats {
+				t.Fatalf("%s: fused observer-free run diverges from observed run:\n  fused:    %+v\n  observed: %+v",
+					variation, fouts[0].Stats, outs[0].Stats)
 			}
 		}
 	})

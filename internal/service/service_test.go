@@ -699,7 +699,7 @@ func TestIntrospectAndDeterministicClock(t *testing.T) {
 
 	// A job that only terminates when cancelled, so the clock advance
 	// deterministically lands between its created and finished stamps.
-	id := mustAccept(t, ts.URL, JobSpec{Source: slowSrc(777001)})
+	id := mustAccept(t, ts.URL, JobSpec{Source: slowSrc(1<<61 + 6)})
 	advance(250 * time.Millisecond)
 	cancelJob(t, ts.URL, id, http.StatusAccepted)
 	v := waitTerminal(t, ts.URL, id, 30*time.Second)

@@ -74,8 +74,9 @@ func diffInstrumenters() []instr.Instrumenter {
 }
 
 // diffRun compiles the program fresh (so instrumentation runtimes start
-// empty) and runs it under one dispatcher.
-func diffRun(t *testing.T, prog *ir.Program, v diffVariant, seed uint64, reference bool) (*vm.Result, []instr.Runtime, error) {
+// empty) and runs it under one dispatcher. fusion selects the fast
+// path's superinstruction tier; the reference dispatcher ignores it.
+func diffRun(t *testing.T, prog *ir.Program, v diffVariant, seed uint64, reference bool, fusion vm.FusionMode) (*vm.Result, []instr.Runtime, error) {
 	t.Helper()
 	opts := compile.Options{Framework: v.fw}
 	if v.inst {
@@ -90,6 +91,7 @@ func diffRun(t *testing.T, prog *ir.Program, v diffVariant, seed uint64, referen
 		MaxCycles: 1 << 33,
 		ICache:    v.ic,
 		Reference: reference,
+		Fusion:    fusion,
 	}
 	if v.trig != nil {
 		cfg.Trigger = v.trig(seed)
@@ -148,18 +150,23 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 				t.Fatalf("generated program invalid: %v", err)
 			}
 			for _, v := range diffVariants() {
-				fast, fastRT, ferr := diffRun(t, prog, v, seed, false)
-				ref, refRT, rerr := diffRun(t, prog, v, seed, true)
-				if (ferr == nil) != (rerr == nil) {
-					t.Fatalf("%s: fast err %v, reference err %v", v.name, ferr, rerr)
-				}
-				if ferr != nil {
-					if ferr.Error() != rerr.Error() {
-						t.Fatalf("%s: traps differ:\n  fast:      %v\n  reference: %v", v.name, ferr, rerr)
+				ref, refRT, rerr := diffRun(t, prog, v, seed, true, vm.FusionAuto)
+				// The fast dispatcher runs under both fusion modes; each
+				// must match the reference bit for bit.
+				for _, fusion := range []vm.FusionMode{vm.FusionAuto, vm.FusionOff} {
+					label := fmt.Sprintf("%s/fusion=%d", v.name, fusion)
+					fast, fastRT, ferr := diffRun(t, prog, v, seed, false, fusion)
+					if (ferr == nil) != (rerr == nil) {
+						t.Fatalf("%s: fast err %v, reference err %v", label, ferr, rerr)
 					}
-					continue
+					if ferr != nil {
+						if ferr.Error() != rerr.Error() {
+							t.Fatalf("%s: traps differ:\n  fast:      %v\n  reference: %v", label, ferr, rerr)
+						}
+						continue
+					}
+					compareRuns(t, label, fast, ref, fastRT, refRT)
 				}
-				compareRuns(t, v.name, fast, ref, fastRT, refRT)
 			}
 		})
 	}
@@ -191,7 +198,7 @@ func TestDifferentialTraps(t *testing.T) {
 			b := ir.NewFunc("main", 0)
 			c := b.At(b.EntryBlock())
 			nul := b.FreshReg()
-			c.Blk().Append(ir.Instr{Op: ir.OpGetField, Dst: nul, A: nul, Class: cl, Field: 0})
+			c.Blk().Append(ir.Instr{Op: ir.OpGetField, Dst: nul, A: nul, Class: cl})
 			c.Return(nul)
 			p := &ir.Program{Name: "t", Classes: []*ir.Class{cl}, Funcs: []*ir.Method{b.M}, Main: b.M}
 			p.Seal()
@@ -221,19 +228,24 @@ func TestDifferentialTraps(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var msgs [2]string
-			for i, ref := range []bool{false, true} {
-				_, err := vm.New(tc.prog(), vm.Config{MaxStack: 64, Reference: ref}).Run()
+			cfgs := []vm.Config{
+				{MaxStack: 64},
+				{MaxStack: 64, Fusion: vm.FusionOff},
+				{MaxStack: 64, Reference: true},
+			}
+			msgs := make([]string, len(cfgs))
+			for i, cfg := range cfgs {
+				_, err := vm.New(tc.prog(), cfg).Run()
 				if err == nil {
-					t.Fatalf("reference=%v: expected trap %q", ref, tc.want)
+					t.Fatalf("config %d: expected trap %q", i, tc.want)
 				}
 				if !strings.Contains(err.Error(), tc.want) {
-					t.Fatalf("reference=%v: trap %q does not contain %q", ref, err, tc.want)
+					t.Fatalf("config %d: trap %q does not contain %q", i, err, tc.want)
 				}
 				msgs[i] = err.Error()
 			}
-			if msgs[0] != msgs[1] {
-				t.Fatalf("traps differ:\n  fast:      %s\n  reference: %s", msgs[0], msgs[1])
+			if msgs[0] != msgs[1] || msgs[1] != msgs[2] {
+				t.Fatalf("traps differ:\n  fused:     %s\n  unfused:   %s\n  reference: %s", msgs[0], msgs[1], msgs[2])
 			}
 		})
 	}

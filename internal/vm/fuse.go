@@ -1,0 +1,1089 @@
+package vm
+
+import (
+	"fmt"
+
+	"instrsample/internal/ir"
+)
+
+// Superinstruction fusion: the third dispatch tier of the fast path.
+//
+// The pure-block tier (pure.go) already removed per-instruction cost
+// accounting; what remains per instruction is the fetch + switch
+// dispatch itself. This file removes a measured share of *that*: after
+// blockInfo marks a block pure, the fusion pass peephole-scans it for
+// the hot opcode pairs/triples observed in the benchmark suite
+// (const+ALU, ALU+ALU, compare+branch, field/array pairs, and the
+// add+yield+jmp loop latch), rewrites the block into a parallel stream
+// of fixed-width fused instructions (fInstr), and the fused loop
+// executes that stream with one dispatch per superinstruction.
+//
+// Dispatch is token-threaded: fInstr.tok is a dense token index and the
+// executor switches over it, which the Go compiler lowers to a jump
+// table — the closest safe analogue of computed-goto threading (a
+// [numToks]func handler table was measured and rejected: indirect calls
+// force the loop's cycle/icount/pc locals out of registers; see
+// BenchmarkFusedDispatchStyle and DESIGN.md §12).
+//
+// Correctness contract (DESIGN.md §12): fusion must be invisible in
+// every Result. The fused stream is a *side table* on the VM — the
+// ir.Program is never mutated, the reference dispatcher never sees it —
+// and each fInstr records the original pc of its first sub-instruction,
+// so every early exit reconstructs the exact per-instruction counters
+// with the same prefix-sum discipline as pure.go:
+//
+//   - sub-instructions execute in original order with original
+//     semantics (all destination registers are written, traps use the
+//     reference messages);
+//   - a trap in sub-instruction k of a superinstruction at original pc
+//     P reports pc P+k and charges prefix[P+k+1] — identical to the
+//     reference's charge-before-execute order, with the preceding
+//     sub-instructions' register effects already applied;
+//   - a yieldpoint inside a superinstruction (the latch fusions) is a
+//     full observation point: cancellation and quantum expiry flush
+//     counters for the yield's own original pc, so a resumed frame
+//     restarts at the exact instruction the generic loop would have.
+//
+// Blocks whose operands do not fit the compact encoding fall back to
+// the pure-block tier (fuse[gid] == nil); blocks that are not pure were
+// never eligible. An installed Observer disables fusion entirely along
+// with pure-block batching (graceful degradation: every transfer and
+// yield stays individually observable; Results are bit-identical either
+// way).
+
+// FusionMode selects the fused dispatch tier in Config.
+type FusionMode uint8
+
+const (
+	// FusionAuto (the default) fuses pure blocks whenever the pure-block
+	// tier itself is active: fast dispatcher, cost scale 1, no observer.
+	FusionAuto FusionMode = iota
+	// FusionOff disables the fused tier; the fast path runs the PR 2
+	// pure-block loop unchanged. The reference dispatcher never fuses
+	// under either mode.
+	FusionOff
+)
+
+// fuseTok is a dense fused-opcode token. Base tokens execute exactly one
+// original instruction; fused tokens execute two or three.
+type fuseTok uint8
+
+const (
+	fuseInvalid fuseTok = iota
+
+	// Base tokens, one per pure-legal opcode.
+	fNop
+	fConst
+	fMove
+	fAdd
+	fSub
+	fMul
+	fDiv
+	fRem
+	fAnd
+	fOr
+	fXor
+	fShl
+	fShr
+	fNeg
+	fNot
+	fCmpEQ
+	fCmpNE
+	fCmpLT
+	fCmpLE
+	fCmpGT
+	fCmpGE
+	fClassOf
+	fNew
+	fGetField
+	fPutField
+	fNewArray
+	fALoad
+	fAStore
+	fALen
+	fIO
+	fPrint
+	fYield
+	fJump
+	fBranch
+
+	// const + op superinstructions.
+	fConstAdd
+	fConstSub
+	fConstMul
+	fConstAnd
+	fConstOr
+	fConstXor
+	fConstShl
+	fConstShr
+	fConstConst
+	fConstCmpEQ
+	fConstCmpLT
+
+	// op + const superinstructions.
+	fAddConst
+	fMulConst
+	fAndConst
+	fXorConst
+	fShlConst
+	fShrConst
+
+	// ALU + ALU superinstructions.
+	fShlXor
+	fShrXor
+	fXorShl
+	fXorShr
+	fMulXor
+	fMulAdd
+
+	// compare + branch superinstructions (branch must test the compare's
+	// destination).
+	fCmpEQBr
+	fCmpNEBr
+	fCmpLTBr
+	fCmpLEBr
+	fCmpGTBr
+	fCmpGEBr
+
+	// Loop-latch superinstructions: the backedge yieldpoint plus its
+	// jump, optionally with the induction increment.
+	fYieldJmp
+	fAddYieldJmp
+
+	// Field/array superinstructions.
+	fGetFieldConst
+	fPutFieldGetField
+	fALoadGetField
+	fALoadMul
+	fAddALoad
+	fAddPutField
+	fAndPutField
+	fXorPutField
+	fAndAStore
+	fAStoreJmp
+
+	fuseNumToks
+)
+
+// superNames names the superinstruction tokens for FusionStats.ByKind
+// and the telemetry meter. Base tokens are intentionally absent.
+var superNames = map[fuseTok]string{
+	fConstAdd:         "const+add",
+	fConstSub:         "const+sub",
+	fConstMul:         "const+mul",
+	fConstAnd:         "const+and",
+	fConstOr:          "const+or",
+	fConstXor:         "const+xor",
+	fConstShl:         "const+shl",
+	fConstShr:         "const+shr",
+	fConstConst:       "const+const",
+	fConstCmpEQ:       "const+cmpeq",
+	fConstCmpLT:       "const+cmplt",
+	fAddConst:         "add+const",
+	fMulConst:         "mul+const",
+	fAndConst:         "and+const",
+	fXorConst:         "xor+const",
+	fShlConst:         "shl+const",
+	fShrConst:         "shr+const",
+	fShlXor:           "shl+xor",
+	fShrXor:           "shr+xor",
+	fXorShl:           "xor+shl",
+	fXorShr:           "xor+shr",
+	fMulXor:           "mul+xor",
+	fMulAdd:           "mul+add",
+	fCmpEQBr:          "cmpeq+br",
+	fCmpNEBr:          "cmpne+br",
+	fCmpLTBr:          "cmplt+br",
+	fCmpLEBr:          "cmple+br",
+	fCmpGTBr:          "cmpgt+br",
+	fCmpGEBr:          "cmpge+br",
+	fYieldJmp:         "yield+jmp",
+	fAddYieldJmp:      "add+yield+jmp",
+	fGetFieldConst:    "getfield+const",
+	fPutFieldGetField: "putfield+getfield",
+	fALoadGetField:    "aload+getfield",
+	fALoadMul:         "aload+mul",
+	fAddALoad:         "add+aload",
+	fAddPutField:      "add+putfield",
+	fAndPutField:      "and+putfield",
+	fXorPutField:      "xor+putfield",
+	fAndAStore:        "and+astore",
+	fAStoreJmp:        "astore+jmp",
+}
+
+// fInstr is one fused-stream instruction: 32 bytes, two per cache line
+// (guarded by a size-assert test, like ir.Instr's 112-byte layout).
+//
+// Slot meaning follows the original instruction's operand order, three
+// int16 slots per sub-instruction: sub-op 1 uses dst/a/b and imm,
+// sub-op 2 uses c/d/e and imm2. Per-op slot packing (opSlots):
+//
+//	const            dst=Dst                  imm=Imm
+//	move/neg/not/…   dst=Dst a=A
+//	binop/cmp/aload  dst=Dst a=A   b=B
+//	astore           dst=array(Dst) a=val(A) b=idx(B)
+//	getfield         dst=Dst a=obj(A) b=field slot
+//	putfield         dst=field slot a=src(A) b=obj(B)
+//	branch           a=A
+//	io               imm=Imm
+//
+// pc is the original index of sub-op 1 in Block.Instrs; n is the number
+// of original instructions the token covers. Targets, classes, and the
+// backedge mask are read from the original instruction at reconstruction
+// and transfer time, so nothing wide needs to live in the fused stream.
+type fInstr struct {
+	tok  fuseTok
+	n    uint8
+	pc   uint16
+	dst  int16
+	a    int16
+	b    int16
+	c    int16
+	d    int16
+	e    int16
+	imm  int64
+	imm2 int64
+}
+
+// kindCount is a static per-block superinstruction census entry; the
+// dynamic ByKind counters are reconstructed as exec-count × census.
+type kindCount struct {
+	tok fuseTok
+	n   uint32
+}
+
+// fusedBlock is the fused stream for one pure block.
+type fusedBlock struct {
+	code []fInstr
+	// total, count and prefix duplicate the block's blockInfo cost
+	// table, and targets/mask cache the terminator's Targets slice and
+	// BackedgeMask (a pure block has exactly one terminator, so they
+	// are exit-invariant): steady-state fused execution touches only
+	// this struct, never blockInfo or the 112-byte original
+	// instructions.
+	total   uint64
+	count   uint64
+	prefix  []uint64
+	targets []*ir.Block
+	// next[i] is targets[i]'s fused stream (nil when that block is
+	// unfused), precomputed so a fused->fused transfer is one pointer
+	// load instead of a blockInfo lookup.
+	next []*fusedBlock
+	mask uint8
+	// execs counts fused-tier entries into this block, entry-granular
+	// (see FusionStats). It lives in the stream itself — already hot at
+	// transfer time — rather than in a GID-indexed side slice.
+	execs uint64
+	// supers is the number of superinstructions (n >= 2) in code;
+	// covered is the number of original instructions inside them.
+	supers  uint32
+	covered uint32
+	kinds   []kindCount
+}
+
+// FusionStats reports fusion coverage for a VM. Static fields describe
+// the fused streams built for the program; dynamic fields aggregate
+// execution counts. Dynamic counters are entry-granular: a fused block
+// counts in full when the fused loop enters it, including the rare runs
+// that then exit early through a trap or reschedule. Fusion statistics
+// are deliberately kept out of Stats, which is compared bit-for-bit
+// between dispatchers (and the reference never fuses).
+type FusionStats struct {
+	// FusedBlocks is the number of blocks with a fused stream; Supers
+	// and Covered are the static superinstruction count and the original
+	// instructions they cover across those streams.
+	FusedBlocks int
+	Supers      int
+	Covered     int
+	// BlockRuns counts fused-stream block executions; Dispatches the
+	// fused-stream tokens dispatched for them; Instrs the original
+	// instructions those tokens executed; Fused the subset executed
+	// inside superinstructions. Fused/Instrs is the fused-dispatch
+	// fraction of the fused tier; Instrs/Stats.Instrs is the fused
+	// tier's share of the whole run.
+	BlockRuns  uint64
+	Dispatches uint64
+	Instrs     uint64
+	Fused      uint64
+	// ByKind counts dynamic superinstruction executions per kind name
+	// (see superNames).
+	ByKind map[string]uint64
+}
+
+// FusionStats returns the fusion coverage accumulated so far. The
+// result is never nil-mapped; with fusion disabled all fields are zero.
+func (v *VM) FusionStats() FusionStats {
+	fs := FusionStats{ByKind: make(map[string]uint64)}
+	for gid, fb := range v.fuse {
+		if fb == nil {
+			continue
+		}
+		fs.FusedBlocks++
+		fs.Supers += int(fb.supers)
+		fs.Covered += int(fb.covered)
+		runs := fb.execs
+		if runs == 0 {
+			continue
+		}
+		fs.BlockRuns += runs
+		fs.Dispatches += runs * uint64(len(fb.code))
+		fs.Instrs += runs * v.blockInfo[gid].count
+		fs.Fused += runs * uint64(fb.covered)
+		for _, kc := range fb.kinds {
+			fs.ByKind[superNames[kc.tok]] += runs * uint64(kc.n)
+		}
+	}
+	return fs
+}
+
+// buildFusion builds the fused streams for every pure block. Called
+// once per VM alongside buildBlockInfo, only when the config enables
+// fusion (see Run); blockInfo's GID validation has already run, so a
+// pure mark implies a trustworthy GID.
+func (v *VM) buildFusion() {
+	v.fuse = make([]*fusedBlock, len(v.blockInfo))
+	for _, m := range v.prog.Methods() {
+		for _, b := range m.Blocks {
+			if !v.blockInfo[b.GID].pure {
+				continue
+			}
+			fb := fuseBlock(b)
+			if fb == nil {
+				continue
+			}
+			bi := &v.blockInfo[b.GID]
+			fb.total, fb.count, fb.prefix = bi.total, bi.count, bi.prefix
+			term := &b.Instrs[len(b.Instrs)-1]
+			fb.targets, fb.mask = term.Targets, term.BackedgeMask
+			v.fuse[b.GID] = fb
+			bi.fb = fb
+		}
+	}
+	// Second pass: wire fused->fused successor pointers (all streams
+	// exist now).
+	for _, fb := range v.fuse {
+		if fb == nil {
+			continue
+		}
+		fb.next = make([]*fusedBlock, len(fb.targets))
+		for i, tb := range fb.targets {
+			fb.next[i] = v.fuse[tb.GID]
+		}
+	}
+}
+
+// fuseBlock translates one pure block into a fused stream, greedily
+// matching superinstructions left to right (triples before pairs). It
+// returns nil when any operand overflows the compact fInstr encoding;
+// the block then stays on the pure-block tier.
+func fuseBlock(b *ir.Block) *fusedBlock {
+	ins := b.Instrs
+	if len(ins) > 0xFFFF {
+		return nil
+	}
+	fb := &fusedBlock{}
+	kinds := make(map[fuseTok]uint32)
+	for pc := 0; pc < len(ins); {
+		tok, n := matchSuper(ins, pc)
+		if n == 0 {
+			tok, n = baseToks[ins[pc].Op], 1
+			if tok == fuseInvalid {
+				return nil // pureBlock admitted an op fusion cannot encode
+			}
+		}
+		fi := fInstr{tok: tok, n: uint8(n), pc: uint16(pc)}
+		var ok bool
+		fi.dst, fi.a, fi.b, ok = opSlots(&ins[pc])
+		if !ok {
+			return nil
+		}
+		fi.imm = ins[pc].Imm
+		if n >= 2 {
+			fi.c, fi.d, fi.e, ok = opSlots(&ins[pc+1])
+			if !ok {
+				return nil
+			}
+			fi.imm2 = ins[pc+1].Imm
+			fb.supers++
+			fb.covered += uint32(n)
+			kinds[tok]++
+		}
+		fb.code = append(fb.code, fi)
+		pc += n
+	}
+	for tok, n := range kinds {
+		fb.kinds = append(fb.kinds, kindCount{tok, n})
+	}
+	return fb
+}
+
+// baseToks maps each pure-legal opcode to its base token; fuseInvalid
+// marks opcodes the fused tier cannot represent.
+var baseToks = [ir.NumOpcodes]fuseTok{
+	ir.OpNop:        fNop,
+	ir.OpConst:      fConst,
+	ir.OpMove:       fMove,
+	ir.OpAdd:        fAdd,
+	ir.OpSub:        fSub,
+	ir.OpMul:        fMul,
+	ir.OpDiv:        fDiv,
+	ir.OpRem:        fRem,
+	ir.OpAnd:        fAnd,
+	ir.OpOr:         fOr,
+	ir.OpXor:        fXor,
+	ir.OpShl:        fShl,
+	ir.OpShr:        fShr,
+	ir.OpNeg:        fNeg,
+	ir.OpNot:        fNot,
+	ir.OpCmpEQ:      fCmpEQ,
+	ir.OpCmpNE:      fCmpNE,
+	ir.OpCmpLT:      fCmpLT,
+	ir.OpCmpLE:      fCmpLE,
+	ir.OpCmpGT:      fCmpGT,
+	ir.OpCmpGE:      fCmpGE,
+	ir.OpClassOf:    fClassOf,
+	ir.OpNew:        fNew,
+	ir.OpGetField:   fGetField,
+	ir.OpPutField:   fPutField,
+	ir.OpNewArray:   fNewArray,
+	ir.OpArrayLoad:  fALoad,
+	ir.OpArrayStore: fAStore,
+	ir.OpArrayLen:   fALen,
+	ir.OpIO:         fIO,
+	ir.OpPrint:      fPrint,
+	ir.OpYield:      fYield,
+	ir.OpJump:       fJump,
+	ir.OpBranch:     fBranch,
+}
+
+// cmpBrToks maps a comparison opcode to its fused compare+branch token.
+var cmpBrToks = map[ir.Op]fuseTok{
+	ir.OpCmpEQ: fCmpEQBr,
+	ir.OpCmpNE: fCmpNEBr,
+	ir.OpCmpLT: fCmpLTBr,
+	ir.OpCmpLE: fCmpLEBr,
+	ir.OpCmpGT: fCmpGTBr,
+	ir.OpCmpGE: fCmpGEBr,
+}
+
+// pairToks maps non-terminator adjacent opcode pairs to their
+// superinstruction; terminator-involving fusions (compare+branch,
+// yield+jmp, astore+jmp) are matched explicitly in matchSuper.
+var pairToks = map[[2]ir.Op]fuseTok{
+	{ir.OpConst, ir.OpAdd}:          fConstAdd,
+	{ir.OpConst, ir.OpSub}:          fConstSub,
+	{ir.OpConst, ir.OpMul}:          fConstMul,
+	{ir.OpConst, ir.OpAnd}:          fConstAnd,
+	{ir.OpConst, ir.OpOr}:           fConstOr,
+	{ir.OpConst, ir.OpXor}:          fConstXor,
+	{ir.OpConst, ir.OpShl}:          fConstShl,
+	{ir.OpConst, ir.OpShr}:          fConstShr,
+	{ir.OpConst, ir.OpConst}:        fConstConst,
+	{ir.OpConst, ir.OpCmpEQ}:        fConstCmpEQ,
+	{ir.OpConst, ir.OpCmpLT}:        fConstCmpLT,
+	{ir.OpAdd, ir.OpConst}:          fAddConst,
+	{ir.OpMul, ir.OpConst}:          fMulConst,
+	{ir.OpAnd, ir.OpConst}:          fAndConst,
+	{ir.OpXor, ir.OpConst}:          fXorConst,
+	{ir.OpShl, ir.OpConst}:          fShlConst,
+	{ir.OpShr, ir.OpConst}:          fShrConst,
+	{ir.OpShl, ir.OpXor}:            fShlXor,
+	{ir.OpShr, ir.OpXor}:            fShrXor,
+	{ir.OpXor, ir.OpShl}:            fXorShl,
+	{ir.OpXor, ir.OpShr}:            fXorShr,
+	{ir.OpMul, ir.OpXor}:            fMulXor,
+	{ir.OpMul, ir.OpAdd}:            fMulAdd,
+	{ir.OpGetField, ir.OpConst}:     fGetFieldConst,
+	{ir.OpPutField, ir.OpGetField}:  fPutFieldGetField,
+	{ir.OpArrayLoad, ir.OpGetField}: fALoadGetField,
+	{ir.OpArrayLoad, ir.OpMul}:      fALoadMul,
+	{ir.OpAdd, ir.OpArrayLoad}:      fAddALoad,
+	{ir.OpAdd, ir.OpPutField}:       fAddPutField,
+	{ir.OpAnd, ir.OpPutField}:       fAndPutField,
+	{ir.OpXor, ir.OpPutField}:       fXorPutField,
+	{ir.OpAnd, ir.OpArrayStore}:     fAndAStore,
+}
+
+// matchSuper reports the superinstruction starting at ins[pc], or
+// (fuseInvalid, 0) when none matches. The set is chosen from the
+// dynamic pair profile of the benchmark suite (DESIGN.md §12 records
+// the measurement): on compress — the 2x-gate benchmark — the selected
+// pairs cover over half of all pure-tier instructions.
+func matchSuper(ins []ir.Instr, pc int) (fuseTok, int) {
+	if pc+2 < len(ins) &&
+		ins[pc].Op == ir.OpAdd && ins[pc+1].Op == ir.OpYield && ins[pc+2].Op == ir.OpJump {
+		return fAddYieldJmp, 3
+	}
+	if pc+1 >= len(ins) {
+		return fuseInvalid, 0
+	}
+	a, b := ins[pc].Op, ins[pc+1].Op
+	switch b {
+	case ir.OpJump:
+		switch a {
+		case ir.OpYield:
+			return fYieldJmp, 2
+		case ir.OpArrayStore:
+			return fAStoreJmp, 2
+		}
+		return fuseInvalid, 0
+	case ir.OpBranch:
+		// Fuse only when the branch tests the comparison it follows.
+		if tok, ok := cmpBrToks[a]; ok && ins[pc+1].A == ins[pc].Dst {
+			return tok, 2
+		}
+		return fuseInvalid, 0
+	}
+	if tok, ok := pairToks[[2]ir.Op{a, b}]; ok {
+		return tok, 2
+	}
+	return fuseInvalid, 0
+}
+
+// opSlots packs an instruction's register/field operands into three
+// int16 slots (see the fInstr layout comment). ok is false when a value
+// overflows the compact encoding.
+func opSlots(in *ir.Instr) (s1, s2, s3 int16, ok bool) {
+	switch in.Op {
+	case ir.OpNop, ir.OpYield, ir.OpJump, ir.OpIO:
+		return 0, 0, 0, true
+	case ir.OpConst:
+		s1, ok = reg16(in.Dst)
+		return s1, 0, 0, ok
+	case ir.OpMove, ir.OpNeg, ir.OpNot, ir.OpClassOf, ir.OpNew,
+		ir.OpNewArray, ir.OpArrayLen:
+		var ok2 bool
+		s1, ok = reg16(in.Dst)
+		s2, ok2 = reg16(in.A)
+		return s1, s2, 0, ok && ok2
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+		ir.OpArrayLoad, ir.OpArrayStore:
+		var ok2, ok3 bool
+		s1, ok = reg16(in.Dst)
+		s2, ok2 = reg16(in.A)
+		s3, ok3 = reg16(in.B)
+		return s1, s2, s3, ok && ok2 && ok3
+	case ir.OpGetField:
+		var ok2, ok3 bool
+		s1, ok = reg16(in.Dst)
+		s2, ok2 = reg16(in.A)
+		s3, ok3 = field16(in.FieldSlot())
+		return s1, s2, s3, ok && ok2 && ok3
+	case ir.OpPutField:
+		var ok2, ok3 bool
+		s1, ok = field16(in.FieldSlot())
+		s2, ok2 = reg16(in.A)
+		s3, ok3 = reg16(in.B)
+		return s1, s2, s3, ok && ok2 && ok3
+	case ir.OpPrint, ir.OpBranch:
+		s2, ok = reg16(in.A)
+		return 0, s2, 0, ok
+	}
+	return 0, 0, 0, false
+}
+
+func reg16(r ir.Reg) (int16, bool) {
+	if r < -1 || r > 0x7FFF {
+		return 0, false
+	}
+	return int16(r), true
+}
+
+func field16(f int) (int16, bool) {
+	if f < 0 || f > 0x7FFF {
+		return 0, false
+	}
+	return int16(f), true
+}
+
+// runLinear is the straight-line dispatcher selector behind every
+// pure-block entry point in runThread: it routes each chain segment to
+// the fused tier when the current block has a fused stream and to the
+// pure-block tier otherwise. Preconditions match runPureBlocks: f.Block
+// is pure, f.PC == 0, cost scale 1.
+func (v *VM) runLinear(t *Thread, f *Frame, cycles, icount uint64) (uint64, uint64, bool, error) {
+	for {
+		if fb := v.blockInfo[f.Block.GID].fb; fb != nil {
+			var sched bool
+			var err error
+			cycles, icount, sched, err = v.runFusedBlocks(t, f, fb, cycles, icount)
+			if sched || err != nil {
+				return cycles, icount, sched, err
+			}
+			if v.blockInfo[f.Block.GID].pure {
+				// Encoding-overflow fallback block: run it (and any
+				// pure successors) on the pure-block tier.
+				continue
+			}
+			return cycles, icount, false, nil
+		}
+		return v.runPureBlocks(t, f, cycles, icount)
+	}
+}
+
+// runFusedBlocks executes a chain of fused pure blocks starting at
+// f.Block (which must have a fused stream, with f.PC == 0 and cost
+// scale 1). Cost accounting is identical to runPureBlocks — whole-block
+// precharge at terminators, prefix-sum reconstruction at early exits —
+// except that each loop iteration dispatches one fused token instead of
+// one original instruction. Return conventions match runPureBlocks.
+func (v *VM) runFusedBlocks(t *Thread, f *Frame, fb *fusedBlock, cycles, icount uint64) (uint64, uint64, bool, error) {
+	regs := f.Regs
+	limit := v.cfg.MaxCycles
+	quantum := v.quantum
+	code := fb.code
+	fb.execs++
+	var tgt int // taken target index
+	for {
+		for pc := 0; pc < len(code); pc++ {
+			in := &code[pc]
+			switch in.tok {
+			case fNop:
+
+			case fConst:
+				regs[in.dst] = Value{I: in.imm}
+			case fMove:
+				regs[in.dst] = regs[in.a]
+
+			case fAdd:
+				regs[in.dst] = Value{I: regs[in.a].I + regs[in.b].I}
+			case fSub:
+				regs[in.dst] = Value{I: regs[in.a].I - regs[in.b].I}
+			case fMul:
+				regs[in.dst] = Value{I: regs[in.a].I * regs[in.b].I}
+			case fDiv:
+				d := regs[in.b].I
+				if d == 0 {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "division by zero")
+				}
+				regs[in.dst] = Value{I: regs[in.a].I / d}
+			case fRem:
+				d := regs[in.b].I
+				if d == 0 {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "remainder by zero")
+				}
+				regs[in.dst] = Value{I: regs[in.a].I % d}
+			case fAnd:
+				regs[in.dst] = Value{I: regs[in.a].I & regs[in.b].I}
+			case fOr:
+				regs[in.dst] = Value{I: regs[in.a].I | regs[in.b].I}
+			case fXor:
+				regs[in.dst] = Value{I: regs[in.a].I ^ regs[in.b].I}
+			case fShl:
+				regs[in.dst] = Value{I: regs[in.a].I << (uint64(regs[in.b].I) & 63)}
+			case fShr:
+				regs[in.dst] = Value{I: regs[in.a].I >> (uint64(regs[in.b].I) & 63)}
+			case fNeg:
+				regs[in.dst] = Value{I: -regs[in.a].I}
+			case fNot:
+				regs[in.dst] = Value{I: ^regs[in.a].I}
+
+			case fCmpEQ:
+				regs[in.dst] = boolVal(cmpValues(regs[in.a], regs[in.b]) == 0)
+			case fCmpNE:
+				regs[in.dst] = boolVal(cmpValues(regs[in.a], regs[in.b]) != 0)
+			case fCmpLT:
+				regs[in.dst] = boolVal(regs[in.a].I < regs[in.b].I)
+			case fCmpLE:
+				regs[in.dst] = boolVal(regs[in.a].I <= regs[in.b].I)
+			case fCmpGT:
+				regs[in.dst] = boolVal(regs[in.a].I > regs[in.b].I)
+			case fCmpGE:
+				regs[in.dst] = boolVal(regs[in.a].I >= regs[in.b].I)
+
+			case fClassOf:
+				o := regs[in.a].R
+				if o == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "classof on null")
+				}
+				if o.Class != nil {
+					regs[in.dst] = Value{I: int64(o.Class.ID)}
+				} else {
+					regs[in.dst] = Value{I: -1}
+				}
+			case fNew:
+				regs[in.dst] = RefVal(NewInstance(f.Block.Instrs[in.pc].Class))
+			case fGetField:
+				o := regs[in.a].R
+				if o == nil || o.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "getfield on null or non-object")
+				}
+				regs[in.dst] = o.Fields[in.b]
+			case fPutField:
+				o := regs[in.b].R
+				if o == nil || o.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "putfield on null or non-object")
+				}
+				o.Fields[in.dst] = regs[in.a]
+			case fNewArray:
+				n := regs[in.a].I
+				if n < 0 || n > 1<<28 {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, fmt.Sprintf("newarray with length %d", n))
+				}
+				regs[in.dst] = RefVal(NewArray(int(n)))
+				// Charge a small per-element cost for zeroing.
+				cycles += uint64(n) / 8
+			case fALoad:
+				a := regs[in.a].R
+				if a == nil || a.Elems == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "aload on null or non-array")
+				}
+				i := regs[in.b].I
+				if i < 0 || i >= int64(len(a.Elems)) {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, fmt.Sprintf("aload index %d out of range [0,%d)", i, len(a.Elems)))
+				}
+				regs[in.dst] = a.Elems[i]
+			case fAStore:
+				a := regs[in.dst].R
+				if a == nil || a.Elems == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "astore on null or non-array")
+				}
+				i := regs[in.b].I
+				if i < 0 || i >= int64(len(a.Elems)) {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, fmt.Sprintf("astore index %d out of range [0,%d)", i, len(a.Elems)))
+				}
+				a.Elems[i] = regs[in.a]
+			case fALen:
+				a := regs[in.a].R
+				if a == nil || a.Elems == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "alen on null or non-array")
+				}
+				regs[in.dst] = Value{I: int64(len(a.Elems))}
+
+			case fIO:
+				cycles += uint64(in.imm)
+			case fPrint:
+				v.output = append(v.output, regs[in.a].I)
+
+			case fYield:
+				v.stats.Yields++
+				if v.cancelled() {
+					f.PC = int(in.pc)
+					cycles += fb.prefix[int(in.pc)+1]
+					icount += uint64(in.pc) + 1
+					v.quantum = quantum
+					return cycles, icount, false, v.stopCancelled(cycles, icount)
+				}
+				quantum--
+				if quantum <= 0 && v.runq.len() > 1 {
+					f.PC = int(in.pc) + 1
+					cycles += fb.prefix[int(in.pc)+1]
+					icount += uint64(in.pc) + 1
+					v.quantum = quantum
+					v.cycles, v.stats.Instrs = cycles, icount
+					return cycles, icount, true, nil
+				}
+
+			case fJump:
+				tgt = 0
+				goto transfer
+			case fBranch:
+				tgt = 1
+				if regs[in.a].I != 0 {
+					tgt = 0
+				}
+				goto transfer
+
+			// ---- superinstructions ----
+
+			case fConstAdd:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: regs[in.d].I + regs[in.e].I}
+			case fConstSub:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: regs[in.d].I - regs[in.e].I}
+			case fConstMul:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: regs[in.d].I * regs[in.e].I}
+			case fConstAnd:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: regs[in.d].I & regs[in.e].I}
+			case fConstOr:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: regs[in.d].I | regs[in.e].I}
+			case fConstXor:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: regs[in.d].I ^ regs[in.e].I}
+			case fConstShl:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: regs[in.d].I << (uint64(regs[in.e].I) & 63)}
+			case fConstShr:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: regs[in.d].I >> (uint64(regs[in.e].I) & 63)}
+			case fConstConst:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = Value{I: in.imm2}
+			case fConstCmpEQ:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = boolVal(cmpValues(regs[in.d], regs[in.e]) == 0)
+			case fConstCmpLT:
+				regs[in.dst] = Value{I: in.imm}
+				regs[in.c] = boolVal(regs[in.d].I < regs[in.e].I)
+
+			case fAddConst:
+				regs[in.dst] = Value{I: regs[in.a].I + regs[in.b].I}
+				regs[in.c] = Value{I: in.imm2}
+			case fMulConst:
+				regs[in.dst] = Value{I: regs[in.a].I * regs[in.b].I}
+				regs[in.c] = Value{I: in.imm2}
+			case fAndConst:
+				regs[in.dst] = Value{I: regs[in.a].I & regs[in.b].I}
+				regs[in.c] = Value{I: in.imm2}
+			case fXorConst:
+				regs[in.dst] = Value{I: regs[in.a].I ^ regs[in.b].I}
+				regs[in.c] = Value{I: in.imm2}
+			case fShlConst:
+				regs[in.dst] = Value{I: regs[in.a].I << (uint64(regs[in.b].I) & 63)}
+				regs[in.c] = Value{I: in.imm2}
+			case fShrConst:
+				regs[in.dst] = Value{I: regs[in.a].I >> (uint64(regs[in.b].I) & 63)}
+				regs[in.c] = Value{I: in.imm2}
+
+			case fShlXor:
+				regs[in.dst] = Value{I: regs[in.a].I << (uint64(regs[in.b].I) & 63)}
+				regs[in.c] = Value{I: regs[in.d].I ^ regs[in.e].I}
+			case fShrXor:
+				regs[in.dst] = Value{I: regs[in.a].I >> (uint64(regs[in.b].I) & 63)}
+				regs[in.c] = Value{I: regs[in.d].I ^ regs[in.e].I}
+			case fXorShl:
+				regs[in.dst] = Value{I: regs[in.a].I ^ regs[in.b].I}
+				regs[in.c] = Value{I: regs[in.d].I << (uint64(regs[in.e].I) & 63)}
+			case fXorShr:
+				regs[in.dst] = Value{I: regs[in.a].I ^ regs[in.b].I}
+				regs[in.c] = Value{I: regs[in.d].I >> (uint64(regs[in.e].I) & 63)}
+			case fMulXor:
+				regs[in.dst] = Value{I: regs[in.a].I * regs[in.b].I}
+				regs[in.c] = Value{I: regs[in.d].I ^ regs[in.e].I}
+			case fMulAdd:
+				regs[in.dst] = Value{I: regs[in.a].I * regs[in.b].I}
+				regs[in.c] = Value{I: regs[in.d].I + regs[in.e].I}
+
+			case fCmpEQBr:
+				cond := cmpValues(regs[in.a], regs[in.b]) == 0
+				regs[in.dst] = boolVal(cond)
+				tgt = 1
+				if cond {
+					tgt = 0
+				}
+				goto transfer
+			case fCmpNEBr:
+				cond := cmpValues(regs[in.a], regs[in.b]) != 0
+				regs[in.dst] = boolVal(cond)
+				tgt = 1
+				if cond {
+					tgt = 0
+				}
+				goto transfer
+			case fCmpLTBr:
+				cond := regs[in.a].I < regs[in.b].I
+				regs[in.dst] = boolVal(cond)
+				tgt = 1
+				if cond {
+					tgt = 0
+				}
+				goto transfer
+			case fCmpLEBr:
+				cond := regs[in.a].I <= regs[in.b].I
+				regs[in.dst] = boolVal(cond)
+				tgt = 1
+				if cond {
+					tgt = 0
+				}
+				goto transfer
+			case fCmpGTBr:
+				cond := regs[in.a].I > regs[in.b].I
+				regs[in.dst] = boolVal(cond)
+				tgt = 1
+				if cond {
+					tgt = 0
+				}
+				goto transfer
+			case fCmpGEBr:
+				cond := regs[in.a].I >= regs[in.b].I
+				regs[in.dst] = boolVal(cond)
+				tgt = 1
+				if cond {
+					tgt = 0
+				}
+				goto transfer
+
+			case fYieldJmp:
+				v.stats.Yields++
+				if v.cancelled() {
+					f.PC = int(in.pc)
+					cycles += fb.prefix[int(in.pc)+1]
+					icount += uint64(in.pc) + 1
+					v.quantum = quantum
+					return cycles, icount, false, v.stopCancelled(cycles, icount)
+				}
+				quantum--
+				if quantum <= 0 && v.runq.len() > 1 {
+					f.PC = int(in.pc) + 1
+					cycles += fb.prefix[int(in.pc)+1]
+					icount += uint64(in.pc) + 1
+					v.quantum = quantum
+					v.cycles, v.stats.Instrs = cycles, icount
+					return cycles, icount, true, nil
+				}
+				tgt = 0
+				goto transfer
+			case fAddYieldJmp:
+				regs[in.dst] = Value{I: regs[in.a].I + regs[in.b].I}
+				v.stats.Yields++
+				if v.cancelled() {
+					f.PC = int(in.pc) + 1
+					cycles += fb.prefix[int(in.pc)+2]
+					icount += uint64(in.pc) + 2
+					v.quantum = quantum
+					return cycles, icount, false, v.stopCancelled(cycles, icount)
+				}
+				quantum--
+				if quantum <= 0 && v.runq.len() > 1 {
+					f.PC = int(in.pc) + 2
+					cycles += fb.prefix[int(in.pc)+2]
+					icount += uint64(in.pc) + 2
+					v.quantum = quantum
+					v.cycles, v.stats.Instrs = cycles, icount
+					return cycles, icount, true, nil
+				}
+				tgt = 0
+				goto transfer
+
+			case fGetFieldConst:
+				o := regs[in.a].R
+				if o == nil || o.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "getfield on null or non-object")
+				}
+				regs[in.dst] = o.Fields[in.b]
+				regs[in.c] = Value{I: in.imm2}
+			case fPutFieldGetField:
+				o := regs[in.b].R
+				if o == nil || o.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "putfield on null or non-object")
+				}
+				o.Fields[in.dst] = regs[in.a]
+				o2 := regs[in.d].R
+				if o2 == nil || o2.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, "getfield on null or non-object")
+				}
+				regs[in.c] = o2.Fields[in.e]
+			case fALoadGetField:
+				a := regs[in.a].R
+				if a == nil || a.Elems == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "aload on null or non-array")
+				}
+				i := regs[in.b].I
+				if i < 0 || i >= int64(len(a.Elems)) {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, fmt.Sprintf("aload index %d out of range [0,%d)", i, len(a.Elems)))
+				}
+				regs[in.dst] = a.Elems[i]
+				o := regs[in.d].R
+				if o == nil || o.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, "getfield on null or non-object")
+				}
+				regs[in.c] = o.Fields[in.e]
+			case fALoadMul:
+				a := regs[in.a].R
+				if a == nil || a.Elems == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "aload on null or non-array")
+				}
+				i := regs[in.b].I
+				if i < 0 || i >= int64(len(a.Elems)) {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, fmt.Sprintf("aload index %d out of range [0,%d)", i, len(a.Elems)))
+				}
+				regs[in.dst] = a.Elems[i]
+				regs[in.c] = Value{I: regs[in.d].I * regs[in.e].I}
+			case fAddALoad:
+				regs[in.dst] = Value{I: regs[in.a].I + regs[in.b].I}
+				a := regs[in.d].R
+				if a == nil || a.Elems == nil {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, "aload on null or non-array")
+				}
+				i := regs[in.e].I
+				if i < 0 || i >= int64(len(a.Elems)) {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, fmt.Sprintf("aload index %d out of range [0,%d)", i, len(a.Elems)))
+				}
+				regs[in.c] = a.Elems[i]
+			case fAddPutField:
+				regs[in.dst] = Value{I: regs[in.a].I + regs[in.b].I}
+				o := regs[in.e].R
+				if o == nil || o.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, "putfield on null or non-object")
+				}
+				o.Fields[in.c] = regs[in.d]
+			case fAndPutField:
+				regs[in.dst] = Value{I: regs[in.a].I & regs[in.b].I}
+				o := regs[in.e].R
+				if o == nil || o.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, "putfield on null or non-object")
+				}
+				o.Fields[in.c] = regs[in.d]
+			case fXorPutField:
+				regs[in.dst] = Value{I: regs[in.a].I ^ regs[in.b].I}
+				o := regs[in.e].R
+				if o == nil || o.Fields == nil {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, "putfield on null or non-object")
+				}
+				o.Fields[in.c] = regs[in.d]
+			case fAndAStore:
+				regs[in.dst] = Value{I: regs[in.a].I & regs[in.b].I}
+				a := regs[in.c].R
+				if a == nil || a.Elems == nil {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, "astore on null or non-array")
+				}
+				i := regs[in.e].I
+				if i < 0 || i >= int64(len(a.Elems)) {
+					return v.pureTrap(t, f, int(in.pc)+1, fb.prefix, cycles, icount, quantum, fmt.Sprintf("astore index %d out of range [0,%d)", i, len(a.Elems)))
+				}
+				a.Elems[i] = regs[in.d]
+			case fAStoreJmp:
+				a := regs[in.dst].R
+				if a == nil || a.Elems == nil {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, "astore on null or non-array")
+				}
+				i := regs[in.b].I
+				if i < 0 || i >= int64(len(a.Elems)) {
+					return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum, fmt.Sprintf("astore index %d out of range [0,%d)", i, len(a.Elems)))
+				}
+				a.Elems[i] = regs[in.a]
+				tgt = 0
+				goto transfer
+
+			default:
+				return v.pureTrap(t, f, int(in.pc), fb.prefix, cycles, icount, quantum,
+					fmt.Sprintf("fused dispatch: invalid token %d", in.tok))
+			}
+		}
+		// Unreachable: fuseBlock always emits a terminator token last,
+		// and every terminator jumps to transfer.
+		return v.pureTrap(t, f, 0, fb.prefix, cycles, icount, quantum, "fused dispatch: stream without terminator")
+
+	transfer:
+		cycles += fb.total
+		icount += fb.count
+		if fb.mask&(1<<uint(tgt)) != 0 {
+			v.stats.Backedges++
+		}
+		b := fb.targets[tgt]
+		f.Block, f.PC = b, 0
+		if v.ic != nil {
+			v.cycles = cycles
+			v.touchCode(b)
+			cycles = v.cycles
+		}
+		if cycles > limit {
+			v.quantum = quantum
+			return cycles, icount, false, v.trapBudgetAt(t, cycles, icount)
+		}
+		nfb := fb.next[tgt]
+		if nfb == nil {
+			v.quantum = quantum
+			return cycles, icount, false, nil
+		}
+		fb = nfb
+		fb.execs++
+		code = fb.code
+	}
+}

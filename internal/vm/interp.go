@@ -47,7 +47,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 	if pc == 0 && scale == 1 && v.blockInfo[f.Block.GID].pure {
 		var sched bool
 		var err error
-		cycles, icount, sched, err = v.runPureBlocks(t, f, cycles, icount)
+		cycles, icount, sched, err = v.runLinear(t, f, cycles, icount)
 		if err != nil {
 			return false, err
 		}
@@ -134,13 +134,13 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if o == nil || o.Fields == nil {
 				return false, v.trapAt(t, f, pc, cycles, icount, "getfield on null or non-object")
 			}
-			regs[in.Dst] = o.Fields[in.Field]
+			regs[in.Dst] = o.Fields[in.FieldSlot()]
 		case ir.OpPutField:
 			o := regs[in.B].R
 			if o == nil || o.Fields == nil {
 				return false, v.trapAt(t, f, pc, cycles, icount, "putfield on null or non-object")
 			}
-			o.Fields[in.Field] = regs[in.A]
+			o.Fields[in.FieldSlot()] = regs[in.A]
 		case ir.OpNewArray:
 			n := regs[in.A].I
 			if n < 0 || n > 1<<28 {
@@ -195,7 +195,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if scale == 1 && v.blockInfo[nf.Block.GID].pure {
 				var sched bool
 				var perr error
-				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				cycles, icount, sched, perr = v.runLinear(t, f, cycles, icount)
 				if perr != nil {
 					return false, perr
 				}
@@ -232,7 +232,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if scale == 1 && v.blockInfo[nf.Block.GID].pure {
 				var sched bool
 				var perr error
-				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				cycles, icount, sched, perr = v.runLinear(t, f, cycles, icount)
 				if perr != nil {
 					return false, perr
 				}
@@ -344,7 +344,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if scale == 1 && v.blockInfo[b.GID].pure {
 				var sched bool
 				var perr error
-				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				cycles, icount, sched, perr = v.runLinear(t, f, cycles, icount)
 				if perr != nil {
 					return false, perr
 				}
@@ -378,7 +378,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if scale == 1 && v.blockInfo[b.GID].pure {
 				var sched bool
 				var perr error
-				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				cycles, icount, sched, perr = v.runLinear(t, f, cycles, icount)
 				if perr != nil {
 					return false, perr
 				}
@@ -424,7 +424,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if scale == 1 && v.blockInfo[b.GID].pure {
 				var sched bool
 				var perr error
-				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				cycles, icount, sched, perr = v.runLinear(t, f, cycles, icount)
 				if perr != nil {
 					return false, perr
 				}
@@ -460,7 +460,7 @@ func (v *VM) runThread(t *Thread) (bool, error) {
 			if scale == 1 && v.blockInfo[b.GID].pure {
 				var sched bool
 				var perr error
-				cycles, icount, sched, perr = v.runPureBlocks(t, f, cycles, icount)
+				cycles, icount, sched, perr = v.runLinear(t, f, cycles, icount)
 				if perr != nil {
 					return false, perr
 				}

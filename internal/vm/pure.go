@@ -25,6 +25,11 @@ type blockInfo struct {
 	// prefix[i] is the summed cycle cost of Instrs[:i]; prefix[count] ==
 	// total. Only populated for pure blocks.
 	prefix []uint64
+	// fb is the block's fused stream (fuse.go), nil when the block is
+	// unfused or fusion is disabled. It lives here so the fused
+	// dispatcher's tier check and block transfer load one side-table
+	// entry instead of three parallel slices.
+	fb *fusedBlock
 }
 
 // buildBlockInfo computes the block side table for the program under the
@@ -161,13 +166,13 @@ func (v *VM) runPureBlocks(t *Thread, f *Frame, cycles, icount uint64) (uint64, 
 		case ir.OpDiv:
 			d := regs[in.B].I
 			if d == 0 {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, "division by zero")
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, "division by zero")
 			}
 			regs[in.Dst] = Value{I: regs[in.A].I / d}
 		case ir.OpRem:
 			d := regs[in.B].I
 			if d == 0 {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, "remainder by zero")
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, "remainder by zero")
 			}
 			regs[in.Dst] = Value{I: regs[in.A].I % d}
 		case ir.OpAnd:
@@ -201,7 +206,7 @@ func (v *VM) runPureBlocks(t *Thread, f *Frame, cycles, icount uint64) (uint64, 
 		case ir.OpClassOf:
 			o := regs[in.A].R
 			if o == nil {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, "classof on null")
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, "classof on null")
 			}
 			if o.Class != nil {
 				regs[in.Dst] = Value{I: int64(o.Class.ID)}
@@ -213,19 +218,19 @@ func (v *VM) runPureBlocks(t *Thread, f *Frame, cycles, icount uint64) (uint64, 
 		case ir.OpGetField:
 			o := regs[in.A].R
 			if o == nil || o.Fields == nil {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, "getfield on null or non-object")
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, "getfield on null or non-object")
 			}
-			regs[in.Dst] = o.Fields[in.Field]
+			regs[in.Dst] = o.Fields[in.FieldSlot()]
 		case ir.OpPutField:
 			o := regs[in.B].R
 			if o == nil || o.Fields == nil {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, "putfield on null or non-object")
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, "putfield on null or non-object")
 			}
-			o.Fields[in.Field] = regs[in.A]
+			o.Fields[in.FieldSlot()] = regs[in.A]
 		case ir.OpNewArray:
 			n := regs[in.A].I
 			if n < 0 || n > 1<<28 {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, fmt.Sprintf("newarray with length %d", n))
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, fmt.Sprintf("newarray with length %d", n))
 			}
 			regs[in.Dst] = RefVal(NewArray(int(n)))
 			// Charge a small per-element cost for zeroing.
@@ -233,27 +238,27 @@ func (v *VM) runPureBlocks(t *Thread, f *Frame, cycles, icount uint64) (uint64, 
 		case ir.OpArrayLoad:
 			a := regs[in.A].R
 			if a == nil || a.Elems == nil {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, "aload on null or non-array")
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, "aload on null or non-array")
 			}
 			i := regs[in.B].I
 			if i < 0 || i >= int64(len(a.Elems)) {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, fmt.Sprintf("aload index %d out of range [0,%d)", i, len(a.Elems)))
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, fmt.Sprintf("aload index %d out of range [0,%d)", i, len(a.Elems)))
 			}
 			regs[in.Dst] = a.Elems[i]
 		case ir.OpArrayStore:
 			a := regs[in.Dst].R
 			if a == nil || a.Elems == nil {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, "astore on null or non-array")
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, "astore on null or non-array")
 			}
 			i := regs[in.B].I
 			if i < 0 || i >= int64(len(a.Elems)) {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, fmt.Sprintf("astore index %d out of range [0,%d)", i, len(a.Elems)))
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, fmt.Sprintf("astore index %d out of range [0,%d)", i, len(a.Elems)))
 			}
 			a.Elems[i] = regs[in.A]
 		case ir.OpArrayLen:
 			a := regs[in.A].R
 			if a == nil || a.Elems == nil {
-				return v.pureTrap(t, f, pc, bi, cycles, icount, quantum, "alen on null or non-array")
+				return v.pureTrap(t, f, pc, bi.prefix, cycles, icount, quantum, "alen on null or non-array")
 			}
 			regs[in.Dst] = Value{I: int64(len(a.Elems))}
 
@@ -341,8 +346,8 @@ func (v *VM) runPureBlocks(t *Thread, f *Frame, cycles, icount uint64) (uint64, 
 // exact per-instruction counters for the partially executed block,
 // flushes everything the generic paths keep current, and builds the
 // trap.
-func (v *VM) pureTrap(t *Thread, f *Frame, pc int, bi *blockInfo, cycles, icount uint64, quantum int, reason string) (uint64, uint64, bool, error) {
-	cycles += bi.prefix[pc+1]
+func (v *VM) pureTrap(t *Thread, f *Frame, pc int, prefix []uint64, cycles, icount uint64, quantum int, reason string) (uint64, uint64, bool, error) {
+	cycles += prefix[pc+1]
 	icount += uint64(pc) + 1
 	v.quantum = quantum
 	f.PC = pc

@@ -130,13 +130,13 @@ func (v *VM) runThreadRef(t *Thread) (bool, error) {
 			if o == nil || o.Fields == nil {
 				return false, v.trap(t, "getfield on null or non-object")
 			}
-			f.Regs[in.Dst] = o.Fields[in.Field]
+			f.Regs[in.Dst] = o.Fields[in.FieldSlot()]
 		case ir.OpPutField:
 			o := f.Regs[in.B].R
 			if o == nil || o.Fields == nil {
 				return false, v.trap(t, "putfield on null or non-object")
 			}
-			o.Fields[in.Field] = f.Regs[in.A]
+			o.Fields[in.FieldSlot()] = f.Regs[in.A]
 		case ir.OpNewArray:
 			n := f.Regs[in.A].I
 			if n < 0 || n > 1<<28 {

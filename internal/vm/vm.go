@@ -88,6 +88,15 @@ type Config struct {
 	// dispatchers and require identical results (see ref.go and
 	// DESIGN.md §7).
 	Reference bool
+	// Fusion selects the superinstruction-fusion tier of the fast
+	// dispatcher. Under the default FusionAuto, pure blocks are rewritten
+	// into token-threaded superinstruction streams whenever pure-block
+	// batching itself is active (fast path, no observer); FusionOff keeps
+	// the plain pure-block loop. The reference dispatcher never fuses,
+	// and Results are bit-identical under every mode (see fuse.go and
+	// DESIGN.md §12). Coverage is reported by VM.FusionStats, never in
+	// Stats.
+	Fusion FusionMode
 }
 
 // Stats aggregates execution counters for one run.
@@ -173,6 +182,12 @@ type VM struct {
 	// blockInfo is the GID-indexed per-block side table for block-granular
 	// cost accounting (see pure.go). Built lazily on the first Run.
 	blockInfo []blockInfo
+	// fuse is the GID-indexed fused-stream side table (nil when fusion
+	// is disabled; nil entries mark unfused blocks), used by
+	// buildFusion and FusionStats; the dispatch loop reaches streams
+	// through blockInfo.fb instead. Like blockInfo, it is per-VM: the
+	// shared ir.Program is never mutated.
+	fuse []*fusedBlock
 
 	threads []*Thread
 	runq    threadQueue // fast-path scheduler queue
@@ -229,6 +244,12 @@ func (v *VM) Run() (*Result, error) {
 	}
 	if v.blockInfo == nil {
 		v.buildBlockInfo()
+		// Fusion rides on pure-block batching: an installed observer has
+		// already disabled that (no block is pure), so building fused
+		// streams would be dead weight.
+		if v.cfg.Fusion == FusionAuto && v.obs == nil {
+			v.buildFusion()
+		}
 	}
 	main := v.newThread(v.prog.Main)
 	v.runq.push(main)

@@ -99,7 +99,7 @@ func TestTraps(t *testing.T) {
 			// Register never assigned: null.
 			nul := b.FreshReg()
 			_ = cl
-			c.Blk().Append(ir.Instr{Op: ir.OpGetField, Dst: nul, A: nul, Class: cl, Field: 0})
+			c.Blk().Append(ir.Instr{Op: ir.OpGetField, Dst: nul, A: nul, Class: cl})
 			c.Return(nul)
 		}, "getfield on null"},
 		{"array oob", func(b *ir.Builder, c *ir.Cursor) {
