@@ -5,10 +5,10 @@ GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-short bench-ab experiments \
 	clean-cache fuzz fuzz-smoke mutation-check telemetry-smoke \
-	service-smoke soak soak-smoke doc-lint fusion-smoke
+	service-smoke soak soak-smoke doc-lint fusion-smoke scenario-smoke
 
 ci: fmt vet doc-lint build test race fuzz-smoke mutation-check telemetry-smoke \
-	service-smoke soak-smoke fusion-smoke bench-short
+	service-smoke soak-smoke fusion-smoke scenario-smoke bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -31,7 +31,8 @@ test:
 # machinery against live HTTP clients; keep all five race-clean.
 race:
 	$(GO) test -race ./internal/experiment/ ./internal/vm/ \
-		./internal/oracle/ ./internal/trigger/ ./internal/service/
+		./internal/oracle/ ./internal/trigger/ ./internal/service/ \
+		./internal/scenario/
 
 # Native fuzzing (go test -fuzz), 30s per target. Each target keeps its
 # regression corpus in testdata/fuzz/; crashers found here land there
@@ -40,6 +41,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzAsmRoundTrip$$' -fuzztime 30s ./internal/asm/
 	$(GO) test -run '^$$' -fuzz '^FuzzTransform$$' -fuzztime 30s ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzVariations$$' -fuzztime 30s ./internal/oracle/
+	$(GO) test -run '^$$' -fuzz '^FuzzReplayRoundTrip$$' -fuzztime 30s ./internal/scenario/
 
 # Short fuzz runs for ci: enough to replay the checked-in corpus plus a
 # few seconds of fresh inputs per target.
@@ -47,6 +49,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzAsmRoundTrip$$' -fuzztime 5s ./internal/asm/
 	$(GO) test -run '^$$' -fuzz '^FuzzTransform$$' -fuzztime 5s ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzVariations$$' -fuzztime 5s ./internal/oracle/
+	$(GO) test -run '^$$' -fuzz '^FuzzReplayRoundTrip$$' -fuzztime 5s ./internal/scenario/
 
 # Mutation test for the oracle itself: compile Partial-Duplication with a
 # deliberately forgotten backedge mask (core.FaultSkipBackedgeMask) and
@@ -108,6 +111,22 @@ fusion-smoke:
 	$(GO) test -race -run '^(TestFusionDifferentialSweep|TestFused|TestObserverDisablesFusion)' \
 		./internal/vm/
 	$(GO) run ./cmd/benchab -quick -floor 1.0
+
+# Scenario smoke for ci, two halves. (1) The seeded workload-family
+# sweep — generated programs recorded on the fast dispatcher, replayed
+# bit-identically on both, every run under the oracle — plus the
+# tampering detector, under -race. (2) A coverage floor on the new
+# package: record/replay is trusted exactly as far as its tests reach,
+# so the scenario package must keep >= 80% statement coverage.
+scenario-smoke:
+	$(GO) test -race -run '^(TestSweepProperty|TestRecordReplayDifferential|TestReplayDetectsTampering)$$' \
+		./internal/scenario/
+	@cov=$$($(GO) test -cover ./internal/scenario/ | awk '{for(i=1;i<=NF;i++) if ($$i=="coverage:") print $$(i+1)}' | tr -d '%'); \
+	if [ -z "$$cov" ]; then echo "scenario-smoke: no coverage reported"; exit 1; fi; \
+	ok=$$(awk -v c="$$cov" 'BEGIN{print (c>=80.0)?1:0}'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "scenario-smoke: internal/scenario coverage $$cov% below 80% floor"; exit 1; fi; \
+	echo "scenario coverage $$cov% (floor 80%)"
 
 # Full benchmark sweep (slow). BENCH_*.json snapshots in the repo root
 # record curated before/after numbers from these benchmarks.

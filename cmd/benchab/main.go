@@ -131,9 +131,15 @@ func main() {
 	target := flag.Float64("target", 2.0, "fused-vs-reference ratio target")
 	out := flag.String("o", "", "write the JSON report to this file")
 	pr := flag.Int("pr", 7, "PR number recorded in the report")
+	tele := flag.Bool("telemetry", false, "measure observer cost instead: interleaved bare/trace/suppressed legs on an instrumented sampled run")
+	window := flag.Uint64("window", 2000, "suppressor dedup window in cycles (with -telemetry)")
 	flag.Parse()
 	if *quick {
 		*rounds, *legMS = 3, 30
+	}
+	if *tele {
+		telemetryMain(*scale, *rounds, *legMS, *window, *out, *pr)
+		return
 	}
 
 	prog := bench.Compress(*scale)

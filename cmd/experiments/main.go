@@ -54,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		artifact = fs.String("artifact", "", "one of table1..table5, figure7, figure8a, figure8b, ablation-* (default: all)")
+		artifact = fs.String("artifact", "", "one of table1..table5, figure7, figure8a, figure8b, scenario-sweep, ablation-* (default: all)")
 		scale    = fs.Float64("scale", 1.0, "workload scale factor")
 		markdown = fs.Bool("markdown", false, "emit markdown instead of ASCII tables")
 		outPath  = fs.String("o", "", "write to file instead of stdout")

@@ -47,6 +47,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "overlap":
 		err = cmdOverlap(os.Args[2:])
+	case "scenario":
+		err = cmdScenario(os.Args[2:])
 	case "version", "-version", "--version":
 		// The build ID keys the experiment engine's on-disk result cache;
 		// isamp, experiments and isampd all print the same one.
@@ -69,6 +71,13 @@ func usage() {
   isamp disasm [flags] prog.vasm   print the compiled (and transformed) IR
   isamp bench  [flags] <name>      run a suite benchmark (see -list)
   isamp overlap a.json b.json      overlap %% of two saved profiles (-json output)
+  isamp scenario [flags]           run a seeded workload family as correctness
+                                   probes: every member executes under the oracle
+                                   on both dispatchers, bit-identical or it fails;
+                                   -spec FILE | -seed N -count N select the family,
+                                   -index N one member, -record/-replay FILE
+                                   serialize and re-verify a run's trigger and
+                                   schedule decisions, -hash prints the receipt
   isamp version                    print the cache-keying build ID
 
 flags (run/disasm/bench):

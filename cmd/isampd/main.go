@@ -1,6 +1,7 @@
 // Command isampd is the profiling-as-a-service daemon: a long-running
-// HTTP server that accepts instrumentation jobs (assembly sources or
-// suite benchmarks with the isamp flag vocabulary), runs them on a
+// HTTP server that accepts instrumentation jobs (assembly sources,
+// suite benchmarks, or scenario workload-family members — all with the
+// isamp flag vocabulary), runs them on a
 // bounded worker pool over the experiment engine's memo table and
 // on-disk cache, and exposes results, live metrics streams and a
 // Prometheus endpoint.

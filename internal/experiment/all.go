@@ -31,6 +31,7 @@ func All() []struct {
 		{"ablation-icache", AblationICache},
 		{"ablation-oracle", AblationOracle},
 		{"convergence", Convergence},
+		{"scenario-sweep", ScenarioSweep},
 	}
 }
 
@@ -41,5 +42,5 @@ func ByID(id string) (Generator, error) {
 			return e.Gen, nil
 		}
 	}
-	return nil, fmt.Errorf("experiment: unknown artifact %q (want table1..table5, figure7, figure8a, figure8b, convergence, or ablation-{variations,resonance,counted,inlining,cct,icache,adaptive,oracle})", id)
+	return nil, fmt.Errorf("experiment: unknown artifact %q (want table1..table5, figure7, figure8a, figure8b, convergence, scenario-sweep, or ablation-{variations,resonance,counted,inlining,cct,icache,adaptive,oracle})", id)
 }

@@ -1,0 +1,307 @@
+package ir
+
+import "testing"
+
+// diamond builds the classic diamond CFG and returns its blocks:
+//
+//	entry -> (a | b) -> join -> return
+func diamondCFG() (m *Method, entry, a, b, join *Block) {
+	f := NewFunc("diamond", 1)
+	entry = f.EntryBlock()
+	a = f.Block("a")
+	b = f.Block("b")
+	join = f.Block("join")
+	ec := f.At(entry)
+	ec.Branch(0, a, b)
+	f.At(a).Jump(join)
+	f.At(b).Jump(join)
+	f.At(join).Return(0)
+	return f.M, entry, a, b, join
+}
+
+// loop builds a single natural loop:
+//
+//	entry -> head -> (body | exit); body -> head
+func loop() (m *Method, entry, head, body, exit *Block) {
+	f := NewFunc("loop", 1)
+	entry = f.EntryBlock()
+	head = f.Block("head")
+	body = f.Block("body")
+	exit = f.Block("exit")
+	f.At(entry).Jump(head)
+	hc := f.At(head)
+	hc.Branch(0, body, exit)
+	f.At(body).Jump(head)
+	f.At(exit).Return(0)
+	return f.M, entry, head, body, exit
+}
+
+// nested builds two nested natural loops sharing no blocks except the
+// inner loop sitting inside the outer body:
+//
+//	entry -> oh -> (ih | exit); ih -> (ibody | olatch); ibody -> ih; olatch -> oh
+func nested() (m *Method, entry, oh, ih, ibody, olatch, exit *Block) {
+	f := NewFunc("nested", 1)
+	entry = f.EntryBlock()
+	oh = f.Block("outer_head")
+	ih = f.Block("inner_head")
+	ibody = f.Block("inner_body")
+	olatch = f.Block("outer_latch")
+	exit = f.Block("exit")
+	f.At(entry).Jump(oh)
+	f.At(oh).Branch(0, ih, exit)
+	f.At(ih).Branch(0, ibody, olatch)
+	f.At(ibody).Jump(ih)
+	f.At(olatch).Jump(oh)
+	f.At(exit).Return(0)
+	return f.M, entry, oh, ih, ibody, olatch, exit
+}
+
+func blockIndex(t *testing.T, rpo []*Block, b *Block) int {
+	t.Helper()
+	for i, x := range rpo {
+		if x == b {
+			return i
+		}
+	}
+	t.Fatalf("block %s not in RPO", b.Label)
+	return -1
+}
+
+func TestReversePostorderManual(t *testing.T) {
+	m, entry, a, b, join := diamondCFG()
+	rpo := m.ReversePostorder()
+	if len(rpo) != 4 {
+		t.Fatalf("diamond RPO has %d blocks, want 4", len(rpo))
+	}
+	if rpo[0] != entry {
+		t.Fatalf("RPO[0] = %s, want entry", rpo[0].Label)
+	}
+	// RPO invariant: every non-backedge edge goes forward in the order.
+	for _, x := range []*Block{a, b} {
+		if blockIndex(t, rpo, entry) >= blockIndex(t, rpo, x) {
+			t.Errorf("entry does not precede %s", x.Label)
+		}
+		if blockIndex(t, rpo, x) >= blockIndex(t, rpo, join) {
+			t.Errorf("%s does not precede join", x.Label)
+		}
+	}
+
+	// Unreachable blocks are omitted.
+	f := NewFunc("unreach", 0)
+	f.At(f.EntryBlock()).ReturnVoid()
+	orphan := f.Block("orphan")
+	f.At(orphan).ReturnVoid()
+	rpo = f.M.ReversePostorder()
+	if len(rpo) != 1 {
+		t.Fatalf("RPO with orphan has %d blocks, want 1", len(rpo))
+	}
+	if rpo[0] == orphan {
+		t.Fatal("orphan block reached")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	m, entry, a, b, join := diamondCFG()
+	dom := m.ComputeDominators()
+	want := map[*Block]*Block{entry: entry, a: entry, b: entry, join: entry}
+	for blk, idom := range want {
+		if got := dom.Idom(blk); got != idom {
+			t.Errorf("idom(%s) = %v, want %s", blk.Label, got, idom.Label)
+		}
+	}
+	if !dom.Dominates(entry, join) || !dom.Dominates(join, join) {
+		t.Error("entry/join must dominate join")
+	}
+	if dom.Dominates(a, join) || dom.Dominates(b, join) || dom.Dominates(a, b) {
+		t.Error("branch arms must not dominate the join or each other")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	m, entry, head, body, exit := loop()
+	dom := m.ComputeDominators()
+	for blk, idom := range map[*Block]*Block{entry: entry, head: entry, body: head, exit: head} {
+		if got := dom.Idom(blk); got != idom {
+			t.Errorf("idom(%s) = %v, want %s", blk.Label, got, idom.Label)
+		}
+	}
+	if !dom.Dominates(head, body) || !dom.Dominates(head, exit) {
+		t.Error("loop header must dominate body and exit")
+	}
+	if dom.Dominates(body, exit) {
+		t.Error("loop body must not dominate the exit")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	f := NewFunc("u", 0)
+	f.At(f.EntryBlock()).ReturnVoid()
+	orphan := f.Block("orphan")
+	f.At(orphan).ReturnVoid()
+	dom := f.M.ComputeDominators()
+	if dom.Idom(orphan) != nil {
+		t.Error("unreachable block must have nil idom")
+	}
+	if dom.Dominates(f.EntryBlock(), orphan) || dom.Dominates(orphan, f.EntryBlock()) {
+		t.Error("Dominates must be false for unreachable blocks")
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	m, entry, a, b, join := diamondCFG()
+	edges := m.Edges()
+	want := []Edge{
+		{From: entry, To: a, Index: 0},
+		{From: entry, To: b, Index: 1},
+		{From: a, To: join, Index: 0},
+		{From: b, To: join, Index: 0},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(edges), len(want))
+	}
+	for i, e := range edges {
+		if e != want[i] {
+			t.Errorf("edge %d = %s->%s[%d], want %s->%s[%d]",
+				i, e.From.Label, e.To.Label, e.Index,
+				want[i].From.Label, want[i].To.Label, want[i].Index)
+		}
+	}
+}
+
+func TestBackedgesAndLoopHeaders(t *testing.T) {
+	// Diamond: acyclic, no backedges or headers.
+	m, _, _, _, _ := diamondCFG()
+	if be := m.Backedges(); len(be) != 0 {
+		t.Fatalf("diamond has %d backedges, want 0", len(be))
+	}
+	if lh := m.LoopHeaders(); len(lh) != 0 {
+		t.Fatalf("diamond has %d loop headers, want 0", len(lh))
+	}
+
+	// Single loop: exactly body->head.
+	m, _, head, body, _ := loop()
+	be := m.Backedges()
+	if len(be) != 1 || be[0].From != body || be[0].To != head {
+		t.Fatalf("loop backedges = %+v, want exactly body->head", be)
+	}
+	lh := m.LoopHeaders()
+	if len(lh) != 1 || !lh[head] {
+		t.Fatalf("loop headers = %v, want exactly {head}", lh)
+	}
+
+	// Nested loops: two backedges, two headers.
+	m2, _, oh, ih, ibody, olatch, _ := nested()
+	got := map[[2]string]bool{}
+	for _, e := range m2.Backedges() {
+		got[[2]string{e.From.Label, e.To.Label}] = true
+	}
+	wantEdges := map[[2]string]bool{
+		{ibody.Label, ih.Label}:  true,
+		{olatch.Label, oh.Label}: true,
+	}
+	if len(got) != len(wantEdges) {
+		t.Fatalf("nested backedges = %v, want %v", got, wantEdges)
+	}
+	for e := range wantEdges {
+		if !got[e] {
+			t.Errorf("missing backedge %s->%s", e[0], e[1])
+		}
+	}
+	lh2 := m2.LoopHeaders()
+	if len(lh2) != 2 || !lh2[oh] || !lh2[ih] {
+		t.Fatalf("nested loop headers wrong: %v", lh2)
+	}
+}
+
+func TestNaturalLoop(t *testing.T) {
+	m, _, head, body, _ := loop()
+	be := m.Backedges()
+	if len(be) != 1 {
+		t.Fatalf("want 1 backedge, got %d", len(be))
+	}
+	nl := NaturalLoop(be[0])
+	if len(nl) != 2 || !nl[head] || !nl[body] {
+		t.Fatalf("natural loop = %v, want {head, body}", nl)
+	}
+
+	// Nested: the outer loop's natural loop contains the whole inner loop.
+	m2, _, oh, ih, ibody, olatch, exit := nested()
+	var outer, inner Edge
+	for _, e := range m2.Backedges() {
+		if e.To == oh {
+			outer = e
+		} else {
+			inner = e
+		}
+	}
+	onl := NaturalLoop(outer)
+	for _, b := range []*Block{oh, ih, ibody, olatch} {
+		if !onl[b] {
+			t.Errorf("outer natural loop missing %s", b.Label)
+		}
+	}
+	if onl[exit] {
+		t.Error("outer natural loop contains the exit")
+	}
+	inl := NaturalLoop(inner)
+	if len(inl) != 2 || !inl[ih] || !inl[ibody] {
+		t.Fatalf("inner natural loop = %v, want {inner_head, inner_body}", inl)
+	}
+}
+
+func TestDAGPostorderManual(t *testing.T) {
+	m, entry, head, body, _ := loop()
+	be := map[[2]*Block]bool{{body, head}: true}
+	post := DAGPostorder(m, be)
+	if len(post) != 4 {
+		t.Fatalf("DAG postorder has %d blocks, want 4", len(post))
+	}
+	pos := map[*Block]int{}
+	for i, b := range post {
+		pos[b] = i
+	}
+	// Postorder of the acyclic view: every non-backedge successor appears
+	// before its predecessor.
+	for _, e := range m.Edges() {
+		if be[[2]*Block{e.From, e.To}] {
+			continue
+		}
+		if pos[e.To] >= pos[e.From] {
+			t.Errorf("edge %s->%s violates DAG postorder", e.From.Label, e.To.Label)
+		}
+	}
+	if post[len(post)-1] != entry {
+		t.Errorf("entry must be last in postorder, got %s", post[len(post)-1].Label)
+	}
+}
+
+// TestCountedLoopShape sanity-checks that the builder's CountedLoop
+// skeleton produces exactly the loop structure the analyses expect.
+func TestCountedLoopShape(t *testing.T) {
+	f := NewFunc("cl", 1)
+	c := f.At(f.EntryBlock())
+	lp := c.CountedLoop(0, "l")
+	lp.Body.Jump(lp.Latch)
+	lp.After.Return(lp.I)
+	m := f.M
+	be := m.Backedges()
+	if len(be) != 1 {
+		t.Fatalf("counted loop has %d backedges, want 1", len(be))
+	}
+	if be[0].To.Label != "l_head" || be[0].From.Label != "l_latch" {
+		t.Fatalf("counted loop backedge %s->%s, want l_latch->l_head", be[0].From.Label, be[0].To.Label)
+	}
+	nl := NaturalLoop(be[0])
+	for _, lbl := range []string{"l_head", "l_body", "l_latch"} {
+		found := false
+		for b := range nl {
+			if b.Label == lbl {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("natural loop missing %s", lbl)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package ir
+
+import "testing"
+
+func TestUsesAndDef(t *testing.T) {
+	collect := func(in Instr) []Reg { return in.Uses(nil) }
+	cases := []struct {
+		name string
+		in   Instr
+		uses []Reg
+		def  Reg
+	}{
+		{"const", Instr{Op: OpConst, Dst: 3, Imm: 7}, nil, 3},
+		{"move", Instr{Op: OpMove, Dst: 2, A: 1}, []Reg{1}, 2},
+		{"add", Instr{Op: OpAdd, Dst: 4, A: 1, B: 2}, []Reg{1, 2}, 4},
+		{"return", Instr{Op: OpReturn, A: 5}, []Reg{5}, NoReg},
+		{"return void", Instr{Op: OpReturn, A: NoReg}, nil, NoReg},
+		{"branch", Instr{Op: OpBranch, A: 6}, []Reg{6}, NoReg},
+		{"jump", Instr{Op: OpJump}, nil, NoReg},
+		// ArrayStore reads all three operands, including Dst (the array).
+		{"array store", Instr{Op: OpArrayStore, Dst: 1, A: 2, B: 3}, []Reg{1, 2, 3}, NoReg},
+		{"array load", Instr{Op: OpArrayLoad, Dst: 4, A: 1, B: 2}, []Reg{1, 2}, 4},
+		{"putfield", Instr{Op: OpPutField, A: 7, B: 8}, []Reg{7, 8}, NoReg},
+		{"getfield", Instr{Op: OpGetField, Dst: 9, A: 8}, []Reg{8}, 9},
+		{"call", Instr{Op: OpCall, Dst: 5, Args: []Reg{1, 2, 3}}, []Reg{1, 2, 3}, 5},
+		{"yield", Instr{Op: OpYield}, nil, NoReg},
+		{"check", Instr{Op: OpCheck}, nil, NoReg},
+		{"bare probe", Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeEvent}}, nil, NoReg},
+		{"value probe", Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeValue, Reg: 6}}, []Reg{6}, NoReg},
+	}
+	for _, tc := range cases {
+		got := collect(tc.in)
+		if len(got) != len(tc.uses) {
+			t.Errorf("%s: uses = %v, want %v", tc.name, got, tc.uses)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.uses[i] {
+				t.Errorf("%s: uses = %v, want %v", tc.name, got, tc.uses)
+				break
+			}
+		}
+		if d := tc.in.Def(); d != tc.def {
+			t.Errorf("%s: def = %v, want %v", tc.name, d, tc.def)
+		}
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	// func f(p) { x = 1; y = p + x; return y }
+	f := NewFunc("sl", 1)
+	c := f.At(f.EntryBlock())
+	x := c.Const(1)
+	y := c.Bin(OpAdd, 0, x)
+	c.Return(y)
+	lv := f.M.ComputeLiveness()
+	entry := f.EntryBlock()
+	if !lv.LiveInAt(entry, 0) {
+		t.Error("parameter used before definition must be live-in")
+	}
+	if lv.LiveInAt(entry, x) || lv.LiveInAt(entry, y) {
+		t.Error("locally defined registers must not be live-in")
+	}
+}
+
+func TestLivenessKillBeforeUse(t *testing.T) {
+	// x is redefined before its use in the block, so it is not live-in.
+	f := NewFunc("kill", 1)
+	c := f.At(f.EntryBlock())
+	x := c.Fresh()
+	c.ConstTo(x, 9)         // def x
+	y := c.Bin(OpAdd, x, 0) // use after def
+	c.Return(y)
+	lv := f.M.ComputeLiveness()
+	if lv.LiveInAt(f.EntryBlock(), x) {
+		t.Error("register defined before first use must not be live-in")
+	}
+	if !lv.LiveInAt(f.EntryBlock(), 0) {
+		t.Error("parameter must be live-in")
+	}
+}
+
+func TestLivenessDiamond(t *testing.T) {
+	// x defined in entry, used only in the join: it must be live through
+	// both arms even though neither touches it.
+	f := NewFunc("dia", 1)
+	entry := f.EntryBlock()
+	a := f.Block("a")
+	b := f.Block("b")
+	join := f.Block("join")
+	ec := f.At(entry)
+	x := ec.Const(42)
+	ec.Branch(0, a, b)
+	ac := f.At(a)
+	a1 := ac.Const(1) // dead in a
+	_ = a1
+	ac.Jump(join)
+	f.At(b).Jump(join)
+	f.At(join).Return(x)
+	lv := f.M.ComputeLiveness()
+	for _, blk := range []*Block{a, b, join} {
+		if !lv.LiveInAt(blk, x) {
+			t.Errorf("x must be live-in at %s", blk.Label)
+		}
+	}
+	if lv.LiveInAt(entry, x) {
+		t.Error("x defined in entry must not be live-in at entry")
+	}
+	if lv.LiveInAt(join, a1) {
+		t.Error("a's dead constant must not be live-in at join")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// acc is updated around the loop: it must be live-in at the header,
+	// body and latch (it flows around the backedge), and n (the bound)
+	// stays live inside the loop for the exit test.
+	f := NewFunc("lp", 1)
+	n := Reg(0)
+	c := f.At(f.EntryBlock())
+	acc := c.Fresh()
+	c.ConstTo(acc, 0)
+	lp := c.CountedLoop(n, "l")
+	one := lp.Body.Const(1)
+	lp.Body.BinTo(OpAdd, acc, acc, one)
+	lp.Body.Jump(lp.Latch)
+	lp.After.Return(acc)
+	m := f.M
+	lv := m.ComputeLiveness()
+	var head, body, latch, after *Block
+	for _, b := range m.Blocks {
+		switch b.Label {
+		case "l_head":
+			head = b
+		case "l_body":
+			body = b
+		case "l_latch":
+			latch = b
+		case "l_after":
+			after = b
+		}
+	}
+	for _, blk := range []*Block{head, body, latch, after} {
+		if blk == nil {
+			t.Fatal("counted loop blocks not found")
+		}
+	}
+	for _, tc := range []struct {
+		blk  *Block
+		r    Reg
+		want bool
+		desc string
+	}{
+		{head, acc, true, "acc live around the loop at head"},
+		{body, acc, true, "acc used in body"},
+		{latch, acc, true, "acc live through the latch"},
+		{after, acc, true, "acc returned after the loop"},
+		{head, n, true, "bound n live at head"},
+		{body, n, true, "bound n live around the backedge"},
+		{after, n, false, "bound n dead after the loop"},
+		{head, lp.I, true, "induction variable live at head"},
+		{after, lp.I, false, "induction variable dead after the loop"},
+	} {
+		if got := lv.LiveInAt(tc.blk, tc.r); got != tc.want {
+			t.Errorf("%s: LiveInAt(%s, r%d) = %v, want %v", tc.desc, tc.blk.Label, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestLivenessBitsetBounds(t *testing.T) {
+	f := NewFunc("b", 1)
+	f.At(f.EntryBlock()).Return(0)
+	lv := f.M.ComputeLiveness()
+	// Out-of-range and NoReg queries must be false, not panic.
+	if lv.LiveInAt(f.EntryBlock(), NoReg) {
+		t.Error("NoReg reported live")
+	}
+	if lv.LiveInAt(f.EntryBlock(), Reg(10_000)) {
+		t.Error("out-of-range register reported live")
+	}
+}

@@ -40,6 +40,15 @@ func (r *Rand) Intn(n int) int {
 }
 
 // RandomProgramConfig bounds the generated program.
+//
+// The zero value of every field reproduces the generator's original
+// behaviour exactly: for a given seed, a zero-valued config (modulo
+// WithThreads) consumes the same PRNG stream and therefore builds the
+// byte-identical program it always has. Scenario families
+// (internal/scenario) rely on the non-zero knobs to sweep profile shape
+// — loop depth, call density, polymorphism spread, thread count —
+// without invalidating the seeds recorded by older property tests and
+// fuzz corpora.
 type RandomProgramConfig struct {
 	// MaxFuncs bounds the number of helper functions (default 4).
 	MaxFuncs int
@@ -50,6 +59,24 @@ type RandomProgramConfig struct {
 	// WithThreads allows spawn/join in main (default false: single
 	// thread keeps property failures easy to read).
 	WithThreads bool
+
+	// MaxClasses bounds the class count (the polymorphism / receiver
+	// spread: each class carries its own virtual "mix" method). Default
+	// 2, clamped to [1, 16].
+	MaxClasses int
+	// MaxThreads bounds the helpers spawned as threads from main when
+	// WithThreads is set. Default 2, clamped to [1, 8].
+	MaxThreads int
+	// CallBiasPct redirects this percentage of statements to a helper
+	// call (call density). 0 disables the bias and, like the other
+	// bias knobs, consumes no PRNG draws.
+	CallBiasPct int
+	// LoopBiasPct redirects this percentage of nestable statements to a
+	// counted loop (loop density and, with MaxDepth, loop depth).
+	LoopBiasPct int
+	// VirtBiasPct redirects this percentage of nestable statements to a
+	// virtual call (dispatch density over the MaxClasses receivers).
+	VirtBiasPct int
 }
 
 func (c *RandomProgramConfig) defaults() {
@@ -62,6 +89,25 @@ func (c *RandomProgramConfig) defaults() {
 	if c.MaxLoopIters == 0 {
 		c.MaxLoopIters = 12
 	}
+	c.MaxClasses = clampInt(c.MaxClasses, 2, 1, 16)
+	c.MaxThreads = clampInt(c.MaxThreads, 2, 1, 8)
+	c.CallBiasPct = clampInt(c.CallBiasPct, 0, 0, 100)
+	c.LoopBiasPct = clampInt(c.LoopBiasPct, 0, 0, 100)
+	c.VirtBiasPct = clampInt(c.VirtBiasPct, 0, 0, 100)
+}
+
+// clampInt substitutes def for 0 and clamps to [lo, hi].
+func clampInt(v, def, lo, hi int) int {
+	if v == 0 {
+		v = def
+	}
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
 }
 
 // RandomProgram builds a random sealed program from the seed.
@@ -94,8 +140,8 @@ const workBudget = 1 << 21
 func (g *progGen) program() *Program {
 	g.prog = &Program{Name: "random"}
 
-	// One or two classes with 1-3 fields, each with a virtual method.
-	nClasses := 1 + g.r.Intn(2)
+	// 1..MaxClasses classes with 1-3 fields, each with a virtual method.
+	nClasses := 1 + g.r.Intn(g.cfg.MaxClasses)
 	for i := 0; i < nClasses; i++ {
 		c := &Class{Name: string(rune('A' + i))}
 		nf := 1 + g.r.Intn(3)
@@ -131,9 +177,9 @@ func (g *progGen) program() *Program {
 	cur := mainB.At(mainB.EntryBlock())
 	env := g.newEnv(mainB, cur)
 	if g.cfg.WithThreads && len(g.funcs) > 0 && g.r.Intn(2) == 0 {
-		// Spawn one or two helpers as threads, join them into the
+		// Spawn 1..MaxThreads helpers as threads, join them into the
 		// accumulator.
-		n := 1 + g.r.Intn(2)
+		n := 1 + g.r.Intn(g.cfg.MaxThreads)
 		var handles []Reg
 		for t := 0; t < n; t++ {
 			f := g.funcs[g.r.Intn(len(g.funcs))]
@@ -240,7 +286,23 @@ func (g *progGen) statement(env *genEnv, depth int) *genEnv {
 		env.cur.BinTo(OpXor, env.acc, env.acc, k)
 		return env
 	}
-	switch g.r.Intn(choices) {
+	choice := g.r.Intn(choices)
+	// Bias knobs redirect the draw toward calls, loops and virtual
+	// dispatch. Each active bias consumes exactly one extra draw per
+	// statement; inactive biases (0) consume none, so zero-valued
+	// configs replay the original PRNG stream.
+	if g.cfg.CallBiasPct > 0 && g.r.Intn(100) < g.cfg.CallBiasPct {
+		choice = 4
+	}
+	if depth > 0 {
+		if g.cfg.LoopBiasPct > 0 && g.r.Intn(100) < g.cfg.LoopBiasPct {
+			choice = 7
+		}
+		if g.cfg.VirtBiasPct > 0 && g.r.Intn(100) < g.cfg.VirtBiasPct {
+			choice = 8
+		}
+	}
+	switch choice {
 	case 0, 1: // arithmetic chain
 		ops := []Op{OpAdd, OpSub, OpMul, OpXor, OpAnd, OpOr}
 		k := env.cur.Const(int64(g.r.Intn(1000) + 1))

@@ -1,0 +1,139 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMixValidateBranches hits every individual rejection branch of
+// Mix.Validate, one mutation at a time (the older TestMixValidateAndRead
+// spot-checks a few; this pins all of them with their messages).
+func TestMixValidateBranches(t *testing.T) {
+	good := DefaultMix(1, 10)
+	cases := []struct {
+		name string
+		mut  func(*Mix)
+		want string
+	}{
+		{"zero ops", func(m *Mix) { m.Ops = 0 }, "ops"},
+		{"negative ops", func(m *Mix) { m.Ops = -4 }, "ops"},
+		{"no benches", func(m *Mix) { m.Benches = nil }, "benches"},
+		{"all-zero bench weights", func(m *Mix) {
+			m.Benches = []Choice{{"compress", 0}, {"db", 0}}
+		}, "benches"},
+		{"negative-only bench weights", func(m *Mix) {
+			m.Benches = []Choice{{"compress", -5}}
+		}, "benches"},
+		{"no variations", func(m *Mix) { m.Variations = nil }, "variations"},
+		{"no triggers", func(m *Mix) { m.Triggers = nil }, "triggers"},
+		{"no intervals", func(m *Mix) { m.Intervals = nil }, "intervals"},
+		{"zero scale min", func(m *Mix) { m.ScaleMin = 0 }, "scale"},
+		{"inverted scale range", func(m *Mix) { m.ScaleMin, m.ScaleMax = 0.5, 0.1 }, "scale"},
+		{"verify_pct high", func(m *Mix) { m.VerifyPct = 1.01 }, "verify_pct"},
+		{"verify_pct negative", func(m *Mix) { m.VerifyPct = -0.1 }, "verify_pct"},
+		{"overlap_pct high", func(m *Mix) { m.OverlapPct = 2 }, "overlap_pct"},
+		{"reuse_pct high", func(m *Mix) { m.ReusePct = 1.5 }, "reuse_pct"},
+		{"cancel_pct high", func(m *Mix) { m.CancelPct = 99 }, "cancel_pct"},
+		{"subscribe_pct negative", func(m *Mix) { m.SubscribePct = -1 }, "subscribe_pct"},
+		{"slow_reader_pct high", func(m *Mix) { m.SlowReaderPct = 1.2 }, "slow_reader_pct"},
+		{"negative cancel min", func(m *Mix) { m.CancelAfterMsMin = -1 }, "cancel_after_ms"},
+		{"inverted cancel range", func(m *Mix) {
+			m.CancelAfterMsMin, m.CancelAfterMsMax = 50, 10
+		}, "cancel_after_ms"},
+		{"overlap without instruments", func(m *Mix) {
+			m.Instruments = nil
+			m.OverlapPct = 0.5
+		}, "instrument"},
+	}
+	for _, tc := range cases {
+		m := good
+		tc.mut(&m)
+		err := m.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Boundary acceptances: pcts of exactly 0 and 1 are legal, and a
+	// cancel range is only checked when cancellations can occur.
+	edge := good
+	edge.VerifyPct, edge.OverlapPct, edge.ReusePct = 1, 0, 1
+	edge.CancelPct = 0
+	edge.CancelAfterMsMin, edge.CancelAfterMsMax = 0, 0
+	if err := edge.Validate(); err != nil {
+		t.Errorf("boundary mix rejected: %v", err)
+	}
+}
+
+// TestReadMixHostileJSON feeds the mix reader adversarial inputs: every
+// one must fail loudly rather than plan surprise traffic.
+func TestReadMixHostileJSON(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ``},
+		{"not json", `soak hard`},
+		{"truncated", `{"seed": 1, "ops": 10`},
+		{"array", `[1, 2, 3]`},
+		{"scalar", `42`},
+		{"null", `null`}, // decodes to zero Mix, which Validate rejects
+		{"unknown top-level field", `{"seed":1,"ops":5,"turbo":true}`},
+		{"unknown nested field", `{"seed":1,"ops":5,"benches":[{"name":"db","weight":1,"wight":2}]}`},
+		{"type confusion ops", `{"seed":1,"ops":"many"}`},
+		{"type confusion weights", `{"seed":1,"ops":5,"benches":[{"name":"db","weight":"heavy"}]}`},
+		{"valid json invalid mix", `{"seed":1,"ops":5}`},
+		{"pct out of range", `{"seed":1,"ops":5,"benches":[{"name":"db","weight":1}],
+			"variations":[{"name":"","weight":1}],"triggers":[{"name":"counter","weight":1}],
+			"intervals":[100],"scale_min":0.01,"scale_max":0.02,"reuse_pct":7}`},
+	}
+	for _, tc := range cases {
+		if _, err := ReadMix(strings.NewReader(tc.body)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestReadMixMinimalValid pins the smallest accepted spec, so the
+// validator cannot silently grow new mandatory fields without a test
+// noticing.
+func TestReadMixMinimalValid(t *testing.T) {
+	minimal := `{
+		"seed": 7, "ops": 3,
+		"benches": [{"name": "db", "weight": 1}],
+		"variations": [{"name": "", "weight": 1}],
+		"triggers": [{"name": "counter", "weight": 1}],
+		"intervals": [500],
+		"scale_min": 0.01, "scale_max": 0.02
+	}`
+	m, err := ReadMix(strings.NewReader(minimal))
+	if err != nil {
+		t.Fatalf("minimal mix rejected: %v", err)
+	}
+	if m.Seed != 7 || m.Ops != 3 || len(m.Benches) != 1 {
+		t.Fatalf("minimal mix mangled: %+v", m)
+	}
+	// And its plan must be valid traffic end to end.
+	ops, err := Plan(m)
+	if err != nil {
+		t.Fatalf("minimal plan: %v", err)
+	}
+	if len(ops) != m.Ops {
+		t.Fatalf("plan produced %d ops, want %d", len(ops), m.Ops)
+	}
+	for i, op := range ops {
+		if err := op.Spec.Valid(); err != nil {
+			t.Fatalf("op %d spec invalid: %v", i, err)
+		}
+	}
+}
+
+func TestTotalWeightIgnoresNegatives(t *testing.T) {
+	if got := totalWeight([]Choice{{"a", 3}, {"b", -2}, {"c", 0}}); got != 3 {
+		t.Fatalf("totalWeight = %d, want 3 (negatives and zeros ignored)", got)
+	}
+}

@@ -1,0 +1,104 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/scenario"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// FuzzReplayRoundTrip fuzzes the whole record-and-replay loop: generate
+// a program from the fuzzed family shape, record a run (fuzzed trigger
+// family and variation), serialize the Recording to JSON, deserialize,
+// and replay it on BOTH dispatchers. Replay must verify (every trigger
+// poll, schedule pick and Stats counter bit-identical) regardless of
+// the program's shape — this is the determinism contract of DESIGN.md
+// §13 under adversarial inputs. The checked-in corpus lives in
+// testdata/fuzz/FuzzReplayRoundTrip.
+func FuzzReplayRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint16(3), uint8(0))
+	f.Add(uint64(2), uint8(40), uint8(1), uint16(17), uint8(1))
+	f.Add(uint64(7), uint8(25), uint8(2), uint16(64), uint8(2))
+	f.Add(uint64(42), uint8(70), uint8(3), uint16(5), uint8(3))
+	f.Add(uint64(1234), uint8(10), uint8(1), uint16(977), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, bias, shapeSel uint8, interval uint16, varSel uint8) {
+		if interval == 0 {
+			interval = 1
+		}
+		fam := scenario.Family{
+			Name:  "fuzz",
+			Seed:  seed,
+			Count: 1,
+		}
+		switch shapeSel % 4 {
+		case 1:
+			fam.LoopBiasPct, fam.MaxDepth = int(bias)%101, 5
+		case 2:
+			fam.CallBiasPct, fam.MaxFuncs = int(bias)%101, 6
+		case 3:
+			fam.VirtBiasPct, fam.MaxClasses = int(bias)%101, 8
+		}
+		if seed%3 == 0 {
+			fam.WithThreads, fam.Threads = true, 1+int(seed%4)
+		}
+		if err := fam.Validate(); err != nil {
+			t.Fatalf("generated family invalid: %v", err)
+		}
+		prog, err := fam.Program(0)
+		if err != nil {
+			t.Fatalf("program: %v", err)
+		}
+		variation := []core.Variation{
+			core.FullDuplication, core.PartialDuplication, core.NoDuplication, core.Hybrid,
+		}[varSel%4]
+		res, err := compile.Compile(prog, compile.Options{
+			Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
+			Framework:     &core.Options{Variation: variation},
+		})
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		var trig trigger.Trigger
+		switch seed % 3 {
+		case 0:
+			trig = trigger.NewCounter(int64(interval))
+		case 1:
+			trig = trigger.NewRandomized(int64(interval), int64(interval)/2, seed|1)
+		default:
+			trig = trigger.NewTimer(uint64(interval) * 16)
+		}
+		rec, live, err := scenario.Record(res.Prog, vm.Config{
+			Trigger: trig, Handlers: res.Handlers, MaxCycles: 1 << 32,
+		})
+		if err != nil {
+			// A trap (cycle cap, stack overflow) is a legal run outcome;
+			// there is nothing to replay.
+			return
+		}
+		blob, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var loaded scenario.Recording
+		if err := json.Unmarshal(blob, &loaded); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		for _, ref := range []bool{false, true} {
+			out, err := scenario.Replay(res.Prog, vm.Config{
+				Handlers: res.Handlers, MaxCycles: 1 << 32, Reference: ref,
+			}, &loaded)
+			if err != nil {
+				t.Fatalf("replay (reference=%v): %v", ref, err)
+			}
+			if out.Stats != live.Stats || out.Return != live.Return {
+				t.Fatalf("replay (reference=%v) result differs:\n  live:   %+v\n  replay: %+v",
+					ref, live.Stats, out.Stats)
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// This file implements whole-run record-and-replay. A Recording
+// captures the three things that, on our deterministic VM, pin a run
+// completely: the trigger decision stream (trigger.Log), the
+// green-thread schedule decision stream (SchedLog, via vm.Config.Sched),
+// and a fingerprint of the run's Result. Replay installs a
+// trigger.Replayer plus a schedule checker and requires the re-run to
+// be bit-identical — same decisions, same contexts, same Stats, same
+// output — which is the determinism contract DESIGN.md §13 states.
+// Because both dispatchers invoke the Sched hook and the trigger at
+// the same points with the same sequences, a run recorded on the fast
+// dispatcher replays on the reference dispatcher and vice versa.
+
+// SchedRun is one run-length-encoded schedule decision: thread TID was
+// picked N consecutive times.
+type SchedRun struct {
+	TID int32  `json:"tid"`
+	N   uint32 `json:"n"`
+}
+
+// SchedLog is the serialized green-thread schedule decision stream of
+// one run: the sequence of thread IDs chosen at each scheduling turn,
+// run-length encoded (single-threaded programs compress to one entry).
+type SchedLog struct {
+	// Picks is the total number of scheduling turns.
+	Picks uint64 `json:"picks"`
+	// Runs is the RLE-compressed pick sequence.
+	Runs []SchedRun `json:"runs,omitempty"`
+}
+
+// record appends one pick.
+func (l *SchedLog) record(tid int) {
+	l.Picks++
+	if n := len(l.Runs); n > 0 && l.Runs[n-1].TID == int32(tid) && l.Runs[n-1].N < ^uint32(0) {
+		l.Runs[n-1].N++
+		return
+	}
+	l.Runs = append(l.Runs, SchedRun{TID: int32(tid), N: 1})
+}
+
+// schedChecker verifies a pick sequence against a SchedLog.
+type schedChecker struct {
+	log  SchedLog
+	run  int    // index into log.Runs
+	used uint32 // picks consumed from log.Runs[run]
+	pos  uint64 // total picks consumed
+	err  error  // first divergence, sticky
+}
+
+func (c *schedChecker) check(tid int) {
+	if c.err != nil {
+		return
+	}
+	if c.run >= len(c.log.Runs) {
+		c.err = fmt.Errorf("schedule replay: pick %d (thread %d) beyond the %d recorded", c.pos, tid, c.log.Picks)
+		return
+	}
+	r := c.log.Runs[c.run]
+	if int32(tid) != r.TID {
+		c.err = fmt.Errorf("schedule replay: pick %d chose thread %d, recording chose %d", c.pos, tid, r.TID)
+		return
+	}
+	c.pos++
+	c.used++
+	if c.used == r.N {
+		c.run++
+		c.used = 0
+	}
+}
+
+func (c *schedChecker) verify() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.pos != c.log.Picks {
+		return fmt.Errorf("schedule replay: consumed %d of %d recorded picks", c.pos, c.log.Picks)
+	}
+	return nil
+}
+
+// Fingerprint summarizes a run's Result for bit-identity comparison.
+// Stats is comparable with ==, so a single struct comparison covers
+// every counter.
+type Fingerprint struct {
+	// Return is the main method's return value.
+	Return int64 `json:"return"`
+	// Outputs is the number of OpPrint values.
+	Outputs int `json:"outputs"`
+	// OutputSHA is the SHA-256 of the output values, little-endian.
+	OutputSHA string `json:"output_sha"`
+	// Stats are the run's counters, all of them.
+	Stats vm.Stats `json:"stats"`
+}
+
+// fingerprint summarizes res.
+func fingerprint(res *vm.Result) Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range res.Output {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return Fingerprint{
+		Return:    res.Return,
+		Outputs:   len(res.Output),
+		OutputSHA: hex.EncodeToString(h.Sum(nil)),
+		Stats:     res.Stats,
+	}
+}
+
+// diff reports the first difference between two fingerprints, or "".
+func (f Fingerprint) diff(g Fingerprint) string {
+	switch {
+	case f.Return != g.Return:
+		return fmt.Sprintf("return %d != %d", f.Return, g.Return)
+	case f.Outputs != g.Outputs:
+		return fmt.Sprintf("output count %d != %d", f.Outputs, g.Outputs)
+	case f.OutputSHA != g.OutputSHA:
+		return fmt.Sprintf("output hash %s != %s", f.OutputSHA, g.OutputSHA)
+	case f.Stats != g.Stats:
+		return fmt.Sprintf("stats %+v != %+v", f.Stats, g.Stats)
+	}
+	return ""
+}
+
+// Recording is the serialized decision record of one run. It is plain
+// JSON — small enough to check in as a fuzz corpus entry or ship to
+// another machine, and complete enough that Replay can re-execute and
+// differentially check the run without the original trigger.
+type Recording struct {
+	// Trigger is the recorded trigger decision stream.
+	Trigger trigger.Log `json:"trigger"`
+	// Sched is the recorded schedule decision stream.
+	Sched SchedLog `json:"sched"`
+	// Result fingerprints the recorded run's outcome.
+	Result Fingerprint `json:"result"`
+}
+
+// Record runs prog under cfg, recording every trigger and schedule
+// decision. cfg.Sched must be nil (Record owns the hook); cfg.Trigger
+// is wrapped in a trigger.Recorder. Returns the recording and the
+// run's Result.
+func Record(prog *ir.Program, cfg vm.Config) (*Recording, *vm.Result, error) {
+	if cfg.Sched != nil {
+		return nil, nil, fmt.Errorf("scenario: Record requires cfg.Sched == nil")
+	}
+	tr := trigger.NewRecorder(cfg.Trigger)
+	cfg.Trigger = tr
+	var sched SchedLog
+	cfg.Sched = sched.record
+	res, err := vm.New(prog, cfg).Run()
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: recorded run: %w", err)
+	}
+	return &Recording{Trigger: tr.Log(), Sched: sched, Result: fingerprint(res)}, res, nil
+}
+
+// Replay re-runs prog under cfg, replaying rec's trigger decisions and
+// differentially checking the schedule decisions and the Result
+// fingerprint bit-identical to the recording. cfg.Trigger and
+// cfg.Sched must be nil (the recording supplies both). cfg may select
+// either dispatcher — a recording made on one replays on the other.
+// A nil error means the replay was bit-identical: every trigger poll,
+// every schedule pick, every Stats counter, the return value and the
+// output stream all matched.
+func Replay(prog *ir.Program, cfg vm.Config, rec *Recording) (*vm.Result, error) {
+	if cfg.Trigger != nil || cfg.Sched != nil {
+		return nil, fmt.Errorf("scenario: Replay requires cfg.Trigger == nil and cfg.Sched == nil")
+	}
+	rp := trigger.NewReplayer(rec.Trigger)
+	cfg.Trigger = rp
+	chk := &schedChecker{log: rec.Sched}
+	cfg.Sched = chk.check
+	res, err := vm.New(prog, cfg).Run()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: replayed run: %w", err)
+	}
+	if err := rp.Verify(); err != nil {
+		return nil, err
+	}
+	if err := chk.verify(); err != nil {
+		return nil, err
+	}
+	if d := fingerprint(res).diff(rec.Result); d != "" {
+		return nil, fmt.Errorf("scenario: replay result diverged: %s", d)
+	}
+	return res, nil
+}

@@ -1,0 +1,327 @@
+package scenario_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/oracle"
+	"instrsample/internal/scenario"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+func disasm(t *testing.T, p *ir.Program) string {
+	t.Helper()
+	var buf bytes.Buffer
+	ir.FprintProgram(&buf, p)
+	return buf.String()
+}
+
+// TestFamilyDeterminism is the acceptance criterion's expansion half:
+// identical seed + spec must produce byte-identical program sets and
+// an identical family hash, and Program(i) must agree with Expand().
+func TestFamilyDeterminism(t *testing.T) {
+	fam := scenario.DefaultFamily(42, 5)
+	h1, err := fam.Hash()
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	h2, err := fam.Hash()
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	progs, err := fam.Expand()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	for i, p := range progs {
+		q, err := fam.Program(i)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if disasm(t, p) != disasm(t, q) {
+			t.Fatalf("program %d: Expand and Program disagree", i)
+		}
+	}
+	// A different seed or a different shape must change the receipt.
+	other := scenario.DefaultFamily(43, 5)
+	if h3, _ := other.Hash(); h3 == h1 {
+		t.Fatalf("different seeds hashed identically")
+	}
+	shaped := *fam
+	shaped.LoopBiasPct = 60
+	if h4, _ := shaped.Hash(); h4 == h1 {
+		t.Fatalf("different shape hashed identically")
+	}
+	if fam.SpecHash() == shaped.SpecHash() {
+		t.Fatalf("different specs share a SpecHash")
+	}
+}
+
+// TestProgramSeedsDistinct guards the splitmix64 derivation: family
+// members must not share generator seeds (which would collapse the
+// family to copies of one program).
+func TestProgramSeedsDistinct(t *testing.T) {
+	fam := scenario.DefaultFamily(7, 64)
+	seen := map[uint64]int{}
+	for i := 0; i < fam.Count; i++ {
+		s := fam.ProgramSeed(i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("programs %d and %d share seed %#x", j, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+func TestFamilyValidate(t *testing.T) {
+	valid := scenario.Family{Name: "ok", Seed: 1, Count: 2}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid family rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*scenario.Family)
+		want string
+	}{
+		{"no name", func(f *scenario.Family) { f.Name = "" }, "no name"},
+		{"zero count", func(f *scenario.Family) { f.Count = 0 }, "count"},
+		{"negative count", func(f *scenario.Family) { f.Count = -3 }, "count"},
+		{"negative funcs", func(f *scenario.Family) { f.MaxFuncs = -1 }, "max_funcs"},
+		{"negative depth", func(f *scenario.Family) { f.MaxDepth = -1 }, "max_depth"},
+		{"negative iters", func(f *scenario.Family) { f.MaxLoopIters = -1 }, "max_loop_iters"},
+		{"negative classes", func(f *scenario.Family) { f.MaxClasses = -1 }, "max_classes"},
+		{"negative threads", func(f *scenario.Family) { f.Threads = -1 }, "threads"},
+		{"call bias over", func(f *scenario.Family) { f.CallBiasPct = 101 }, "call_bias_pct"},
+		{"loop bias under", func(f *scenario.Family) { f.LoopBiasPct = -2 }, "loop_bias_pct"},
+		{"virt bias over", func(f *scenario.Family) { f.VirtBiasPct = 200 }, "virt_bias_pct"},
+		{"threads without flag", func(f *scenario.Family) { f.Threads = 2 }, "with_threads"},
+	}
+	for _, tc := range cases {
+		f := valid
+		tc.mut(&f)
+		err := f.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadFamily(t *testing.T) {
+	good := `{"name":"spec","seed":9,"count":3,"loop_bias_pct":25}`
+	f, err := scenario.ReadFamily(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	if f.Name != "spec" || f.Seed != 9 || f.Count != 3 || f.LoopBiasPct != 25 {
+		t.Fatalf("good spec misparsed: %+v", f)
+	}
+	for _, bad := range []string{
+		`{"name":"x","seed":1,"count":1,"typo_knob":5}`, // unknown field
+		`{"name":"x","seed":1}`,                         // missing count
+		`{"name":"x","seed":1,"count":1`,                // truncated
+		`{"name":"x","seed":-1,"count":1}`,              // negative uint
+		`[]`,                                            // wrong shape
+		``,                                              // empty
+	} {
+		if _, err := scenario.ReadFamily(strings.NewReader(bad)); err == nil {
+			t.Errorf("hostile spec accepted: %s", bad)
+		}
+	}
+}
+
+// compileFramework compiles prog with call-edge instrumentation under
+// one framework variation.
+func compileFramework(t *testing.T, prog *ir.Program, v core.Variation) *compile.Result {
+	t.Helper()
+	res, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
+		Framework:     &core.Options{Variation: v},
+	})
+	if err != nil {
+		t.Fatalf("compile %s: %v", v, err)
+	}
+	return res
+}
+
+// TestRecordReplayDifferential is the acceptance criterion's replay
+// half: a run recorded on the fast dispatcher must replay bit-identical
+// — all Stats counters, return value, output — on both dispatchers,
+// and the recording must survive JSON serialization.
+func TestRecordReplayDifferential(t *testing.T) {
+	fam := scenario.DefaultFamily(1234, 3)
+	for i := 0; i < fam.Count; i++ {
+		prog, err := fam.Program(i)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		for _, v := range []core.Variation{core.FullDuplication, core.Hybrid} {
+			res := compileFramework(t, prog, v)
+			cfg := vm.Config{
+				Trigger:  trigger.NewRandomized(37, 18, fam.ProgramSeed(i)|1),
+				Handlers: res.Handlers,
+			}
+			rec, live, err := scenario.Record(res.Prog, cfg)
+			if err != nil {
+				t.Fatalf("program %d %s: record: %v", i, v, err)
+			}
+			if rec.Sched.Picks == 0 {
+				t.Fatalf("program %d %s: no schedule picks recorded", i, v)
+			}
+			// Serialize and re-read: the recording must be portable.
+			blob, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatalf("marshal recording: %v", err)
+			}
+			var loaded scenario.Recording
+			if err := json.Unmarshal(blob, &loaded); err != nil {
+				t.Fatalf("unmarshal recording: %v", err)
+			}
+			for _, ref := range []bool{false, true} {
+				replayed, err := scenario.Replay(res.Prog,
+					vm.Config{Handlers: res.Handlers, Reference: ref}, &loaded)
+				if err != nil {
+					t.Fatalf("program %d %s reference=%v: replay: %v", i, v, ref, err)
+				}
+				if replayed.Stats != live.Stats || replayed.Return != live.Return {
+					t.Fatalf("program %d %s reference=%v: replay Result differs", i, v, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayDetectsTampering: a recording whose decision stream or
+// fingerprint is perturbed must fail replay verification, not silently
+// pass.
+func TestReplayDetectsTampering(t *testing.T) {
+	prog := ir.RandomProgram(99, ir.RandomProgramConfig{})
+	res := compileFramework(t, prog, core.FullDuplication)
+	cfg := vm.Config{Trigger: trigger.NewCounter(23), Handlers: res.Handlers}
+	rec, _, err := scenario.Record(res.Prog, cfg)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	replayCfg := func() vm.Config { return vm.Config{Handlers: res.Handlers} }
+	if _, err := scenario.Replay(res.Prog, replayCfg(), rec); err != nil {
+		t.Fatalf("untampered replay failed: %v", err)
+	}
+	tamper := []struct {
+		name string
+		mut  func(r *scenario.Recording)
+	}{
+		{"flip a trigger decision", func(r *scenario.Recording) {
+			if len(r.Trigger.Bits) == 0 {
+				r.Trigger.Bits = []uint64{0}
+			}
+			r.Trigger.Bits[0] ^= 1
+		}},
+		{"truncate trigger polls", func(r *scenario.Recording) { r.Trigger.Polls /= 2 }},
+		{"corrupt checksum", func(r *scenario.Recording) { r.Trigger.Checksum ^= 0xdead }},
+		{"wrong sched thread", func(r *scenario.Recording) {
+			r.Sched.Runs[0].TID++
+		}},
+		{"truncate sched", func(r *scenario.Recording) {
+			r.Sched.Picks--
+			r.Sched.Runs[len(r.Sched.Runs)-1].N--
+		}},
+		{"wrong return", func(r *scenario.Recording) { r.Result.Return++ }},
+		{"wrong stats", func(r *scenario.Recording) { r.Result.Stats.Cycles++ }},
+	}
+	for _, tc := range tamper {
+		blob, _ := json.Marshal(rec)
+		var mutated scenario.Recording
+		if err := json.Unmarshal(blob, &mutated); err != nil {
+			t.Fatalf("%s: reload: %v", tc.name, err)
+		}
+		tc.mut(&mutated)
+		if _, err := scenario.Replay(res.Prog, replayCfg(), &mutated); err == nil {
+			t.Errorf("%s: tampered replay verified clean", tc.name)
+		}
+	}
+}
+
+// TestSweepProperty is the property-based sweep: seeded families with
+// distinct profile shapes, each program compiled under all four
+// framework variations and run on both dispatchers with the runtime
+// oracle installed. Results must be bit-identical across dispatchers
+// and the oracle must stay clean. On failure the family seed, program
+// index and variation are printed for one-line reproduction via
+//
+//	go run ./cmd/isamp scenario -seed <seed> -count <count> -index <i>
+func TestSweepProperty(t *testing.T) {
+	families := []*scenario.Family{
+		{Name: "loopy", Seed: 101, Count: 2, MaxDepth: 5, LoopBiasPct: 40},
+		{Name: "callheavy", Seed: 202, Count: 2, MaxFuncs: 6, CallBiasPct: 40},
+		{Name: "poly", Seed: 303, Count: 2, MaxClasses: 8, VirtBiasPct: 35},
+		{Name: "threaded", Seed: 404, Count: 2, WithThreads: true, Threads: 4},
+	}
+	variations := []core.Variation{
+		core.FullDuplication, core.PartialDuplication, core.NoDuplication, core.Hybrid,
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			if err := fam.Validate(); err != nil {
+				t.Fatalf("family: %v", err)
+			}
+			for i := 0; i < fam.Count; i++ {
+				prog, err := fam.Program(i)
+				if err != nil {
+					t.Fatalf("program %d: %v", i, err)
+				}
+				for _, v := range variations {
+					spec, _ := json.Marshal(fam)
+					repro := func() string {
+						return fmt.Sprintf("repro: family=%s seed=%d index=%d variation=%v spec=%s",
+							fam.Name, fam.Seed, i, v, spec)
+					}
+					res := compileFramework(t, prog, v)
+					var outs [2]*vm.Result
+					var errs [2]error
+					for d, ref := range []bool{false, true} {
+						o := oracle.New()
+						outs[d], errs[d] = vm.New(res.Prog, vm.Config{
+							Trigger:   trigger.NewRandomized(29, 14, fam.ProgramSeed(i)|1),
+							Handlers:  res.Handlers,
+							Observer:  o,
+							Reference: ref,
+						}).Run()
+						if errs[d] != nil {
+							continue
+						}
+						if ferr := o.Finish(outs[d].Stats); ferr != nil {
+							t.Fatalf("oracle (reference=%v): %v\n%s", ref, ferr, repro())
+						}
+					}
+					if (errs[0] == nil) != (errs[1] == nil) {
+						t.Fatalf("trap asymmetry: fast=%v reference=%v\n%s", errs[0], errs[1], repro())
+					}
+					if errs[0] != nil {
+						if errs[0].Error() != errs[1].Error() {
+							t.Fatalf("traps differ: %v vs %v\n%s", errs[0], errs[1], repro())
+						}
+						continue
+					}
+					if outs[0].Stats != outs[1].Stats || outs[0].Return != outs[1].Return {
+						t.Fatalf("dispatchers diverge:\n  fast:      %+v\n  reference: %+v\n%s",
+							outs[0].Stats, outs[1].Stats, repro())
+					}
+				}
+			}
+		})
+	}
+}

@@ -14,11 +14,14 @@ import (
 	"instrsample/internal/vm"
 )
 
-// jobProgram builds the job's program: assembled source or a fresh suite
-// benchmark at the requested scale.
+// jobProgram builds the job's program: assembled source, a scenario
+// family member, or a fresh suite benchmark at the requested scale.
 func jobProgram(spec JobSpec) (*ir.Program, error) {
 	if spec.Source != "" {
 		return asm.Assemble("job.vasm", spec.Source)
+	}
+	if spec.Scenario != nil {
+		return spec.Scenario.Program(spec.ScenarioIndex)
 	}
 	if spec.Bench == "resonant" {
 		return bench.Resonant(spec.Scale), nil

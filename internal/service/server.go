@@ -324,6 +324,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
+	// One JSON value per request: trailing data is a malformed body, not
+	// a second job.
+	if dec.More() {
+		writeErr(w, http.StatusBadRequest, "invalid request body: trailing data after job spec")
+		return
+	}
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid job: %v", err)

@@ -22,6 +22,7 @@ import (
 	"instrsample/internal/bench"
 	"instrsample/internal/core"
 	"instrsample/internal/experiment"
+	"instrsample/internal/scenario"
 )
 
 // Limits every job must respect; requests outside them are rejected with
@@ -46,6 +47,15 @@ type JobSpec struct {
 	// Bench names a suite benchmark (isamp bench's argument; "resonant"
 	// is also accepted).
 	Bench string `json:"bench,omitempty"`
+	// Scenario selects a program from a seeded workload family
+	// (internal/scenario): the family spec is embedded verbatim and
+	// ScenarioIndex picks the member. Mutually exclusive with Source and
+	// Bench. The cell key carries the family's spec hash, so identical
+	// family specs share cache entries across jobs and machines.
+	Scenario *scenario.Family `json:"scenario,omitempty"`
+	// ScenarioIndex is the family member to run (default 0; must be in
+	// [0, Scenario.Count)).
+	ScenarioIndex int `json:"scenario_index,omitempty"`
 	// Scale is the benchmark scale (bench jobs only; default 0.1).
 	Scale float64 `json:"scale,omitempty"`
 	// Instrument lists instrumentations, the -instrument flag's
@@ -124,11 +134,17 @@ var validInstr = map[string]bool{
 
 // validate rejects malformed specs. It assumes withDefaults has run.
 func (s JobSpec) validate() error {
+	nProg := 0
+	for _, set := range []bool{s.Source != "", s.Bench != "", s.Scenario != nil} {
+		if set {
+			nProg++
+		}
+	}
 	switch {
-	case s.Source == "" && s.Bench == "":
-		return fmt.Errorf("one of source or bench is required")
-	case s.Source != "" && s.Bench != "":
-		return fmt.Errorf("source and bench are mutually exclusive")
+	case nProg == 0:
+		return fmt.Errorf("one of source, bench or scenario is required")
+	case nProg > 1:
+		return fmt.Errorf("source, bench and scenario are mutually exclusive")
 	case len(s.Source) > MaxSourceBytes:
 		return fmt.Errorf("source exceeds %d bytes", MaxSourceBytes)
 	case s.Scale < 0 || s.Scale > MaxScale:
@@ -142,6 +158,16 @@ func (s JobSpec) validate() error {
 		if _, err := bench.ByName(s.Bench); err != nil {
 			return err
 		}
+	}
+	if s.Scenario != nil {
+		if err := s.Scenario.Validate(); err != nil {
+			return err
+		}
+		if s.ScenarioIndex < 0 || s.ScenarioIndex >= s.Scenario.Count {
+			return fmt.Errorf("scenario_index %d out of range [0, %d)", s.ScenarioIndex, s.Scenario.Count)
+		}
+	} else if s.ScenarioIndex != 0 {
+		return fmt.Errorf("scenario_index requires scenario")
 	}
 	for _, name := range s.Instrument {
 		if !validInstr[name] {
@@ -223,10 +249,13 @@ func (s JobSpec) triggerSpec() experiment.TriggerSpec {
 // mid-run, never the result.
 func (s JobSpec) cellKey() string {
 	var prog string
-	if s.Source != "" {
+	switch {
+	case s.Source != "":
 		sum := sha256.Sum256([]byte(s.Source))
 		prog = "src=" + hex.EncodeToString(sum[:16])
-	} else {
+	case s.Scenario != nil:
+		prog = fmt.Sprintf("scn=%s/%d", s.Scenario.SpecHash()[:16], s.ScenarioIndex)
+	default:
 		prog = fmt.Sprintf("bench=%s scale=%g", s.Bench, s.Scale)
 	}
 	return fmt.Sprintf("job %s icache=%v max=%d %s %s",
@@ -250,8 +279,11 @@ func (s JobSpec) overlapKey() string { return s.overlapSpec().cellKey() }
 // describe renders a short human label for logs and the job JSON.
 func (s JobSpec) describe() string {
 	prog := s.Bench
-	if s.Source != "" {
+	switch {
+	case s.Source != "":
 		prog = "source"
+	case s.Scenario != nil:
+		prog = fmt.Sprintf("scenario:%s/%d", s.Scenario.Name, s.ScenarioIndex)
 	}
 	parts := []string{prog}
 	if len(s.Instrument) > 0 {

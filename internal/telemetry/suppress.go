@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"instrsample/internal/ir"
+	"instrsample/internal/vm"
+)
+
+// Suppressor is a time-aware redundancy filter implementing vm.Observer
+// in front of a sink observer (typically a *Trace): it elides instant
+// event records that are provably duplicates, with exact drop
+// accounting. This is Arafa et al.'s duplicate-sample elision applied
+// to our event stream — the dominant telemetry cost is long runs of
+// identical records (the same check polling false in a hot loop, the
+// same yieldpoint on every backedge), and an identical record's only
+// information beyond the first occurrence is its count and its position
+// in time.
+//
+// An instant record (EvCheckPolled, EvCheckFired, EvProbe, EvYield) is
+// elided when the previous record of the same kind on the same thread
+// had the same method and argument AND was observed within Window
+// cycles (whether that one was forwarded or elided). Anything else
+// forwards: the first record of every run of duplicates, any change of
+// method or argument, and — the heartbeat that keeps the sink's
+// timeline honest — a duplicate arriving more than Window cycles after
+// the previously observed one. Comparison is per (thread, kind), so a
+// hot loop's alternating yield/check/probe records each dedup against
+// their own kind. Span events (OnEnter, OnExit) and block transfers
+// are never elided: dropping one would unbalance the sink's begin/end
+// pairing or hide a checking/duplicated boundary crossing.
+//
+// Elision is exact-counted: Elided, ElidedByKind and Forwarded report
+// precisely how many records were dropped and passed per kind, so a
+// report can state "N records elided (P%)" rather than estimate, and a
+// count-reconstructing consumer loses nothing. The per-event cost is
+// one table lookup and compare on the observer cold path (see
+// DESIGN.md §13 for the semantics and §9 for the telemetry layer's
+// cost contract).
+//
+// A Suppressor observes a single VM run and is not goroutine-safe; the
+// VM invokes hooks from its own goroutine only.
+type Suppressor struct {
+	sink   vm.Observer
+	clock  Clock
+	window uint64
+	last   [][numInstant]lastRecord
+	elided [numEventKinds]uint64
+	passed [numEventKinds]uint64
+}
+
+// Instant-kind slots of the per-thread dedup table.
+const (
+	slotCheckPolled = iota
+	slotCheckFired
+	slotProbe
+	slotYield
+	numInstant
+)
+
+var slotKind = [numInstant]EventKind{
+	slotCheckPolled: EvCheckPolled,
+	slotCheckFired:  EvCheckFired,
+	slotProbe:       EvProbe,
+	slotYield:       EvYield,
+}
+
+// lastRecord is one dedup slot: the identity of the most recent record
+// of its kind on its thread, and the cycle it was observed at.
+type lastRecord struct {
+	method *ir.Method
+	arg    int64
+	cycle  uint64
+	valid  bool
+}
+
+// NewSuppressor returns a Suppressor forwarding to sink, eliding
+// duplicate records that arrive within window cycles of their
+// same-kind predecessor. A window of 0 elides only duplicates at the
+// exact same cycle.
+func NewSuppressor(sink vm.Observer, window uint64) *Suppressor {
+	return &Suppressor{sink: sink, window: window}
+}
+
+// SetClock installs the timestamp source; call it right after vm.New,
+// with the VM itself. With no clock every record carries cycle 0, so
+// all duplicates fall inside any window.
+func (s *Suppressor) SetClock(c Clock) { s.clock = c }
+
+// Window returns the suppression window in cycles.
+func (s *Suppressor) Window() uint64 { return s.window }
+
+// Elided returns the total number of elided records.
+func (s *Suppressor) Elided() uint64 {
+	var n uint64
+	for _, c := range s.elided {
+		n += c
+	}
+	return n
+}
+
+// ElidedByKind returns the number of elided records of one kind.
+func (s *Suppressor) ElidedByKind(k EventKind) uint64 {
+	if int(k) >= len(s.elided) {
+		return 0
+	}
+	return s.elided[k]
+}
+
+// Forwarded returns the total number of events passed to the sink,
+// including the span events that are never elision candidates.
+func (s *Suppressor) Forwarded() uint64 {
+	var n uint64
+	for _, c := range s.passed {
+		n += c
+	}
+	return n
+}
+
+// ForwardedByKind returns the number of forwarded events of one kind.
+func (s *Suppressor) ForwardedByKind(k EventKind) uint64 {
+	if int(k) >= len(s.passed) {
+		return 0
+	}
+	return s.passed[k]
+}
+
+func (s *Suppressor) now() uint64 {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock.Now()
+}
+
+// elide reports whether an instant record on thread tid should be
+// elided, updating the dedup slot either way.
+func (s *Suppressor) elide(tid, slot int, m *ir.Method, arg int64) bool {
+	for tid >= len(s.last) {
+		s.last = append(s.last, [numInstant]lastRecord{})
+	}
+	now := s.now()
+	lr := &s.last[tid][slot]
+	dup := lr.valid && lr.method == m && lr.arg == arg && now-lr.cycle <= s.window
+	*lr = lastRecord{method: m, arg: arg, cycle: now, valid: true}
+	if dup {
+		s.elided[slotKind[slot]]++
+	} else {
+		s.passed[slotKind[slot]]++
+	}
+	return dup
+}
+
+// OnEnter implements vm.Observer; span events always forward.
+func (s *Suppressor) OnEnter(t *vm.Thread, f *vm.Frame) {
+	s.passed[EvEnter]++
+	s.sink.OnEnter(t, f)
+}
+
+// OnExit implements vm.Observer; span events always forward.
+func (s *Suppressor) OnExit(t *vm.Thread, f *vm.Frame) {
+	s.passed[EvExit]++
+	s.sink.OnExit(t, f)
+}
+
+// OnTransfer implements vm.Observer; transfers always forward (the
+// sink filters boundary crossings itself and they must all reach it).
+func (s *Suppressor) OnTransfer(t *vm.Thread, f *vm.Frame, in *ir.Instr, target int) {
+	s.sink.OnTransfer(t, f, in, target)
+}
+
+// OnCheck implements vm.Observer, eliding duplicate poll (and duplicate
+// fire) records within the window.
+func (s *Suppressor) OnCheck(t *vm.Thread, f *vm.Frame, in *ir.Instr, fired bool) {
+	slot := slotCheckPolled
+	if fired {
+		slot = slotCheckFired
+	}
+	if s.elide(t.ID, slot, f.Method, 0) {
+		return
+	}
+	s.sink.OnCheck(t, f, in, fired)
+}
+
+// OnProbe implements vm.Observer, eliding duplicate probe records
+// (same method, owner and probe kind) within the window.
+func (s *Suppressor) OnProbe(t *vm.Thread, f *vm.Frame, p *ir.Probe) {
+	if s.elide(t.ID, slotProbe, f.Method, ProbeArg(p)) {
+		return
+	}
+	s.sink.OnProbe(t, f, p)
+}
+
+// OnYield implements vm.Observer, eliding duplicate yieldpoint records
+// within the window.
+func (s *Suppressor) OnYield(t *vm.Thread, f *vm.Frame) {
+	if s.elide(t.ID, slotYield, f.Method, 0) {
+		return
+	}
+	s.sink.OnYield(t, f)
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"testing"
+
+	"instrsample/internal/compile"
+	"instrsample/internal/core"
+	"instrsample/internal/instr"
+	"instrsample/internal/ir"
+	"instrsample/internal/trigger"
+	"instrsample/internal/vm"
+)
+
+// countingSink counts hook invocations per kind, mirroring the kind
+// mapping the Suppressor uses.
+type countingSink struct {
+	counts [numEventKinds]uint64
+	xfers  uint64
+}
+
+func (c *countingSink) OnEnter(t *vm.Thread, f *vm.Frame) { c.counts[EvEnter]++ }
+func (c *countingSink) OnExit(t *vm.Thread, f *vm.Frame)  { c.counts[EvExit]++ }
+func (c *countingSink) OnTransfer(t *vm.Thread, f *vm.Frame, in *ir.Instr, target int) {
+	c.xfers++
+}
+func (c *countingSink) OnCheck(t *vm.Thread, f *vm.Frame, in *ir.Instr, fired bool) {
+	if fired {
+		c.counts[EvCheckFired]++
+	} else {
+		c.counts[EvCheckPolled]++
+	}
+}
+func (c *countingSink) OnProbe(t *vm.Thread, f *vm.Frame, p *ir.Probe) { c.counts[EvProbe]++ }
+func (c *countingSink) OnYield(t *vm.Thread, f *vm.Frame)              { c.counts[EvYield]++ }
+
+// fakeClock is a settable cycle source.
+type fakeClock struct{ cycle uint64 }
+
+func (c *fakeClock) Now() uint64 { return c.cycle }
+
+func testMethod(name string) *ir.Method {
+	return &ir.Method{Name: name}
+}
+
+// TestSuppressorElidesDuplicates drives the hooks directly: identical
+// consecutive yields within the window are elided, a change of method
+// forwards, a gap wider than the window forwards (the heartbeat), and
+// the accounting is exact.
+func TestSuppressorElidesDuplicates(t *testing.T) {
+	sink := &countingSink{}
+	clock := &fakeClock{}
+	s := NewSuppressor(sink, 100)
+	s.SetClock(clock)
+	th := &vm.Thread{ID: 0}
+	m1 := &vm.Frame{Method: testMethod("a")}
+	m2 := &vm.Frame{Method: testMethod("b")}
+
+	clock.cycle = 0
+	s.OnYield(th, m1) // first: forwarded
+	clock.cycle = 50
+	s.OnYield(th, m1) // duplicate within window: elided
+	clock.cycle = 90
+	s.OnYield(th, m1) // gap 40 from last observed: elided
+	clock.cycle = 250
+	s.OnYield(th, m1) // gap 160 > window: heartbeat, forwarded
+	clock.cycle = 260
+	s.OnYield(th, m2) // different method: forwarded
+	clock.cycle = 270
+	s.OnYield(th, m1) // different from previous: forwarded
+
+	if got, want := sink.counts[EvYield], uint64(4); got != want {
+		t.Fatalf("sink saw %d yields, want %d", got, want)
+	}
+	if got, want := s.ElidedByKind(EvYield), uint64(2); got != want {
+		t.Fatalf("elided = %d, want %d", got, want)
+	}
+	if got, want := s.ForwardedByKind(EvYield), uint64(4); got != want {
+		t.Fatalf("forwarded = %d, want %d", got, want)
+	}
+	if s.Elided()+s.Forwarded() != 6 {
+		t.Fatalf("accounting does not sum: elided %d + forwarded %d != 6",
+			s.Elided(), s.Forwarded())
+	}
+}
+
+// TestSuppressorNeverElidesSpans: enters/exits always forward even
+// when identical and back-to-back, and each instant kind dedups
+// against its own kind only — an interleaved probe does not reset a
+// yield's dedup run.
+func TestSuppressorNeverElidesSpans(t *testing.T) {
+	sink := &countingSink{}
+	s := NewSuppressor(sink, ^uint64(0)) // infinite window
+	th := &vm.Thread{ID: 0}
+	f := &vm.Frame{Method: testMethod("a")}
+
+	s.OnEnter(th, f)
+	s.OnEnter(th, f)
+	s.OnExit(th, f)
+	s.OnExit(th, f)
+	if sink.counts[EvEnter] != 2 || sink.counts[EvExit] != 2 {
+		t.Fatalf("span events elided: %d enters, %d exits",
+			sink.counts[EvEnter], sink.counts[EvExit])
+	}
+
+	probe := &ir.Probe{}
+	s.OnYield(th, f)        // forwarded (first yield)
+	s.OnProbe(th, f, probe) // forwarded (first probe)
+	s.OnYield(th, f)        // elided: dedups against the previous yield
+	s.OnProbe(th, f, probe) // elided: dedups against the previous probe
+	if got := sink.counts[EvYield]; got != 1 {
+		t.Fatalf("yield: sink saw %d, want 1", got)
+	}
+	if got := sink.counts[EvProbe]; got != 1 {
+		t.Fatalf("probe: sink saw %d, want 1", got)
+	}
+	if got := s.Elided(); got != 2 {
+		t.Fatalf("elided = %d, want 2", got)
+	}
+}
+
+// TestSuppressorPerThread: dedup state is per thread — interleaved
+// identical events on different threads never elide each other.
+func TestSuppressorPerThread(t *testing.T) {
+	sink := &countingSink{}
+	s := NewSuppressor(sink, ^uint64(0))
+	f := &vm.Frame{Method: testMethod("a")}
+	t0, t1 := &vm.Thread{ID: 0}, &vm.Thread{ID: 1}
+
+	s.OnYield(t0, f) // forwarded (first on t0)
+	s.OnYield(t1, f) // forwarded (first on t1)
+	s.OnYield(t0, f) // elided (dup on t0)
+	s.OnYield(t1, f) // elided (dup on t1)
+	if got := sink.counts[EvYield]; got != 2 {
+		t.Fatalf("sink saw %d yields, want 2", got)
+	}
+	if got := s.Elided(); got != 2 {
+		t.Fatalf("elided = %d, want 2", got)
+	}
+}
+
+// TestSuppressorEndToEnd runs a real instrumented sampled program twice
+// — bare Trace vs Suppressor-fronted Trace — and checks (a) the VM's
+// architected results are identical (the suppressor is observation-
+// only), (b) the suppressed trace is a subset (never more events), and
+// (c) the accounting is exact: forwarded + elided equals the bare
+// stream's instant-event total, per kind.
+func TestSuppressorEndToEnd(t *testing.T) {
+	prog := ir.RandomProgram(77, ir.RandomProgramConfig{
+		WithThreads: true, MaxDepth: 5, LoopBiasPct: 50, CallBiasPct: 20,
+	})
+	res, err := compile.Compile(prog, compile.Options{
+		Instrumenters: []instr.Instrumenter{&instr.CallEdge{}},
+		Framework:     &core.Options{Variation: core.FullDuplication},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	run := func(obs vm.Observer, setClock func(Clock)) *vm.Result {
+		machine := vm.New(res.Prog, vm.Config{
+			Trigger:  trigger.NewCounter(13),
+			Handlers: res.Handlers,
+			Observer: obs,
+		})
+		if setClock != nil {
+			setClock(machine)
+		}
+		out, err := machine.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+
+	bare := NewTrace(1 << 16)
+	bareRes := run(bare, bare.SetClock)
+
+	sink := &countingSink{}
+	sup := NewSuppressor(sink, 500)
+	supRes := run(sup, sup.SetClock)
+
+	if bareRes.Stats != supRes.Stats || bareRes.Return != supRes.Return {
+		t.Fatalf("suppressor perturbed the run:\n  bare:       %+v\n  suppressed: %+v",
+			bareRes.Stats, supRes.Stats)
+	}
+
+	// Exact accounting per instant kind against the bare VM counters.
+	checks := supRes.Stats.Checks - supRes.Stats.CheckFires
+	type kindTotal struct {
+		kind EventKind
+		want uint64
+	}
+	for _, kt := range []kindTotal{
+		{EvCheckPolled, checks},
+		{EvCheckFired, supRes.Stats.CheckFires},
+		{EvProbe, supRes.Stats.Probes},
+		{EvYield, supRes.Stats.Yields},
+	} {
+		got := s2(sup.ForwardedByKind(kt.kind), sup.ElidedByKind(kt.kind))
+		if got != kt.want {
+			t.Fatalf("%v: forwarded %d + elided %d = %d, want %d (exact accounting)",
+				kt.kind, sup.ForwardedByKind(kt.kind), sup.ElidedByKind(kt.kind), got, kt.want)
+		}
+		if sink.counts[kt.kind] != sup.ForwardedByKind(kt.kind) {
+			t.Fatalf("%v: sink saw %d, suppressor claims %d forwarded",
+				kt.kind, sink.counts[kt.kind], sup.ForwardedByKind(kt.kind))
+		}
+	}
+	if sup.Elided() == 0 {
+		t.Fatal("suppressor elided nothing on a hot sampled loop program")
+	}
+}
+
+func s2(a, b uint64) uint64 { return a + b }

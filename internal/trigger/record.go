@@ -1,0 +1,162 @@
+package trigger
+
+import "fmt"
+
+// This file implements record-and-replay for trigger decisions: a
+// Recorder wraps any live trigger and serializes every Poll outcome into
+// a compact Log, and a Replayer re-executes that exact decision sequence
+// on a later run — on another machine, or under the other dispatcher.
+// Replay is differentially checked: besides the decision bits, the Log
+// carries a running checksum over each poll's (threadID, cycles) context,
+// so a replay whose poll sequence diverges from the recording in any way
+// is detected even though the decisions themselves would still "fit".
+// This is the Nugget "portable program snippets" idea applied to the
+// trigger seam; see DESIGN.md §13 and package scenario for the
+// whole-run recording (trigger + schedule decisions + result
+// fingerprint).
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// foldPoll mixes one poll's context into the running FNV-1a checksum.
+func foldPoll(h uint64, threadID int, cycles uint64) uint64 {
+	h ^= uint64(int64(threadID))
+	h *= fnvPrime
+	h ^= cycles
+	h *= fnvPrime
+	return h
+}
+
+// Log is the serialized trigger decision stream of one run. It marshals
+// to JSON (fires as a little-endian bitset) small enough to check in as
+// a fuzz corpus or ship between machines.
+type Log struct {
+	// Trigger is the Name() of the recorded trigger, for reports.
+	Trigger string `json:"trigger"`
+	// Polls is the number of Poll calls recorded.
+	Polls uint64 `json:"polls"`
+	// Fires is the number of polls that fired (popcount of Bits).
+	Fires uint64 `json:"fires"`
+	// Bits is the outcome bitset: bit i (word i/64, bit i%64) is poll
+	// i's decision. Omitted when no poll fired.
+	Bits []uint64 `json:"bits,omitempty"`
+	// Checksum is the FNV-1a fold of every poll's (threadID, cycles)
+	// pair, in poll order — the context fingerprint replay verifies.
+	Checksum uint64 `json:"checksum"`
+}
+
+// bit reports decision i.
+func (l *Log) bit(i uint64) bool {
+	w := i / 64
+	if w >= uint64(len(l.Bits)) {
+		return false
+	}
+	return l.Bits[w]&(1<<(i%64)) != 0
+}
+
+// Recorder wraps Inner and records every Poll decision. Install it as
+// the VM's trigger; after the run, Log() returns the serialized
+// decision stream. Reset (which the VM calls at run start) resets Inner
+// and discards any previously recorded decisions, so one Recorder
+// records exactly the most recent run.
+type Recorder struct {
+	Inner Trigger
+	log   Log
+}
+
+// NewRecorder returns a Recorder around inner (Never when nil).
+func NewRecorder(inner Trigger) *Recorder {
+	if inner == nil {
+		inner = Never{}
+	}
+	return &Recorder{Inner: inner, log: Log{Trigger: inner.Name(), Checksum: fnvOffset}}
+}
+
+// Poll delegates to Inner and records the decision and its context.
+func (r *Recorder) Poll(threadID int, cycles uint64) bool {
+	fired := r.Inner.Poll(threadID, cycles)
+	i := r.log.Polls
+	if fired {
+		w := i / 64
+		for uint64(len(r.log.Bits)) <= w {
+			r.log.Bits = append(r.log.Bits, 0)
+		}
+		r.log.Bits[w] |= 1 << (i % 64)
+		r.log.Fires++
+	}
+	r.log.Polls = i + 1
+	r.log.Checksum = foldPoll(r.log.Checksum, threadID, cycles)
+	return fired
+}
+
+// Reset resets Inner and starts a fresh recording.
+func (r *Recorder) Reset() {
+	r.Inner.Reset()
+	r.log = Log{Trigger: r.Inner.Name(), Checksum: fnvOffset}
+}
+
+// Name returns "record:<inner>".
+func (r *Recorder) Name() string { return "record:" + r.Inner.Name() }
+
+// Log returns a copy of the recorded decision stream.
+func (r *Recorder) Log() Log {
+	l := r.log
+	l.Bits = append([]uint64(nil), r.log.Bits...)
+	return l
+}
+
+// Replayer is a trigger that replays a recorded decision stream: poll i
+// returns exactly the decision recorded for poll i, regardless of the
+// wrapped trigger's original mechanism (counter state, timer bits, PRNG
+// — none of it is needed, which is what makes recordings portable).
+// Polls beyond the recording return false and are counted as overruns.
+// After the run, Verify reports whether the replayed poll sequence was
+// bit-identical to the recorded one.
+type Replayer struct {
+	log      Log
+	pos      uint64
+	checksum uint64
+	overruns uint64
+}
+
+// NewReplayer returns a Replayer for the log.
+func NewReplayer(log Log) *Replayer {
+	log.Bits = append([]uint64(nil), log.Bits...)
+	return &Replayer{log: log, checksum: fnvOffset}
+}
+
+// Poll returns recorded decision pos and advances.
+func (p *Replayer) Poll(threadID int, cycles uint64) bool {
+	if p.pos >= p.log.Polls {
+		p.overruns++
+		return false
+	}
+	fired := p.log.bit(p.pos)
+	p.pos++
+	p.checksum = foldPoll(p.checksum, threadID, cycles)
+	return fired
+}
+
+// Reset rewinds the replay to the first decision.
+func (p *Replayer) Reset() { p.pos, p.checksum, p.overruns = 0, fnvOffset, 0 }
+
+// Name returns "replay:<recorded trigger>".
+func (p *Replayer) Name() string { return "replay:" + p.log.Trigger }
+
+// Verify reports whether the run consumed exactly the recorded decision
+// sequence in exactly the recorded poll contexts. A nil error is the
+// replay side of the determinism contract: same decisions, same
+// (threadID, cycles) at every poll.
+func (p *Replayer) Verify() error {
+	switch {
+	case p.overruns > 0:
+		return fmt.Errorf("trigger replay: %d polls beyond the %d recorded", p.overruns, p.log.Polls)
+	case p.pos != p.log.Polls:
+		return fmt.Errorf("trigger replay: consumed %d of %d recorded polls", p.pos, p.log.Polls)
+	case p.checksum != p.log.Checksum:
+		return fmt.Errorf("trigger replay: poll context checksum mismatch (recorded %#x, replayed %#x)", p.log.Checksum, p.checksum)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package trigger
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRecorderCapturesDecisions(t *testing.T) {
+	r := NewRecorder(NewCounter(3))
+	r.Reset()
+	want := make([]bool, 0, 10)
+	for i := 0; i < 10; i++ {
+		want = append(want, r.Poll(0, uint64(i)))
+	}
+	log := r.Log()
+	if log.Polls != 10 {
+		t.Fatalf("polls = %d, want 10", log.Polls)
+	}
+	var fires uint64
+	for _, f := range want {
+		if f {
+			fires++
+		}
+	}
+	if log.Fires != fires {
+		t.Fatalf("fires = %d, want %d", log.Fires, fires)
+	}
+	if log.Trigger != "counter(3)" && log.Trigger == "" {
+		t.Fatalf("trigger name not recorded: %q", log.Trigger)
+	}
+
+	// Replay must reproduce the decisions in the same contexts.
+	p := NewReplayer(log)
+	p.Reset()
+	for i := 0; i < 10; i++ {
+		if got := p.Poll(0, uint64(i)); got != want[i] {
+			t.Fatalf("replay poll %d = %v, want %v", i, got, want[i])
+		}
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRecorderResetClearsLog(t *testing.T) {
+	r := NewRecorder(NewCounter(2))
+	r.Reset()
+	for i := 0; i < 5; i++ {
+		r.Poll(0, uint64(i))
+	}
+	r.Reset() // the VM resets triggers at Run start
+	if log := r.Log(); log.Polls != 0 || log.Fires != 0 || len(log.Bits) != 0 {
+		t.Fatalf("reset did not clear the log: %+v", log)
+	}
+}
+
+func TestReplayerVerifyFailures(t *testing.T) {
+	r := NewRecorder(NewCounter(2))
+	r.Reset()
+	for i := 0; i < 6; i++ {
+		r.Poll(1, uint64(i*10))
+	}
+	log := r.Log()
+
+	t.Run("underrun", func(t *testing.T) {
+		p := NewReplayer(log)
+		p.Poll(1, 0)
+		if err := p.Verify(); err == nil {
+			t.Fatal("partial replay verified clean")
+		}
+	})
+	t.Run("overrun", func(t *testing.T) {
+		p := NewReplayer(log)
+		for i := 0; i < 7; i++ {
+			p.Poll(1, uint64(i*10))
+		}
+		if err := p.Verify(); err == nil {
+			t.Fatal("overrun replay verified clean")
+		}
+	})
+	t.Run("wrong context", func(t *testing.T) {
+		p := NewReplayer(log)
+		for i := 0; i < 6; i++ {
+			p.Poll(2, uint64(i*10)) // wrong thread
+		}
+		if err := p.Verify(); err == nil {
+			t.Fatal("wrong-context replay verified clean")
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		p := NewReplayer(log)
+		for i := 0; i < 6; i++ {
+			p.Poll(1, uint64(i*10))
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("clean replay rejected: %v", err)
+		}
+	})
+}
+
+func TestLogJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(NewRandomized(5, 2, 99))
+	r.Reset()
+	for i := 0; i < 200; i++ {
+		r.Poll(i%3, uint64(i*7))
+	}
+	log := r.Log()
+	blob, err := json.Marshal(log)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var loaded Log
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	p := NewReplayer(loaded)
+	for i := 0; i < 200; i++ {
+		p.Poll(i%3, uint64(i*7))
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify after JSON round trip: %v", err)
+	}
+}
+
+func TestRecorderNilInner(t *testing.T) {
+	r := NewRecorder(nil)
+	if r.Poll(0, 100) {
+		t.Fatal("nil inner fired")
+	}
+	if r.Name() != "record:never" {
+		t.Fatalf("name = %q", r.Name())
+	}
+}

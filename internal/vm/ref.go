@@ -28,6 +28,9 @@ func (v *VM) runReference() (*Result, error) {
 			v.refq = v.refq[1:]
 			continue
 		}
+		if v.cfg.Sched != nil {
+			v.cfg.Sched(t.ID)
+		}
 		reschedule, err := v.runThreadRef(t)
 		if err != nil {
 			return nil, err

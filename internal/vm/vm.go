@@ -80,6 +80,17 @@ type Config struct {
 	// optimized ones, which is what profile-driven recompilation
 	// (package adaptive) then fixes.
 	CostScale func(*ir.Method) uint32
+	// Sched, when non-nil, is invoked with the chosen thread's ID each
+	// time the scheduler selects the thread to run next — one call per
+	// scheduling turn, immediately before the thread executes. Both
+	// dispatchers invoke it at the same points with the same sequence
+	// (the differential tests require identical scheduling), which is
+	// what lets package scenario record a run's green-thread schedule
+	// decisions and differentially check a replay against them. A nil
+	// Sched costs one pointer test per scheduling turn, which is a
+	// cold-path event like the Observer hooks (never per instruction);
+	// the hook must not mutate VM state.
+	Sched func(threadID int)
 	// Reference selects the retained simple dispatch loop instead of the
 	// fast path: per-instruction opCost switch and cycle-budget check, a
 	// freshly allocated frame per call, and the re-slicing scheduler
@@ -259,6 +270,9 @@ func (v *VM) Run() (*Result, error) {
 		if t.State != StateRunnable {
 			v.runq.pop()
 			continue
+		}
+		if v.cfg.Sched != nil {
+			v.cfg.Sched(t.ID)
 		}
 		reschedule, err := v.runThread(t)
 		if err != nil {
