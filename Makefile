@@ -5,10 +5,11 @@ GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-short bench-ab experiments \
 	clean-cache fuzz fuzz-smoke mutation-check telemetry-smoke \
-	service-smoke soak soak-smoke doc-lint fusion-smoke scenario-smoke
+	service-smoke soak soak-smoke doc-lint fusion-smoke scenario-smoke \
+	obs-smoke
 
 ci: fmt vet doc-lint build test race fuzz-smoke mutation-check telemetry-smoke \
-	service-smoke soak-smoke fusion-smoke scenario-smoke bench-short
+	service-smoke obs-smoke soak-smoke fusion-smoke scenario-smoke bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -71,6 +72,20 @@ telemetry-smoke:
 # the /metrics exposition format, and drain via the SIGTERM path.
 service-smoke:
 	$(GO) test -race -run '^TestServiceSmoke$$' -v ./cmd/isampd/ | grep -q 'PASS: TestServiceSmoke'
+
+# Observability smoke for ci, two halves, both under -race. (1) The real
+# daemon: boot isampd at -obs full with a trace directory, debug
+# listener and structured logs, submit jobs over HTTP, and require the
+# terminal ledger's stage rows to sum to total_ns exactly, the merged
+# /trace document to parse as Chrome trace-event JSON, and pprof to
+# answer. (2) In-process: the full-mode merged trace must carry
+# cycle-aligned VM events inside the vm-run span, the ledger must equal
+# the job's end-to-end extent, and the completed chain must be gap-free
+# with zero ring drops.
+obs-smoke:
+	$(GO) test -race -run '^TestDaemonObservability$$' -v ./cmd/isampd/ | grep -q 'PASS: TestDaemonObservability'
+	$(GO) test -race -run '^(TestObsFullMergedTrace|TestObsLedgerSumEqualsJobLatency|TestObsChainCompleted)$$' \
+		./internal/service/
 
 # Sustained soak: a 30-second seeded mixed-traffic run against a
 # self-hosted daemon, gates asserted in code, BENCH_PR6.json emitted by

@@ -80,6 +80,16 @@ func median(xs []float64) float64 {
 
 func r2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
 
+// r2s rounds a copy of xs to two decimals for the report; gates are
+// computed on the unrounded values.
+func r2s(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = r2(x)
+	}
+	return out
+}
+
 type fractionRow struct {
 	Benchmark     string  `json:"benchmark"`
 	TierSharePct  float64 `json:"fused_tier_share_pct"`
@@ -133,9 +143,34 @@ func main() {
 	pr := flag.Int("pr", 7, "PR number recorded in the report")
 	tele := flag.Bool("telemetry", false, "measure observer cost instead: interleaved bare/trace/suppressed legs on an instrumented sampled run")
 	window := flag.Uint64("window", 2000, "suppressor dedup window in cycles (with -telemetry)")
+	obsAB := flag.Bool("obs", false, "measure service-path observability cost instead: interleaved baseline/off/spans/full daemon legs over real HTTP")
+	obsWindow := flag.Int("obs-window-ms", 3000, "fixed wall window of one config per round, milliseconds (with -obs)")
+	obsClients := flag.Int("obs-clients", 4, "closed-loop HTTP clients per daemon leg (with -obs)")
+	obsScale := flag.Float64("obs-scale", 0.01, "db benchmark scale per job (with -obs)")
+	obsFloorOff := flag.Float64("obs-floor-off", 0.99, "gate: median off/baseline throughput ratio floor (with -obs; 0 disables)")
+	obsFloorFull := flag.Float64("obs-floor-full", 0.95, "gate: median full/baseline throughput ratio floor (with -obs; 0 disables)")
 	flag.Parse()
+	roundsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rounds" {
+			roundsSet = true
+		}
+	})
+	if *obsAB && !roundsSet {
+		// The gated daemon ratios resolve ~1% differences, so the medians
+		// on a small shared host need more samples than the in-process
+		// modes do.
+		*rounds = 21
+	}
 	if *quick {
 		*rounds, *legMS = 3, 30
+		if *obsAB {
+			*obsWindow = 400
+		}
+	}
+	if *obsAB {
+		obsMain(*obsScale, *rounds, *obsWindow, *obsClients, *obsFloorOff, *obsFloorFull, *out, *pr)
+		return
 	}
 	if *tele {
 		telemetryMain(*scale, *rounds, *legMS, *window, *out, *pr)

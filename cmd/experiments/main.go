@@ -181,13 +181,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			time.Since(start).Round(time.Millisecond))
 	}
 	if *timings {
-		fmt.Fprintln(stderr, "slowest cells:")
+		fmt.Fprintln(stderr, "slowest cells (total = cache probe + run):")
 		for _, ct := range eng.Slowest(10) {
 			tag := ""
 			if ct.Cached {
 				tag = " (cache)"
 			}
-			fmt.Fprintf(stderr, "  %8v%s  %s\n", ct.Duration.Round(time.Millisecond), tag, ct.Key)
+			fmt.Fprintf(stderr, "  %8v  probe %7v  run %8v%s  %s\n",
+				ct.Duration.Round(time.Millisecond),
+				ct.Probe.Round(time.Millisecond),
+				ct.Exec.Round(time.Millisecond),
+				tag, ct.Key)
 		}
 		var ids []string
 		for _, j := range jobs {

@@ -9,12 +9,18 @@
 //	isampd                             # listen on 127.0.0.1:8347
 //	isampd -addr 127.0.0.1:0 -j 8      # ephemeral port, 8 workers
 //	isampd -cache-dir ~/.cache/isamp   # share isamp/experiments results
+//	isampd -obs spans                  # span chains + attribution ledgers
+//	isampd -obs full -trace-dir /tmp/t # + per-run VM traces, dumped per job
+//	isampd -debug-addr 127.0.0.1:6060  # net/http/pprof self-profiling
 //	isampd -version                    # print the cache-keying build ID
 //
 //	POST   /v1/jobs             submit a job (429 + Retry-After when full)
-//	GET    /v1/jobs/{id}        job status and result
+//	GET    /v1/jobs/{id}        job status, result and attribution ledger
 //	GET    /v1/jobs/{id}/events live metrics stream (Server-Sent Events)
+//	GET    /v1/jobs/{id}/trace  merged Chrome trace (service spans + VM events)
 //	DELETE /v1/jobs/{id}        cancel (stops within one observation interval)
+//	GET    /v1/obs              observability mode and span-ring accounting
+//	PUT    /v1/obs              flip the mode at runtime: {"mode":"off|spans|full"}
 //	GET    /healthz             liveness and drain state
 //	GET    /metrics             Prometheus text exposition
 //
@@ -29,8 +35,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"instrsample/internal/experiment"
+	"instrsample/internal/obs"
 	"instrsample/internal/service"
 )
 
@@ -64,6 +73,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		cacheDir = fs.String("cache-dir", "", "on-disk result cache directory (empty disables)")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
 		quiet    = fs.Bool("q", false, "suppress per-job log lines")
+		obsMode  = fs.String("obs", "off", "observability mode: off, spans (job span chains + ledgers), full (+ per-run VM traces)")
+		traceDir = fs.String("trace-dir", "", "dump each finished traced job's merged Chrome trace here (empty disables)")
+		logLevel = fs.String("log-level", "", "structured log level: debug, info, warn or error (empty disables slog output)")
+		debug    = fs.String("debug-addr", "", "listen address for net/http/pprof self-profiling (empty disables)")
 		version  = fs.Bool("version", false, "print the cache-keying build ID and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,19 +95,56 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 			cache = c
 		}
 	}
+	mode, err := obs.ParseMode(*obsMode)
+	if err != nil {
+		return err
+	}
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "isampd: "+format+"\n", a...) }
-	scfg := service.Config{Workers: *workers, QueueDepth: *queue, Cache: cache}
+	scfg := service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Cache:      cache,
+		Obs:        obs.NewState(obs.Options{Mode: mode}),
+		TraceDir:   *traceDir,
+	}
 	if !*quiet {
 		scfg.Logf = logf
 	}
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			return fmt.Errorf("-log-level: %w", err)
+		}
+		scfg.Logger = slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: lvl}))
+	}
 	s := service.New(scfg)
+
+	// -debug-addr mounts net/http/pprof on its own listener so the
+	// daemon can profile itself without exposing pprof on the job API.
+	if *debug != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		defer dln.Close()
+		logf("pprof on http://%s/debug/pprof/", dln.Addr())
+		dsrv := &http.Server{Handler: dmux}
+		go dsrv.Serve(dln) //nolint:errcheck // closed with the listener at exit
+		defer dsrv.Close()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	logf("listening on http://%s (build %s, %d workers, queue %d)",
-		ln.Addr(), experiment.BuildID(), *workers, *queue)
+	logf("listening on http://%s (build %s, %d workers, queue %d, obs %s)",
+		ln.Addr(), experiment.BuildID(), *workers, *queue, mode)
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}

@@ -6,7 +6,11 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,6 +30,183 @@ func TestVersionFlag(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard, io.Discard, nil); err == nil {
 		t.Error("run with unknown flag succeeded, want error")
+	}
+	if err := run(context.Background(), []string{"-obs", "verbose"}, io.Discard, io.Discard, nil); err == nil {
+		t.Error("run with bad -obs mode succeeded, want error")
+	}
+	if err := run(context.Background(), []string{"-log-level", "chatty"}, io.Discard, io.Discard, nil); err == nil {
+		t.Error("run with bad -log-level succeeded, want error")
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the daemon goroutine to write
+// while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonObservability drives the daemon with the full observability
+// surface up: -obs full, -trace-dir, -log-level and -debug-addr. A job
+// run end to end must surface an attribution ledger, a merged Chrome
+// trace (endpoint and on-disk dump), structured log lines correlated by
+// job ID, and a live pprof listener.
+func TestDaemonObservability(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	traces := t.TempDir()
+	stderr := &syncBuffer{}
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-j", "2", "-drain", "10s",
+			"-obs", "full", "-trace-dir", traces,
+			"-log-level", "debug", "-debug-addr", "127.0.0.1:0",
+		}, io.Discard, stderr, func(a string) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon not ready after 10s")
+	}
+
+	// /v1/obs reflects the flag.
+	r, err := http.Get(base + "/v1/obs")
+	if err != nil {
+		t.Fatalf("GET /v1/obs: %v", err)
+	}
+	var om map[string]any
+	json.NewDecoder(r.Body).Decode(&om) //nolint:errcheck
+	r.Body.Close()
+	if om["mode"] != "full" {
+		t.Errorf("obs mode = %v, want full", om["mode"])
+	}
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"db","scale":0.01,"instrument":["call-edge"]}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&sub) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d id %q", resp.StatusCode, sub.ID)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var view struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Ledger *struct {
+			TotalNs int64 `json:"total_ns"`
+			Rows    []struct {
+				Stage string `json:"stage"`
+				Ns    int64  `json:"ns"`
+			} `json:"rows"`
+		} `json:"ledger"`
+	}
+	for {
+		r, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatalf("decode poll: %v", err)
+		}
+		r.Body.Close()
+		if view.Status == "done" {
+			break
+		}
+		if view.Status == "failed" || view.Status == "cancelled" {
+			t.Fatalf("job %s: %s (%s)", sub.ID, view.Status, view.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", sub.ID, view.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The terminal view carries the ledger and its sum invariant holds.
+	if view.Ledger == nil || len(view.Ledger.Rows) == 0 {
+		t.Fatalf("terminal job has no ledger: %+v", view.Ledger)
+	}
+	var sum int64
+	for _, row := range view.Ledger.Rows {
+		sum += row.Ns
+	}
+	if sum != view.Ledger.TotalNs {
+		t.Errorf("ledger rows sum %d != total %d", sum, view.Ledger.TotalNs)
+	}
+
+	// Merged Chrome trace over HTTP and in -trace-dir.
+	r, err = http.Get(base + "/v1/jobs/" + sub.ID + "/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace endpoint JSON: %v", err)
+	}
+	r.Body.Close()
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace endpoint returned no events")
+	}
+	if _, err := os.Stat(filepath.Join(traces, sub.ID+".trace.json")); err != nil {
+		t.Errorf("trace-dir dump: %v", err)
+	}
+
+	// pprof answers on the debug listener (its address is in the log).
+	m := regexp.MustCompile(`pprof on (http://[^/\s]+)`).FindStringSubmatch(stderr.String())
+	if m == nil {
+		t.Fatalf("no pprof address in log:\n%s", stderr.String())
+	}
+	r, err = http.Get(m[1] + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: %d", r.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not drain within 20s")
+	}
+
+	// Structured log lines correlate by job ID.
+	logs := stderr.String()
+	for _, want := range []string{"job accepted", "job finished", "job=" + sub.ID} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("slog output missing %q:\n%.600s", want, logs)
+		}
 	}
 }
 

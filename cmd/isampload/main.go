@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"instrsample/internal/load"
+	"instrsample/internal/obs"
 	"instrsample/internal/service"
 )
 
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		addr      = fs.String("addr", "", "daemon base URL (e.g. http://127.0.0.1:8347); empty self-hosts one in-process")
 		selfJ     = fs.Int("self-j", runtime.GOMAXPROCS(0), "self-hosted daemon worker-pool size")
 		selfQueue = fs.Int("self-queue", 64, "self-hosted daemon queue depth")
+		selfObs   = fs.String("self-obs", "spans", "self-hosted daemon observability mode (off, spans, full); spans feeds the queue-wait ledger gate")
 		seed      = fs.Int64("seed", 1, "plan seed (ignored with -mix)")
 		ops       = fs.Int("ops", 2000, "plan length in job operations (ignored with -mix)")
 		mixPath   = fs.String("mix", "", "traffic-mix JSON file (default: the built-in DefaultMix)")
@@ -77,6 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		minTput      = fs.Float64("min-throughput", defGates.MinThroughputJobsPerSec, "gate: terminal jobs/sec floor (0 disables)")
 		maxP99       = fs.Uint64("max-p99-ms", defGates.MaxP99Ms, "gate: accepted→terminal p99 ceiling in ms (0 disables)")
 		maxCancelP99 = fs.Uint64("max-cancel-p99-ms", defGates.MaxCancelP99Ms, "gate: DELETE→terminal p99 ceiling in ms (0 disables)")
+		maxQueueP99  = fs.Uint64("max-queue-wait-p99-ms", defGates.MaxQueueWaitP99Ms, "gate: ledger queue-wait p99 ceiling in ms (0 disables; needs an obs-enabled daemon)")
 		maxLeaked    = fs.Int("max-leaked", defGates.MaxLeakedGoroutines, "gate: post-drain goroutine growth ceiling (0 = zero-leak, enforced)")
 		minSubmitted = fs.Int64("min-submitted", defGates.MinSubmitted, "gate: accepted-op floor so other gates cannot pass vacuously (0 disables)")
 		quiet        = fs.Bool("q", false, "suppress progress lines")
@@ -123,12 +126,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	baseURL := *addr
 	var shutdown func()
 	if baseURL == "" {
-		baseURL, shutdown, err = selfHost(*selfJ, *selfQueue)
+		mode, merr := obs.ParseMode(*selfObs)
+		if merr != nil {
+			return fmt.Errorf("-self-obs: %w", merr)
+		}
+		baseURL, shutdown, err = selfHost(*selfJ, *selfQueue, mode)
 		if err != nil {
 			return err
 		}
 		defer shutdown()
-		logf("self-hosted daemon on %s (%d workers, queue %d)", baseURL, *selfJ, *selfQueue)
+		logf("self-hosted daemon on %s (%d workers, queue %d, obs %s)", baseURL, *selfJ, *selfQueue, mode)
 	}
 
 	logf("soak: %d planned ops (hash %s), %d clients, %s window",
@@ -147,6 +154,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MinThroughputJobsPerSec: *minTput,
 		MaxP99Ms:                *maxP99,
 		MaxCancelP99Ms:          *maxCancelP99,
+		MaxQueueWaitP99Ms:       *maxQueueP99,
 		MaxLeakedGoroutines:     *maxLeaked,
 		MinSubmitted:            *minSubmitted,
 	}
@@ -174,6 +182,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		res.Counts.Failed, res.Counts.Rejected429, res.ThroughputJobsPerSec,
 		res.JobLatencyMs.P50, res.JobLatencyMs.P99, res.CancelLatencyMs.P99,
 		res.QueueDepthMax, res.LeakedGoroutines)
+	if res.LedgerOps > 0 {
+		fmt.Fprintf(stdout, "ledgers: %d ops, queue-wait p50/p99 %d/%dµs, vm-run stage p50/p99 %d/%dµs\n",
+			res.LedgerOps, res.QueueWaitUs.P50, res.QueueWaitUs.P99,
+			res.RunStageUs.P50, res.RunStageUs.P99)
+	}
 	for _, g := range verdicts {
 		mark := "ok"
 		if !g.OK {
@@ -190,9 +203,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 // selfHost boots an in-process service.Server on an ephemeral port and
 // returns its base URL plus a shutdown that drains the daemon and
-// closes the listener.
-func selfHost(workers, queue int) (string, func(), error) {
-	s := service.New(service.Config{Workers: workers, QueueDepth: queue})
+// closes the listener. The daemon runs with the requested observability
+// mode so every terminal job carries an attribution ledger for the
+// queue-wait gate (off disables that, and the gate with it).
+func selfHost(workers, queue int, mode obs.Mode) (string, func(), error) {
+	s := service.New(service.Config{
+		Workers:    workers,
+		QueueDepth: queue,
+		Obs:        obs.NewState(obs.Options{Mode: mode}),
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err

@@ -53,6 +53,7 @@ func TestSoakSmoke(t *testing.T) {
 		"-min-throughput", "3",
 		"-max-p99-ms", "30000",
 		"-max-cancel-p99-ms", "10000",
+		"-max-queue-wait-p99-ms", "30000",
 	}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("soak failed: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
@@ -63,11 +64,16 @@ func TestSoakSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var rep struct {
-		PR        int    `json:"pr"`
-		PlanHash  string `json:"plan_hash"`
-		BudgetMet bool   `json:"budget_met"`
+		PR        int               `json:"pr"`
+		PlanHash  string            `json:"plan_hash"`
+		BudgetMet bool              `json:"budget_met"`
+		Gates     []load.GateResult `json:"gates"`
 		Result    struct {
-			Counts load.Counts `json:"counts"`
+			Counts      load.Counts `json:"counts"`
+			LedgerOps   int64       `json:"ledger_ops"`
+			QueueWaitUs struct {
+				Count uint64 `json:"count"`
+			} `json:"queue_wait_us"`
 		} `json:"result"`
 	}
 	if err := json.Unmarshal(b, &rep); err != nil {
@@ -102,7 +108,26 @@ func TestSoakSmoke(t *testing.T) {
 	if c.Rejected429 == 0 {
 		t.Error("queue depth 4 with 6 clients produced no 429 backpressure")
 	}
-	t.Logf("smoke: %+v", c)
+
+	// The self-hosted daemon runs at -self-obs spans by default, so the
+	// report carries server-side attribution ledgers and the queue-wait
+	// gate must have engaged (not passed vacuously).
+	if rep.Result.LedgerOps == 0 {
+		t.Error("no attribution ledgers captured from the obs-enabled daemon")
+	}
+	if rep.Result.QueueWaitUs.Count == 0 {
+		t.Error("ledgers captured but no queue-wait observations")
+	}
+	gated := false
+	for _, g := range rep.Gates {
+		if g.Name == "queue_wait_p99_ms" {
+			gated = true
+		}
+	}
+	if !gated {
+		t.Error("queue_wait_p99_ms gate did not engage")
+	}
+	t.Logf("smoke: %+v, ledgers %d", c, rep.Result.LedgerOps)
 }
 
 // TestPrintPlanDeterministic checks the CLI plan path: two -print-plan

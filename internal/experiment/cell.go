@@ -36,6 +36,20 @@ type Cell struct {
 	// stops the VM within one observation interval (DESIGN.md §10).
 	// Run must return promptly with an error once ctx is done.
 	Run func(ctx context.Context) (*CellResult, error)
+	// Stage, when non-nil, is the engine's lifecycle hook for this cell:
+	// the engine reports "memo-flight" (cause = the owning request's
+	// Config.Owner label) when the request is parked on another flight,
+	// "cache-probe" before the on-disk lookup, and "run" before Run. The
+	// profiling service threads its per-job span chain through here
+	// (DESIGN.md §14). Stage must be cheap and must not block.
+	Stage func(stage, cause string)
+}
+
+// stage invokes the lifecycle hook if the cell carries one.
+func (c Cell) stage(stage, cause string) {
+	if c.Stage != nil {
+		c.Stage(stage, cause)
+	}
 }
 
 // CellResult is the serializable outcome of one cell: everything the

@@ -36,19 +36,28 @@ type Engine struct {
 }
 
 // flight is one unique cell's execution slot: requesters past the first
-// wait on done and share the result.
+// wait on done and share the result. owner labels who runs the cell
+// (Config.Owner — the service sets its job ID) so waiters can attribute
+// their memo-flight wait to the job actually doing the work.
 type flight struct {
-	done chan struct{}
-	res  *CellResult
-	err  error
+	done  chan struct{}
+	owner string
+	res   *CellResult
+	err   error
 }
 
-// CellTiming records how long one executed cell took.
+// CellTiming records how long one executed cell took, split into the
+// cache-probe phase (on-disk Load, including result decode on a hit)
+// and the execution phase (Cell.Run on a miss).
 type CellTiming struct {
 	// Key is the cell's canonical key.
 	Key string
-	// Duration is the wall-clock execution (or cache-load) time.
+	// Duration is the total wall-clock resolution time (Probe + Exec).
 	Duration time.Duration
+	// Probe is the on-disk cache probe/load time (zero with no cache).
+	Probe time.Duration
+	// Exec is the Cell.Run execution time (zero on a cache hit).
+	Exec time.Duration
 	// Cached reports whether the result came from the on-disk cache.
 	Cached bool
 }
@@ -167,6 +176,7 @@ func (e *Engine) one(ctx context.Context, cfg Config, c Cell) (*CellResult, erro
 		e.memoHits++
 		e.mu.Unlock()
 		e.count(cfg, MetricCellMemoHit)
+		c.stage("memo-flight", f.owner)
 		select {
 		case <-f.done:
 			return f.res, f.err
@@ -174,7 +184,7 @@ func (e *Engine) one(ctx context.Context, cfg Config, c Cell) (*CellResult, erro
 			return nil, ctx.Err()
 		}
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), owner: cfg.Owner}
 	e.memo[c.Key] = f
 	e.mu.Unlock()
 	f.res, f.err = e.execute(ctx, cfg, c)
@@ -202,12 +212,18 @@ func (e *Engine) execute(ctx context.Context, cfg Config, c Cell) (*CellResult, 
 	defer func() { <-e.sem }()
 
 	start := time.Now()
+	var probe time.Duration
 	if c.Key != "" && e.cache != nil {
+		c.stage("cache-probe", "")
 		if res, ok := e.cache.Load(c.Key); ok {
-			e.record(cfg, c.Key, time.Since(start), true)
+			probe = time.Since(start)
+			e.record(cfg, c.Key, probe, 0, true)
 			return res, nil
 		}
+		probe = time.Since(start)
 	}
+	c.stage("run", "")
+	execStart := time.Now()
 	res, err := c.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -215,12 +231,13 @@ func (e *Engine) execute(ctx context.Context, cfg Config, c Cell) (*CellResult, 
 	if c.Key != "" && e.cache != nil {
 		e.cache.Store(c.Key, res)
 	}
-	e.record(cfg, c.Key, time.Since(start), false)
+	e.record(cfg, c.Key, probe, time.Since(execStart), false)
 	return res, nil
 }
 
 // record accounts one executed cell and emits a progress line.
-func (e *Engine) record(cfg Config, key string, d time.Duration, cached bool) {
+func (e *Engine) record(cfg Config, key string, probe, exec time.Duration, cached bool) {
+	d := probe + exec
 	e.count(cfg, MetricCellsRun)
 	if cached {
 		e.count(cfg, MetricCellCacheHit)
@@ -236,7 +253,7 @@ func (e *Engine) record(cfg Config, key string, d time.Duration, cached bool) {
 	if cached {
 		e.cacheHits++
 	}
-	e.timings = append(e.timings, CellTiming{Key: key, Duration: d, Cached: cached})
+	e.timings = append(e.timings, CellTiming{Key: key, Duration: d, Probe: probe, Exec: exec, Cached: cached})
 	done, sched := e.completed, e.scheduled
 	e.mu.Unlock()
 	tag := ""

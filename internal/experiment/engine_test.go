@@ -307,3 +307,118 @@ func TestCellRunHonoursContext(t *testing.T) {
 		t.Fatalf("mid-run cancel: %v does not wrap vm.CancelError", err)
 	}
 }
+
+// TestEngineStageHooks: the engine reports memo-flight (with the owning
+// request's Config.Owner as cause) to parked waiters, and cache-probe /
+// run to the cell that executes.
+func TestEngineStageHooks(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(2, cache)
+
+	type call struct{ stage, cause string }
+	var mu sync.Mutex
+	calls := map[string][]call{}
+	hook := func(who string) func(stage, cause string) {
+		return func(stage, cause string) {
+			mu.Lock()
+			calls[who] = append(calls[who], call{stage, cause})
+			mu.Unlock()
+		}
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	owner := Cell{Key: "shared", Stage: hook("owner"),
+		Run: func(context.Context) (*CellResult, error) {
+			close(started)
+			<-release
+			return &CellResult{}, nil
+		}}
+	waiter := Cell{Key: "shared", Stage: hook("waiter"),
+		Run: func(context.Context) (*CellResult, error) {
+			t.Error("waiter ran instead of parking on the flight")
+			return &CellResult{}, nil
+		}}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := eng.Do(Config{Owner: "job-000001"}, []Cell{owner}); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-started // the owner's flight is registered before Run starts
+		if _, err := eng.Do(Config{Owner: "job-000002"}, []Cell{waiter}); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		// Give the waiter time to park, then let the owner finish.
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if got := calls["owner"]; len(got) != 2 ||
+		got[0] != (call{"cache-probe", ""}) || got[1] != (call{"run", ""}) {
+		t.Errorf("owner hook calls = %v, want cache-probe then run", got)
+	}
+	if got := calls["waiter"]; len(got) != 1 ||
+		got[0] != (call{"memo-flight", "job-000001"}) {
+		t.Errorf("waiter hook calls = %v, want memo-flight with owner job id", got)
+	}
+}
+
+// TestEngineTimingSplit: CellTiming separates cache-probe from run
+// time, and the two sum to the recorded total.
+func TestEngineTimingSplit(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cell{Key: "split", Run: func(context.Context) (*CellResult, error) {
+		time.Sleep(5 * time.Millisecond)
+		return &CellResult{}, nil
+	}}
+
+	eng := NewEngine(1, cache)
+	if _, err := eng.Do(Config{}, []Cell{c}); err != nil {
+		t.Fatal(err)
+	}
+	miss := eng.Slowest(1)[0]
+	if miss.Cached {
+		t.Fatal("first resolution reported cached")
+	}
+	if miss.Exec < 5*time.Millisecond {
+		t.Errorf("exec = %v, want >= 5ms", miss.Exec)
+	}
+	if miss.Probe+miss.Exec != miss.Duration {
+		t.Errorf("probe %v + exec %v != total %v", miss.Probe, miss.Exec, miss.Duration)
+	}
+
+	// A second engine against the same cache hits on disk: all probe.
+	eng2 := NewEngine(1, cache)
+	if _, err := eng2.Do(Config{}, []Cell{c}); err != nil {
+		t.Fatal(err)
+	}
+	hit := eng2.Slowest(1)[0]
+	if !hit.Cached {
+		t.Fatal("second resolution missed the cache")
+	}
+	if hit.Exec != 0 {
+		t.Errorf("cache hit exec = %v, want 0", hit.Exec)
+	}
+	if hit.Probe != hit.Duration {
+		t.Errorf("cache hit probe %v != total %v", hit.Probe, hit.Duration)
+	}
+}

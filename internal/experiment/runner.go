@@ -29,6 +29,11 @@ type Config struct {
 	// metrics registry (cells.run.<artifact> etc.); cmd/experiments sets
 	// it to the artifact ID before invoking each generator.
 	Artifact string
+	// Owner labels this Config's requests for memo-flight attribution:
+	// when another request parks on a flight this Config started, its
+	// Cell.Stage hook receives Owner as the cause. The profiling service
+	// sets it to the job ID; cmd/experiments leaves it empty.
+	Owner string
 }
 
 // DefaultConfig is full experiment scale with the i-cache model on.

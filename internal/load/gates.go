@@ -19,6 +19,13 @@ type Gates struct {
 	// MaxLeakedGoroutines bounds AfterDrain-minus-baseline goroutines
 	// (0 = the zero-leak gate, still enforced).
 	MaxLeakedGoroutines int `json:"max_leaked_goroutines"`
+	// MaxQueueWaitP99Ms ceilings the p99 of the queue-wait stage as the
+	// daemon's own attribution ledgers measured it (server-side wall
+	// clock, not harness polling). The gate only engages when the run
+	// observed ledgers (LedgerOps > 0) — an obs-off daemon reports none,
+	// and the gate must not pass vacuously against a misconfigured soak,
+	// so isampload self-hosted runs enable obs.
+	MaxQueueWaitP99Ms uint64 `json:"max_queue_wait_p99_ms"`
 	// MaxFailedJobs bounds jobs that resolved failed (0 = none allowed,
 	// still enforced). The soak submits no timeout jobs, so any failure
 	// is a real regression in the compile/run/queue path.
@@ -36,6 +43,7 @@ func DefaultGates() Gates {
 		MinThroughputJobsPerSec: 5,
 		MaxP99Ms:                2000,
 		MaxCancelP99Ms:          1000,
+		MaxQueueWaitP99Ms:       1500,
 		MaxLeakedGoroutines:     0,
 		MaxFailedJobs:           0,
 		MinSubmitted:            20,
@@ -75,6 +83,9 @@ func (g Gates) Check(r *Result) []GateResult {
 	}
 	if g.MaxCancelP99Ms > 0 && r.CancelLatencyMs.Count > 0 {
 		out = append(out, gateMax("cancel_latency_p99_ms", float64(r.CancelLatencyMs.P99), float64(g.MaxCancelP99Ms)))
+	}
+	if g.MaxQueueWaitP99Ms > 0 && r.LedgerOps > 0 {
+		out = append(out, gateMax("queue_wait_p99_ms", float64(r.QueueWaitUs.P99)/1e3, float64(g.MaxQueueWaitP99Ms)))
 	}
 	out = append(out,
 		gateMax("failed_jobs", float64(r.Counts.Failed), float64(g.MaxFailedJobs)),

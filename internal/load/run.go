@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"instrsample/internal/obs"
 	"instrsample/internal/telemetry"
 )
 
@@ -137,6 +138,14 @@ type Result struct {
 	JobLatencyMs    telemetry.Summary `json:"job_latency_ms"`
 	CancelLatencyMs telemetry.Summary `json:"cancel_latency_ms"`
 	SubmitLatencyUs telemetry.Summary `json:"submit_latency_us"`
+	// LedgerOps counts terminal ops whose job view carried an attribution
+	// ledger (daemon running with -obs spans/full); QueueWaitUs and
+	// RunStageUs summarize those ledgers' queue-wait and vm-run stage
+	// durations — server-side wall-clock attribution, immune to the
+	// harness's own polling cadence. All zero against an obs-off daemon.
+	LedgerOps   int64             `json:"ledger_ops"`
+	QueueWaitUs telemetry.Summary `json:"queue_wait_us"`
+	RunStageUs  telemetry.Summary `json:"run_stage_us"`
 	// QueueDepthMax/QueueDepthSamples come from scraping the daemon's
 	// /metrics gauge during the run.
 	QueueDepthMax     int64 `json:"queue_depth_max"`
@@ -169,11 +178,12 @@ type runner struct {
 		sync.Mutex
 		counts []int64
 	}
-	start    time.Time
-	deadline time.Time
-	queueMax atomic.Int64
-	queueN   atomic.Int64
-	sse      sync.WaitGroup
+	start     time.Time
+	deadline  time.Time
+	queueMax  atomic.Int64
+	queueN    atomic.Int64
+	ledgerOps atomic.Int64
+	sse       sync.WaitGroup
 }
 
 func (r *runner) logf(format string, args ...any) {
@@ -242,6 +252,9 @@ func Run(ctx context.Context, ops []Op, opt Options) (*Result, error) {
 		JobLatencyMs:      r.reg.Histogram("load.job_latency_ms", nil).Summarize(),
 		CancelLatencyMs:   r.reg.Histogram("load.cancel_latency_ms", nil).Summarize(),
 		SubmitLatencyUs:   r.reg.Histogram("load.submit_latency_us", nil).Summarize(),
+		LedgerOps:         r.ledgerOps.Load(),
+		QueueWaitUs:       r.reg.Histogram("load.queue_wait_us", nil).Summarize(),
+		RunStageUs:        r.reg.Histogram("load.run_stage_us", nil).Summarize(),
 		QueueDepthMax:     r.queueMax.Load(),
 		QueueDepthSamples: int(r.queueN.Load()),
 		Baseline:          baseline,
@@ -392,7 +405,9 @@ func (r *runner) cancelOp(ctx context.Context, id string, op Op) {
 
 // pollTerminal polls the job until it reaches a terminal state, with a
 // small exponential backoff so fast jobs resolve in one or two reads and
-// slow ones don't get hammered.
+// slow ones don't get hammered. When the daemon runs with observability
+// on, the terminal view carries the job's attribution ledger; it is
+// recorded into the run's queue-wait / run-stage histograms.
 func (r *runner) pollTerminal(ctx context.Context, id string) string {
 	delay := 2 * time.Millisecond
 	for {
@@ -411,7 +426,8 @@ func (r *runner) pollTerminal(ctx context.Context, id string) string {
 			return ""
 		}
 		var v struct {
-			Status string `json:"status"`
+			Status string      `json:"status"`
+			Ledger *obs.Ledger `json:"ledger"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&v)
 		resp.Body.Close()
@@ -421,6 +437,7 @@ func (r *runner) pollTerminal(ctx context.Context, id string) string {
 		}
 		switch v.Status {
 		case "done", "failed", "cancelled":
+			r.recordLedger(v.Ledger)
 			return v.Status
 		}
 		select {
@@ -475,6 +492,23 @@ func (r *runner) streamEvents(ctx context.Context, id string, slow bool) {
 			case <-time.After(r.opt.SlowReaderDelay):
 			}
 		}
+	}
+}
+
+// recordLedger folds one terminal job's attribution ledger into the
+// run's per-stage histograms. Nil (obs-off daemon) records nothing.
+func (r *runner) recordLedger(l *obs.Ledger) {
+	if l == nil {
+		return
+	}
+	r.ledgerOps.Add(1)
+	if row, ok := l.Row(obs.StageQueueWait); ok {
+		r.reg.Histogram("load.queue_wait_us", telemetry.ExpBuckets(1, 26)).
+			Observe(uint64(row.Ns / 1e3))
+	}
+	if row, ok := l.Row(obs.StageVMRun); ok {
+		r.reg.Histogram("load.run_stage_us", telemetry.ExpBuckets(1, 26)).
+			Observe(uint64(row.Ns / 1e3))
 	}
 }
 

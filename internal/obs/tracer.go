@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Span is one completed lifecycle stage of one job. Times are absolute
+// wall-clock nanoseconds (UnixNano), so spans from different jobs — and
+// the VM events aligned per run — share one timeline.
+type Span struct {
+	// Job is the job ID the span belongs to ("" for a request that was
+	// never accepted).
+	Job string `json:"job"`
+	// Stage is the lifecycle stage.
+	Stage Stage `json:"stage"`
+	// StartNs and EndNs bound the span (UnixNano; EndNs == StartNs for
+	// instant spans like StageTerminal).
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+	// Cause carries the stage's cause link: for StageMemoFlight the ID
+	// of the job owning the deduplicated flight, for StageTerminal the
+	// terminal status.
+	Cause string `json:"cause,omitempty"`
+}
+
+// Tracer is the daemon-wide span flight recorder: a fixed-capacity
+// power-of-two ring that overwrites the oldest span once full, with
+// exact drop accounting — the same discipline as the telemetry trace
+// rings, adapted to many producers. HTTP handler goroutines and worker
+// goroutines all record; a push is one atomic reservation plus one
+// atomic pointer store, no locks. Snapshots (another goroutine reading
+// while producers push) are race-free because slots hold atomic
+// pointers to immutable spans.
+type Tracer struct {
+	slots []atomic.Pointer[Span]
+	mask  uint64
+	head  atomic.Uint64
+}
+
+// NewTracer returns a tracer retaining the most recent capacity spans
+// (rounded up to a power of two; min 16 when non-positive).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Tracer{slots: make([]atomic.Pointer[Span], c), mask: uint64(c) - 1}
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int { return len(t.slots) }
+
+// Record pushes one completed span, overwriting the oldest retained
+// span when the ring is full. Safe for concurrent use; nil tracers
+// drop the span silently (the off path).
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	h := t.head.Add(1) - 1
+	sp := s // private copy; slots only ever hold immutable spans
+	t.slots[h&t.mask].Store(&sp)
+}
+
+// Total returns the number of spans ever recorded.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.head.Load()
+}
+
+// Drops returns the number of spans overwritten (exact: total minus
+// capacity once the ring has wrapped).
+func (t *Tracer) Drops() uint64 {
+	if t == nil {
+		return 0
+	}
+	if h, c := t.head.Load(), uint64(len(t.slots)); h > c {
+		return h - c
+	}
+	return 0
+}
+
+// Snapshot returns the retained spans ordered by start time (ties by
+// job, then stage). Under concurrent producers the snapshot is a
+// consistent set of fully written spans — each slot read is one atomic
+// pointer load — though which spans are "retained" is best-effort while
+// pushes race the read.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	h := t.head.Load()
+	n := uint64(len(t.slots))
+	if h < n {
+		n = h
+	}
+	out := make([]Span, 0, n)
+	for i := range t.slots {
+		if p := t.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNs != out[j].StartNs {
+			return out[i].StartNs < out[j].StartNs
+		}
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"instrsample/internal/obs"
 	"instrsample/internal/profile"
 	"instrsample/internal/telemetry"
 	"instrsample/internal/vm"
@@ -102,6 +103,10 @@ type jobView struct {
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Result   *JobResult `json:"result,omitempty"`
+	// Ledger is the job's wall-clock attribution (present when the obs
+	// mode was not off at accept): exact per-stage durations that sum to
+	// the end-to-end latency. Live jobs report the open stage up to now.
+	Ledger *obs.Ledger `json:"ledger,omitempty"`
 }
 
 // job is one queued/running/finished unit of work. Mutable state is
@@ -113,6 +118,15 @@ type job struct {
 	now     func() time.Time
 	ctx     context.Context
 	cancel  context.CancelFunc
+	// trace is the job's span chain (nil when the obs mode was off at
+	// accept). Set before the job is shared, immutable afterwards; the
+	// chain has its own lock, so it is read without j.mu.
+	trace *obs.JobTrace
+	// onFinish, when non-nil, runs once when the job reaches a terminal
+	// state, after the span chain closes and before done closes — the
+	// server's hook for ledger metrics and the trace-dir dump. Set before
+	// the job is shared.
+	onFinish func(*job)
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
 
@@ -175,6 +189,7 @@ func (j *job) view() jobView {
 		t := j.finished
 		v.Finished = &t
 	}
+	v.Ledger = j.trace.Ledger() // nil-safe; nil when obs was off
 	return v
 }
 
@@ -214,6 +229,13 @@ func (j *job) finish(st JobStatus, errMsg string, res *JobResult) {
 	subs := j.subs
 	j.subs = make(map[chan struct{}]struct{})
 	j.mu.Unlock()
+	// Close the span chain before done closes so anyone woken by done (the
+	// SSE ledger event, waiters polling the job view) sees a final ledger
+	// whose stage sum equals the end-to-end latency.
+	j.trace.Finish(string(st))
+	if j.onFinish != nil {
+		j.onFinish(j)
+	}
 	close(j.done)
 	for ch := range subs {
 		select {

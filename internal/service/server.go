@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"instrsample/internal/experiment"
+	"instrsample/internal/obs"
 	"instrsample/internal/profile"
 	"instrsample/internal/telemetry"
 	"instrsample/internal/vm"
@@ -27,6 +31,13 @@ const (
 	MetricQueueDepth    = "queue.depth"     // gauge: jobs waiting for a worker
 	MetricJobDuration   = "job.duration_ms" // histogram: accepted-to-terminal latency
 )
+
+// MetricStageUs names the per-stage duration histogram for one
+// lifecycle stage ("stage.<name>.duration_us"), fed from each finished
+// job's attribution ledger when the obs mode is not off.
+func MetricStageUs(stage obs.Stage) string {
+	return "stage." + stage.String() + ".duration_us"
+}
 
 // Config configures a Server. The zero value is usable: 1 worker, a
 // 64-deep queue, no cache, a private registry.
@@ -50,6 +61,20 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured leveled log records for
+	// every job state change, each correlated with its job ID ("job"
+	// attribute). Independent of Logf; set both to get both.
+	Logger *slog.Logger
+	// Obs is the daemon's observability state (internal/obs): the
+	// runtime-togglable span/ledger mode and the shared span ring. Nil
+	// means the obs layer is structurally absent — no mode check, no
+	// chains, no /v1/obs — which is the baseline leg of the benchab A/B
+	// comparison (DESIGN.md §14).
+	Obs *obs.State
+	// TraceDir, when non-empty, receives one merged Chrome trace JSON
+	// file per finished traced job (<id>.trace.json) — the -trace-dir
+	// flag of isampd.
+	TraceDir string
 	// Now, when non-nil, replaces time.Now for every job timestamp and
 	// the job-duration histogram — the deterministic-clock test hook the
 	// load harness and the service tests use (DESIGN.md §11). It does NOT
@@ -120,7 +145,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/obs", s.handleObsGet)
+	s.mux.HandleFunc("PUT /v1/obs", s.handleObsSet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -139,6 +167,43 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
+	}
+}
+
+// slogAt emits one structured record through the configured Logger;
+// callers pass the job ID as a "job" attribute so every line correlates.
+func (s *Server) slogAt(level slog.Level, msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Log(context.Background(), level, msg, args...)
+	}
+}
+
+// jobFinished runs once per terminal traced job (job.onFinish): it
+// feeds the attribution ledger into the per-stage duration histograms
+// and, when TraceDir is set, dumps the job's merged Chrome trace.
+func (s *Server) jobFinished(j *job) {
+	l := j.trace.Ledger()
+	if l == nil {
+		return
+	}
+	for _, row := range l.Rows {
+		s.reg.Histogram(MetricStageUs(row.Stage), telemetry.ExpBuckets(1, 24)).
+			Observe(uint64(row.Ns / 1e3))
+	}
+	if s.cfg.TraceDir == "" {
+		return
+	}
+	path := filepath.Join(s.cfg.TraceDir, j.id+".trace.json")
+	f, err := os.Create(path)
+	if err == nil {
+		err = obs.WriteJobChromeTrace(f, j.trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		s.logf("job %s trace dump failed: %v", j.id, err)
+		s.slogAt(slog.LevelWarn, "trace dump failed", "job", j.id, "path", path, "err", err)
 	}
 }
 
@@ -206,11 +271,16 @@ func (s *Server) runJob(j *job) {
 		return // cancelled while queued; already terminal
 	}
 	s.logf("job %s running (%s)", j.id, j.spec.describe())
-	cells := []experiment.Cell{jobCell(j.spec, j)}
+	s.slogAt(slog.LevelInfo, "job running", "job", j.id, "spec", j.spec.describe())
+	// The VM-trace decision is read at pickup: toggling to full applies to
+	// jobs whose run starts after the toggle, and only jobs that carry a
+	// span chain (mode was not off at accept) can attach one.
+	full := j.trace != nil && s.cfg.Obs.Mode() == obs.ModeFull
+	cells := []experiment.Cell{jobCell(j.spec, j, full)}
 	if j.spec.Overlap {
-		cells = append(cells, jobCell(j.spec.overlapSpec(), nil))
+		cells = append(cells, jobCell(j.spec.overlapSpec(), nil, false))
 	}
-	res, err := s.eng.DoContext(j.ctx, experiment.Config{Artifact: "service", Engine: s.eng}, cells)
+	res, err := s.eng.DoContext(j.ctx, experiment.Config{Artifact: "service", Engine: s.eng, Owner: j.id}, cells)
 	if err != nil {
 		st, msg := s.classify(j, err)
 		j.finish(st, msg, nil)
@@ -254,6 +324,11 @@ func (s *Server) account(j *job, st JobStatus) {
 	s.reg.Histogram(MetricJobDuration, telemetry.ExpBuckets(1, 16)).
 		Observe(uint64(s.now().Sub(j.created).Milliseconds()))
 	s.logf("job %s %s", j.id, st)
+	level := slog.LevelInfo
+	if st != StatusDone {
+		level = slog.LevelWarn
+	}
+	s.slogAt(level, "job finished", "job", j.id, "status", string(st))
 }
 
 // buildResult assembles the job's terminal payload from the engine
@@ -311,6 +386,10 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 // queue answers 429 with Retry-After so clients back off instead of the
 // daemon buffering without bound.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The span chain opens in StageAccept before the body is read, so the
+	// accept stage covers request decoding. A rejected request abandons
+	// the unnamed chain, which records nothing (obs.JobTrace.SetJob).
+	tr := s.cfg.Obs.StartJob()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -330,6 +409,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid request body: trailing data after job spec")
 		return
 	}
+	tr.Begin(obs.StageValidate, "")
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid job: %v", err)
@@ -345,8 +425,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
 	j := newJob(id, spec, s.baseCtx, s.now)
+	j.trace = tr
+	j.onFinish = s.jobFinished
 	select {
 	case s.queue <- j:
+		tr.SetJob(id)
+		tr.Begin(obs.StageQueueWait, "")
 		s.jobs[id] = j
 		s.order = append(s.order, id)
 		s.evictLocked()
@@ -356,12 +440,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter(MetricJobsAccepted).Inc()
 		s.reg.Gauge(MetricQueueDepth).Add(1)
 		s.logf("job %s accepted (%s)", id, spec.describe())
+		s.slogAt(slog.LevelInfo, "job accepted", "job", id, "spec", spec.describe())
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(StatusQueued)})
 	default:
 		s.seq-- // id not used
 		j.cancel()
 		s.mu.Unlock()
 		s.reg.Counter(MetricJobsRejected).Inc()
+		s.slogAt(slog.LevelWarn, "job rejected", "reason", "queue full", "depth", s.cfg.QueueDepth)
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep); retry later", s.cfg.QueueDepth)
 	}
@@ -396,6 +482,69 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleTrace serves the job's merged Chrome trace: its wall-clock span
+// chain plus, for runs executed at obs=full, the VM's cycle-domain
+// events aligned to wall time (DESIGN.md §14). Live jobs get the spans
+// closed so far; the document is complete once the job is terminal.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.trace == nil {
+		writeErr(w, http.StatusNotFound, "no trace for job %q (obs mode was off at accept)", j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteJobChromeTrace(w, j.trace) //nolint:errcheck // client went away
+}
+
+// obsView renders the observability state for GET/PUT /v1/obs.
+func (s *Server) obsView() map[string]any {
+	t := s.cfg.Obs.Tracer()
+	return map[string]any{
+		"mode":          s.cfg.Obs.Mode().String(),
+		"ring_capacity": t.Cap(),
+		"spans_total":   t.Total(),
+		"spans_dropped": t.Drops(),
+	}
+}
+
+func (s *Server) handleObsGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil {
+		writeErr(w, http.StatusNotFound, "observability layer not configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.obsView())
+}
+
+// handleObsSet switches the obs mode at runtime: {"mode":"off|spans|full"}.
+// Jobs already carrying a span chain finish it; jobs accepted after the
+// switch follow the new mode.
+func (s *Server) handleObsSet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil {
+		writeErr(w, http.StatusNotFound, "observability layer not configured")
+		return
+	}
+	var req struct {
+		Mode string `json:"mode"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	m, err := obs.ParseMode(req.Mode)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.cfg.Obs.SetMode(m)
+	s.logf("obs mode set to %s", m)
+	s.slogAt(slog.LevelInfo, "obs mode changed", "mode", m.String())
+	writeJSON(w, http.StatusOK, s.obsView())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -471,7 +620,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if in.Draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"status":      status,
 		"jobs":        in.Queued + in.Running + in.Terminal,
 		"queued":      in.Queued,
@@ -481,7 +630,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"goroutines":  in.Goroutines,
 		"heap_bytes":  in.HeapBytes,
 		"build_id":    experiment.BuildID(),
-	})
+	}
+	if s.cfg.Obs != nil {
+		doc["obs"] = s.cfg.Obs.Mode().String()
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -538,6 +691,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-wake:
 		case <-j.done:
 			flush() // rows published between the last flush and finish
+			// The span chain closes before done does (job.finish), so the
+			// ledger streamed here is final: stage sums equal latency.
+			if l := j.trace.Ledger(); l != nil {
+				data, _ := json.Marshal(l)
+				fmt.Fprintf(w, "event: ledger\ndata: %s\n\n", data)
+			}
 			fmt.Fprintf(w, "event: done\ndata: {\"status\":%q}\n\n", j.Status())
 			fl.Flush()
 			return

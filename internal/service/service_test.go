@@ -215,7 +215,7 @@ func TestJobMatchesDirectRun(t *testing.T) {
 		t.Errorf("implausible result: cycles=%d profiles=%d", v.Result.Stats.Cycles, len(v.Result.Profiles))
 	}
 
-	cr, err := runSpec(context.Background(), spec.withDefaults(), nil)
+	cr, err := runSpec(context.Background(), spec.withDefaults(), nil, false)
 	if err != nil {
 		t.Fatalf("direct run: %v", err)
 	}

@@ -154,13 +154,16 @@ func (tr *Trace) TotalDrops() uint64 {
 	return n
 }
 
-// chromeEvent is one entry of the Chrome trace-event format
+// ChromeEvent is one entry of the Chrome trace-event format
 // (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
-type chromeEvent struct {
+// Exported so other packages (the service's merged job trace) can
+// compose documents mixing VM events with their own spans.
+type ChromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
@@ -169,25 +172,71 @@ type chromeEvent struct {
 
 // chromeTrace is the JSON-object flavour of the trace-event container.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	TraceEvents     []ChromeEvent  `json:"traceEvents"`
 	DisplayTimeUnit string         `json:"displayTimeUnit"`
 	OtherData       map[string]any `json:"otherData"`
 }
 
-// chromeFor converts one recorded event. Method enter/exit map to
-// duration begin/end pairs; duplicated-code spans likewise; everything
-// else becomes a thread-scoped instant event.
-func chromeFor(e Event) chromeEvent {
-	ce := chromeEvent{
+// NamedEvent is one retained event in value form: the method rides by
+// name, so a snapshot holds no pointers into the program and can
+// outlive the run — retaining ring events directly would pin the run's
+// whole compiled IR through their *ir.Method fields.
+type NamedEvent struct {
+	Ts     uint64
+	Kind   EventKind
+	Thread int32
+	Method string
+	Arg    int64
+}
+
+// NamedEvents returns every thread's retained events in value form,
+// oldest first per thread, cycle timestamps mapped through ts (nil is
+// identity: one cycle renders as 1µs).
+func (tr *Trace) NamedEvents(ts func(cycle uint64) uint64) []NamedEvent {
+	if ts == nil {
+		ts = func(c uint64) uint64 { return c }
+	}
+	// Method names repeat heavily across a ring; intern per conversion so
+	// the snapshot allocates one string per distinct method, not per event.
+	names := map[*ir.Method]string{}
+	name := func(m *ir.Method) string {
+		if m == nil {
+			return ""
+		}
+		n, ok := names[m]
+		if !ok {
+			n = m.FullName()
+			names[m] = n
+		}
+		return n
+	}
+	var events []NamedEvent
+	for _, r := range tr.rings {
+		for _, e := range r.events() {
+			events = append(events, NamedEvent{
+				Ts:     ts(e.Cycle),
+				Kind:   e.Kind,
+				Thread: e.Thread,
+				Method: name(e.Method),
+				Arg:    e.Arg,
+			})
+		}
+	}
+	return events
+}
+
+// Chrome converts the event to its Chrome trace form under the given
+// pid. Method enter/exit map to duration begin/end pairs;
+// duplicated-code spans likewise; everything else becomes a
+// thread-scoped instant event.
+func (e NamedEvent) Chrome(pid int) ChromeEvent {
+	ce := ChromeEvent{
 		Name: e.Kind.String(),
-		Ts:   e.Cycle,
-		Pid:  1,
+		Ts:   e.Ts,
+		Pid:  pid,
 		Tid:  int(e.Thread),
 	}
-	method := ""
-	if e.Method != nil {
-		method = e.Method.FullName()
-	}
+	method := e.Method
 	switch e.Kind {
 	case EvEnter:
 		ce.Ph, ce.Cat, ce.Name = "B", "method", method
@@ -222,13 +271,13 @@ func chromeFor(e Event) chromeEvent {
 // viewers tolerate that, and per-thread drop counts are reported in
 // otherData.
 func (tr *Trace) WriteChromeTrace(w io.Writer) error {
-	events := []chromeEvent{
+	events := []ChromeEvent{
 		{Name: "process_name", Ph: "M", Pid: 1,
 			Args: map[string]any{"name": "instrsample vm"}},
 	}
 	drops := map[string]any{}
 	for tid := range tr.rings {
-		events = append(events, chromeEvent{
+		events = append(events, ChromeEvent{
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
 			Args: map[string]any{"name": threadName(tid)},
 		})
@@ -256,6 +305,45 @@ func (tr *Trace) WriteChromeTrace(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// ChromeEvents converts every thread's retained events to Chrome trace
+// events under the given pid, including thread_name metadata rows. Each
+// event's cycle timestamp is mapped through ts into the document's
+// microsecond domain; a nil ts is identity (one cycle renders as 1µs,
+// the WriteChromeTrace convention). This is the building block for
+// merged documents that put VM events and wall-clock service spans on
+// one timeline: the caller supplies a ts that aligns the cycle clock to
+// wall time for the run the trace recorded.
+func (tr *Trace) ChromeEvents(pid int, ts func(cycle uint64) uint64) []ChromeEvent {
+	if ts == nil {
+		ts = func(c uint64) uint64 { return c }
+	}
+	events := make([]ChromeEvent, 0, 64)
+	for tid := range tr.rings {
+		events = append(events, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": threadName(tid)},
+		})
+	}
+	for _, r := range tr.rings {
+		for _, e := range r.events() {
+			ce := chromeFor(e)
+			ce.Pid = pid
+			ce.Ts = ts(ce.Ts)
+			events = append(events, ce)
+		}
+	}
+	return events
+}
+
+// chromeFor converts one recorded event (pid 1, cycle-as-µs timestamps).
+func chromeFor(e Event) ChromeEvent {
+	method := ""
+	if e.Method != nil {
+		method = e.Method.FullName()
+	}
+	return NamedEvent{Ts: e.Cycle, Kind: e.Kind, Thread: e.Thread, Method: method, Arg: e.Arg}.Chrome(1)
 }
 
 func threadName(tid int) string {
