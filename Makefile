@@ -5,11 +5,12 @@ GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-short bench-ab experiments \
 	clean-cache fuzz fuzz-smoke mutation-check telemetry-smoke \
-	service-smoke soak soak-smoke doc-lint fusion-smoke scenario-smoke \
-	obs-smoke
+	service-smoke soak soak-smoke soak-fleet doc-lint fusion-smoke \
+	scenario-smoke obs-smoke fleet-smoke
 
 ci: fmt vet doc-lint build test race fuzz-smoke mutation-check telemetry-smoke \
-	service-smoke obs-smoke soak-smoke fusion-smoke scenario-smoke bench-short
+	service-smoke obs-smoke soak-smoke fusion-smoke scenario-smoke \
+	fleet-smoke bench-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -33,7 +34,7 @@ test:
 race:
 	$(GO) test -race ./internal/experiment/ ./internal/vm/ \
 		./internal/oracle/ ./internal/trigger/ ./internal/service/ \
-		./internal/scenario/
+		./internal/scenario/ ./internal/fabric/
 
 # Native fuzzing (go test -fuzz), 30s per target. Each target keeps its
 # regression corpus in testdata/fuzz/; crashers found here land there
@@ -102,6 +103,24 @@ soak:
 # forces the 429-retry path to run.
 soak-smoke:
 	$(GO) test -race -run '^TestSoakSmoke$$' -v ./cmd/isampload/ | grep -q 'PASS: TestSoakSmoke'
+
+# Fleet smoke for ci: the real isampfleet entrypoint (config file, flags,
+# SIGHUP reload) coordinating three in-process isampd workers on
+# ephemeral ports, under -race: a mixed batch with duplicates, one worker
+# killed mid-job (its cell requeues on a survivor, then the topology
+# drops it via SIGHUP), every job terminal, zero lost cells, and a
+# byte-identical CAS hit on resubmission.
+fleet-smoke:
+	$(GO) test -race -run '^TestFleetSmoke$$' -v ./cmd/isampfleet/ | grep -q 'PASS: TestFleetSmoke'
+
+# Fleet soak (not in ci — see BENCHMARKING.md on this host's core count):
+# the self-hosted scaling A/B behind BENCH_PR10.json — the same seeded
+# soak against 1-worker and 4-worker self-hosted fleets, plus a
+# worker-kill recovery leg.
+soak-fleet:
+	$(GO) run ./cmd/isampload -fleet-ab -workers 4 -duration 20s -pr 10 \
+		-title "Fleet scaling A/B: isampfleet coordinator over 1 vs 4 isampd workers" \
+		-o BENCH_PR10.json
 
 # Doc lint: every internal package must open with a package comment that
 # cross-links its DESIGN.md section, so the design doc and the code

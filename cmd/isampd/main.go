@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		workers  = fs.Int("j", runtime.GOMAXPROCS(0), "worker-pool size: jobs running concurrently")
 		queue    = fs.Int("queue", 64, "accepted-job queue depth; a full queue answers 429")
 		cacheDir = fs.String("cache-dir", "", "on-disk result cache directory (empty disables)")
+		cacheMax = fs.Int64("cache-max-bytes", 0, "result cache byte budget with LRU eviction (0 = unbounded)")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
 		quiet    = fs.Bool("q", false, "suppress per-job log lines")
 		obsMode  = fs.String("obs", "off", "observability mode: off, spans (job span chains + ledgers), full (+ per-run VM traces)")
@@ -89,6 +90,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 	var cache *experiment.Cache
 	if *cacheDir != "" {
 		c, err := experiment.OpenCache(*cacheDir)
+		if err == nil && *cacheMax > 0 {
+			err = c.SetMaxBytes(*cacheMax)
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "isampd: cache disabled:", err)
 		} else {

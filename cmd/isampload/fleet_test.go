@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"instrsample/internal/load"
+)
+
+// TestFleetFlagValidation: the fleet modes self-host by construction, so
+// combining them with -addr (or asking for a one-worker A/B) must be
+// rejected up front, before any servers boot.
+func TestFleetFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"fleet-ab with addr", []string{"-fleet-ab", "-workers", "2", "-addr", "http://127.0.0.1:1"}, "-addr is incompatible"},
+		{"fleet-ab one worker", []string{"-fleet-ab", "-workers", "1"}, "-workers >= 2"},
+		{"workers with addr", []string{"-workers", "2", "-addr", "http://127.0.0.1:1"}, "-addr is incompatible"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(context.Background(), tc.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: want error containing %q, got %v", tc.args, tc.want, err)
+			}
+		})
+	}
+}
+
+// TestFleetABSmoke drives the -fleet-ab path end to end on short legs:
+// both self-hosted fleets boot, the same plan soaks each, one worker is
+// hard-killed halfway through the fleet leg, and the combined report
+// lands with both legs' gates plus the scaling verdict. The scaling
+// floor is disabled (shared single-core hosts cannot speed up CPU-bound
+// jobs by adding workers; see BENCHMARKING.md), so the exact gates —
+// zero failed jobs even with the mid-run kill, zero leaked goroutines,
+// zero transport errors — are the check.
+func TestFleetABSmoke(t *testing.T) {
+	mix, mixPath := smokeMix(t, 3, 400)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	err := run(ctx, []string{
+		"-fleet-ab",
+		"-workers", "2",
+		"-mix", mixPath,
+		"-duration", "2s",
+		"-clients", "4",
+		"-o", out,
+		"-min-scaling", "0",
+		"-min-throughput", "1",
+		"-max-p99-ms", "60000",
+		"-max-cancel-p99-ms", "60000",
+		"-max-queue-wait-p99-ms", "60000",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("fleet A/B failed: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type legDoc struct {
+		Workers      int  `json:"workers"`
+		WorkerKilled bool `json:"worker_killed_mid_run"`
+		Result       struct {
+			Counts load.Counts `json:"counts"`
+		} `json:"result"`
+		Gates []load.GateResult `json:"gates"`
+	}
+	var rep struct {
+		PlanHash  string          `json:"plan_hash"`
+		BudgetMet bool            `json:"budget_met"`
+		Scaling   load.GateResult `json:"scaling"`
+		A         legDoc          `json:"a_single_worker"`
+		B         legDoc          `json:"b_fleet"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if !rep.BudgetMet {
+		t.Errorf("budget_met=false despite run() success\nstdout:\n%s", stdout.String())
+	}
+	if rep.A.Workers != 1 || rep.A.WorkerKilled {
+		t.Errorf("leg A: want 1 worker, none killed; got %d killed=%v", rep.A.Workers, rep.A.WorkerKilled)
+	}
+	if rep.B.Workers != 2 || !rep.B.WorkerKilled {
+		t.Errorf("leg B: want 2 workers with a mid-run kill; got %d killed=%v", rep.B.Workers, rep.B.WorkerKilled)
+	}
+	for _, leg := range []string{"A", "B"} {
+		counts := rep.A.Result.Counts
+		if leg == "B" {
+			counts = rep.B.Result.Counts
+		}
+		if counts.Submitted == 0 {
+			t.Errorf("leg %s submitted no jobs", leg)
+		}
+		if counts.Failed != 0 {
+			t.Errorf("leg %s failed %d jobs (worker loss must requeue, not fail)", leg, counts.Failed)
+		}
+	}
+	if rep.Scaling.Name != "fleet_scaling_ratio" || rep.Scaling.Value <= 0 {
+		t.Errorf("scaling verdict malformed: %+v", rep.Scaling)
+	}
+
+	// Same determinism receipt as the single-daemon soak: both legs ran
+	// the plan this mix expands to.
+	plan, err := load.Plan(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PlanHash != load.PlanHash(plan) {
+		t.Errorf("report plan_hash %s != recomputed %s", rep.PlanHash, load.PlanHash(plan))
+	}
+}

@@ -76,6 +76,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		notes     = fs.String("notes", "", "free-form notes stamped into the report")
 		printPlan = fs.Bool("print-plan", false, "print the expanded op sequence as JSON and exit")
 
+		fleetN   = fs.Int("workers", 0, "self-host an isampfleet coordinator over N isampd workers instead of a single daemon (0 = single daemon; incompatible with -addr)")
+		fleetAB  = fs.Bool("fleet-ab", false, "scaling A/B: soak the same plan against 1-worker and N-worker (-workers) self-hosted fleets, killing one worker mid-run on the fleet leg")
+		minScale = fs.Float64("min-scaling", 2.5, "gate (-fleet-ab): fleet/single-worker jobs-per-sec ratio floor (0 disables)")
+
 		minTput      = fs.Float64("min-throughput", defGates.MinThroughputJobsPerSec, "gate: terminal jobs/sec floor (0 disables)")
 		maxP99       = fs.Uint64("max-p99-ms", defGates.MaxP99Ms, "gate: accepted→terminal p99 ceiling in ms (0 disables)")
 		maxCancelP99 = fs.Uint64("max-cancel-p99-ms", defGates.MaxCancelP99Ms, "gate: DELETE→terminal p99 ceiling in ms (0 disables)")
@@ -123,6 +127,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *fleetAB {
+		if *addr != "" {
+			return errors.New("-fleet-ab self-hosts its fleets; -addr is incompatible")
+		}
+		if *fleetN < 2 {
+			return errors.New("-fleet-ab needs -workers >= 2")
+		}
+		mode, merr := obs.ParseMode(*selfObs)
+		if merr != nil {
+			return fmt.Errorf("-self-obs: %w", merr)
+		}
+		return runFleetAB(ctx, plan, mix, fleetABOptions{
+			workers:   *fleetN,
+			perWorker: *selfJ,
+			queue:     *selfQueue,
+			clients:   *clients,
+			duration:  *duration,
+			mode:      mode,
+			gates: load.Gates{
+				MinThroughputJobsPerSec: *minTput,
+				MaxP99Ms:                *maxP99,
+				MaxCancelP99Ms:          *maxCancelP99,
+				MaxQueueWaitP99Ms:       *maxQueueP99,
+				MaxLeakedGoroutines:     *maxLeaked,
+				MinSubmitted:            *minSubmitted,
+			},
+			minScale: *minScale,
+			pr:       *pr,
+			title:    *title,
+			notes:    *notes,
+			out:      *out,
+			logf:     logf,
+		}, stdout)
+	}
+
 	baseURL := *addr
 	var shutdown func()
 	if baseURL == "" {
@@ -130,12 +169,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if merr != nil {
 			return fmt.Errorf("-self-obs: %w", merr)
 		}
-		baseURL, shutdown, err = selfHost(*selfJ, *selfQueue, mode)
-		if err != nil {
-			return err
+		if *fleetN > 0 {
+			baseURL, _, shutdown, err = selfHostFleet(*fleetN, *selfJ, *selfQueue, mode, logf)
+			if err != nil {
+				return err
+			}
+			defer shutdown()
+			if err := waitFleetUp(baseURL, *fleetN, 15*time.Second); err != nil {
+				return err
+			}
+			logf("self-hosted fleet on %s (coordinator + %d workers, %d slots each, queue %d, obs %s)",
+				baseURL, *fleetN, *selfJ, *selfQueue, mode)
+		} else {
+			baseURL, shutdown, err = selfHost(*selfJ, *selfQueue, mode)
+			if err != nil {
+				return err
+			}
+			defer shutdown()
+			logf("self-hosted daemon on %s (%d workers, queue %d, obs %s)", baseURL, *selfJ, *selfQueue, mode)
 		}
-		defer shutdown()
-		logf("self-hosted daemon on %s (%d workers, queue %d, obs %s)", baseURL, *selfJ, *selfQueue, mode)
+	} else if *fleetN > 0 {
+		return errors.New("-workers self-hosts a fleet; -addr is incompatible")
 	}
 
 	logf("soak: %d planned ops (hash %s), %d clients, %s window",

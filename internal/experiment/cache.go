@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"instrsample/internal/profile"
@@ -16,22 +19,54 @@ import (
 // Cache is a content-keyed on-disk store of cell results. Entries are
 // keyed by a hash of the cell's canonical key together with the running
 // binary's build ID (a hash of the executable), so results computed by a
-// stale build are never reused after the code changes.
+// stale build are never reused after the code changes. That hash is also
+// the entry's content address — see cas.go for the CAS view a fleet
+// shares over HTTP.
 //
 // The cache is best-effort: load and store failures silently fall back to
 // recomputing the cell. A Cache is safe for concurrent use — entries are
 // written to a temporary file and renamed into place.
+//
+// A byte budget (SetMaxBytes) turns on LRU eviction: the cache then
+// tracks every entry's exact size and drops the least-recently-used
+// entries whenever a store would push the total over the budget, so
+// long-lived CAS nodes do not grow without bound.
 type Cache struct {
 	dir string
 	id  string
+
+	// LRU state, active only once SetMaxBytes has run with a positive
+	// budget. index maps addr → element in lru; lru front is the most
+	// recently used entry.
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	index    map[string]*list.Element
+	lru      *list.List
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// lruEntry is one indexed entry: its address and exact on-disk size.
+type lruEntry struct {
+	addr string
+	size int64
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir, addressed
+// by the running binary's build ID.
 func OpenCache(dir string) (*Cache, error) {
+	return OpenCacheID(dir, buildID())
+}
+
+// OpenCacheID opens a cache whose content addresses are derived from an
+// explicit store ID instead of this binary's build ID. The fleet
+// coordinator uses it to address entries the worker binaries produced:
+// addresses must be computed with the workers' shared build ID, which
+// the coordinator learns from their /healthz handshake (DESIGN.md §15).
+func OpenCacheID(dir, id string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiment: cache: %w", err)
 	}
-	return &Cache{dir: dir, id: buildID()}, nil
+	return &Cache{dir: dir, id: id}, nil
 }
 
 // Dir returns the cache's root directory.
@@ -61,10 +96,152 @@ func buildID() string { return buildIDOnce() }
 // provenance is checkable from the command line.
 func BuildID() string { return buildIDOnce() }
 
+// addrPath maps a content address to its entry file.
+func (c *Cache) addrPath(addr string) string {
+	return filepath.Join(c.dir, addr+".json")
+}
+
 // path maps a cell key to its entry file.
-func (c *Cache) path(key string) string {
-	sum := sha256.Sum256([]byte(c.id + "\x00" + key))
-	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".json")
+func (c *Cache) path(key string) string { return c.addrPath(c.Addr(key)) }
+
+// SetMaxBytes arms LRU eviction with a byte budget (0 disables). It
+// scans the cache directory to build the exact size accounting —
+// pre-existing entries are ordered oldest-modified first — and evicts
+// immediately if the current contents already exceed the budget.
+func (c *Cache) SetMaxBytes(n int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	if n <= 0 {
+		c.index, c.lru, c.size = nil, nil, 0
+		return nil
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("experiment: cache: %w", err)
+	}
+	type aged struct {
+		lruEntry
+		mtime int64
+	}
+	var found []aged
+	for _, e := range entries {
+		name := e.Name()
+		addr, ok := strings.CutSuffix(name, ".json")
+		if !ok || !ValidAddr(addr) || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, aged{lruEntry{addr: addr, size: info.Size()}, info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	c.index = make(map[string]*list.Element, len(found))
+	c.lru = list.New()
+	c.size = 0
+	for _, f := range found {
+		// Oldest first, each pushed to the front, leaves the newest at the
+		// front — the LRU order a cold index can best reconstruct.
+		c.index[f.addr] = c.lru.PushFront(f.lruEntry)
+		c.size += f.size
+	}
+	c.evictLocked()
+	return nil
+}
+
+// Bytes returns the exact byte total of indexed entries (0 when no
+// budget is armed).
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Entries returns the number of indexed entries (0 when no budget is
+// armed).
+func (c *Cache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.index == nil {
+		return 0
+	}
+	return len(c.index)
+}
+
+// MaxBytes returns the armed byte budget (0 = unbounded).
+func (c *Cache) MaxBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBytes
+}
+
+// touch refreshes an entry's LRU position on a hit.
+func (c *Cache) touch(addr string) {
+	c.mu.Lock()
+	if el, ok := c.index[addr]; ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+}
+
+// account records a freshly written entry of the given size, replacing
+// any previous accounting for the same address, and evicts past the
+// budget.
+func (c *Cache) account(addr string, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.index == nil {
+		return
+	}
+	if el, ok := c.index[addr]; ok {
+		c.size -= el.Value.(lruEntry).size
+		c.lru.Remove(el)
+	}
+	c.index[addr] = c.lru.PushFront(lruEntry{addr: addr, size: size})
+	c.size += size
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the total is back
+// under the budget. Caller holds c.mu.
+func (c *Cache) evictLocked() {
+	if c.maxBytes <= 0 || c.lru == nil {
+		return
+	}
+	for c.size > c.maxBytes && c.lru.Len() > 0 {
+		el := c.lru.Back()
+		e := el.Value.(lruEntry)
+		c.lru.Remove(el)
+		delete(c.index, e.addr)
+		c.size -= e.size
+		os.Remove(c.addrPath(e.addr))
+	}
+}
+
+// writeEntry atomically writes one entry file and updates the LRU
+// accounting.
+func (c *Cache) writeEntry(addr string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, "cell-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), c.addrPath(addr)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	c.account(addr, int64(len(data)))
+	return nil
 }
 
 // cachedEntry is the serialized form of one profile event.
@@ -141,16 +318,8 @@ func decodeProfile(cp cachedProfile) *profile.Profile {
 	return p
 }
 
-// Load returns the cached result for key, if present and decodable.
-func (c *Cache) Load(key string) (*CellResult, bool) {
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
-		return nil, false
-	}
-	var in cachedCell
-	if err := json.Unmarshal(data, &in); err != nil || in.CellKey != key {
-		return nil, false
-	}
+// decodeCell rebuilds a CellResult from its on-disk form.
+func decodeCell(in cachedCell) *CellResult {
 	res := &CellResult{
 		Stats:              in.Stats,
 		CodeSize:           in.CodeSize,
@@ -171,12 +340,11 @@ func (c *Cache) Load(key string) (*CellResult, bool) {
 		}
 		res.Snapshots = append(res.Snapshots, snap)
 	}
-	return res, true
+	return res
 }
 
-// Store writes the result for key. Failures are ignored: the cache is an
-// accelerator, never a correctness dependency.
-func (c *Cache) Store(key string, res *CellResult) {
+// encodeCell flattens a CellResult to its on-disk form under key.
+func encodeCell(key string, res *CellResult) cachedCell {
 	out := cachedCell{
 		CellKey:            key,
 		Stats:              res.Stats,
@@ -198,21 +366,28 @@ func (c *Cache) Store(key string, res *CellResult) {
 		}
 		out.Snapshots = append(out.Snapshots, cs)
 	}
-	data, err := json.Marshal(out)
+	return out
+}
+
+// Load returns the cached result for key, if present and decodable.
+func (c *Cache) Load(key string) (*CellResult, bool) {
+	data, ok := c.GetAddr(c.Addr(key))
+	if !ok {
+		return nil, false
+	}
+	var in cachedCell
+	if err := json.Unmarshal(data, &in); err != nil || in.CellKey != key {
+		return nil, false
+	}
+	return decodeCell(in), true
+}
+
+// Store writes the result for key. Failures are ignored: the cache is an
+// accelerator, never a correctness dependency.
+func (c *Cache) Store(key string, res *CellResult) {
+	data, err := json.Marshal(encodeCell(key, res))
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, "cell-*.tmp")
-	if err != nil {
-		return
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
-	}
+	c.writeEntry(c.Addr(key), data) //nolint:errcheck // best-effort store
 }

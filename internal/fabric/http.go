@@ -1,0 +1,431 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+
+	"instrsample/internal/experiment"
+	"instrsample/internal/obs"
+	"instrsample/internal/service"
+	"instrsample/internal/telemetry"
+)
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is the fleet front door. It mirrors the single-daemon
+// POST /v1/jobs contract exactly — same validation, same 202 body,
+// same 429-with-Retry-After pushback — and adds the fabric behind it:
+// duplicate cells piggyback on the in-flight owner, a cell already in
+// the coordinator's CAS replica resolves instantly, and everything
+// else shards onto a worker queue.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tr := c.cfg.Obs.StartJob()
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec service.JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if dec.More() {
+		writeErr(w, http.StatusBadRequest, "invalid request body: trailing data after job spec")
+		return
+	}
+	tr.Begin(obs.StageValidate, "")
+	if err := spec.Valid(); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	key := spec.CellKey()
+
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	// Cluster-wide single-flight: an identical in-flight cell absorbs
+	// this submission; the new job rides the owner with a cause link.
+	if fl, ok := c.flights[key]; ok && !fl.cancel {
+		j := c.newJobLocked(spec, tr)
+		owner := fl.attached[0]
+		j.fl = fl
+		j.status = owner.status
+		j.started = owner.started
+		fl.attached = append(fl.attached, j)
+		tr.Begin(obs.StageMemoFlight, owner.id)
+		c.reg.Counter(MetricMemoPiggy).Inc()
+		id, status := j.id, j.status
+		c.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(status)})
+		return
+	}
+
+	// CAS fast path: the coordinator's replica may already hold the
+	// result (a resubmission, or another node computed it earlier).
+	tr.Begin(obs.StageCacheProbe, "")
+	if c.cas != nil && !spec.Overlap {
+		addr := experiment.CASAddr(c.fleetID, key)
+		if data, ok := c.cas.GetAddr(addr); ok {
+			if cell, cellKey, err := experiment.DecodeCAS(data); err == nil && cellKey == key {
+				if res, err := json.Marshal(service.BuildResult(spec, cell, nil)); err == nil {
+					j := c.newJobLocked(spec, tr)
+					c.reg.Counter(MetricCASLocalHit).Inc()
+					tr.Begin(obs.StageExport, "")
+					c.finishJobLocked(j, service.StatusDone, "", res)
+					id := j.id
+					c.mu.Unlock()
+					writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(service.StatusDone)})
+					return
+				}
+			}
+		}
+		c.reg.Counter(MetricCASMiss).Inc()
+	}
+
+	// Bounded queue: propagated backpressure, proportional Retry-After.
+	if c.pending >= c.cfg.QueueDepth {
+		depth := c.pending
+		c.mu.Unlock()
+		c.reg.Counter(service.MetricJobsRejected).Inc()
+		w.Header().Set("Retry-After", c.drain.Header(depth, c.now()))
+		writeErr(w, http.StatusTooManyRequests, "fleet queue full (%d deep); retry later", depth)
+		return
+	}
+
+	j := c.newJobLocked(spec, tr)
+	tr.Begin(obs.StageQueueWait, "")
+	c.newFlightLocked(key, spec, j)
+	id, status := j.id, j.status
+	c.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(status)})
+}
+
+func (c *Coordinator) lookup(r *http.Request) (*fjob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	c.mu.Lock()
+	v := j.viewLocked()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleCancel detaches one job from its flight. The flight itself is
+// only aborted when its last rider cancels — duplicates piggybacking on
+// the cell keep it alive.
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	c.mu.Lock()
+	if j.status.Terminal() {
+		id, st := j.id, j.status
+		c.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]string{"id": id, "status": string(st)})
+		return
+	}
+	j.cancelReq = true
+	fl := j.fl
+	var lastRider bool
+	if fl != nil && !fl.done {
+		lastRider = fl.detachLocked(j)
+	}
+	c.finishJobLocked(j, service.StatusCancelled, "cancelled", nil)
+	var cancelWorker *worker
+	var remoteID string
+	if lastRider {
+		fl.cancel = true
+		if c.dequeueLocked(fl) {
+			// Still queued: nothing ran anywhere; retire the flight now.
+			c.resolveLocked(fl, service.StatusCancelled, "cancelled", nil)
+		} else if fl.running != nil && fl.remoteID != "" {
+			cancelWorker, remoteID = fl.running, fl.remoteID
+		}
+	}
+	id, st := j.id, j.status
+	c.mu.Unlock()
+	if cancelWorker != nil {
+		// Propagate to the worker; its event stream resolves the flight.
+		c.remoteCancel(cancelWorker, remoteID)
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(st)})
+}
+
+// handleEvents proxies a job's event stream through the coordinator:
+// the worker's columns/metrics blocks replay in order, then the
+// coordinator's own ledger and done events close the stream — clients
+// keep a single endpoint whether they talk to one daemon or a fleet.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok2 := w.(http.Flusher)
+	if !ok2 {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	c.mu.Lock()
+	c.subscribers++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.subscribers--
+		c.mu.Unlock()
+	}()
+
+	sent := 0
+	for {
+		c.mu.Lock()
+		var blocks [][]byte
+		var wake chan struct{}
+		if j.fl != nil {
+			blocks = j.fl.events[sent:]
+			wake = j.fl.wake
+		}
+		c.mu.Unlock()
+		for _, b := range blocks {
+			w.Write(b) //nolint:errcheck // client went away; select below exits
+		}
+		sent += len(blocks)
+		if len(blocks) > 0 {
+			fl.Flush()
+		}
+		if wake == nil {
+			// No flight (CAS hit or piggyback-less instant resolve): only
+			// the terminal events remain.
+			wake = make(chan struct{})
+		}
+		select {
+		case <-wake:
+		case <-j.done:
+			c.mu.Lock()
+			if j.fl != nil {
+				for _, b := range j.fl.events[sent:] {
+					w.Write(b) //nolint:errcheck
+				}
+				sent = len(j.fl.events)
+			}
+			l := j.trace.Ledger()
+			st := j.status
+			c.mu.Unlock()
+			if l != nil {
+				data, _ := json.Marshal(l)
+				fmt.Fprintf(w, "event: ledger\ndata: %s\n\n", data)
+			}
+			fmt.Fprintf(w, "event: done\ndata: {\"status\":%q}\n\n", st)
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleCASGet(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	cas := c.cas
+	c.mu.Unlock()
+	if cas == nil {
+		writeErr(w, http.StatusNotFound, "no cas replica configured")
+		return
+	}
+	addr := r.PathValue("addr")
+	if !experiment.ValidAddr(addr) {
+		writeErr(w, http.StatusBadRequest, "invalid CAS address %q", addr)
+		return
+	}
+	data, ok := cas.GetAddr(addr)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no entry at %s", addr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}
+
+func (c *Coordinator) handleCASPut(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	cas := c.cas
+	c.mu.Unlock()
+	if cas == nil {
+		writeErr(w, http.StatusNotFound, "no cas replica configured")
+		return
+	}
+	addr := r.PathValue("addr")
+	if !experiment.ValidAddr(addr) {
+		writeErr(w, http.StatusBadRequest, "invalid CAS address %q", addr)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "body: %v", err)
+		return
+	}
+	if err := cas.PutAddr(addr, body); err != nil {
+		c.reg.Counter(MetricCASRejected).Inc()
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"stored": addr})
+}
+
+// WorkerHealth is one worker's row in the coordinator /healthz document.
+type WorkerHealth struct {
+	URL      string  `json:"url"`
+	Up       bool    `json:"up"`
+	Weight   float64 `json:"weight"`
+	Pending  int     `json:"pending"`
+	Inflight int     `json:"inflight"`
+	Depth    int     `json:"reported_depth"`
+	Draining bool    `json:"draining,omitempty"`
+}
+
+// handleHealthz mirrors the single-daemon health document (so the load
+// harness's leak gates work unchanged) and adds the per-worker fleet
+// accounting.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	queued, running, terminal := 0, 0, 0
+	for _, j := range c.jobs {
+		switch j.status {
+		case service.StatusQueued:
+			queued++
+		case service.StatusRunning:
+			running++
+		default:
+			terminal++
+		}
+	}
+	status := "ok"
+	if c.draining {
+		status = "draining"
+	}
+	workers := make(map[string]WorkerHealth, len(c.workers))
+	names := make([]string, 0, len(c.workers))
+	for name, wk := range c.workers {
+		names = append(names, name)
+		workers[name] = WorkerHealth{
+			URL: wk.url, Up: wk.up, Weight: wk.weight,
+			Pending: len(wk.queue), Inflight: wk.inflight,
+			Depth: wk.depth, Draining: wk.draining,
+		}
+	}
+	sort.Strings(names)
+	doc := map[string]any{
+		"status":      status,
+		"role":        "coordinator",
+		"jobs":        queued + running + terminal,
+		"queued":      queued,
+		"running":     running,
+		"terminal":    terminal,
+		"subscribers": c.subscribers,
+		"build_id":    c.fleetID,
+		"workers":     workers,
+		"worker_set":  names,
+	}
+	c.mu.Unlock()
+	doc["goroutines"] = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	doc["heap_bytes"] = ms.HeapAlloc
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, c.reg) //nolint:errcheck
+}
+
+// Shutdown drains the coordinator: the front door closes, queued and
+// running cells get until ctx's deadline to finish, then everything
+// left is cancelled (queued cells locally, running cells on their
+// workers). Dispatchers and health probes stop before return.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { c.inflight.Wait(); close(done) }()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		c.mu.Lock()
+		type rc struct {
+			w  *worker
+			id string
+		}
+		var cancels []rc
+		for _, fl := range c.flights {
+			fl.cancel = true
+			if fl.running != nil && fl.remoteID != "" {
+				cancels = append(cancels, rc{fl.running, fl.remoteID})
+			}
+			c.dequeueLocked(fl)
+			// Resolve locally, not by waiting on the worker: a hung worker
+			// must not be able to wedge shutdown. The remote cancel below
+			// is best-effort cleanup.
+			c.resolveLocked(fl, service.StatusCancelled, "coordinator shutting down", nil)
+		}
+		c.mu.Unlock()
+		for _, rc := range cancels {
+			c.remoteCancel(rc.w, rc.id)
+		}
+		<-done
+	}
+	c.mu.Lock()
+	c.closed = true
+	for _, w := range c.workers {
+		if !w.gone {
+			w.gone = true
+			close(w.stop)
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+	return forced
+}

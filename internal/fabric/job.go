@@ -1,0 +1,300 @@
+package fabric
+
+import (
+	"encoding/json"
+	"time"
+
+	"instrsample/internal/experiment"
+	"instrsample/internal/obs"
+	"instrsample/internal/service"
+	"instrsample/internal/telemetry"
+)
+
+// flight is one live measurement cell: the cluster-wide single-flight
+// unit. Every submission of the same cell key attaches to the same
+// flight; the flight is dispatched once and its resolution fans out to
+// every attached job. All flight state is guarded by the coordinator's
+// mutex — dispatchers copy what they need before doing network I/O.
+type flight struct {
+	key  string
+	addr string // CAS address under the fleet ID ("" before the ID is known)
+	spec service.JobSpec
+
+	attached []*fjob         // submissions riding this flight (first = trace holder)
+	tried    map[string]bool // workers that already failed this cell
+	assigned *worker         // queue the flight currently sits in (nil once dispatched)
+	running  *worker         // worker executing it (nil while queued)
+	remoteID string          // worker-side job ID while running
+	queuedAt time.Time
+	done     bool
+	cancel   bool // every attached job cancelled; abort at the next step
+
+	// SSE proxy state: worker event blocks (columns/metrics), replayed
+	// to every front-door subscriber; wake closes on each append.
+	events [][]byte
+	wake   chan struct{}
+}
+
+// fjob is one client-visible job at the coordinator. Fields are guarded
+// by the coordinator's mutex; done closes exactly once at the terminal
+// transition.
+type fjob struct {
+	id      string
+	spec    service.JobSpec
+	fl      *flight // nil for jobs resolved without a flight (CAS hit)
+	trace   *obs.JobTrace
+	created time.Time
+
+	status    service.JobStatus
+	errMsg    string
+	result    json.RawMessage
+	started   *time.Time
+	finished  *time.Time
+	cancelReq bool
+	done      chan struct{}
+}
+
+// fjobView mirrors the single-daemon GET /v1/jobs/{id} document so
+// isampload (and any other client) drives the coordinator unchanged.
+type fjobView struct {
+	ID       string            `json:"id"`
+	Status   service.JobStatus `json:"status"`
+	Spec     string            `json:"spec"`
+	Created  time.Time         `json:"created"`
+	Started  *time.Time        `json:"started,omitempty"`
+	Finished *time.Time        `json:"finished,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Result   json.RawMessage   `json:"result,omitempty"`
+	Worker   string            `json:"worker,omitempty"`
+	Ledger   *obs.Ledger       `json:"ledger,omitempty"`
+}
+
+// viewLocked renders the job document. Caller holds c.mu.
+func (j *fjob) viewLocked() fjobView {
+	v := fjobView{
+		ID:      j.id,
+		Status:  j.status,
+		Spec:    j.spec.CellKey(),
+		Created: j.created,
+		Started: j.started,
+		Error:   j.errMsg,
+		Result:  j.result,
+	}
+	v.Finished = j.finished
+	if j.fl != nil && j.fl.running != nil {
+		v.Worker = j.fl.running.name
+	}
+	if l := j.trace.Ledger(); l != nil {
+		v.Ledger = l
+	}
+	return v
+}
+
+// newJobLocked allocates a job and its span chain. Caller holds c.mu.
+func (c *Coordinator) newJobLocked(spec service.JobSpec, tr *obs.JobTrace) *fjob {
+	c.seq++
+	j := &fjob{
+		id:      jobID(c.seq),
+		spec:    spec,
+		trace:   tr,
+		created: c.now(),
+		status:  service.StatusQueued,
+		done:    make(chan struct{}),
+	}
+	tr.SetJob(j.id)
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.evictLocked()
+	c.inflight.Add(1)
+	c.reg.Counter(service.MetricJobsAccepted).Inc()
+	return j
+}
+
+func jobID(seq uint64) string { return "job-" + pad6(seq) }
+
+func pad6(n uint64) string {
+	buf := []byte("000000")
+	for i := 5; i >= 0 && n > 0; i-- {
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf)
+}
+
+// evictLocked drops the oldest terminal jobs past the retention cap.
+func (c *Coordinator) evictLocked() {
+	for len(c.jobs) > c.cfg.RetainJobs && len(c.order) > 0 {
+		id := c.order[0]
+		if j, ok := c.jobs[id]; ok && !j.status.Terminal() {
+			return
+		}
+		c.order = c.order[1:]
+		delete(c.jobs, id)
+	}
+}
+
+// finishJobLocked drives one job to its terminal state: result and
+// status land, the span chain closes (feeding the per-stage histograms)
+// and waiters wake. Idempotent. Caller holds c.mu.
+func (c *Coordinator) finishJobLocked(j *fjob, st service.JobStatus, errMsg string, result json.RawMessage) {
+	if j.status.Terminal() {
+		return
+	}
+	j.status = st
+	j.errMsg = errMsg
+	j.result = result
+	t := c.now()
+	j.finished = &t
+	j.trace.Finish(string(st))
+	if l := j.trace.Ledger(); l != nil {
+		for _, row := range l.Rows {
+			c.reg.Histogram(service.MetricStageUs(row.Stage), telemetry.ExpBuckets(1, 24)).
+				Observe(uint64(row.Ns / 1e3))
+		}
+	}
+	switch st {
+	case service.StatusDone:
+		c.reg.Counter(service.MetricJobsCompleted).Inc()
+	case service.StatusCancelled:
+		c.reg.Counter(service.MetricJobsCancelled).Inc()
+	default:
+		c.reg.Counter(service.MetricJobsFailed).Inc()
+	}
+	c.reg.Histogram(service.MetricJobDuration, telemetry.ExpBuckets(1, 16)).
+		Observe(uint64(t.Sub(j.created).Milliseconds()))
+	close(j.done)
+	c.inflight.Done()
+	c.logf("job %s %s", j.id, st)
+}
+
+// newFlightLocked opens the single-flight entry for a cell and queues
+// it on its rendezvous owner. Caller holds c.mu.
+func (c *Coordinator) newFlightLocked(key string, spec service.JobSpec, owner *fjob) *flight {
+	fl := &flight{
+		key:      key,
+		spec:     spec,
+		attached: []*fjob{owner},
+		tried:    make(map[string]bool),
+		queuedAt: c.now(),
+		wake:     make(chan struct{}),
+	}
+	if c.fleetID != "" {
+		fl.addr = experiment.CASAddr(c.fleetID, key)
+	}
+	owner.fl = fl
+	c.flights[key] = fl
+	c.enqueueLocked(fl)
+	return fl
+}
+
+// enqueueLocked places a flight on its rendezvous owner's queue (or
+// fails it when no worker remains eligible). Caller holds c.mu.
+func (c *Coordinator) enqueueLocked(fl *flight) {
+	w := c.assignLocked(fl)
+	if w == nil {
+		c.resolveLocked(fl, service.StatusFailed,
+			"no eligible worker (all tried, draining or removed)", nil)
+		return
+	}
+	fl.assigned = w
+	w.queue = append(w.queue, fl)
+	c.pending++
+	c.reg.Gauge(service.MetricQueueDepth).Add(1)
+	c.reg.Gauge(workerMetric(w.name, "pending")).Add(1)
+	c.cond.Broadcast()
+}
+
+// dequeueLocked removes a queued flight from its assigned worker (a
+// cancel, or a reassignment). Caller holds c.mu.
+func (c *Coordinator) dequeueLocked(fl *flight) bool {
+	w := fl.assigned
+	if w == nil {
+		return false
+	}
+	for i, q := range w.queue {
+		if q == fl {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			fl.assigned = nil
+			c.pending--
+			c.reg.Gauge(service.MetricQueueDepth).Add(-1)
+			c.reg.Gauge(workerMetric(w.name, "pending")).Add(-1)
+			return true
+		}
+	}
+	fl.assigned = nil
+	return false
+}
+
+// reassignQueueLocked moves every queued flight off a down or draining
+// worker to its next rendezvous choice. Caller holds c.mu.
+func (c *Coordinator) reassignQueueLocked(w *worker, why string) {
+	moved := w.queue
+	w.queue = nil
+	for _, fl := range moved {
+		fl.assigned = nil
+		c.pending--
+		c.reg.Gauge(service.MetricQueueDepth).Add(-1)
+		c.reg.Gauge(workerMetric(w.name, "pending")).Add(-1)
+		if fl.cancel || fl.done {
+			continue
+		}
+		c.logf("fleet: cell %.20q reassigned off %s (%s)", fl.key, w.name, why)
+		c.enqueueLocked(fl)
+	}
+}
+
+// resolveLocked fans a flight's terminal outcome out to every attached
+// job and retires the flight. A failed or cancelled outcome leaves no
+// trace in the CAS — failures are never memoized; the next submission
+// of the cell recomputes it. Caller holds c.mu.
+func (c *Coordinator) resolveLocked(fl *flight, st service.JobStatus, errMsg string, result json.RawMessage) {
+	if fl.done {
+		return
+	}
+	fl.done = true
+	if fl.running != nil {
+		fl.running.inflight--
+		c.reg.Gauge(workerMetric(fl.running.name, "inflight")).Add(-1)
+		c.retireIfDrainedLocked(fl.running)
+		fl.running = nil
+	}
+	delete(c.flights, fl.key)
+	for _, j := range fl.attached {
+		// A job whose cancel raced the completion keeps its cancelled
+		// state; the flight outcome applies to everyone still live.
+		c.finishJobLocked(j, st, errMsg, result)
+	}
+	close(fl.wake) // final wake: subscribers drain and see terminal jobs
+	c.cond.Broadcast()
+}
+
+// retireIfDrainedLocked completes a draining worker's removal once its
+// last inflight cell resolves. Caller holds c.mu.
+func (c *Coordinator) retireIfDrainedLocked(w *worker) {
+	if w.draining && !w.gone && w.inflight == 0 && len(w.queue) == 0 {
+		c.removeWorkerLocked(w)
+	}
+}
+
+// appendEventLocked buffers one worker SSE block for replay to
+// front-door subscribers. Caller holds c.mu.
+func (fl *flight) appendEventLocked(block []byte) {
+	fl.events = append(fl.events, block)
+	old := fl.wake
+	fl.wake = make(chan struct{})
+	close(old)
+}
+
+// detachLocked removes a cancelled job from its flight; it reports
+// true when the flight has no live rider left and should be aborted.
+// Caller holds c.mu.
+func (fl *flight) detachLocked(j *fjob) bool {
+	live := fl.attached[:0]
+	for _, a := range fl.attached {
+		if a != j {
+			live = append(live, a)
+		}
+	}
+	fl.attached = live
+	return len(live) == 0
+}

@@ -29,6 +29,16 @@ const (
 	// StageCacheProbe covers the on-disk result cache lookup (and load,
 	// when it hits).
 	StageCacheProbe
+	// StageRemoteProbe covers a fleet coordinator probing a peer's CAS
+	// for an already-computed result before dispatching (fabric only).
+	StageRemoteProbe
+	// StageSteal covers the instant a drained worker claims a queued cell
+	// from a loaded peer; its Cause names the move ("from→to").
+	StageSteal
+	// StageDispatch covers handing the cell to a fleet worker and waiting
+	// for the remote run; its Cause names the worker (or "requeue:<w>"
+	// when a prior worker was lost mid-job).
+	StageDispatch
 	// StageCompile covers program construction and compilation.
 	StageCompile
 	// StageVMRun covers VM execution.
@@ -43,15 +53,18 @@ const (
 )
 
 var stageNames = [numStages]string{
-	StageAccept:     "accept",
-	StageValidate:   "validate",
-	StageQueueWait:  "queue-wait",
-	StageMemoFlight: "memo-flight",
-	StageCacheProbe: "cache-probe",
-	StageCompile:    "compile",
-	StageVMRun:      "vm-run",
-	StageExport:     "export",
-	StageTerminal:   "terminal",
+	StageAccept:      "accept",
+	StageValidate:    "validate",
+	StageQueueWait:   "queue-wait",
+	StageMemoFlight:  "memo-flight",
+	StageCacheProbe:  "cache-probe",
+	StageRemoteProbe: "remote-cache-probe",
+	StageSteal:       "steal",
+	StageDispatch:    "dispatch",
+	StageCompile:     "compile",
+	StageVMRun:       "vm-run",
+	StageExport:      "export",
+	StageTerminal:    "terminal",
 }
 
 // String returns the stage's wire name (used in ledger JSON, Chrome

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDrainEstimator drives the Retry-After estimator with a synthetic
+// clock: the estimate must be proportional to depth over the observed
+// drain rate, clamp to [retryAfterMin, retryAfterMax], and ignore
+// samples older than the window.
+func TestDrainEstimator(t *testing.T) {
+	t.Parallel()
+	base := time.Unix(1_700_000_000, 0)
+	var d DrainEstimator
+
+	// No signal: minimum backoff.
+	if got := d.RetryAfter(10, base); got != retryAfterMin {
+		t.Errorf("no samples: retryAfter = %d, want %d", got, retryAfterMin)
+	}
+
+	// One drain per second for 10 seconds ⇒ rate 1/s.
+	for i := 0; i < 10; i++ {
+		d.Record(base.Add(time.Duration(i) * time.Second))
+	}
+	now := base.Add(10 * time.Second)
+	if got := d.RetryAfter(5, now); got != 5 {
+		t.Errorf("depth 5 at 1/s: retryAfter = %d, want 5", got)
+	}
+	if got := d.RetryAfter(20, now); got != 20 {
+		t.Errorf("depth 20 at 1/s: retryAfter = %d, want 20", got)
+	}
+	if got := d.RetryAfter(500, now); got != retryAfterMax {
+		t.Errorf("huge depth: retryAfter = %d, want clamp %d", got, retryAfterMax)
+	}
+	if got := d.RetryAfter(0, now); got != retryAfterMin {
+		t.Errorf("zero depth: retryAfter = %d, want %d", got, retryAfterMin)
+	}
+
+	// A faster queue (4 drains/s) quarters the estimate.
+	var fast DrainEstimator
+	for i := 0; i < 40; i++ {
+		fast.Record(base.Add(time.Duration(i) * 250 * time.Millisecond))
+	}
+	if got := fast.RetryAfter(20, now); got != 5 {
+		t.Errorf("depth 20 at 4/s: retryAfter = %d, want 5", got)
+	}
+
+	// Once every sample ages out of the window, the signal is gone.
+	if got := d.RetryAfter(20, now.Add(2*drainWindow)); got != retryAfterMin {
+		t.Errorf("stale samples: retryAfter = %d, want %d", got, retryAfterMin)
+	}
+}

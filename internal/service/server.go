@@ -99,6 +99,8 @@ type Server struct {
 	queue      chan *job
 	workers    sync.WaitGroup
 
+	drain DrainEstimator
+
 	mu       sync.Mutex
 	draining bool
 	seq      uint64
@@ -149,6 +151,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/obs", s.handleObsGet)
 	s.mux.HandleFunc("PUT /v1/obs", s.handleObsSet)
+	s.mux.HandleFunc("GET /v1/cas/{addr}", s.handleCASGet)
+	s.mux.HandleFunc("PUT /v1/cas/{addr}", s.handleCASPut)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -257,6 +261,7 @@ func (s *Server) worker() {
 		select {
 		case j := <-s.queue:
 			s.reg.Gauge(MetricQueueDepth).Add(-1)
+			s.drain.Record(s.now())
 			s.runJob(j)
 		case <-s.baseCtx.Done():
 			return
@@ -448,7 +453,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.reg.Counter(MetricJobsRejected).Inc()
 		s.slogAt(slog.LevelWarn, "job rejected", "reason", "queue full", "depth", s.cfg.QueueDepth)
-		w.Header().Set("Retry-After", "1")
+		// Retry-After is proportional: the observed drain rate's estimate
+		// of how long clearing the full queue will take, not a constant.
+		w.Header().Set("Retry-After", s.drain.Header(s.cfg.QueueDepth, s.now()))
 		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep); retry later", s.cfg.QueueDepth)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -358,8 +359,9 @@ func TestBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit: status %d (%v), want 429", resp.StatusCode, m)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "1" {
-		t.Errorf("Retry-After %q, want 1", ra)
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < retryAfterMin || ra > retryAfterMax {
+		t.Errorf("Retry-After %q, want an integer in [%d,%d]",
+			resp.Header.Get("Retry-After"), retryAfterMin, retryAfterMax)
 	}
 	if got := s.Registry().Counter(MetricJobsRejected).Value(); got != 1 {
 		t.Errorf("jobs.rejected = %d, want 1", got)

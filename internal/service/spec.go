@@ -125,6 +125,12 @@ func (s JobSpec) withDefaults() JobSpec {
 // (DESIGN.md §11).
 func (s JobSpec) Valid() error { return s.withDefaults().validate() }
 
+// CellKey returns the spec's canonical measurement-cell key after
+// defaulting — the identity the memo table, the result cache and the
+// fleet's single-flight/sharding layers all agree on. Two specs with
+// equal CellKeys produce byte-identical results on the same build.
+func (s JobSpec) CellKey() string { return s.withDefaults().cellKey() }
+
 // validInstr matches experiment.OptsSpec's instrumenter vocabulary.
 var validInstr = map[string]bool{
 	"call-edge": true, "field-access": true, "edge": true,
